@@ -1,0 +1,156 @@
+// E5 — §9: hedged auctions.
+//
+// Regenerates the auction outcome analysis (honest run, every auctioneer
+// cheat, the neutralized low-bidder sore loser) and the n * p endowment
+// scaling, then times executions by bidder count.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/auction.hpp"
+
+using namespace xchain;
+
+namespace {
+
+core::AuctionConfig config() {
+  core::AuctionConfig cfg;
+  cfg.bids = {100, 80};
+  cfg.premium_unit = 2;
+  cfg.delta = 1;
+  return cfg;
+}
+
+void print_outcomes() {
+  struct Case {
+    const char* name;
+    core::AuctioneerStrategy alice;
+    core::BidderStrategy loser;
+  };
+  std::printf("\nOutcomes (Bob bids 100, Carol 80, p = 2):\n");
+  std::printf("%-36s %-10s %-9s %-22s\n", "scenario", "completed",
+              "tickets", "coin nets (A, B, C)");
+  for (const Case& c : {
+           Case{"honest", core::AuctioneerStrategy::kHonest,
+                core::BidderStrategy::kConform},
+           Case{"auctioneer abandons",
+                core::AuctioneerStrategy::kAbandon,
+                core::BidderStrategy::kConform},
+           Case{"declares the loser",
+                core::AuctioneerStrategy::kDeclareLoser,
+                core::BidderStrategy::kConform},
+           Case{"declares on coin chain only",
+                core::AuctioneerStrategy::kCoinOnly,
+                core::BidderStrategy::kConform},
+           Case{"split declaration",
+                core::AuctioneerStrategy::kSplit,
+                core::BidderStrategy::kConform},
+           Case{"honest + sore-loser Carol",
+                core::AuctioneerStrategy::kHonest,
+                core::BidderStrategy::kNoForward},
+       }) {
+    const auto r = run_auction(config(), c.alice,
+                               {core::BidderStrategy::kConform, c.loser});
+    std::printf("%-36s %-10s %-9u %+lld, %+lld, %+lld\n", c.name,
+                r.completed ? "yes" : "no", r.tickets_to,
+                static_cast<long long>(r.auctioneer.coin_delta),
+                static_cast<long long>(r.bidders[0].coin_delta),
+                static_cast<long long>(r.bidders[1].coin_delta));
+  }
+}
+
+void print_endowment_scaling() {
+  std::printf("\nAuctioneer endowment and abandonment compensation vs n "
+              "(p = 2):\n");
+  std::printf("%-6s %-12s %-26s\n", "n", "endowment", "per-bidder comp. on "
+                                          "abandon");
+  for (int n : {2, 3, 5, 8, 12}) {
+    core::AuctionConfig cfg = config();
+    cfg.bids.clear();
+    for (int i = 0; i < n; ++i) cfg.bids.push_back(50 + i);
+    const auto r = run_auction(
+        cfg, core::AuctioneerStrategy::kAbandon,
+        std::vector<core::BidderStrategy>(
+            static_cast<std::size_t>(n), core::BidderStrategy::kConform));
+    std::printf("%-6d %-12lld %-26lld\n", n,
+                static_cast<long long>(-r.auctioneer.coin_delta),
+                static_cast<long long>(r.bidders[0].coin_delta));
+  }
+}
+
+void BM_HonestAuction(benchmark::State& state) {
+  core::AuctionConfig cfg = config();
+  cfg.bids.clear();
+  for (int i = 0; i < state.range(0); ++i) cfg.bids.push_back(50 + i);
+  const std::vector<core::BidderStrategy> bidders(
+      static_cast<std::size_t>(state.range(0)),
+      core::BidderStrategy::kConform);
+  for (auto _ : state) {
+    auto r = run_auction(cfg, core::AuctioneerStrategy::kHonest, bidders);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HonestAuction)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void print_sealed_comparison() {
+  std::printf("\nSealed-bid (commit-reveal, footnote 8) vs open auction:\n");
+  std::printf("%-12s %-10s %-9s %-22s\n", "variant", "completed", "tickets",
+              "coin nets (A, B, C)");
+  const std::vector<core::BidderStrategy> conform2(
+      2, core::BidderStrategy::kConform);
+  for (bool sealed : {false, true}) {
+    const auto r =
+        sealed ? run_sealed_auction(config(),
+                                    core::AuctioneerStrategy::kHonest,
+                                    conform2)
+               : run_auction(config(), core::AuctioneerStrategy::kHonest,
+                             conform2);
+    std::printf("%-12s %-10s %-9u %+lld, %+lld, %+lld\n",
+                sealed ? "sealed" : "open", r.completed ? "yes" : "no",
+                r.tickets_to,
+                static_cast<long long>(r.auctioneer.coin_delta),
+                static_cast<long long>(r.bidders[0].coin_delta),
+                static_cast<long long>(r.bidders[1].coin_delta));
+  }
+}
+
+void BM_SealedAuction(benchmark::State& state) {
+  const auto cfg = config();
+  const std::vector<core::BidderStrategy> conform2(
+      2, core::BidderStrategy::kConform);
+  for (auto _ : state) {
+    auto r = run_sealed_auction(cfg, core::AuctioneerStrategy::kHonest,
+                                conform2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SealedAuction);
+
+void BM_CheatingAuction(benchmark::State& state) {
+  const auto cfg = config();
+  for (auto _ : state) {
+    auto r = run_auction(cfg, core::AuctioneerStrategy::kSplit,
+                         {core::BidderStrategy::kConform,
+                          core::BidderStrategy::kConform});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CheatingAuction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E5: hedged auctions (§9) ===\n");
+  print_outcomes();
+  print_endowment_scaling();
+  print_sealed_comparison();
+  std::printf(
+      "\nShape checks: the challenge phase makes one-sided declarations\n"
+      "complete honestly (Lemma 7); no compliant bid is ever stolen\n"
+      "(Lemma 8); endowment scales as n * p and funds per-bidder\n"
+      "compensation on abandonment.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

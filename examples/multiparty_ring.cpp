@@ -1,0 +1,60 @@
+// Multi-party hedged swap (paper §7) on a 5-party ring: each party passes
+// an asset to the next. Shows Equation 1/2 premium tables, a conforming
+// run, and a sore-loser run where one party never escrows.
+
+#include <cstdio>
+
+#include "core/multi_party.hpp"
+#include "core/premiums.hpp"
+
+using namespace xchain;
+
+int main() {
+  const std::size_t n = 5;
+  graph::Digraph g = graph::Digraph::cycle(n);
+  const Amount p = 1;
+
+  std::printf("5-party ring swap: 0 -> 1 -> 2 -> 3 -> 4 -> 0\n");
+  const auto leaders = g.minimum_feedback_vertex_set();
+  std::printf("leaders (feedback vertex set):");
+  for (auto l : leaders) std::printf(" %u", l);
+  std::printf("\n\nEquation 1/2 premiums (p = %lld):\n",
+              static_cast<long long>(p));
+  std::printf("  leader redemption premium R(L) = %lld (linear in n)\n",
+              static_cast<long long>(
+                  core::leader_redemption_premium(g, leaders[0], p)));
+  const auto escrow = core::escrow_premiums(g, leaders, p);
+  for (const auto& [arc, amount] : escrow) {
+    std::printf("  E(%u,%u) = %lld\n", arc.first, arc.second,
+                static_cast<long long>(amount));
+  }
+
+  core::MultiPartyConfig cfg;
+  cfg.g = g;
+  cfg.asset_amount = 100;
+  cfg.premium_unit = p;
+  cfg.delta = 1;
+
+  std::vector<sim::DeviationPlan> plans(n, sim::DeviationPlan::conforming());
+  auto ok = core::run_multi_party_swap(cfg, plans);
+  std::printf("\nAll conform: all_redeemed=%s; premium nets:",
+              ok.all_redeemed ? "yes" : "no");
+  for (std::size_t v = 0; v < n; ++v) {
+    std::printf(" %+lld", static_cast<long long>(ok.payoffs[v].coin_delta));
+  }
+  std::printf("\n");
+
+  plans[3] = sim::DeviationPlan::halt_after(2);  // party 3 never escrows
+  auto bad = core::run_multi_party_swap(cfg, plans);
+  std::printf("Party 3 skips the escrow phase: all_redeemed=%s\n",
+              bad.all_redeemed ? "yes" : "no");
+  for (std::size_t v = 0; v < n; ++v) {
+    std::printf("  party %zu: premium net %+lld, escrowed %d, refunded %d\n",
+                v, static_cast<long long>(bad.payoffs[v].coin_delta),
+                bad.assets_escrowed[v], bad.assets_refunded[v]);
+  }
+  std::printf(
+      "\nEvery compliant party that escrowed-and-lost an asset nets at\n"
+      "least p per asset (Lemma 6); the deviator funds the compensation.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: the hedged two-party atomic swap of Xue & Herlihy (PODC '21),
+// §5.2 / Figure 1.
+//
+// Alice trades 100 apricot tokens for Bob's 50 banana tokens. Both runs are
+// shown: the happy path, and Bob walking away after Alice escrows — the
+// sore loser attack — where the premium machinery compensates her.
+
+#include <cstdio>
+
+#include "core/two_party.hpp"
+
+using namespace xchain;
+
+namespace {
+
+void report(const char* title, const core::TwoPartyResult& r) {
+  std::printf("\n%s\n", title);
+  std::printf("  swapped: %s\n", r.swapped ? "yes" : "no");
+  std::printf("  alice payoff: %s  (premium net %+lld, lockup %lld ticks)\n",
+              r.alice.str().c_str(),
+              static_cast<long long>(r.alice.coin_delta),
+              static_cast<long long>(r.alice_lockup));
+  std::printf("  bob payoff:   %s  (premium net %+lld, lockup %lld ticks)\n",
+              r.bob.str().c_str(), static_cast<long long>(r.bob.coin_delta),
+              static_cast<long long>(r.bob_lockup));
+}
+
+}  // namespace
+
+int main() {
+  core::TwoPartyConfig cfg;
+  cfg.alice_tokens = 100;  // A apricot tokens
+  cfg.bob_tokens = 50;     // B banana tokens
+  cfg.premium_a = 2;       // p_a
+  cfg.premium_b = 1;       // p_b
+  cfg.delta = 2;           // synchrony bound, in ticks
+
+  std::printf("Hedged two-party atomic swap (paper §5.2)\n");
+  std::printf("A = %lld apricot vs B = %lld banana; p_a = %lld, p_b = %lld\n",
+              static_cast<long long>(cfg.alice_tokens),
+              static_cast<long long>(cfg.bob_tokens),
+              static_cast<long long>(cfg.premium_a),
+              static_cast<long long>(cfg.premium_b));
+
+  report("== both parties conform ==",
+         run_hedged_two_party(cfg, sim::DeviationPlan::conforming(),
+                              sim::DeviationPlan::conforming()));
+
+  report("== Bob reneges after Alice escrows (sore loser attack) ==",
+         run_hedged_two_party(cfg, sim::DeviationPlan::conforming(),
+                              sim::DeviationPlan::halt_after(1)));
+
+  report("== same attack against the UNHEDGED base protocol (§5.1) ==",
+         run_base_two_party(cfg, sim::DeviationPlan::conforming(),
+                            sim::DeviationPlan::halt_after(0)));
+
+  std::printf(
+      "\nIn the hedged run Alice collects Bob's premium p_b for her locked\n"
+      "principal; in the base run she is locked up for 3*Delta with no\n"
+      "compensation — the flaw the paper fixes.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Hedged auction (paper §9): Alice auctions tickets to Bob and Carol. The
+// design removes the low bidder's sore-loser power and compensates bidders
+// if the auctioneer cheats or walks away.
+
+#include <cstdio>
+
+#include "core/auction.hpp"
+
+using namespace xchain;
+
+namespace {
+
+void report(const char* title, const core::AuctionResult& r) {
+  std::printf("\n%s\n", title);
+  std::printf("  completed: %s, tickets to party %u\n",
+              r.completed ? "yes" : "no", r.tickets_to);
+  std::printf("  alice: %s (premium net %+lld)\n",
+              r.auctioneer.str().c_str(),
+              static_cast<long long>(r.auctioneer.coin_delta));
+  for (std::size_t i = 0; i < r.bidders.size(); ++i) {
+    std::printf("  bidder %zu: %s (premium net %+lld)\n", i + 1,
+                r.bidders[i].str().c_str(),
+                static_cast<long long>(r.bidders[i].coin_delta));
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::AuctionConfig cfg;
+  cfg.ticket_count = 10;
+  cfg.bids = {100, 80};  // Bob bids 100, Carol 80
+  cfg.premium_unit = 2;  // Alice endows n * p = 4
+  cfg.delta = 2;
+
+  std::printf("Hedged auction (§9): Bob bids 100, Carol bids 80, p = 2.\n");
+
+  const auto conform = std::vector<core::BidderStrategy>(
+      2, core::BidderStrategy::kConform);
+
+  report("== honest auction ==",
+         run_auction(cfg, core::AuctioneerStrategy::kHonest, conform));
+
+  report("== Alice abandons after the bids lock up ==",
+         run_auction(cfg, core::AuctioneerStrategy::kAbandon, conform));
+
+  report("== Alice declares the losing bidder ==",
+         run_auction(cfg, core::AuctioneerStrategy::kDeclareLoser, conform));
+
+  report("== Alice publishes the winner's key on one chain only ==",
+         run_auction(cfg, core::AuctioneerStrategy::kCoinOnly, conform));
+
+  std::printf(
+      "\nBidders pay no premiums (they cannot lock anyone up); a cheating\n"
+      "or absent auctioneer pays p to every bidder whose coins she locked\n"
+      "(Lemmas 7-8: the challenge phase makes one-sided declarations\n"
+      "harmless and no compliant bid can be stolen).\n");
+  return 0;
+}

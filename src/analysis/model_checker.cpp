@@ -1,0 +1,370 @@
+#include "analysis/model_checker.hpp"
+
+#include <functional>
+
+namespace xchain::analysis {
+
+namespace {
+
+using sim::DeviationPlan;
+
+/// The full plan space for a role with `actions` protocol actions:
+/// conforming plus every halting point.
+std::vector<DeviationPlan> plan_space(int actions) {
+  std::vector<DeviationPlan> plans{DeviationPlan::conforming()};
+  for (int k = 0; k <= actions; ++k) {
+    plans.push_back(DeviationPlan::halt_after(k));
+  }
+  return plans;
+}
+
+std::string scenario_name(const std::vector<DeviationPlan>& plans) {
+  std::string s;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (i > 0) s += ",";
+    s += "p" + std::to_string(i) + "=" + plans[i].str();
+  }
+  return s;
+}
+
+/// Iterates the cartesian product of per-role plan spaces.
+void for_each_combination(
+    const std::vector<std::vector<DeviationPlan>>& spaces,
+    const std::function<void(const std::vector<DeviationPlan>&)>& fn) {
+  std::vector<std::size_t> index(spaces.size(), 0);
+  while (true) {
+    std::vector<DeviationPlan> combo;
+    combo.reserve(spaces.size());
+    for (std::size_t i = 0; i < spaces.size(); ++i) {
+      combo.push_back(spaces[i][index[i]]);
+    }
+    fn(combo);
+    std::size_t i = 0;
+    for (; i < spaces.size(); ++i) {
+      if (++index[i] < spaces[i].size()) break;
+      index[i] = 0;
+    }
+    if (i == spaces.size()) return;
+  }
+}
+
+bool lost(const core::PayoffDelta& d, const std::string& sym) {
+  const auto it = d.by_symbol.find(sym);
+  return it != d.by_symbol.end() && it->second < 0;
+}
+
+bool gained(const core::PayoffDelta& d, const std::string& sym) {
+  const auto it = d.by_symbol.find(sym);
+  return it != d.by_symbol.end() && it->second > 0;
+}
+
+}  // namespace
+
+std::string CheckReport::summary() const {
+  std::string s = protocol + ": " + std::to_string(scenarios_explored) +
+                  " scenarios, " + std::to_string(events_observed) +
+                  " events, " + std::to_string(violations.size()) +
+                  " violations";
+  for (std::size_t i = 0; i < violations.size() && i < 5; ++i) {
+    s += "\n  [" + violations[i].property + "] " + violations[i].scenario +
+         ": " + violations[i].detail;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Two-party (§5)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+CheckReport check_two_party_impl(const core::TwoPartyConfig& cfg,
+                                 bool hedged) {
+  CheckReport report;
+  report.protocol = hedged ? "hedged-two-party" : "base-two-party";
+  const int actions =
+      hedged ? core::kHedgedTwoPartyActions : core::kBaseTwoPartyActions;
+  const auto space = plan_space(actions);
+
+  for_each_combination({space, space}, [&](const auto& plans) {
+    const auto r = hedged
+                       ? core::run_hedged_two_party(cfg, plans[0], plans[1])
+                       : core::run_base_two_party(cfg, plans[0], plans[1]);
+    ++report.scenarios_explored;
+    report.events_observed += r.events.size();
+    const std::string name = scenario_name(plans);
+    auto violate = [&](std::string property, std::string detail) {
+      report.violations.push_back(
+          Violation{name, std::move(property), std::move(detail)});
+    };
+
+    if (plans[0].is_conforming() && plans[1].is_conforming()) {
+      if (!r.swapped) violate("liveness", "conforming run did not swap");
+      if (r.alice.coin_delta != 0 || r.bob.coin_delta != 0) {
+        violate("liveness", "conforming run did not refund premiums");
+      }
+    }
+    if (r.alice.coin_delta + r.bob.coin_delta != 0) {
+      violate("zero-sum", "premium flows do not balance");
+    }
+    if (plans[0].is_conforming()) {
+      if (lost(r.alice, "apricot") && !gained(r.alice, "banana")) {
+        violate("safety", "compliant alice lost principal uncompensated");
+      }
+      if (r.alice.coin_delta < 0) {
+        violate("no-loss", "compliant alice lost coins");
+      }
+      if (r.alice_lockup > 0 && r.alice.coin_delta <= 0) {
+        violate("hedged", "alice locked " + std::to_string(r.alice_lockup) +
+                              " ticks without compensation");
+      }
+    }
+    if (plans[1].is_conforming()) {
+      if (lost(r.bob, "banana") && !gained(r.bob, "apricot")) {
+        violate("safety", "compliant bob lost principal uncompensated");
+      }
+      if (r.bob.coin_delta < 0) {
+        violate("no-loss", "compliant bob lost coins");
+      }
+      if (r.bob_lockup > 0 && r.bob.coin_delta <= 0) {
+        violate("hedged", "bob locked " + std::to_string(r.bob_lockup) +
+                              " ticks without compensation");
+      }
+    }
+  });
+  return report;
+}
+
+}  // namespace
+
+CheckReport check_hedged_two_party(const core::TwoPartyConfig& cfg) {
+  return check_two_party_impl(cfg, /*hedged=*/true);
+}
+
+CheckReport check_base_two_party(const core::TwoPartyConfig& cfg) {
+  return check_two_party_impl(cfg, /*hedged=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap (§6)
+// ---------------------------------------------------------------------------
+
+CheckReport check_bootstrap(const core::BootstrapConfig& cfg) {
+  CheckReport report;
+  report.protocol =
+      "bootstrap-" + std::to_string(cfg.rounds) + "-rounds";
+  const auto space = plan_space(core::bootstrap_action_count(cfg.rounds));
+
+  for_each_combination({space, space}, [&](const auto& plans) {
+    const auto r = core::run_bootstrap_swap(cfg, plans[0], plans[1]);
+    ++report.scenarios_explored;
+    report.events_observed += r.events.size();
+    const std::string name = scenario_name(plans);
+    auto violate = [&](std::string property, std::string detail) {
+      report.violations.push_back(
+          Violation{name, std::move(property), std::move(detail)});
+    };
+
+    if (plans[0].is_conforming() && plans[1].is_conforming() && !r.swapped) {
+      violate("liveness", "conforming run did not swap");
+    }
+    if (r.alice.coin_delta + r.bob.coin_delta != 0) {
+      violate("zero-sum", "premium flows do not balance");
+    }
+    if (plans[0].is_conforming()) {
+      if (r.alice.coin_delta < 0) violate("no-loss", "alice lost coins");
+      if (r.alice_lockup > 0 && r.alice.coin_delta <= 0) {
+        violate("hedged", "alice principal locked uncompensated");
+      }
+    }
+    if (plans[1].is_conforming()) {
+      if (r.bob.coin_delta < 0) violate("no-loss", "bob lost coins");
+      if (r.bob_lockup > 0 && r.bob.coin_delta <= 0) {
+        violate("hedged", "bob principal locked uncompensated");
+      }
+    }
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-party (§7)
+// ---------------------------------------------------------------------------
+
+CheckReport check_multi_party(const core::MultiPartyConfig& cfg) {
+  CheckReport report;
+  report.protocol = "multi-party-n" + std::to_string(cfg.g.size()) + "-m" +
+                    std::to_string(cfg.g.arc_count());
+  const int actions = cfg.hedged ? core::kMultiPartyHedgedActions
+                                 : core::kMultiPartyBaseActions;
+  const std::vector<std::vector<DeviationPlan>> spaces(
+      cfg.g.size(), plan_space(actions));
+
+  for_each_combination(spaces, [&](const auto& plans) {
+    const auto r = core::run_multi_party_swap(cfg, plans);
+    ++report.scenarios_explored;
+    report.events_observed += r.events.size();
+    const std::string name = scenario_name(plans);
+    auto violate = [&](std::string property, std::string detail) {
+      report.violations.push_back(
+          Violation{name, std::move(property), std::move(detail)});
+    };
+
+    bool all_conform = true;
+    Amount total = 0;
+    for (std::size_t v = 0; v < plans.size(); ++v) {
+      total += r.payoffs[v].coin_delta;
+      all_conform &= plans[v].is_conforming();
+    }
+    if (all_conform && !r.all_redeemed) {
+      violate("liveness", "conforming run did not complete");
+    }
+    if (total != 0) violate("zero-sum", "premium flows do not balance");
+    for (std::size_t v = 0; v < plans.size(); ++v) {
+      if (!plans[v].is_conforming()) continue;
+      if (r.payoffs[v].coin_delta < 0) {
+        violate("no-loss",
+                "compliant party " + std::to_string(v) + " lost coins");
+      }
+      // Lemma 6: at least p per locked-and-refunded escrowed asset.
+      const Amount floor =
+          cfg.premium_unit * static_cast<Amount>(r.assets_refunded[v]);
+      if (cfg.hedged && r.payoffs[v].coin_delta < floor) {
+        violate("hedged", "party " + std::to_string(v) + " got " +
+                              std::to_string(r.payoffs[v].coin_delta) +
+                              " < " + std::to_string(floor));
+      }
+    }
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Broker (§8)
+// ---------------------------------------------------------------------------
+
+CheckReport check_broker(const core::BrokerConfig& cfg) {
+  CheckReport report;
+  report.protocol = "broker";
+  const auto space = plan_space(core::kBrokerActions);
+
+  for_each_combination({space, space, space}, [&](const auto& plans) {
+    const auto r = core::run_broker_deal(cfg, plans[0], plans[1], plans[2]);
+    ++report.scenarios_explored;
+    report.events_observed += r.events.size();
+    const std::string name = scenario_name(plans);
+    auto violate = [&](std::string property, std::string detail) {
+      report.violations.push_back(
+          Violation{name, std::move(property), std::move(detail)});
+    };
+
+    const core::PayoffDelta* payoffs[3] = {&r.alice, &r.bob, &r.carol};
+    if (plans[0].is_conforming() && plans[1].is_conforming() &&
+        plans[2].is_conforming() && !r.completed) {
+      violate("liveness", "conforming deal did not complete");
+    }
+    Amount total = 0;
+    for (int v = 0; v < 3; ++v) total += payoffs[v]->coin_delta;
+    if (total != 0) violate("zero-sum", "premium flows do not balance");
+    for (int v = 0; v < 3; ++v) {
+      if (!plans[static_cast<std::size_t>(v)].is_conforming()) continue;
+      if (payoffs[v]->coin_delta < 0) {
+        violate("no-loss",
+                "compliant party " + std::to_string(v) + " lost coins");
+      }
+    }
+    // Safety: compliant Bob never loses tickets without coins; compliant
+    // Carol never loses coins without tickets.
+    if (plans[1].is_conforming() && lost(r.bob, "ticket") &&
+        !gained(r.bob, "coin")) {
+      violate("safety", "bob's tickets taken without payment");
+    }
+    if (plans[2].is_conforming() && lost(r.carol, "coin") &&
+        !gained(r.carol, "ticket")) {
+      violate("safety", "carol's coins taken without tickets");
+    }
+    // Hedged: locked-and-refunded principals are compensated.
+    if (plans[1].is_conforming() && r.bob_lockup > 0 &&
+        payoffs[1]->coin_delta <= 0) {
+      violate("hedged", "bob locked without compensation");
+    }
+    if (plans[2].is_conforming() && r.carol_lockup > 0 &&
+        payoffs[2]->coin_delta <= 0) {
+      violate("hedged", "carol locked without compensation");
+    }
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Auction (§9)
+// ---------------------------------------------------------------------------
+
+CheckReport check_auction(const core::AuctionConfig& cfg) {
+  CheckReport report;
+  report.protocol =
+      "auction-n" + std::to_string(cfg.bids.size());
+
+  const std::vector<core::AuctioneerStrategy> alice_space = {
+      core::AuctioneerStrategy::kHonest,
+      core::AuctioneerStrategy::kNoSetup,
+      core::AuctioneerStrategy::kAbandon,
+      core::AuctioneerStrategy::kDeclareLoser,
+      core::AuctioneerStrategy::kCoinOnly,
+      core::AuctioneerStrategy::kTicketOnly,
+      core::AuctioneerStrategy::kSplit,
+  };
+  const std::vector<core::BidderStrategy> bidder_space = {
+      core::BidderStrategy::kConform,
+      core::BidderStrategy::kNoBid,
+      core::BidderStrategy::kNoForward,
+  };
+
+  const std::size_t n = cfg.bids.size();
+  std::vector<std::size_t> index(n, 0);
+  auto next_vector = [&]() -> bool {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (++index[i] < bidder_space.size()) return true;
+      index[i] = 0;
+    }
+    return false;
+  };
+
+  do {
+    std::vector<core::BidderStrategy> bidders;
+    for (std::size_t i = 0; i < n; ++i) bidders.push_back(bidder_space[index[i]]);
+    for (const auto alice : alice_space) {
+      const auto r = core::run_auction(cfg, alice, bidders);
+      ++report.scenarios_explored;
+      report.events_observed += r.events.size();
+
+      std::string name = "alice=" + std::to_string(static_cast<int>(alice));
+      for (std::size_t i = 0; i < n; ++i) {
+        name += ",b" + std::to_string(i) + "=" +
+                std::to_string(static_cast<int>(bidders[i]));
+      }
+      auto violate = [&](std::string property, std::string detail) {
+        report.violations.push_back(
+            Violation{name, std::move(property), std::move(detail)});
+      };
+
+      bool all_conform = alice == core::AuctioneerStrategy::kHonest;
+      for (auto b : bidders) all_conform &= b == core::BidderStrategy::kConform;
+      if (all_conform && !r.completed) {
+        violate("liveness", "honest auction did not complete");
+      }
+      // Lemma 8: a compliant bidder's bid cannot be stolen — if it lost
+      // coins, it received the tickets.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (bidders[i] != core::BidderStrategy::kConform) continue;
+        if (r.bidders[i].coin_delta < 0 && !gained(r.bidders[i], "ticket")) {
+          violate("lemma-8", "bidder " + std::to_string(i) +
+                                 " paid without tickets");
+        }
+      }
+    }
+  } while (next_vector());
+  return report;
+}
+
+}  // namespace xchain::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace xchain::chain {
+
+/// An on-chain account: either a party's wallet or a contract's escrow
+/// account. Escrowing an asset is modelled the way real chains do it —
+/// transferring ownership to the contract's address (paper §4).
+struct Address {
+  enum class Kind : std::uint8_t { kParty, kContract };
+
+  Kind kind = Kind::kParty;
+  std::uint64_t id = 0;
+
+  static Address party(PartyId p) { return {Kind::kParty, p}; }
+  static Address contract(ContractId c) { return {Kind::kContract, c}; }
+
+  friend bool operator==(const Address&, const Address&) = default;
+
+  /// Human-readable form for traces, e.g. "party:0" / "contract:3".
+  std::string str() const {
+    return (kind == Kind::kParty ? "party:" : "contract:") +
+           std::to_string(id);
+  }
+};
+
+}  // namespace xchain::chain
+
+template <>
+struct std::hash<xchain::chain::Address> {
+  std::size_t operator()(const xchain::chain::Address& a) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (a.id << 1) | static_cast<std::uint64_t>(a.kind));
+  }
+};

@@ -1,0 +1,71 @@
+#include "chain/blockchain.hpp"
+
+#include <algorithm>
+
+namespace xchain::chain {
+
+ChainId TxContext::chain_id() const { return bc_.id(); }
+
+Ledger& TxContext::ledger() { return bc_.ledger_; }
+
+const Symbol& TxContext::native() const { return bc_.native(); }
+
+void TxContext::emit(ContractId contract, std::string kind,
+                     std::string detail) {
+  bc_.events_.push_back(
+      Event{now_, bc_.id(), contract, std::move(kind), std::move(detail)});
+}
+
+Blockchain::Blockchain(ChainId id, std::string name, Symbol native)
+    : id_(id), name_(std::move(name)), native_(std::move(native)) {}
+
+void Blockchain::submit(Transaction tx) { mempool_.push_back(std::move(tx)); }
+
+void Blockchain::register_contract(std::unique_ptr<Contract> c) {
+  c->id_ = contracts_.size();
+  c->chain_ = id_;
+  contracts_.push_back(std::move(c));
+}
+
+void Blockchain::produce_block(Tick now) {
+  height_ = now;
+  // Apply queued transactions in submission order (contracts can rely on
+  // arrival order, paper §3.2 footnote).
+  std::vector<Transaction> batch;
+  batch.swap(mempool_);
+  for (Transaction& tx : batch) {
+    TxContext ctx(*this, tx.sender, now);
+    tx.effect(ctx);
+    ++applied_tx_count_;
+  }
+  // Timeout sweep: contracts resolve expired timelocks.
+  TxContext sweep(*this, kNoParty, now);
+  for (auto& c : contracts_) {
+    c->on_block(sweep);
+  }
+}
+
+Blockchain& MultiChain::add_chain(const std::string& name) {
+  const ChainId id = static_cast<ChainId>(chains_.size());
+  chains_.push_back(
+      std::make_unique<Blockchain>(id, name, name + "-coin"));
+  return *chains_.back();
+}
+
+void MultiChain::produce_all(Tick now) {
+  for (auto& c : chains_) c->produce_block(now);
+}
+
+EventLog MultiChain::all_events() const {
+  EventLog all;
+  for (const auto& c : chains_) {
+    all.insert(all.end(), c->events().begin(), c->events().end());
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.tick != b.tick) return a.tick < b.tick;
+    return a.chain < b.chain;
+  });
+  return all;
+}
+
+}  // namespace xchain::chain

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "chain/event.hpp"
+#include "chain/ledger.hpp"
+#include "common/types.hpp"
+
+namespace xchain::chain {
+
+class Blockchain;
+
+/// Execution context handed to contract code while a transaction (or the
+/// per-block timeout sweep) runs. It exposes *only this chain's* state —
+/// contracts cannot observe other chains (paper §3.1); cross-chain
+/// information travels exclusively via parties re-submitting it.
+class TxContext {
+ public:
+  /// Height of the block being produced.
+  Tick now() const { return now_; }
+
+  /// The party that signed the transaction (kNoParty during the timeout
+  /// sweep, which models anyone triggering an expired refund).
+  PartyId sender() const { return sender_; }
+
+  ChainId chain_id() const;
+
+  /// Mutable same-chain balance book.
+  Ledger& ledger();
+
+  /// The chain's native currency symbol (used for premiums).
+  const Symbol& native() const;
+
+  /// Appends to the chain's public event log.
+  void emit(ContractId contract, std::string kind, std::string detail = "");
+
+ private:
+  friend class Blockchain;
+  TxContext(Blockchain& bc, PartyId sender, Tick now)
+      : bc_(bc), sender_(sender), now_(now) {}
+
+  Blockchain& bc_;
+  PartyId sender_;
+  Tick now_;
+};
+
+/// A signed transaction: a deterministic state transition applied when the
+/// next block is produced. The closure body is the "contract call payload";
+/// it invokes typed methods on contract objects, which validate sender,
+/// amounts, and deadlines themselves.
+struct Transaction {
+  PartyId sender = kNoParty;
+  std::string note;  ///< trace label, e.g. "alice: escrow principal"
+  std::function<void(TxContext&)> effect;
+};
+
+/// Base class for blockchain-resident programs (paper §3.1: passive,
+/// public, deterministic, trusted). Derived classes expose typed methods
+/// that require a TxContext&, so their state can only change inside block
+/// production.
+class Contract {
+ public:
+  Contract() = default;
+  virtual ~Contract() = default;
+
+  Contract(const Contract&) = delete;
+  Contract& operator=(const Contract&) = delete;
+
+  ContractId id() const { return id_; }
+  ChainId chain_id() const { return chain_; }
+
+  /// The contract's escrow account.
+  Address address() const { return Address::contract(id_); }
+
+  /// Invoked once per produced block, after transactions are applied.
+  /// Contracts process expired timelocks here (refunds, premium awards) —
+  /// modelling the convention that the entitled party always triggers an
+  /// expired refund, which is their dominant strategy.
+  virtual void on_block(TxContext& ctx) { (void)ctx; }
+
+ private:
+  friend class Blockchain;
+  ContractId id_ = 0;
+  ChainId chain_ = 0;
+};
+
+/// One simulated blockchain: a ledger, a contract registry, a mempool, and
+/// an event log. Blocks are produced by the simulation scheduler at every
+/// tick; a transaction submitted during tick t is included in block t and
+/// visible to all parties from tick t+1 on.
+class Blockchain {
+ public:
+  Blockchain(ChainId id, std::string name, Symbol native);
+
+  ChainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Symbol& native() const { return native_; }
+
+  /// Read-only ledger view (public state).
+  const Ledger& ledger() const { return ledger_; }
+
+  /// Setup-only mutable ledger access for minting initial endowments.
+  Ledger& ledger_for_setup() { return ledger_; }
+
+  /// Height of the most recently produced block (-1 before the first).
+  Tick height() const { return height_; }
+
+  /// Public event log.
+  const EventLog& events() const { return events_; }
+
+  /// Queues a transaction for the next block.
+  void submit(Transaction tx);
+
+  /// Number of transactions applied over the chain's lifetime.
+  std::size_t applied_tx_count() const { return applied_tx_count_; }
+
+  /// Deploys a contract; returns a stable reference. Deployment happens at
+  /// protocol setup (parties pre-agree on contracts, paper §4); funding
+  /// operations are transactions.
+  template <class C, class... Args>
+  C& deploy(Args&&... args) {
+    auto owned = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *owned;
+    register_contract(std::move(owned));
+    return ref;
+  }
+
+  /// Applies all queued transactions, then runs every contract's timeout
+  /// sweep, as the block at height `now`.
+  void produce_block(Tick now);
+
+ private:
+  friend class TxContext;
+
+  void register_contract(std::unique_ptr<Contract> c);
+
+  ChainId id_;
+  std::string name_;
+  Symbol native_;
+  Ledger ledger_;
+  Tick height_ = -1;
+  std::vector<Transaction> mempool_;
+  std::vector<std::unique_ptr<Contract>> contracts_;
+  EventLog events_;
+  std::size_t applied_tx_count_ = 0;
+};
+
+/// The collection of independent chains in a simulation, advanced in
+/// lockstep by the scheduler. Chains share nothing but the clock.
+class MultiChain {
+ public:
+  /// Creates a chain whose native currency is named after the chain,
+  /// e.g. "apricot" -> native symbol "apricot-coin".
+  Blockchain& add_chain(const std::string& name);
+
+  Blockchain& at(ChainId id) { return *chains_.at(id); }
+  const Blockchain& at(ChainId id) const { return *chains_.at(id); }
+
+  std::size_t count() const { return chains_.size(); }
+
+  /// Produces the block at height `now` on every chain.
+  void produce_all(Tick now);
+
+  /// Concatenated event logs of all chains, sorted by (tick, chain).
+  EventLog all_events() const;
+
+ private:
+  std::vector<std::unique_ptr<Blockchain>> chains_;
+};
+
+}  // namespace xchain::chain

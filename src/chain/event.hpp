@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xchain::chain {
+
+/// An entry in a chain's public event log. Contracts emit events on state
+/// transitions; parties (and tests) observe protocol progress through them.
+struct Event {
+  Tick tick = 0;
+  ChainId chain = 0;
+  ContractId contract = 0;
+  std::string kind;    ///< e.g. "escrowed", "redeemed", "premium_paid"
+  std::string detail;  ///< free-form context for traces
+
+  std::string str() const {
+    return "[t=" + std::to_string(tick) + " chain=" + std::to_string(chain) +
+           " c=" + std::to_string(contract) + "] " + kind +
+           (detail.empty() ? "" : (" " + detail));
+  }
+};
+
+using EventLog = std::vector<Event>;
+
+}  // namespace xchain::chain

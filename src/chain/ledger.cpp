@@ -1,0 +1,43 @@
+#include "chain/ledger.hpp"
+
+#include <algorithm>
+
+namespace xchain::chain {
+
+Amount Ledger::balance(const Address& who, const Symbol& sym) const {
+  const auto it = balances_.find(Key{who, sym});
+  return it == balances_.end() ? 0 : it->second;
+}
+
+void Ledger::mint(const Address& who, const Symbol& sym, Amount amount) {
+  balances_[Key{who, sym}] += amount;
+}
+
+bool Ledger::transfer(const Address& from, const Address& to,
+                      const Symbol& sym, Amount amount) {
+  if (amount < 0) return false;
+  if (amount == 0) return true;
+  auto it = balances_.find(Key{from, sym});
+  if (it == balances_.end() || it->second < amount) return false;
+  it->second -= amount;
+  balances_[Key{to, sym}] += amount;
+  return true;
+}
+
+std::vector<std::tuple<Address, Symbol, Amount>> Ledger::holdings() const {
+  std::vector<std::tuple<Address, Symbol, Amount>> out;
+  out.reserve(balances_.size());
+  for (const auto& [key, amount] : balances_) {
+    if (amount != 0) out.emplace_back(key.who, key.sym, amount);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    const auto& [aw, as, aa] = a;
+    const auto& [bw, bs, ba] = b;
+    if (aw.kind != bw.kind) return aw.kind < bw.kind;
+    if (aw.id != bw.id) return aw.id < bw.id;
+    return as < bs;
+  });
+  return out;
+}
+
+}  // namespace xchain::chain

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/address.hpp"
+#include "common/types.hpp"
+
+namespace xchain::chain {
+
+/// Names an asset kind on a chain, e.g. "apricot", "banana", "ticket", or
+/// the chain's native coin used for premiums.
+using Symbol = std::string;
+
+/// Per-chain balance book: (address, symbol) -> amount.
+///
+/// All mutation happens inside transaction execution (the chain runtime
+/// constructs the only mutable references); reads are free for everyone,
+/// matching the public-ledger model of §3.1.
+class Ledger {
+ public:
+  /// Balance of `who` in `sym` (0 if never touched).
+  Amount balance(const Address& who, const Symbol& sym) const;
+
+  /// Creates `amount` units of `sym` at `who` out of thin air. Used only
+  /// for world setup (initial endowments), never by contracts.
+  void mint(const Address& who, const Symbol& sym, Amount amount);
+
+  /// Moves `amount` of `sym` from `from` to `to`. Returns false (and moves
+  /// nothing) if `from`'s balance is insufficient or amount is negative.
+  bool transfer(const Address& from, const Address& to, const Symbol& sym,
+                Amount amount);
+
+  /// Every (address, symbol, amount) triple with nonzero balance, in
+  /// deterministic order — used by payoff accounting.
+  std::vector<std::tuple<Address, Symbol, Amount>> holdings() const;
+
+ private:
+  struct Key {
+    Address who;
+    Symbol sym;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<Address>{}(k.who) ^
+             (std::hash<std::string>{}(k.sym) << 1);
+    }
+  };
+  std::unordered_map<Key, Amount, KeyHash> balances_;
+};
+
+}  // namespace xchain::chain

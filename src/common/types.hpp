@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace xchain {
+
+/// Identifies a protocol participant (Alice, Bob, ...). Party ids double as
+/// digraph vertex ids in multi-party swaps (paper §7 uses party and vertex
+/// interchangeably).
+using PartyId = std::uint32_t;
+
+/// Sentinel for "no party".
+inline constexpr PartyId kNoParty = std::numeric_limits<PartyId>::max();
+
+/// Asset / premium amounts in a common value unit (paper §4 treats all
+/// premiums as if denominated in one currency). Signed so payoffs can be
+/// negative.
+using Amount = std::int64_t;
+
+/// Simulation time in ticks. The synchrony bound Delta is a configurable
+/// number of ticks; contract timeouts are multiples of Delta.
+using Tick = std::int64_t;
+
+/// Identifies one of the simulated blockchains.
+using ChainId = std::uint32_t;
+
+/// Identifies a contract instance on some chain.
+using ContractId = std::uint64_t;
+
+}  // namespace xchain

@@ -1,0 +1,205 @@
+#include "contracts/auction.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xchain::contracts {
+
+bool auction_hashkey_valid(const AuctionTerms& terms, std::size_t i,
+                           const crypto::Hashkey& key, Tick now) {
+  if (i >= terms.hashlocks.size()) return false;
+  // Timeout: |q| * Delta after the declaration phase starts.
+  if (now > terms.declaration_start +
+                static_cast<Tick>(key.path.size()) * terms.delta) {
+    return false;
+  }
+  // The chain of custody must originate at the auctioneer.
+  if (key.leader() != terms.auctioneer) return false;
+  const auto key_of = [&terms](PartyId p) { return terms.party_keys[p]; };
+  return crypto::verify_hashkey(key, terms.hashlocks[i], key_of);
+}
+
+// ---------------------------------------------------------------------------
+// Coin chain
+// ---------------------------------------------------------------------------
+
+CoinAuctionContract::CoinAuctionContract(Params p)
+    : p_(std::move(p)),
+      bids_(p_.terms.bidders.size()),
+      keys_(p_.terms.bidders.size()) {}
+
+std::optional<std::size_t> CoinAuctionContract::winner() const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < bids_.size(); ++i) {
+    if (bids_[i] && (!best || *bids_[i] > *bids_[*best])) best = i;
+  }
+  return best;
+}
+
+void CoinAuctionContract::endow_premium(chain::TxContext& ctx) {
+  if (ctx.sender() != p_.terms.auctioneer || premium_endowed_) return;
+  if (ctx.now() > p_.terms.bid_deadline) return;
+  const Amount total =
+      p_.premium_per_bidder * static_cast<Amount>(bids_.size());
+  if (!ctx.ledger().transfer(chain::Address::party(p_.terms.auctioneer),
+                             address(), ctx.native(), total)) {
+    return;
+  }
+  premium_endowed_ = true;
+  ctx.emit(id(), "premium_endowed", std::to_string(total));
+}
+
+void CoinAuctionContract::place_bid(chain::TxContext& ctx, Amount amount) {
+  if (!premium_endowed_) {
+    ctx.emit(id(), "bid_rejected", "no premium endowment");
+    return;
+  }
+  if (ctx.now() > p_.terms.bid_deadline) {
+    ctx.emit(id(), "bid_rejected", "past bidding phase");
+    return;
+  }
+  const auto it = std::find(p_.terms.bidders.begin(), p_.terms.bidders.end(),
+                            ctx.sender());
+  if (it == p_.terms.bidders.end()) return;
+  const std::size_t i =
+      static_cast<std::size_t>(it - p_.terms.bidders.begin());
+  if (bids_[i] || amount <= 0) return;
+  if (!ctx.ledger().transfer(chain::Address::party(ctx.sender()), address(),
+                             ctx.native(), amount)) {
+    ctx.emit(id(), "bid_rejected", "insufficient balance");
+    return;
+  }
+  bids_[i] = amount;
+  ctx.emit(id(), "bid_placed",
+           "bidder " + std::to_string(i) + " amount " +
+               std::to_string(amount));
+}
+
+void CoinAuctionContract::present_hashkey(chain::TxContext& ctx,
+                                          std::size_t i,
+                                          const crypto::Hashkey& key) {
+  if (i >= keys_.size() || keys_[i] || settled_) return;
+  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now())) {
+    ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+    return;
+  }
+  keys_[i] = key;
+  ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+}
+
+void CoinAuctionContract::on_block(chain::TxContext& ctx) {
+  if (settled_ || ctx.now() <= p_.terms.commit_time) return;
+  settled_ = true;
+
+  const auto win = winner();
+  bool only_winner_key = win.has_value() && keys_[*win].has_value();
+  for (std::size_t i = 0; only_winner_key && i < keys_.size(); ++i) {
+    if (i != *win && keys_[i]) only_winner_key = false;
+  }
+
+  if (only_winner_key) {
+    // All is well: winning bid to the auctioneer, losers refunded,
+    // premium endowment returned.
+    clean_ = true;
+    for (std::size_t i = 0; i < bids_.size(); ++i) {
+      if (!bids_[i]) continue;
+      const PartyId to =
+          i == *win ? p_.terms.auctioneer : p_.terms.bidders[i];
+      ctx.ledger().transfer(address(), chain::Address::party(to),
+                            ctx.native(), *bids_[i]);
+    }
+    if (premium_endowed_) {
+      ctx.ledger().transfer(
+          address(), chain::Address::party(p_.terms.auctioneer),
+          ctx.native(),
+          p_.premium_per_bidder * static_cast<Amount>(bids_.size()));
+    }
+    ctx.emit(id(), "settled", "winner paid");
+    return;
+  }
+
+  // The auctioneer cheated or walked away: refund every bid, and award
+  // premium p to every bidder whose coins were locked up; the rest of the
+  // endowment goes back to the auctioneer.
+  Amount endowment_left =
+      premium_endowed_
+          ? p_.premium_per_bidder * static_cast<Amount>(bids_.size())
+          : 0;
+  for (std::size_t i = 0; i < bids_.size(); ++i) {
+    if (!bids_[i]) continue;
+    ctx.ledger().transfer(address(),
+                          chain::Address::party(p_.terms.bidders[i]),
+                          ctx.native(), *bids_[i]);
+    if (endowment_left >= p_.premium_per_bidder) {
+      ctx.ledger().transfer(address(),
+                            chain::Address::party(p_.terms.bidders[i]),
+                            ctx.native(), p_.premium_per_bidder);
+      endowment_left -= p_.premium_per_bidder;
+    }
+  }
+  if (endowment_left > 0) {
+    ctx.ledger().transfer(address(),
+                          chain::Address::party(p_.terms.auctioneer),
+                          ctx.native(), endowment_left);
+  }
+  ctx.emit(id(), "settled", "bids refunded with premiums");
+}
+
+// ---------------------------------------------------------------------------
+// Ticket chain
+// ---------------------------------------------------------------------------
+
+TicketAuctionContract::TicketAuctionContract(Params p)
+    : p_(std::move(p)), keys_(p_.terms.bidders.size()) {}
+
+void TicketAuctionContract::escrow_tickets(chain::TxContext& ctx) {
+  if (ctx.sender() != p_.terms.auctioneer || escrowed_) return;
+  if (ctx.now() > p_.terms.bid_deadline) return;
+  if (!ctx.ledger().transfer(chain::Address::party(p_.terms.auctioneer),
+                             address(), p_.symbol, p_.amount)) {
+    return;
+  }
+  escrowed_ = true;
+  ctx.emit(id(), "escrowed", p_.symbol + ":" + std::to_string(p_.amount));
+}
+
+void TicketAuctionContract::present_hashkey(chain::TxContext& ctx,
+                                            std::size_t i,
+                                            const crypto::Hashkey& key) {
+  if (i >= keys_.size() || keys_[i] || settled_) return;
+  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now())) {
+    ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+    return;
+  }
+  keys_[i] = key;
+  ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+}
+
+void TicketAuctionContract::on_block(chain::TxContext& ctx) {
+  if (settled_ || ctx.now() <= p_.terms.commit_time) return;
+  settled_ = true;
+  if (!escrowed_) return;
+
+  std::optional<std::size_t> sole;
+  int count = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i]) {
+      ++count;
+      sole = i;
+    }
+  }
+  if (count == 1) {
+    awarded_to_ = p_.terms.bidders[*sole];
+    ctx.ledger().transfer(address(), chain::Address::party(*awarded_to_),
+                          p_.symbol, p_.amount);
+    ctx.emit(id(), "settled",
+             "tickets to bidder " + std::to_string(*sole));
+  } else {
+    ctx.ledger().transfer(address(),
+                          chain::Address::party(p_.terms.auctioneer),
+                          p_.symbol, p_.amount);
+    ctx.emit(id(), "settled", "tickets refunded");
+  }
+}
+
+}  // namespace xchain::contracts

@@ -1,0 +1,49 @@
+#include "contracts/htlc.hpp"
+
+namespace xchain::contracts {
+
+void HtlcContract::fund(chain::TxContext& ctx) {
+  if (ctx.sender() != p_.funder || funded() || resolved()) return;
+  if (ctx.now() > p_.escrow_deadline) {
+    ctx.emit(id(), "fund_rejected", "past escrow deadline");
+    return;
+  }
+  if (!ctx.ledger().transfer(chain::Address::party(p_.funder), address(),
+                             p_.symbol, p_.amount)) {
+    ctx.emit(id(), "fund_rejected", "insufficient balance");
+    return;
+  }
+  funded_at_ = ctx.now();
+  ctx.emit(id(), "escrowed", p_.symbol + ":" + std::to_string(p_.amount));
+}
+
+void HtlcContract::redeem(chain::TxContext& ctx,
+                          const crypto::Bytes& preimage) {
+  if (!funded() || resolved()) return;
+  if (ctx.now() > p_.timelock) {
+    ctx.emit(id(), "redeem_rejected", "past timelock");
+    return;
+  }
+  if (!crypto::opens(p_.hashlock, preimage)) {
+    ctx.emit(id(), "redeem_rejected", "bad preimage");
+    return;
+  }
+  preimage_ = preimage;
+  ctx.ledger().transfer(address(), chain::Address::party(p_.counterparty),
+                        p_.symbol, p_.amount);
+  redeemed_ = true;
+  resolved_at_ = ctx.now();
+  ctx.emit(id(), "redeemed", "to " + std::to_string(p_.counterparty));
+}
+
+void HtlcContract::on_block(chain::TxContext& ctx) {
+  if (funded() && !resolved() && ctx.now() > p_.timelock) {
+    ctx.ledger().transfer(address(), chain::Address::party(p_.funder),
+                          p_.symbol, p_.amount);
+    refunded_ = true;
+    resolved_at_ = ctx.now();
+    ctx.emit(id(), "refunded", "to " + std::to_string(p_.funder));
+  }
+}
+
+}  // namespace xchain::contracts

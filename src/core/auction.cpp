@@ -1,0 +1,497 @@
+#include "core/auction.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "contracts/auction.hpp"
+#include "contracts/sealed_auction.hpp"
+#include "crypto/secret.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+using contracts::AuctionTerms;
+using contracts::CoinAuctionContract;
+using contracts::TicketAuctionContract;
+
+constexpr PartyId kAlice = 0;
+
+struct Setup {
+  CoinAuctionContract* coin = nullptr;
+  TicketAuctionContract* ticket = nullptr;
+  ChainId coin_chain = 0;
+  ChainId ticket_chain = 0;
+  std::vector<crypto::Secret> secrets;  ///< per bidder index
+  Tick declaration_start = 0;
+};
+
+class Auctioneer : public sim::Party {
+ public:
+  Auctioneer(const Setup& s, AuctioneerStrategy strategy,
+             const std::vector<Amount>& bids)
+      : sim::Party(kAlice, "alice"), s_(s), strategy_(strategy),
+        bids_(bids) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    if (strategy_ == AuctioneerStrategy::kNoSetup) return;
+    if (!did_setup_) {
+      did_setup_ = true;
+      chains.at(s_.ticket_chain)
+          .submit({kAlice, "alice: escrow tickets",
+                   [c = s_.ticket](chain::TxContext& ctx) {
+                     c->escrow_tickets(ctx);
+                   }});
+      chains.at(s_.coin_chain)
+          .submit({kAlice, "alice: endow premium",
+                   [c = s_.coin](chain::TxContext& ctx) {
+                     c->endow_premium(ctx);
+                   }});
+    }
+    if (strategy_ == AuctioneerStrategy::kAbandon) return;
+    // Declaration phase: inspect bids, publish per strategy. (At Delta = 1
+    // the bids only become visible one tick into the phase; wait for them —
+    // the |q| * Delta hashkey timeout still accommodates the declaration.)
+    if (!declared_ && now >= s_.declaration_start) {
+      const auto win = s_.coin->winner();
+      if (!win) return;  // no bids visible (yet): nothing to declare
+      declared_ = true;
+      const std::size_t lose = lowest_bidder().value_or(*win);
+      switch (strategy_) {
+        case AuctioneerStrategy::kHonest:
+          publish(chains, *win, s_.coin_chain);
+          publish(chains, *win, s_.ticket_chain);
+          break;
+        case AuctioneerStrategy::kDeclareLoser:
+          publish(chains, lose, s_.coin_chain);
+          publish(chains, lose, s_.ticket_chain);
+          break;
+        case AuctioneerStrategy::kCoinOnly:
+          publish(chains, *win, s_.coin_chain);
+          break;
+        case AuctioneerStrategy::kTicketOnly:
+          publish(chains, *win, s_.ticket_chain);
+          break;
+        case AuctioneerStrategy::kSplit:
+          publish(chains, *win, s_.coin_chain);
+          publish(chains, lose, s_.ticket_chain);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+ private:
+  std::optional<std::size_t> lowest_bidder() const {
+    std::optional<std::size_t> low;
+    for (std::size_t i = 0; i < bids_.size(); ++i) {
+      const auto b = s_.coin->bid_of(i);
+      if (b && (!low || *b < *s_.coin->bid_of(*low))) low = i;
+    }
+    return low;
+  }
+
+  void publish(chain::MultiChain& chains, std::size_t bidder_index,
+               ChainId chain) {
+    const crypto::Hashkey key = crypto::make_leader_hashkey(
+        s_.secrets[bidder_index].value(), kAlice, keys());
+    if (chain == s_.coin_chain) {
+      chains.at(chain).submit(
+          {kAlice, "alice: declare on coin chain",
+           [c = s_.coin, bidder_index, key](chain::TxContext& ctx) {
+             c->present_hashkey(ctx, bidder_index, key);
+           }});
+    } else {
+      chains.at(chain).submit(
+          {kAlice, "alice: declare on ticket chain",
+           [c = s_.ticket, bidder_index, key](chain::TxContext& ctx) {
+             c->present_hashkey(ctx, bidder_index, key);
+           }});
+    }
+  }
+
+  const Setup& s_;
+  AuctioneerStrategy strategy_;
+  std::vector<Amount> bids_;
+  bool did_setup_ = false;
+  bool declared_ = false;
+};
+
+class Bidder : public sim::Party {
+ public:
+  Bidder(PartyId id, const Setup& s, BidderStrategy strategy, Amount bid)
+      : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
+        strategy_(strategy), bid_(bid) {}
+
+  void step(chain::MultiChain& chains, Tick) override {
+    if (strategy_ == BidderStrategy::kNoBid) return;
+    // Bid once the auctioneer's setup (tickets + premium) is visible.
+    if (!did_bid_ && s_.ticket->escrowed() && s_.coin->premium_endowed() &&
+        bid_ > 0) {
+      did_bid_ = true;
+      chains.at(s_.coin_chain)
+          .submit({id(), name() + ": place bid",
+                   [c = s_.coin, amount = bid_](chain::TxContext& ctx) {
+                     c->place_bid(ctx, amount);
+                   }});
+    }
+    if (strategy_ == BidderStrategy::kNoForward) return;
+    // Challenge phase (Lemma 7): a hashkey on one contract but not the
+    // other gets extended and forwarded.
+    for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
+      if (forwarded_[i]) continue;
+      const bool on_coin = s_.coin->hashkey_received(i);
+      const bool on_ticket = s_.ticket->hashkey_received(i);
+      if (on_coin == on_ticket) continue;
+      const crypto::Hashkey& seen = on_coin
+                                        ? *s_.coin->presented_hashkey(i)
+                                        : *s_.ticket->presented_hashkey(i);
+      if (std::find(seen.path.begin(), seen.path.end(), id()) !=
+          seen.path.end()) {
+        continue;
+      }
+      forwarded_[i] = true;
+      const crypto::Hashkey extended =
+          crypto::extend_hashkey(seen, id(), keys());
+      if (on_coin) {
+        chains.at(s_.ticket_chain)
+            .submit({id(), name() + ": forward hashkey",
+                     [c = s_.ticket, i, extended](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, extended);
+                     }});
+      } else {
+        chains.at(s_.coin_chain)
+            .submit({id(), name() + ": forward hashkey",
+                     [c = s_.coin, i, extended](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, extended);
+                     }});
+      }
+    }
+  }
+
+ private:
+  const Setup& s_;
+  BidderStrategy strategy_;
+  Amount bid_;
+  bool did_bid_ = false;
+  std::map<std::size_t, bool> forwarded_;
+};
+
+// ---------------------------------------------------------------------------
+// Sealed-bid variant (footnote 8 extension)
+// ---------------------------------------------------------------------------
+
+struct SealedSetup {
+  contracts::SealedCoinAuctionContract* coin = nullptr;
+  contracts::TicketAuctionContract* ticket = nullptr;
+  ChainId coin_chain = 0;
+  ChainId ticket_chain = 0;
+  std::vector<crypto::Secret> secrets;
+  Tick declaration_start = 0;
+  Tick reveal_deadline = 0;
+};
+
+class SealedAuctioneer : public sim::Party {
+ public:
+  SealedAuctioneer(const SealedSetup& s, AuctioneerStrategy strategy)
+      : sim::Party(kAlice, "alice"), s_(s), strategy_(strategy) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    if (strategy_ == AuctioneerStrategy::kNoSetup) return;
+    if (!did_setup_) {
+      did_setup_ = true;
+      chains.at(s_.ticket_chain)
+          .submit({kAlice, "alice: escrow tickets",
+                   [c = s_.ticket](chain::TxContext& ctx) {
+                     c->escrow_tickets(ctx);
+                   }});
+      chains.at(s_.coin_chain)
+          .submit({kAlice, "alice: endow premium",
+                   [c = s_.coin](chain::TxContext& ctx) {
+                     c->endow_premium(ctx);
+                   }});
+    }
+    if (strategy_ == AuctioneerStrategy::kAbandon) return;
+    if (!declared_ && now >= s_.declaration_start) {
+      const auto win = s_.coin->winner();
+      if (!win) return;
+      declared_ = true;
+      const std::size_t target = strategy_ == AuctioneerStrategy::kDeclareLoser
+                                     ? lowest_revealed().value_or(*win)
+                                     : *win;
+      const bool to_coin = strategy_ != AuctioneerStrategy::kTicketOnly;
+      const bool to_ticket = strategy_ != AuctioneerStrategy::kCoinOnly;
+      const crypto::Hashkey key = crypto::make_leader_hashkey(
+          s_.secrets[target].value(), kAlice, keys());
+      if (to_coin) {
+        chains.at(s_.coin_chain)
+            .submit({kAlice, "alice: declare (coin)",
+                     [c = s_.coin, target, key](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, target, key);
+                     }});
+      }
+      if (to_ticket) {
+        const std::size_t t =
+            strategy_ == AuctioneerStrategy::kSplit
+                ? lowest_revealed().value_or(target)
+                : target;
+        const crypto::Hashkey tk = crypto::make_leader_hashkey(
+            s_.secrets[t].value(), kAlice, keys());
+        chains.at(s_.ticket_chain)
+            .submit({kAlice, "alice: declare (ticket)",
+                     [c = s_.ticket, t, tk](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, t, tk);
+                     }});
+      }
+    }
+  }
+
+ private:
+  std::optional<std::size_t> lowest_revealed() const {
+    std::optional<std::size_t> low;
+    for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
+      const auto b = s_.coin->revealed_bid(i);
+      if (b && (!low || *b < *s_.coin->revealed_bid(*low))) low = i;
+    }
+    return low;
+  }
+
+  const SealedSetup& s_;
+  AuctioneerStrategy strategy_;
+  bool did_setup_ = false;
+  bool declared_ = false;
+};
+
+class SealedBidder : public sim::Party {
+ public:
+  SealedBidder(PartyId id, const SealedSetup& s, BidderStrategy strategy,
+               Amount bid)
+      : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
+        strategy_(strategy), bid_(bid),
+        nonce_(crypto::Secret::from_label("nonce-" + name()).value()) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    if (strategy_ == BidderStrategy::kNoBid || bid_ <= 0) return;
+    if (!committed_ && s_.ticket->escrowed() && s_.coin->premium_endowed()) {
+      committed_ = true;
+      const auto digest =
+          contracts::SealedCoinAuctionContract::commitment_of(bid_, nonce_);
+      chains.at(s_.coin_chain)
+          .submit({id(), name() + ": commit bid",
+                   [c = s_.coin, digest](chain::TxContext& ctx) {
+                     c->commit_bid(ctx, digest);
+                   }});
+    }
+    if (strategy_ == BidderStrategy::kCommitNoReveal) return;
+    // Reveal once the commit phase has closed.
+    if (!revealed_ && committed_ &&
+        now > s_.coin->params().terms.bid_deadline) {
+      revealed_ = true;
+      chains.at(s_.coin_chain)
+          .submit({id(), name() + ": reveal bid",
+                   [c = s_.coin, b = bid_, nn = nonce_](
+                       chain::TxContext& ctx) { c->reveal_bid(ctx, b, nn); }});
+    }
+    if (strategy_ == BidderStrategy::kNoForward) return;
+    for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
+      if (forwarded_[i]) continue;
+      const bool on_coin = s_.coin->hashkey_received(i);
+      const bool on_ticket = s_.ticket->hashkey_received(i);
+      if (on_coin == on_ticket) continue;
+      const crypto::Hashkey& seen = on_coin
+                                        ? *s_.coin->presented_hashkey(i)
+                                        : *s_.ticket->presented_hashkey(i);
+      if (std::find(seen.path.begin(), seen.path.end(), id()) !=
+          seen.path.end()) {
+        continue;
+      }
+      forwarded_[i] = true;
+      const crypto::Hashkey ext = crypto::extend_hashkey(seen, id(), keys());
+      if (on_coin) {
+        chains.at(s_.ticket_chain)
+            .submit({id(), name() + ": forward",
+                     [c = s_.ticket, i, ext](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, ext);
+                     }});
+      } else {
+        chains.at(s_.coin_chain)
+            .submit({id(), name() + ": forward",
+                     [c = s_.coin, i, ext](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, ext);
+                     }});
+      }
+    }
+  }
+
+ private:
+  const SealedSetup& s_;
+  BidderStrategy strategy_;
+  Amount bid_;
+  crypto::Bytes nonce_;
+  bool committed_ = false;
+  bool revealed_ = false;
+  std::map<std::size_t, bool> forwarded_;
+};
+
+}  // namespace
+
+AuctionResult run_sealed_auction(const AuctionConfig& cfg,
+                                 AuctioneerStrategy alice,
+                                 const std::vector<BidderStrategy>& bidders) {
+  const std::size_t n = cfg.bids.size();
+  if (bidders.size() != n) {
+    throw std::invalid_argument("run_sealed_auction: one strategy per "
+                                "bidder");
+  }
+  const Tick d = cfg.delta;
+
+  chain::MultiChain chains;
+  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
+
+  SealedSetup s;
+  s.ticket_chain = ticket_chain.id();
+  s.coin_chain = coin_chain.id();
+  s.declaration_start = 2 * d;  // commit + reveal phases precede it
+  s.reveal_deadline = 2 * d;
+
+  contracts::AuctionTerms terms;
+  terms.auctioneer = kAlice;
+  crypto::Rng rng("sealed-auction");
+  std::vector<crypto::PublicKey> keys(n + 1);
+  keys[kAlice] = crypto::keygen("alice").pub;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PartyId pid = static_cast<PartyId>(i + 1);
+    terms.bidders.push_back(pid);
+    keys[pid] = crypto::keygen("bidder-" + std::to_string(pid)).pub;
+    s.secrets.push_back(crypto::Secret::random(rng));
+    terms.hashlocks.push_back(s.secrets.back().hashlock());
+  }
+  terms.party_keys = keys;
+  terms.delta = d;
+  terms.bid_deadline = d;  // commit phase
+  terms.declaration_start = 2 * d;
+  terms.commit_time = 6 * d;
+
+  s.coin = &coin_chain.deploy<contracts::SealedCoinAuctionContract>(
+      contracts::SealedCoinAuctionContract::Params{
+          terms, cfg.premium_unit, cfg.collateral, s.reveal_deadline});
+  s.ticket = &ticket_chain.deploy<contracts::TicketAuctionContract>(
+      contracts::TicketAuctionContract::Params{terms, "ticket",
+                                               cfg.ticket_count});
+
+  ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
+                                       "ticket", cfg.ticket_count);
+  coin_chain.ledger_for_setup().mint(
+      chain::Address::party(kAlice), coin_chain.native(),
+      cfg.premium_unit * static_cast<Amount>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    coin_chain.ledger_for_setup().mint(
+        chain::Address::party(static_cast<PartyId>(i + 1)),
+        coin_chain.native(), cfg.collateral);
+  }
+
+  PayoffTracker tracker(chains, n + 1);
+  SealedAuctioneer a(s, alice);
+  std::vector<std::unique_ptr<SealedBidder>> bs;
+  sim::Scheduler sched(chains);
+  sched.add_party(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    bs.push_back(std::make_unique<SealedBidder>(
+        static_cast<PartyId>(i + 1), s, bidders[i], cfg.bids[i]));
+    sched.add_party(*bs.back());
+  }
+  sched.run_until(6 * d + 2);
+
+  AuctionResult out;
+  out.completed = s.coin->completed_cleanly();
+  out.tickets_to = s.ticket->awarded_to().value_or(kAlice);
+  out.auctioneer = tracker.delta(chains, kAlice);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.bidders.push_back(
+        tracker.delta(chains, static_cast<PartyId>(i + 1)));
+  }
+  out.events = chains.all_events();
+  return out;
+}
+
+AuctionResult run_auction(const AuctionConfig& cfg, AuctioneerStrategy alice,
+                          const std::vector<BidderStrategy>& bidders) {
+  const std::size_t n = cfg.bids.size();
+  if (bidders.size() != n) {
+    throw std::invalid_argument("run_auction: one strategy per bidder");
+  }
+  const Tick d = cfg.delta;
+
+  chain::MultiChain chains;
+  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
+
+  Setup s;
+  s.ticket_chain = ticket_chain.id();
+  s.coin_chain = coin_chain.id();
+  s.declaration_start = d;
+
+  AuctionTerms terms;
+  terms.auctioneer = kAlice;
+  crypto::Rng rng("auction");
+  std::vector<crypto::PublicKey> keys(n + 1);
+  keys[kAlice] = crypto::keygen("alice").pub;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PartyId pid = static_cast<PartyId>(i + 1);
+    terms.bidders.push_back(pid);
+    keys[pid] = crypto::keygen("bidder-" + std::to_string(pid)).pub;
+    s.secrets.push_back(crypto::Secret::random(rng));
+    terms.hashlocks.push_back(s.secrets.back().hashlock());
+  }
+  terms.party_keys = keys;
+  terms.delta = d;
+  terms.bid_deadline = d;
+  terms.declaration_start = d;
+  terms.commit_time = 5 * d;
+
+  s.coin = &coin_chain.deploy<CoinAuctionContract>(
+      CoinAuctionContract::Params{terms, cfg.premium_unit});
+  s.ticket = &ticket_chain.deploy<TicketAuctionContract>(
+      TicketAuctionContract::Params{terms, "ticket", cfg.ticket_count});
+
+  ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
+                                       "ticket", cfg.ticket_count);
+  coin_chain.ledger_for_setup().mint(
+      chain::Address::party(kAlice), coin_chain.native(),
+      cfg.premium_unit * static_cast<Amount>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    coin_chain.ledger_for_setup().mint(
+        chain::Address::party(static_cast<PartyId>(i + 1)),
+        coin_chain.native(), cfg.bids[i]);
+  }
+
+  PayoffTracker tracker(chains, n + 1);
+  Auctioneer a(s, alice, cfg.bids);
+  std::vector<std::unique_ptr<Bidder>> bs;
+  sim::Scheduler sched(chains);
+  sched.add_party(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    bs.push_back(std::make_unique<Bidder>(static_cast<PartyId>(i + 1), s,
+                                          bidders[i], cfg.bids[i]));
+    sched.add_party(*bs.back());
+  }
+  sched.run_until(5 * d + 2);
+
+  AuctionResult out;
+  out.completed = s.coin->completed_cleanly();
+  out.tickets_to = s.ticket->awarded_to().value_or(kAlice);
+  out.auctioneer = tracker.delta(chains, kAlice);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.bidders.push_back(
+        tracker.delta(chains, static_cast<PartyId>(i + 1)));
+  }
+  out.events = chains.all_events();
+  return out;
+}
+
+}  // namespace xchain::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+#include "core/payoff.hpp"
+
+namespace xchain::core {
+
+/// What the auctioneer does at the declaration phase (paper §9). The smart
+/// contracts confine her to publishing (or withholding) hashkeys, so this
+/// enumerates her whole behaviour space.
+enum class AuctioneerStrategy {
+  kHonest,        ///< publish the true winner's hashkey on both chains
+  kNoSetup,       ///< never escrow tickets / endow premiums
+  kAbandon,       ///< set up, then walk away before declaring
+  kDeclareLoser,  ///< publish the lowest bidder's hashkey on both chains
+  kCoinOnly,      ///< publish the winner's key on the coin chain only
+  kTicketOnly,    ///< publish the winner's key on the ticket chain only
+  kSplit,         ///< winner's key on the coin chain, loser's on tickets
+};
+
+/// A bidder's behaviour.
+enum class BidderStrategy {
+  kConform,         ///< bid, and forward one-sided hashkeys in the challenge
+  kNoBid,           ///< sit out (arguably a favour, §9.2)
+  kNoForward,       ///< bid, but shirk the challenge-phase forwarding duty
+  kCommitNoReveal,  ///< sealed variant only: commit, never open the bid
+};
+
+struct AuctionConfig {
+  Amount ticket_count = 10;
+  /// One entry per bidder (party ids 1..n); 0 means that bidder has no
+  /// budget to bid with.
+  std::vector<Amount> bids = {100, 80};
+  Amount premium_unit = 2;  ///< p; the auctioneer endows n * p
+  Tick delta = 2;
+  /// Sealed variant only: the uniform collateral M escrowed with each
+  /// commitment (hides the bid; must cover the largest bid).
+  Amount collateral = 150;
+};
+
+struct AuctionResult {
+  /// Settlement concluded with the winner paying (coin side clean).
+  bool completed = false;
+  /// Which party received the tickets (auctioneer if refunded).
+  PartyId tickets_to = kNoParty;
+
+  PayoffDelta auctioneer;
+  std::vector<PayoffDelta> bidders;
+
+  chain::EventLog events;
+};
+
+/// Runs the hedged auction (paper §9): bidding (Delta), declaration
+/// (Delta), challenge (3 * Delta), commit.
+AuctionResult run_auction(const AuctionConfig& cfg, AuctioneerStrategy alice,
+                          const std::vector<BidderStrategy>& bidders);
+
+/// Runs the *sealed-bid* hedged auction — the commit-reveal extension the
+/// paper's footnote 8 points to: commit (Delta), reveal (Delta), then the
+/// §9 declaration / challenge / commit over the revealed bids. Bids stay
+/// hidden behind uniform collateral until the reveal phase.
+AuctionResult run_sealed_auction(const AuctionConfig& cfg,
+                                 AuctioneerStrategy alice,
+                                 const std::vector<BidderStrategy>& bidders);
+
+}  // namespace xchain::core

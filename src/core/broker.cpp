@@ -1,0 +1,389 @@
+#include "core/broker.hpp"
+
+#include <map>
+#include <memory>
+
+#include "contracts/broker.hpp"
+#include "core/premiums.hpp"
+#include "crypto/secret.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+using contracts::BrokerChainContract;
+using Which = BrokerChainContract::Which;
+
+constexpr PartyId kAlice = 0;
+constexpr PartyId kBob = 1;
+constexpr PartyId kCarol = 2;
+
+/// The broker digraph (Figure 4a): arcs A->B, A->C, B->A, C->A.
+graph::Digraph broker_digraph() {
+  graph::Digraph g(3);
+  g.add_arc(kAlice, kBob);
+  g.add_arc(kAlice, kCarol);
+  g.add_arc(kBob, kAlice);
+  g.add_arc(kCarol, kAlice);
+  return g;
+}
+
+/// One arc as hosted by a contract, with its role.
+struct HostedArc {
+  BrokerChainContract* contract = nullptr;
+  Which which = Which::kEscrowArc;
+  graph::Arc arc{};
+};
+
+struct Setup {
+  graph::Digraph g;
+  BrokerChainContract* ticket = nullptr;
+  BrokerChainContract* coin = nullptr;
+  std::vector<crypto::Secret> secrets;  ///< per party (all lead)
+  std::vector<HostedArc> arcs;          ///< all four arcs
+  Tick hashkey_base = 0;
+
+  std::vector<HostedArc> incoming(PartyId v) const {
+    std::vector<HostedArc> out;
+    for (const HostedArc& a : arcs) {
+      if (a.arc.to == v) out.push_back(a);
+    }
+    return out;
+  }
+  std::vector<HostedArc> outgoing(PartyId v) const {
+    std::vector<HostedArc> out;
+    for (const HostedArc& a : arcs) {
+      if (a.arc.from == v) out.push_back(a);
+    }
+    return out;
+  }
+};
+
+/// Shared relay behaviour plus per-role protocol actions.
+class BrokerParty : public sim::Party {
+ public:
+  BrokerParty(PartyId id, std::string name, const Setup& s,
+              sim::DeviationPlan plan)
+      : sim::Party(id, std::move(name)), s_(s), plan_(plan) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    if (plan_.allows(0)) simple_premiums(chains, now);
+    if (plan_.allows(1)) redemption_premiums(chains, now);
+    if (plan_.allows(2)) principal_moves(chains, now);
+    if (plan_.allows(3)) {
+      release_own_key(chains, now);
+      relay_keys(chains, now);
+    }
+  }
+
+ protected:
+  virtual void simple_premiums(chain::MultiChain& chains, Tick now) = 0;
+  virtual void principal_moves(chain::MultiChain& chains, Tick now) = 0;
+  virtual bool ready_to_release(Tick now) const = 0;
+
+  bool all_simple_premiums_deposited() const {
+    return s_.ticket->escrow_premium_deposited() &&
+           s_.ticket->trading_premium_deposited() &&
+           s_.coin->escrow_premium_deposited() &&
+           s_.coin->trading_premium_deposited();
+  }
+
+  /// Deposits redemption premiums for every leader on every incoming arc,
+  /// using the (lexicographically first) shortest path to each leader.
+  void redemption_premiums(chain::MultiChain& chains, Tick) {
+    if (did_redemption_ || !all_simple_premiums_deposited()) return;
+    did_redemption_ = true;
+    for (const HostedArc& a : s_.incoming(id())) {
+      for (PartyId leader = 0; leader < 3; ++leader) {
+        const graph::Path q = shortest_path(id(), leader);
+        const auto sig = crypto::sign_premium_path(keys(), leader, q);
+        submit(chains, *a.contract, "redemption premium",
+               [c = a.contract, w = a.which, leader, q,
+                sig](chain::TxContext& ctx) {
+                 c->deposit_redemption_premium(ctx, w, leader, q, sig);
+               });
+      }
+    }
+  }
+
+  void release_own_key(chain::MultiChain& chains, Tick now) {
+    if (released_ || now < s_.hashkey_base || !ready_to_release(now)) return;
+    released_ = true;
+    const crypto::Hashkey key =
+        crypto::make_leader_hashkey(s_.secrets[id()].value(), id(), keys());
+    present_on_incoming(chains, id(), key);
+  }
+
+  void relay_keys(chain::MultiChain& chains, Tick) {
+    for (PartyId leader = 0; leader < 3; ++leader) {
+      if (relayed_[leader]) continue;
+      for (const HostedArc& a : s_.outgoing(id())) {
+        if (!a.contract->hashlock_open(a.which, leader)) continue;
+        const crypto::Hashkey& seen =
+            *a.contract->presented_hashkey(a.which, leader);
+        if (std::find(seen.path.begin(), seen.path.end(), id()) !=
+            seen.path.end()) {
+          continue;
+        }
+        relayed_[leader] = true;
+        present_on_incoming(chains, leader,
+                            crypto::extend_hashkey(seen, id(), keys()));
+        break;
+      }
+    }
+  }
+
+  void present_on_incoming(chain::MultiChain& chains, PartyId leader,
+                           const crypto::Hashkey& key) {
+    for (const HostedArc& a : s_.incoming(id())) {
+      submit(chains, *a.contract, "present hashkey",
+             [c = a.contract, w = a.which, leader,
+              key](chain::TxContext& ctx) {
+               c->present_hashkey(ctx, w, leader, key);
+             });
+    }
+  }
+
+  graph::Path shortest_path(PartyId from, PartyId to) const {
+    if (from == to) return {from};
+    const auto paths = s_.g.simple_paths(from, to);
+    const graph::Path* best = &paths.front();
+    for (const auto& p : paths) {
+      if (p.size() < best->size()) best = &p;
+    }
+    return *best;
+  }
+
+  void submit(chain::MultiChain& chains, const BrokerChainContract& target,
+              const std::string& what,
+              std::function<void(chain::TxContext&)> fn) {
+    chains.at(target.chain_id())
+        .submit({id(), name() + ": " + what, std::move(fn)});
+  }
+
+  const Setup& s_;
+  sim::DeviationPlan plan_;
+  bool did_redemption_ = false;
+  bool released_ = false;
+  std::map<PartyId, bool> relayed_;
+};
+
+/// Alice: trading premiums, the two trades, releases k_A after both.
+class AliceBroker : public BrokerParty {
+ public:
+  using BrokerParty::BrokerParty;
+
+ private:
+  void simple_premiums(chain::MultiChain& chains, Tick) override {
+    if (did_trading_premiums_) return;
+    if (!s_.ticket->escrow_premium_deposited() ||
+        !s_.coin->escrow_premium_deposited()) {
+      return;
+    }
+    did_trading_premiums_ = true;
+    for (BrokerChainContract* c : {s_.ticket, s_.coin}) {
+      submit(chains, *c, "trading premium", [c](chain::TxContext& ctx) {
+        c->deposit_trading_premium(ctx);
+      });
+    }
+  }
+
+  // A1 depends on B1; A2 depends on C1 (Figure 4b) — each trade also needs
+  // its own arc's activation so the trading premium protection is live.
+  void principal_moves(chain::MultiChain& chains, Tick) override {
+    if (!traded_tickets_ && s_.ticket->escrowed() &&
+        s_.ticket->premium_activated(Which::kTradingArc)) {
+      traded_tickets_ = true;
+      submit(chains, *s_.ticket, "trade tickets (A1)",
+             [c = s_.ticket](chain::TxContext& ctx) { c->trade(ctx); });
+    }
+    if (!traded_coins_ && s_.coin->escrowed() &&
+        s_.coin->premium_activated(Which::kTradingArc)) {
+      traded_coins_ = true;
+      submit(chains, *s_.coin, "trade coins (A2)",
+             [c = s_.coin](chain::TxContext& ctx) { c->trade(ctx); });
+    }
+  }
+
+  bool ready_to_release(Tick now) const override {
+    // Normal: both trades done. Recovery (§7 Lemma 4 analogue): past the
+    // trading deadline nothing can change — Alice escrows no assets of her
+    // own, so releasing k_A is free and recovers her premium deposits.
+    return (s_.ticket->traded() && s_.coin->traded()) ||
+           now > s_.ticket->params().trading_deadline;
+  }
+
+  bool did_trading_premiums_ = false;
+  bool traded_tickets_ = false;
+  bool traded_coins_ = false;
+};
+
+/// Bob and Carol: escrow premium at start, escrow the principal once their
+/// arc is activated, release their key once the trade destined for them
+/// has happened.
+class SellerBroker : public BrokerParty {
+ public:
+  SellerBroker(PartyId id, std::string name, const Setup& s,
+               sim::DeviationPlan plan, BrokerChainContract* own_chain,
+               BrokerChainContract* paid_on)
+      : BrokerParty(id, std::move(name), s, plan),
+        own_(own_chain),
+        paid_on_(paid_on) {}
+
+ private:
+  void simple_premiums(chain::MultiChain& chains, Tick) override {
+    if (did_escrow_premium_) return;
+    did_escrow_premium_ = true;
+    submit(chains, *own_, "escrow premium", [c = own_](chain::TxContext& ctx) {
+      c->deposit_escrow_premium(ctx);
+    });
+  }
+
+  void principal_moves(chain::MultiChain& chains, Tick) override {
+    if (did_escrow_ || !own_->premium_activated(Which::kEscrowArc)) return;
+    did_escrow_ = true;
+    submit(chains, *own_, "escrow principal",
+           [c = own_](chain::TxContext& ctx) { c->escrow(ctx); });
+  }
+
+  // B2 / C2: release once the asset owed to this party sits in the trading
+  // bucket (withholding the key is the §8 safety valve). Recovery: if this
+  // party never escrowed and the escrow deadline has passed, its asset is
+  // not at stake and releasing recovers its redemption premium deposits.
+  bool ready_to_release(Tick now) const override {
+    return paid_on_->traded() ||
+           (now > own_->params().escrow_deadline && !own_->escrowed());
+  }
+
+  BrokerChainContract* own_;      ///< chain where this party escrows
+  BrokerChainContract* paid_on_;  ///< chain whose trading arc pays them
+  bool did_escrow_premium_ = false;
+  bool did_escrow_ = false;
+};
+
+Tick lockup_of(const BrokerChainContract& c) {
+  if (!c.refunded() || !c.escrowed_at()) return 0;
+  // Refund happens in the final sweep; approximate lock-up as escrow ->
+  // final deadline sweep.
+  return c.path_deadline(c.params().g.size()) + 1 - *c.escrowed_at();
+}
+
+}  // namespace
+
+BrokerResult run_broker_deal(const BrokerConfig& cfg, sim::DeviationPlan alice,
+                             sim::DeviationPlan bob,
+                             sim::DeviationPlan carol) {
+  const Tick d = cfg.delta;
+  Setup s;
+  s.g = broker_digraph();
+
+  chain::MultiChain chains;
+  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
+
+  crypto::Rng rng("broker-deal");
+  std::vector<crypto::PublicKey> pub_keys;
+  const char* names[3] = {"alice", "bob", "carol"};
+  for (int i = 0; i < 3; ++i) {
+    s.secrets.push_back(crypto::Secret::random(rng));
+    pub_keys.push_back(crypto::keygen(names[i]).pub);
+  }
+  std::vector<BrokerChainContract::Hashlock> hashlocks;
+  for (int i = 0; i < 3; ++i) {
+    hashlocks.push_back(
+        {static_cast<PartyId>(i), s.secrets[i].hashlock()});
+  }
+
+  // §8.2 premium amounts from the r = 1 broker formula.
+  const auto phases = broker_premiums(
+      s.g, {{kBob, kAlice}, {kCarol, kAlice}},
+      {{{kAlice, kCarol}, {kAlice, kBob}}}, cfg.premium_unit);
+  const Amount e_ba = phases[0].at({kBob, kAlice});
+  const Amount e_ca = phases[0].at({kCarol, kAlice});
+  const Amount t_ac = phases[1].at({kAlice, kCarol});
+  const Amount t_ab = phases[1].at({kAlice, kBob});
+
+  s.hashkey_base = 5 * d;
+  auto common = [&](BrokerChainContract::Params& p) {
+    p.g = s.g;
+    p.premium_unit = cfg.premium_unit;
+    p.hashlocks = hashlocks;
+    p.party_keys = pub_keys;
+    p.delta = d;
+    p.escrow_premium_deadline = d;
+    p.trading_premium_deadline = 2 * d;
+    p.redemption_premium_deadline = 3 * d;
+    p.escrow_deadline = 4 * d;
+    p.trading_deadline = 5 * d;
+    p.hashkey_base = s.hashkey_base;
+  };
+
+  BrokerChainContract::Params tp;
+  tp.escrow_arc = {kBob, kAlice};
+  tp.trading_arc = {kAlice, kCarol};
+  tp.symbol = "ticket";
+  tp.escrow_amount = cfg.ticket_count;
+  tp.trading_amount = cfg.ticket_count;
+  tp.escrow_premium = e_ba;
+  tp.trading_premium = t_ac;
+  common(tp);
+  s.ticket = &ticket_chain.deploy<BrokerChainContract>(tp);
+
+  BrokerChainContract::Params cp;
+  cp.escrow_arc = {kCarol, kAlice};
+  cp.trading_arc = {kAlice, kBob};
+  cp.symbol = "coin";
+  cp.escrow_amount = cfg.sale_price;
+  cp.trading_amount = cfg.purchase_price;
+  cp.escrow_premium = e_ca;
+  cp.trading_premium = t_ab;
+  common(cp);
+  s.coin = &coin_chain.deploy<BrokerChainContract>(cp);
+
+  s.arcs = {
+      {s.ticket, Which::kEscrowArc, {kBob, kAlice}},
+      {s.ticket, Which::kTradingArc, {kAlice, kCarol}},
+      {s.coin, Which::kEscrowArc, {kCarol, kAlice}},
+      {s.coin, Which::kTradingArc, {kAlice, kBob}},
+  };
+
+  // Endowments: assets plus ample premium coin on both chains.
+  constexpr Amount kCoinBudget = 1'000'000;
+  ticket_chain.ledger_for_setup().mint(chain::Address::party(kBob), "ticket",
+                                       cfg.ticket_count);
+  coin_chain.ledger_for_setup().mint(chain::Address::party(kCarol), "coin",
+                                     cfg.sale_price);
+  for (PartyId v = 0; v < 3; ++v) {
+    ticket_chain.ledger_for_setup().mint(chain::Address::party(v),
+                                         ticket_chain.native(), kCoinBudget);
+    coin_chain.ledger_for_setup().mint(chain::Address::party(v),
+                                       coin_chain.native(), kCoinBudget);
+  }
+
+  PayoffTracker tracker(chains, 3);
+  AliceBroker a(kAlice, "alice", s, alice);
+  SellerBroker b(kBob, "bob", s, bob, s.ticket, s.coin);
+  SellerBroker c(kCarol, "carol", s, carol, s.coin, s.ticket);
+  sim::Scheduler sched(chains);
+  sched.add_party(a);
+  sched.add_party(b);
+  sched.add_party(c);
+  sched.run_until(s.hashkey_base + (s.g.diameter() + 3 + 1) * d + 2);
+
+  BrokerResult out;
+  out.completed = s.ticket->bucket_redeemed(Which::kEscrowArc) &&
+                  s.ticket->bucket_redeemed(Which::kTradingArc) &&
+                  s.coin->bucket_redeemed(Which::kEscrowArc) &&
+                  s.coin->bucket_redeemed(Which::kTradingArc);
+  out.alice = tracker.delta(chains, kAlice);
+  out.bob = tracker.delta(chains, kBob);
+  out.carol = tracker.delta(chains, kCarol);
+  out.bob_lockup = lockup_of(*s.ticket);
+  out.carol_lockup = lockup_of(*s.coin);
+  out.events = chains.all_events();
+  return out;
+}
+
+}  // namespace xchain::core

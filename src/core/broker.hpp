@@ -1,0 +1,48 @@
+#pragma once
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+#include "core/payoff.hpp"
+#include "sim/deviation.hpp"
+
+namespace xchain::core {
+
+/// The three-party brokered sale of paper §8 (after Herlihy–Liskov–Shrira):
+/// Alice brokers Bob's tickets to Carol, paying Bob `purchase_price` coins
+/// out of Carol's `sale_price` escrow and pocketing the spread.
+struct BrokerConfig {
+  Amount ticket_count = 10;
+  Amount sale_price = 101;      ///< Carol's escrow (coins)
+  Amount purchase_price = 100;  ///< what Bob receives (coins)
+  Amount premium_unit = 1;      ///< p
+  Tick delta = 1;
+};
+
+struct BrokerResult {
+  bool completed = false;  ///< all four arc buckets redeemed
+
+  PayoffDelta alice;
+  PayoffDelta bob;
+  PayoffDelta carol;
+
+  /// Ticks assets spent escrowed before being *refunded* (0 otherwise).
+  Tick bob_lockup = 0;    ///< tickets
+  Tick carol_lockup = 0;  ///< coins
+
+  chain::EventLog events;
+};
+
+/// Deviation ordinals, phase-level:
+///   Alice: 0 = trading premiums, 1 = redemption premiums,
+///          2 = trades (A1/A2), 3 = hashkey release + relays (A3)
+///   Bob:   0 = escrow premium, 1 = redemption premiums,
+///          2 = escrow tickets (B1), 3 = hashkey release + relays (B2)
+///   Carol: symmetric to Bob (C1 / C2).
+inline constexpr int kBrokerActions = 4;
+
+/// Runs the hedged broker protocol with per-party deviation plans.
+BrokerResult run_broker_deal(const BrokerConfig& cfg,
+                             sim::DeviationPlan alice, sim::DeviationPlan bob,
+                             sim::DeviationPlan carol);
+
+}  // namespace xchain::core

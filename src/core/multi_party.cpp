@@ -1,0 +1,351 @@
+#include "core/multi_party.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "contracts/arc_contract.hpp"
+#include "core/premiums.hpp"
+#include "crypto/secret.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+using contracts::MultiPartyArcContract;
+using graph::Arc;
+using graph::Digraph;
+using graph::Vertex;
+
+/// Everything static a run needs, shared by all actors.
+struct Setup {
+  const MultiPartyConfig* cfg = nullptr;
+  std::vector<Vertex> leaders;
+  std::vector<crypto::Secret> secrets;  ///< per leader index
+  std::map<std::pair<Vertex, Vertex>, MultiPartyArcContract*> arcs;
+  // Phase start ticks (phase k spans [start[k], start[k+1])).
+  Tick t2 = 0;  ///< redemption premium phase
+  Tick t3 = 0;  ///< asset escrow phase (base phase one)
+  Tick t4 = 0;  ///< hashkey phase (base phase two)
+  Tick horizon = 0;
+
+  MultiPartyArcContract& at(Vertex u, Vertex v) const {
+    return *arcs.at({u, v});
+  }
+  bool is_leader(Vertex v) const {
+    return std::find(leaders.begin(), leaders.end(), v) != leaders.end();
+  }
+  int leader_index_of(Vertex v) const {
+    for (std::size_t i = 0; i < leaders.size(); ++i) {
+      if (leaders[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+/// One swap participant, leader or follower, running the four phases with
+/// compliance conditions from §7 (and the truncations from Lemmas 2-5).
+class SwapParty : public sim::Party {
+ public:
+  SwapParty(PartyId id, const Setup& s, sim::DeviationPlan plan)
+      : sim::Party(id, "party-" + std::to_string(id)), s_(s), plan_(plan) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    const bool hedged = s_.cfg->hedged;
+    if (hedged) {
+      if (plan_.allows(0)) phase1_escrow_premiums(chains, now);
+      if (now >= s_.t2 && plan_.allows(1)) {
+        phase2_redemption_premiums(chains, now);
+      }
+    }
+    const int escrow_ordinal = hedged ? 2 : 0;
+    const int hashkey_ordinal = hedged ? 3 : 1;
+    if (now >= s_.t3 && plan_.allows(escrow_ordinal)) {
+      phase3_escrow_assets(chains, now);
+    }
+    if (now >= s_.t4 && plan_.allows(hashkey_ordinal)) {
+      phase4_hashkeys(chains, now);
+    }
+  }
+
+ private:
+  const Digraph& g() const { return s_.cfg->g; }
+
+  bool all_incoming_escrow_premiums() const {
+    for (Vertex u : g().in_neighbors(id())) {
+      if (!s_.at(u, id()).escrow_premium_deposited()) return false;
+    }
+    return true;
+  }
+
+  // Phase 1: leaders deposit outgoing escrow premiums immediately;
+  // followers once every incoming escrow premium is present.
+  void phase1_escrow_premiums(chain::MultiChain& chains, Tick) {
+    if (did_escrow_premiums_) return;
+    if (!s_.is_leader(id()) && !all_incoming_escrow_premiums()) return;
+    did_escrow_premiums_ = true;
+    for (Vertex w : g().out_neighbors(id())) {
+      MultiPartyArcContract& c = s_.at(id(), w);
+      chains.at(c.chain_id())
+          .submit({id(), name() + ": escrow premium",
+                   [&c](chain::TxContext& ctx) {
+                     c.deposit_escrow_premium(ctx);
+                   }});
+    }
+  }
+
+  // Phase 2: a leader whose phase 1 succeeded starts the backward flow for
+  // its own hashkey (path (L) on every incoming arc); every party relays
+  // the first premium for hashkey i seen on an outgoing arc.
+  void phase2_redemption_premiums(chain::MultiChain& chains, Tick) {
+    const int own = s_.leader_index_of(id());
+    if (own >= 0 && !started_own_premiums_ && all_incoming_escrow_premiums()) {
+      started_own_premiums_ = true;
+      deposit_premiums_on_incoming(chains, static_cast<std::size_t>(own),
+                                   graph::Path{id()});
+    }
+    for (std::size_t i = 0; i < s_.leaders.size(); ++i) {
+      if (premium_seen_[i]) continue;
+      // First premium for k_i on any outgoing arc (deterministic order);
+      // later sightings are ignored, per §7.1.
+      for (Vertex w : g().out_neighbors(id())) {
+        const MultiPartyArcContract& c = s_.at(id(), w);
+        if (!c.redemption_premium_deposited(i)) continue;
+        premium_seen_[i] = true;
+        // The deposit's (public) path starts at w; prepend this vertex:
+        // "if v || q is a path, then deposits premium R_i(v || q, u) on
+        // every incoming arc".
+        const graph::Path vq =
+            graph::concat(id(), c.redemption_premium_path(i));
+        if (g().is_path(vq)) {
+          deposit_premiums_on_incoming(chains, i, vq);
+        }
+        break;
+      }
+    }
+  }
+
+  void deposit_premiums_on_incoming(chain::MultiChain& chains, std::size_t i,
+                                    const graph::Path& path) {
+    for (Vertex u : g().in_neighbors(id())) {
+      MultiPartyArcContract& c = s_.at(u, id());
+      const auto sig = crypto::sign_premium_path(keys(), i, path);
+      chains.at(c.chain_id())
+          .submit({id(), name() + ": redemption premium",
+                   [&c, i, path, sig](chain::TxContext& ctx) {
+                     c.deposit_redemption_premium(ctx, i, path, sig);
+                   }});
+    }
+  }
+
+  // Phase 3 (base phase one): leaders escrow on activated outgoing arcs;
+  // followers wait for all incoming assets first.
+  void phase3_escrow_assets(chain::MultiChain& chains, Tick) {
+    if (did_escrow_assets_) return;
+    if (!s_.is_leader(id())) {
+      for (Vertex u : g().in_neighbors(id())) {
+        if (!s_.at(u, id()).escrowed()) return;
+      }
+    }
+    did_escrow_assets_ = true;
+    for (Vertex w : g().out_neighbors(id())) {
+      MultiPartyArcContract& c = s_.at(id(), w);
+      // Hedged runs escrow only where the premium protection is active
+      // (Lemma 3: "the leader v escrows assets on the outgoing arcs whose
+      // escrow premiums are activated").
+      if (s_.cfg->hedged && !c.escrow_premium_activated()) continue;
+      chains.at(c.chain_id())
+          .submit({id(), name() + ": escrow asset",
+                   [&c](chain::TxContext& ctx) { c.escrow_asset(ctx); }});
+    }
+  }
+
+  // Phase 4 (base phase two): leaders whose incoming arcs all carry assets
+  // release their hashkey there; everyone relays the first sighting of
+  // each hashkey from an outgoing arc to all incoming arcs.
+  void phase4_hashkeys(chain::MultiChain& chains, Tick now) {
+    const int own = s_.leader_index_of(id());
+    if (own >= 0 && !released_own_key_) {
+      bool all_in = true;
+      for (Vertex u : g().in_neighbors(id())) {
+        if (!s_.at(u, id()).escrowed()) all_in = false;
+      }
+      // Normal release: every incoming arc carries an asset. Recovery
+      // release (§7: "truncated versions of the base protocol phases to
+      // recover their premiums", Lemma 4): if this leader escrowed
+      // nothing — certain once the escrow deadline has passed — releasing
+      // the secret is free and refunds its redemption premium deposits.
+      bool escrowed_none = now > s_.t4;  // escrow deadline == t4
+      for (Vertex w : g().out_neighbors(id())) {
+        if (s_.at(id(), w).escrowed()) escrowed_none = false;
+      }
+      if (all_in || escrowed_none) {
+        released_own_key_ = true;
+        const crypto::Hashkey key = crypto::make_leader_hashkey(
+            s_.secrets[own].value(), id(), keys());
+        present_on_incoming(chains, static_cast<std::size_t>(own), key);
+      }
+    }
+    for (std::size_t i = 0; i < s_.leaders.size(); ++i) {
+      if (hashkey_done_[i]) continue;
+      for (Vertex w : g().out_neighbors(id())) {
+        const MultiPartyArcContract& c = s_.at(id(), w);
+        if (!c.hashlock_open(i)) continue;
+        const crypto::Hashkey& seen = *c.presented_hashkey(i);
+        // Extend only if this vertex is not already on the path.
+        if (std::find(seen.path.begin(), seen.path.end(), id()) !=
+            seen.path.end()) {
+          continue;
+        }
+        hashkey_done_[i] = true;
+        present_on_incoming(chains, i, crypto::extend_hashkey(seen, id(),
+                                                              keys()));
+        break;
+      }
+    }
+  }
+
+  void present_on_incoming(chain::MultiChain& chains, std::size_t i,
+                           const crypto::Hashkey& key) {
+    for (Vertex u : g().in_neighbors(id())) {
+      MultiPartyArcContract& c = s_.at(u, id());
+      chains.at(c.chain_id())
+          .submit({id(), name() + ": present hashkey",
+                   [&c, i, key](chain::TxContext& ctx) {
+                     c.present_hashkey(ctx, i, key);
+                   }});
+    }
+  }
+
+  const Setup& s_;
+  sim::DeviationPlan plan_;
+  bool did_escrow_premiums_ = false;
+  bool started_own_premiums_ = false;
+  bool did_escrow_assets_ = false;
+  bool released_own_key_ = false;
+  std::map<std::size_t, bool> premium_seen_;
+  std::map<std::size_t, bool> hashkey_done_;
+};
+
+}  // namespace
+
+MultiPartyResult run_multi_party_swap(
+    const MultiPartyConfig& cfg, const std::vector<sim::DeviationPlan>& plans) {
+  const Digraph& g = cfg.g;
+  const std::size_t n = g.size();
+  if (n < 2 || !g.strongly_connected()) {
+    throw std::invalid_argument("multi-party swap: need a strongly "
+                                "connected digraph on >= 2 vertices");
+  }
+  if (plans.size() != n) {
+    throw std::invalid_argument("multi-party swap: one plan per party");
+  }
+
+  Setup s;
+  s.cfg = &cfg;
+  s.leaders =
+      cfg.leaders.empty() ? g.minimum_feedback_vertex_set() : cfg.leaders;
+  if (!g.is_feedback_vertex_set(s.leaders)) {
+    throw std::invalid_argument(
+        "multi-party swap: leaders must form a feedback vertex set");
+  }
+
+  const Tick d = cfg.delta;
+  const Tick phase_len = static_cast<Tick>(n) * d;
+  if (cfg.hedged) {
+    s.t2 = phase_len;
+    s.t3 = 2 * phase_len;
+  } else {
+    s.t2 = 0;
+    s.t3 = 0;
+  }
+  s.t4 = s.t3 + phase_len;
+  const std::size_t diam = g.diameter();
+  s.horizon = s.t4 + static_cast<Tick>(diam + n) * d + 2;
+
+  // One chain per party; party i's token lives on chain i.
+  chain::MultiChain chains;
+  std::vector<crypto::PublicKey> keys;
+  for (Vertex v = 0; v < n; ++v) {
+    chains.add_chain("chain-" + std::to_string(v));
+    keys.push_back(crypto::keygen("party-" + std::to_string(v)).pub);
+  }
+
+  crypto::Rng rng("multi-party-swap");
+  for (std::size_t i = 0; i < s.leaders.size(); ++i) {
+    s.secrets.push_back(crypto::Secret::random(rng));
+  }
+  std::vector<MultiPartyArcContract::Hashlock> hashlocks;
+  for (std::size_t i = 0; i < s.leaders.size(); ++i) {
+    hashlocks.push_back({s.leaders[i], s.secrets[i].hashlock()});
+  }
+
+  const ArcPremiums escrow_p =
+      cfg.hedged ? escrow_premiums(g, s.leaders, cfg.premium_unit)
+                 : ArcPremiums{};
+
+  for (const Arc& arc : g.arcs()) {
+    chain::Blockchain& bc = chains.at(arc.from);
+    MultiPartyArcContract::Params p;
+    p.g = g;
+    p.arc = arc;
+    p.asset_symbol = "token-" + std::to_string(arc.from);
+    p.asset_amount = cfg.asset_amount;
+    p.premium_unit = cfg.premium_unit;
+    p.escrow_premium = cfg.hedged ? escrow_p.at({arc.from, arc.to}) : 0;
+    p.hashlocks = hashlocks;
+    p.party_keys = keys;
+    p.delta = d;
+    p.redemption_premium_deadline = s.t3;
+    p.escrow_deadline = s.t4;
+    p.hashkey_base = s.t4;
+    s.arcs[{arc.from, arc.to}] = &bc.deploy<MultiPartyArcContract>(p);
+  }
+
+  // Endowments: each party gets tokens for its outgoing arcs plus an ample
+  // native-coin budget on every chain (payoffs are deltas, so the budget
+  // size is immaterial — it only must cover worst-case premiums).
+  constexpr Amount kCoinBudget = 1'000'000'000'000;
+  for (Vertex v = 0; v < n; ++v) {
+    chains.at(v).ledger_for_setup().mint(
+        chain::Address::party(v), "token-" + std::to_string(v),
+        static_cast<Amount>(g.out_neighbors(v).size()) * cfg.asset_amount);
+    for (Vertex c = 0; c < n; ++c) {
+      chains.at(c).ledger_for_setup().mint(chain::Address::party(v),
+                                           chains.at(c).native(),
+                                           kCoinBudget);
+    }
+  }
+
+  PayoffTracker tracker(chains, n);
+  std::vector<std::unique_ptr<SwapParty>> parties;
+  sim::Scheduler sched(chains);
+  for (Vertex v = 0; v < n; ++v) {
+    parties.push_back(std::make_unique<SwapParty>(v, s, plans[v]));
+    sched.add_party(*parties.back());
+  }
+  sched.run_until(s.horizon);
+
+  MultiPartyResult out;
+  out.all_redeemed = true;
+  out.payoffs.reserve(n);
+  out.assets_escrowed.assign(n, 0);
+  out.assets_refunded.assign(n, 0);
+  out.assets_received.assign(n, 0);
+  for (const Arc& arc : g.arcs()) {
+    const MultiPartyArcContract& c = s.at(arc.from, arc.to);
+    out.all_redeemed &= c.redeemed();
+    out.assets_escrowed[arc.from] += c.escrowed() ? 1 : 0;
+    out.assets_refunded[arc.from] += c.refunded() ? 1 : 0;
+    out.assets_received[arc.to] += c.redeemed() ? 1 : 0;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    out.payoffs.push_back(tracker.delta(chains, v));
+  }
+  out.events = chains.all_events();
+  return out;
+}
+
+}  // namespace xchain::core

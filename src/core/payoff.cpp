@@ -1,0 +1,65 @@
+#include "core/payoff.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+bool is_native_coin(const chain::Symbol& sym) {
+  static constexpr std::string_view kSuffix = "-coin";
+  return sym.size() >= kSuffix.size() &&
+         sym.compare(sym.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+             0;
+}
+
+}  // namespace
+
+std::string PayoffDelta::str() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [sym, amt] : by_symbol) {
+    if (amt == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += sym + ": " + std::to_string(amt);
+  }
+  out += "}";
+  return out;
+}
+
+PayoffTracker::PayoffTracker(const chain::MultiChain& chains,
+                             std::size_t party_count)
+    : party_count_(party_count) {
+  initial_.reserve(party_count_);
+  for (PartyId p = 0; p < party_count_; ++p) {
+    initial_.push_back(holdings_of(chains, p));
+  }
+}
+
+Holdings PayoffTracker::holdings_of(const chain::MultiChain& chains,
+                                    PartyId party) const {
+  Holdings h;
+  const chain::Address addr = chain::Address::party(party);
+  for (ChainId c = 0; c < chains.count(); ++c) {
+    for (const auto& [who, sym, amount] : chains.at(c).ledger().holdings()) {
+      if (who == addr) h[sym] += amount;
+    }
+  }
+  return h;
+}
+
+PayoffDelta PayoffTracker::delta(const chain::MultiChain& chains,
+                                 PartyId party) const {
+  PayoffDelta d;
+  const Holdings now = holdings_of(chains, party);
+  const Holdings& before = initial_.at(party);
+  for (const auto& [sym, amt] : now) d.by_symbol[sym] += amt;
+  for (const auto& [sym, amt] : before) d.by_symbol[sym] -= amt;
+  std::erase_if(d.by_symbol, [](const auto& kv) { return kv.second == 0; });
+  for (const auto& [sym, amt] : d.by_symbol) {
+    d.value_delta += amt;
+    if (is_native_coin(sym)) d.coin_delta += amt;
+  }
+  return d;
+}
+
+}  // namespace xchain::core

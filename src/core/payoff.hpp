@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+
+namespace xchain::core {
+
+/// A party's holdings across all chains at one instant: symbol -> amount.
+using Holdings = std::map<chain::Symbol, Amount>;
+
+/// Net change of a party's holdings over a protocol run.
+struct PayoffDelta {
+  /// Per-symbol deltas (tokens and native coins alike).
+  Holdings by_symbol;
+
+  /// Net premium/native-coin payoff summed across chains (the unit the
+  /// paper's lemmas are stated in; all native coins valued at par, §4).
+  Amount coin_delta = 0;
+
+  /// Total valued payoff with every symbol at par.
+  Amount value_delta = 0;
+
+  std::string str() const;
+};
+
+/// Captures party balances across chains so deltas can be computed after a
+/// run.
+class PayoffTracker {
+ public:
+  /// Snapshots balances of parties [0, party_count) over all chains.
+  PayoffTracker(const chain::MultiChain& chains, std::size_t party_count);
+
+  /// Delta of `party`'s holdings between the snapshot and now.
+  /// Native-coin symbols are those ending in "-coin" (MultiChain naming).
+  PayoffDelta delta(const chain::MultiChain& chains, PartyId party) const;
+
+ private:
+  Holdings holdings_of(const chain::MultiChain& chains, PartyId party) const;
+
+  std::size_t party_count_;
+  std::vector<Holdings> initial_;
+};
+
+}  // namespace xchain::core

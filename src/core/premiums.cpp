@@ -1,0 +1,176 @@
+#include "core/premiums.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace xchain::core {
+
+namespace {
+
+bool contains(const graph::Path& q, graph::Vertex v) {
+  return std::find(q.begin(), q.end(), v) != q.end();
+}
+
+}  // namespace
+
+Amount redemption_premium(const graph::Digraph& g, const graph::Path& q,
+                          graph::Vertex v, Amount p) {
+  // Base cases: v || q closes a cycle (v is the leader), or v already lies
+  // on q (v will not re-deposit). Either way v's net exposure is covered by
+  // a single p.
+  if (contains(q, v)) return p;
+  Amount total = p;
+  const graph::Path vq = graph::concat(v, q);
+  for (graph::Vertex u : g.in_neighbors(v)) {
+    total += redemption_premium(g, vq, u, p);
+  }
+  return total;
+}
+
+Amount leader_redemption_premium(const graph::Digraph& g,
+                                 graph::Vertex leader, Amount p) {
+  Amount total = 0;
+  const graph::Path start{leader};
+  for (graph::Vertex u : g.in_neighbors(leader)) {
+    total += redemption_premium(g, start, u, p);
+  }
+  return total;
+}
+
+std::vector<RedemptionDeposit> redemption_deposits_for(
+    const graph::Digraph& g, graph::Vertex v, const graph::Path& q_seen,
+    Amount p) {
+  std::vector<RedemptionDeposit> deposits;
+  const graph::Path vq =
+      q_seen.empty() ? graph::Path{v} : graph::concat(v, q_seen);
+  if (!g.is_path(vq) && !(q_seen.empty())) return deposits;
+  for (graph::Vertex u : g.in_neighbors(v)) {
+    deposits.push_back(
+        RedemptionDeposit{graph::Arc{u, v}, vq,
+                          redemption_premium(g, vq, u, p)});
+  }
+  return deposits;
+}
+
+Amount leader_total_deposit(const graph::Digraph& g, graph::Vertex leader,
+                            Amount p) {
+  return leader_redemption_premium(g, leader, p);
+}
+
+ArcPremiums escrow_premiums(const graph::Digraph& g,
+                            const std::vector<graph::Vertex>& leaders,
+                            Amount p) {
+  if (!g.is_feedback_vertex_set(leaders)) {
+    throw std::invalid_argument(
+        "escrow_premiums: leaders must form a feedback vertex set");
+  }
+  std::vector<bool> is_leader(g.size(), false);
+  for (graph::Vertex l : leaders) is_leader[l] = true;
+
+  // R(L) per leader, memoized.
+  std::vector<Amount> r_of(g.size(), -1);
+  auto leader_r = [&](graph::Vertex l) {
+    if (r_of[l] < 0) r_of[l] = leader_redemption_premium(g, l, p);
+    return r_of[l];
+  };
+
+  // out_sum(v) = sum over (v, w) of E(v, w); acyclic over followers.
+  std::vector<Amount> memo(g.size(), -1);
+  std::function<Amount(graph::Vertex)> out_sum = [&](graph::Vertex v) {
+    if (memo[v] >= 0) return memo[v];
+    Amount total = 0;
+    for (graph::Vertex w : g.out_neighbors(v)) {
+      total += is_leader[w] ? leader_r(w) : out_sum(w);
+    }
+    return memo[v] = total;
+  };
+
+  ArcPremiums out;
+  for (const graph::Arc& arc : g.arcs()) {
+    out[{arc.from, arc.to}] =
+        is_leader[arc.to] ? leader_r(arc.to) : out_sum(arc.to);
+  }
+  return out;
+}
+
+std::vector<ArcPremiums> broker_premiums(
+    const graph::Digraph& g,
+    const std::vector<graph::Arc>& escrow_transfers,
+    const std::vector<std::vector<graph::Arc>>& trading_rounds, Amount p) {
+  const std::size_t r = trading_rounds.size();
+  std::vector<ArcPremiums> result(r + 1);
+
+  // Backward from the last round: T_r(v, w) = R_w(w).
+  for (std::size_t k = r; k >= 1; --k) {
+    for (const graph::Arc& arc : trading_rounds[k - 1]) {
+      Amount t;
+      if (k == r) {
+        t = leader_redemption_premium(g, arc.to, p);
+      } else {
+        // T_k(v, w) = T_{k+1}(w) = sum of w's round-(k+1) premiums.
+        t = 0;
+        for (const graph::Arc& next : trading_rounds[k]) {
+          if (next.from == arc.to) t += result[k + 1].at({next.from,
+                                                          next.to});
+        }
+      }
+      result[k][{arc.from, arc.to}] = t;
+    }
+  }
+  // Escrow phase: E(v, w) = T_1(w).
+  for (const graph::Arc& arc : escrow_transfers) {
+    Amount t = 0;
+    if (r > 0) {
+      for (const graph::Arc& first : trading_rounds[0]) {
+        if (first.from == arc.to) t += result[1].at({first.from, first.to});
+      }
+    } else {
+      t = leader_redemption_premium(g, arc.to, p);
+    }
+    result[0][{arc.from, arc.to}] = t;
+  }
+  return result;
+}
+
+BootstrapSchedule bootstrap_schedule(Amount a, Amount b, double factor,
+                                     int rounds) {
+  if (factor <= 1.0) {
+    throw std::invalid_argument("bootstrap_schedule: factor must exceed 1");
+  }
+  if (rounds < 0) {
+    throw std::invalid_argument("bootstrap_schedule: rounds must be >= 0");
+  }
+  BootstrapSchedule s;
+  s.rounds = rounds;
+  s.factor = factor;
+  s.apricot.push_back(a);
+  s.banana.push_back(b);
+  double pj = 1.0;
+  for (int j = 1; j <= rounds; ++j) {
+    pj *= factor;
+    s.apricot.push_back(static_cast<Amount>(
+        std::ceil(static_cast<double>(a) / pj)));
+    s.banana.push_back(static_cast<Amount>(
+        std::ceil((static_cast<double>(j) * a + b) / pj)));
+  }
+  return s;
+}
+
+int bootstrap_rounds_needed(Amount a, Amount b, double factor,
+                            Amount max_initial_risk) {
+  for (int r = 0;; ++r) {
+    const BootstrapSchedule s = bootstrap_schedule(a, b, factor, r);
+    if (s.initial_risk_apricot() <= max_initial_risk &&
+        s.initial_risk_banana() <= max_initial_risk) {
+      return r;
+    }
+    if (r > 64) {
+      throw std::invalid_argument(
+          "bootstrap_rounds_needed: target risk unreachable");
+    }
+  }
+}
+
+}  // namespace xchain::core

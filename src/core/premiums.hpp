@@ -1,0 +1,121 @@
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace xchain::core {
+
+/// Arc-indexed premium table.
+using ArcPremiums = std::map<std::pair<graph::Vertex, graph::Vertex>, Amount>;
+
+/// Equation 1 (paper §7.1): the amount of redemption premium R_i(q, v) —
+/// the premium party v receives when a premium whose path is `q` sits on
+/// one of v's outgoing arcs.
+///
+///   R_i(q, v) = p                                 if v || q is a cycle
+///   R_i(q, v) = p + sum over in-arcs (u, v) of R_i(v || q, u)  otherwise
+///
+/// If v appears strictly inside q (so v || q is neither a path nor a
+/// cycle), v will not re-deposit and the premium is just p. Each asset is
+/// assumed to carry the same base premium `p` (as in the paper).
+Amount redemption_premium(const graph::Digraph& g, const graph::Path& q,
+                          graph::Vertex v, Amount p);
+
+/// R(L): a leader's total redemption premium — the sum of the premiums the
+/// leader deposits on its incoming arcs with the initial path (L).
+Amount leader_redemption_premium(const graph::Digraph& g,
+                                 graph::Vertex leader, Amount p);
+
+/// Every redemption premium R_i(q, u) that party v deposits for leader
+/// `leader`'s hashkey, keyed by the incoming arc (u, v) it goes to. `q` is
+/// the path v observed (empty for the leader itself, which starts the
+/// backward flow with path (L)).
+/// Used by the protocol engine; exposed for tests.
+struct RedemptionDeposit {
+  graph::Arc arc;       ///< the incoming arc (u, v) the premium goes to
+  graph::Path path;     ///< the deposit's path (v || q)
+  Amount amount = 0;
+};
+std::vector<RedemptionDeposit> redemption_deposits_for(
+    const graph::Digraph& g, graph::Vertex v, const graph::Path& q_seen,
+    Amount p);
+
+/// Equation 2 (paper §7.1): escrow premiums for every arc, given the leader
+/// set (a feedback vertex set):
+///
+///   E(u, v) = R(L)                      if v is leader L
+///   E(u, v) = sum over (v, w) of E(v, w)  otherwise
+///
+/// Well-defined because leaders break every cycle.
+ArcPremiums escrow_premiums(const graph::Digraph& g,
+                            const std::vector<graph::Vertex>& leaders,
+                            Amount p);
+
+/// Total premium a leader must deposit up front (its redemption premiums on
+/// all incoming arcs) — the quantity the paper says is linear in n for
+/// unique-path digraphs and exponential for complete digraphs (§7 end).
+Amount leader_total_deposit(const graph::Digraph& g, graph::Vertex leader,
+                            Amount p);
+
+// ---------------------------------------------------------------------------
+// §8.2: broker / multi-round trading premiums
+// ---------------------------------------------------------------------------
+
+/// Premiums for an r-round brokered deal (paper §8.2):
+///
+///   escrow phase:   E(v, w)   = T_1(w)
+///   round k < r:    T_k(v, w) = T_{k+1}(w)
+///   round r:        T_r(v, w) = R_w(w)
+///
+/// where T_k(w) sums w's round-k outgoing premiums and R_w(w) is w's
+/// leader redemption premium (every party leads in brokered deals).
+///
+/// `escrow_transfers` are the escrow-phase arcs; `trading_rounds[k-1]` the
+/// round-k trades. Returns one ArcPremiums per phase: index 0 = escrow
+/// premiums, index k = round-k trading premiums.
+std::vector<ArcPremiums> broker_premiums(
+    const graph::Digraph& g,
+    const std::vector<graph::Arc>& escrow_transfers,
+    const std::vector<std::vector<graph::Arc>>& trading_rounds, Amount p);
+
+// ---------------------------------------------------------------------------
+// §6: premium bootstrapping
+// ---------------------------------------------------------------------------
+
+/// The ladder of premiums for an r-round bootstrapped two-party swap of A
+/// apricot tokens against B banana tokens with premium factor P (> 1).
+///
+/// On the apricot chain, rung j carries a_j = A / P^j; on the banana chain
+/// b_j = (j*A + B) / P^j (rung 0 is the principal itself). Rung j is
+/// deposited by Alice on the apricot chain iff j is even, and by Alice on
+/// the banana chain iff j is odd (depositors alternate; Alice owns both
+/// principals' premium obligations on the banana side because her premium
+/// there is p_a + p_b, §5.2).
+struct BootstrapSchedule {
+  int rounds = 0;                  ///< r
+  double factor = 0;               ///< P
+  std::vector<Amount> apricot;     ///< a_0 = A, a_1, ..., a_r
+  std::vector<Amount> banana;      ///< b_0 = B, b_1, ..., b_r
+
+  /// The unprotected first deposits (the residual sore-loser exposure):
+  /// a_r and b_r.
+  Amount initial_risk_apricot() const { return apricot.back(); }
+  Amount initial_risk_banana() const { return banana.back(); }
+};
+
+/// Computes the ladder amounts (rounded up so premiums never under-cover).
+BootstrapSchedule bootstrap_schedule(Amount a, Amount b, double factor,
+                                     int rounds);
+
+/// Smallest r such that the initial (unprotected) premium on both chains is
+/// at most `max_initial_risk` — the paper's log_P((A+B)/p) bound. Returns
+/// the r that reproduces "1% premiums + $4 initial risk hedge a $1M swap
+/// with 3 rounds".
+int bootstrap_rounds_needed(Amount a, Amount b, double factor,
+                            Amount max_initial_risk);
+
+}  // namespace xchain::core

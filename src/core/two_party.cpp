@@ -1,0 +1,315 @@
+#include "core/two_party.hpp"
+
+#include <memory>
+
+#include "contracts/hedged_swap.hpp"
+#include "contracts/htlc.hpp"
+#include "crypto/secret.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+constexpr PartyId kAlice = 0;
+constexpr PartyId kBob = 1;
+
+Tick lockup_of(std::optional<Tick> start, std::optional<Tick> end,
+               bool refunded) {
+  if (!refunded || !start || !end) return 0;
+  return *end - *start;
+}
+
+// ---------------------------------------------------------------------------
+// Base protocol actors (§5.1).
+// ---------------------------------------------------------------------------
+
+class BaseAlice : public sim::Party {
+ public:
+  BaseAlice(sim::DeviationPlan plan, contracts::HtlcContract& mine,
+            contracts::HtlcContract& bobs, crypto::Secret secret)
+      : sim::Party(kAlice, "alice"),
+        plan_(plan),
+        mine_(mine),
+        bobs_(bobs),
+        secret_(std::move(secret)) {}
+
+  void step(chain::MultiChain& chains, Tick) override {
+    // Action 0: escrow the principal at protocol start.
+    if (!did_escrow_ && plan_.allows(0)) {
+      did_escrow_ = true;
+      chains.at(mine_.chain_id())
+          .submit({kAlice, "alice: escrow principal",
+                   [this](chain::TxContext& ctx) { mine_.fund(ctx); }});
+    }
+    // Action 1: once Bob's escrow appears, redeem it (revealing s).
+    if (!did_redeem_ && bobs_.funded() && plan_.allows(1)) {
+      did_redeem_ = true;
+      chains.at(bobs_.chain_id())
+          .submit({kAlice, "alice: redeem bob's escrow",
+                   [this](chain::TxContext& ctx) {
+                     bobs_.redeem(ctx, secret_.value());
+                   }});
+    }
+  }
+
+ private:
+  sim::DeviationPlan plan_;
+  contracts::HtlcContract& mine_;
+  contracts::HtlcContract& bobs_;
+  crypto::Secret secret_;
+  bool did_escrow_ = false;
+  bool did_redeem_ = false;
+};
+
+class BaseBob : public sim::Party {
+ public:
+  BaseBob(sim::DeviationPlan plan, contracts::HtlcContract& mine,
+          contracts::HtlcContract& alices)
+      : sim::Party(kBob, "bob"), plan_(plan), mine_(mine), alices_(alices) {}
+
+  void step(chain::MultiChain& chains, Tick) override {
+    // Action 0: escrow once Alice's escrow is visible.
+    if (!did_escrow_ && alices_.funded() && plan_.allows(0)) {
+      did_escrow_ = true;
+      chains.at(mine_.chain_id())
+          .submit({kBob, "bob: escrow principal",
+                   [this](chain::TxContext& ctx) { mine_.fund(ctx); }});
+    }
+    // Action 1: once s is public (Alice redeemed), redeem Alice's escrow.
+    if (!did_redeem_ && mine_.revealed_preimage() && plan_.allows(1)) {
+      did_redeem_ = true;
+      chains.at(alices_.chain_id())
+          .submit({kBob, "bob: redeem alice's escrow",
+                   [this](chain::TxContext& ctx) {
+                     alices_.redeem(ctx, *mine_.revealed_preimage());
+                   }});
+    }
+  }
+
+ private:
+  sim::DeviationPlan plan_;
+  contracts::HtlcContract& mine_;
+  contracts::HtlcContract& alices_;
+  bool did_escrow_ = false;
+  bool did_redeem_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Hedged protocol actors (§5.2, Figure 1).
+// ---------------------------------------------------------------------------
+
+class HedgedAlice : public sim::Party {
+ public:
+  HedgedAlice(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
+              contracts::HedgedSwapContract& banana, crypto::Secret secret)
+      : sim::Party(kAlice, "alice"),
+        plan_(plan),
+        apricot_(apricot),
+        banana_(banana),
+        secret_(std::move(secret)) {}
+
+  void step(chain::MultiChain& chains, Tick) override {
+    // Action 0: deposit premium p_a + p_b on the banana contract at start.
+    if (!did_premium_ && plan_.allows(0)) {
+      did_premium_ = true;
+      chains.at(banana_.chain_id())
+          .submit({kAlice, "alice: deposit premium",
+                   [this](chain::TxContext& ctx) {
+                     banana_.deposit_premium(ctx);
+                   }});
+    }
+    // Action 1: once Bob's premium is on the apricot contract, escrow the
+    // principal there. (If Bob's premium never appears, a compliant Alice
+    // truncates: she never escrows.)
+    if (!did_escrow_ && apricot_.premium_deposited() && plan_.allows(1)) {
+      did_escrow_ = true;
+      chains.at(apricot_.chain_id())
+          .submit({kAlice, "alice: escrow principal",
+                   [this](chain::TxContext& ctx) {
+                     apricot_.escrow_principal(ctx);
+                   }});
+    }
+    // Action 2: once Bob's principal is escrowed, redeem it (revealing s).
+    if (!did_redeem_ && banana_.escrowed() && plan_.allows(2)) {
+      did_redeem_ = true;
+      chains.at(banana_.chain_id())
+          .submit({kAlice, "alice: redeem bob's escrow",
+                   [this](chain::TxContext& ctx) {
+                     banana_.redeem(ctx, secret_.value());
+                   }});
+    }
+  }
+
+ private:
+  sim::DeviationPlan plan_;
+  contracts::HedgedSwapContract& apricot_;
+  contracts::HedgedSwapContract& banana_;
+  crypto::Secret secret_;
+  bool did_premium_ = false;
+  bool did_escrow_ = false;
+  bool did_redeem_ = false;
+};
+
+class HedgedBob : public sim::Party {
+ public:
+  HedgedBob(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
+            contracts::HedgedSwapContract& banana)
+      : sim::Party(kBob, "bob"),
+        plan_(plan),
+        apricot_(apricot),
+        banana_(banana) {}
+
+  void step(chain::MultiChain& chains, Tick) override {
+    // Action 0: deposit premium p_b on the apricot contract once Alice's
+    // premium is visible on the banana contract.
+    if (!did_premium_ && banana_.premium_deposited() && plan_.allows(0)) {
+      did_premium_ = true;
+      chains.at(apricot_.chain_id())
+          .submit({kBob, "bob: deposit premium",
+                   [this](chain::TxContext& ctx) {
+                     apricot_.deposit_premium(ctx);
+                   }});
+    }
+    // Action 1: escrow once Alice's principal is escrowed.
+    if (!did_escrow_ && apricot_.escrowed() && plan_.allows(1)) {
+      did_escrow_ = true;
+      chains.at(banana_.chain_id())
+          .submit({kBob, "bob: escrow principal",
+                   [this](chain::TxContext& ctx) {
+                     banana_.escrow_principal(ctx);
+                   }});
+    }
+    // Action 2: once s is public, redeem Alice's escrow.
+    if (!did_redeem_ && banana_.revealed_preimage() && plan_.allows(2)) {
+      did_redeem_ = true;
+      chains.at(apricot_.chain_id())
+          .submit({kBob, "bob: redeem alice's escrow",
+                   [this](chain::TxContext& ctx) {
+                     apricot_.redeem(ctx, *banana_.revealed_preimage());
+                   }});
+    }
+  }
+
+ private:
+  sim::DeviationPlan plan_;
+  contracts::HedgedSwapContract& apricot_;
+  contracts::HedgedSwapContract& banana_;
+  bool did_premium_ = false;
+  bool did_escrow_ = false;
+  bool did_redeem_ = false;
+};
+
+}  // namespace
+
+TwoPartyResult run_base_two_party(const TwoPartyConfig& cfg,
+                                  sim::DeviationPlan alice,
+                                  sim::DeviationPlan bob) {
+  const Tick d = cfg.delta;
+  chain::MultiChain chains;
+  chain::Blockchain& apricot = chains.add_chain("apricot");
+  chain::Blockchain& banana = chains.add_chain("banana");
+
+  apricot.ledger_for_setup().mint(chain::Address::party(kAlice), "apricot",
+                                  cfg.alice_tokens);
+  banana.ledger_for_setup().mint(chain::Address::party(kBob), "banana",
+                                 cfg.bob_tokens);
+
+  crypto::Rng rng("two-party-base");
+  const crypto::Secret secret = crypto::Secret::random(rng);
+
+  // §5.1: Alice's contract has timelock t_A = 3*Delta, Bob's t_B = 2*Delta.
+  auto& alice_c = apricot.deploy<contracts::HtlcContract>(
+      contracts::HtlcContract::Params{kAlice, kBob, "apricot",
+                                      cfg.alice_tokens, secret.hashlock(),
+                                      /*escrow_deadline=*/d,
+                                      /*timelock=*/3 * d});
+  auto& bob_c = banana.deploy<contracts::HtlcContract>(
+      contracts::HtlcContract::Params{kBob, kAlice, "banana", cfg.bob_tokens,
+                                      secret.hashlock(),
+                                      /*escrow_deadline=*/2 * d,
+                                      /*timelock=*/2 * d});
+
+  PayoffTracker tracker(chains, 2);
+  BaseAlice a(alice, alice_c, bob_c, secret);
+  BaseBob b(bob, bob_c, alice_c);
+  sim::Scheduler sched(chains);
+  sched.add_party(a);
+  sched.add_party(b);
+  sched.run_until(3 * d + 2);
+
+  TwoPartyResult r;
+  r.swapped = alice_c.redeemed() && bob_c.redeemed();
+  r.alice = tracker.delta(chains, kAlice);
+  r.bob = tracker.delta(chains, kBob);
+  r.alice_lockup = lockup_of(alice_c.funded_at(), alice_c.resolved_at(),
+                             alice_c.refunded());
+  r.bob_lockup =
+      lockup_of(bob_c.funded_at(), bob_c.resolved_at(), bob_c.refunded());
+  r.events = chains.all_events();
+  return r;
+}
+
+TwoPartyResult run_hedged_two_party(const TwoPartyConfig& cfg,
+                                    sim::DeviationPlan alice,
+                                    sim::DeviationPlan bob) {
+  const Tick d = cfg.delta;
+  chain::MultiChain chains;
+  chain::Blockchain& apricot = chains.add_chain("apricot");
+  chain::Blockchain& banana = chains.add_chain("banana");
+
+  apricot.ledger_for_setup().mint(chain::Address::party(kAlice), "apricot",
+                                  cfg.alice_tokens);
+  banana.ledger_for_setup().mint(chain::Address::party(kBob), "banana",
+                                 cfg.bob_tokens);
+  // Premiums are paid in the escrow chain's native coin: Alice needs
+  // p_a + p_b on the banana chain, Bob needs p_b on the apricot chain.
+  banana.ledger_for_setup().mint(chain::Address::party(kAlice),
+                                 banana.native(),
+                                 cfg.premium_a + cfg.premium_b);
+  apricot.ledger_for_setup().mint(chain::Address::party(kBob),
+                                  apricot.native(), cfg.premium_b);
+
+  crypto::Rng rng("two-party-hedged");
+  const crypto::Secret secret = crypto::Secret::random(rng);
+
+  // §5.2 schedule: premiums at Delta / 2*Delta, principals at 3*Delta /
+  // 4*Delta, redemptions at t_A = 5*Delta (banana) and t_B = 6*Delta
+  // (apricot).
+  auto& apricot_c = apricot.deploy<contracts::HedgedSwapContract>(
+      contracts::HedgedSwapContract::Params{
+          /*principal_owner=*/kAlice, /*premium_payer=*/kBob, "apricot",
+          cfg.alice_tokens, cfg.premium_b, secret.hashlock(),
+          /*premium_deadline=*/2 * d, /*escrow_deadline=*/3 * d,
+          /*redemption_deadline=*/6 * d});
+  auto& banana_c = banana.deploy<contracts::HedgedSwapContract>(
+      contracts::HedgedSwapContract::Params{
+          /*principal_owner=*/kBob, /*premium_payer=*/kAlice, "banana",
+          cfg.bob_tokens, cfg.premium_a + cfg.premium_b, secret.hashlock(),
+          /*premium_deadline=*/d, /*escrow_deadline=*/4 * d,
+          /*redemption_deadline=*/5 * d});
+
+  PayoffTracker tracker(chains, 2);
+  HedgedAlice a(alice, apricot_c, banana_c, secret);
+  HedgedBob b(bob, apricot_c, banana_c);
+  sim::Scheduler sched(chains);
+  sched.add_party(a);
+  sched.add_party(b);
+  sched.run_until(6 * d + 2);
+
+  TwoPartyResult r;
+  r.swapped = apricot_c.redeemed() && banana_c.redeemed();
+  r.alice = tracker.delta(chains, kAlice);
+  r.bob = tracker.delta(chains, kBob);
+  r.alice_lockup = lockup_of(apricot_c.escrowed_at(),
+                             apricot_c.principal_resolved_at(),
+                             apricot_c.principal_refunded());
+  r.bob_lockup = lockup_of(banana_c.escrowed_at(),
+                           banana_c.principal_resolved_at(),
+                           banana_c.principal_refunded());
+  r.events = chains.all_events();
+  return r;
+}
+
+}  // namespace xchain::core

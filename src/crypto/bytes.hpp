@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xchain::crypto {
+
+/// Raw byte buffer used throughout the crypto layer.
+using Bytes = std::vector<std::uint8_t>;
+
+/// A 32-byte digest (output of SHA-256).
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Converts an arbitrary string to bytes (no encoding transformation).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends a digest to `dst`.
+inline void append(Bytes& dst, const Digest& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Appends a 64-bit value in big-endian order.
+inline void append_u64(Bytes& dst, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    dst.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Lower-case hex encoding of a byte range.
+template <typename Range>
+std::string to_hex(const Range& bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0f]);
+  }
+  return out;
+}
+
+/// Parses lower- or upper-case hex; returns empty on malformed input.
+Bytes from_hex(std::string_view hex);
+
+inline Bytes from_hex(std::string_view hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) return {};
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return {};
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace xchain::crypto

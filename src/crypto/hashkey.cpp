@@ -1,0 +1,81 @@
+#include "crypto/hashkey.hpp"
+
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+
+namespace xchain::crypto {
+
+Hashkey make_leader_hashkey(const Bytes& secret, PartyId leader,
+                            const KeyPair& leader_keys) {
+  Hashkey key;
+  key.secret = secret;
+  key.path = {leader};
+  key.sigs = {sign(leader_keys.priv, leader_keys.pub, secret)};
+  return key;
+}
+
+Hashkey extend_hashkey(const Hashkey& base, PartyId party,
+                       const KeyPair& party_keys) {
+  Hashkey key;
+  key.secret = base.secret;
+  key.path.reserve(base.path.size() + 1);
+  key.path.push_back(party);
+  key.path.insert(key.path.end(), base.path.begin(), base.path.end());
+
+  key.sigs.reserve(base.sigs.size() + 1);
+  key.sigs.push_back(
+      sign(party_keys.priv, party_keys.pub, base.sigs.front().encode()));
+  key.sigs.insert(key.sigs.end(), base.sigs.begin(), base.sigs.end());
+  return key;
+}
+
+bool verify_hashkey(const Hashkey& key, const Digest& hashlock,
+                    const PublicKeyLookup& key_of) {
+  if (key.path.empty() || key.path.size() != key.sigs.size()) return false;
+  if (sha256(key.secret) != hashlock) return false;
+
+  std::unordered_set<PartyId> seen;
+  for (PartyId p : key.path) {
+    if (!seen.insert(p).second) return false;  // paths are simple
+  }
+
+  // Innermost link: the leader signs the secret itself.
+  const std::size_t last = key.path.size() - 1;
+  if (!verify(key_of(key.path[last]), key.secret, key.sigs[last])) {
+    return false;
+  }
+  // Outer links: u_j signs the encoding of u_{j+1}'s signature.
+  for (std::size_t j = last; j-- > 0;) {
+    if (!verify(key_of(key.path[j]), key.sigs[j + 1].encode(), key.sigs[j])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Bytes encode_premium_path(std::uint64_t tag,
+                          const std::vector<PartyId>& path) {
+  Bytes msg;
+  append_u64(msg, tag);
+  append_u64(msg, path.size());
+  for (PartyId p : path) append_u64(msg, p);
+  return msg;
+}
+
+}  // namespace
+
+Signature sign_premium_path(const KeyPair& signer, std::uint64_t tag,
+                            const std::vector<PartyId>& path) {
+  return sign(signer.priv, signer.pub, encode_premium_path(tag, path));
+}
+
+bool verify_premium_path(const PublicKey& signer, std::uint64_t tag,
+                         const std::vector<PartyId>& path,
+                         const Signature& sig) {
+  return verify(signer, encode_premium_path(tag, path), sig);
+}
+
+}  // namespace xchain::crypto

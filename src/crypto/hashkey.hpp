@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/bytes.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace xchain::crypto {
+
+/// A hashkey (paper §7): the triple (s, q, sigma) that unlocks hashlock
+/// h = H(s) on an arc contract.
+///
+///  * `secret` is the preimage s.
+///  * `path` is q = (u_0, ..., u_k): u_k is the leader who generated s, and
+///    u_0 is the party presenting the hashkey (the asset recipient on the
+///    arc where it is presented). The path grows by prepending as the
+///    hashkey propagates backwards through the digraph.
+///  * `sigs[j]` is u_j's signature; sigs[k] (the leader's) signs the secret,
+///    and each sigs[j] for j < k signs the encoding of sigs[j+1]:
+///    sigma = sig(... sig(s, u_k) ..., u_0).
+///
+/// A hashkey on arc (u, v) times out at (diam(G) + |q|) * Delta after the
+/// start of the protocol; the timeout check lives in the arc contract, which
+/// knows diam(G) and Delta.
+struct Hashkey {
+  Bytes secret;
+  std::vector<PartyId> path;
+  std::vector<Signature> sigs;
+
+  /// Path length |q| (1 for a leader's own hashkey).
+  std::size_t length() const { return path.size(); }
+
+  /// The leader who generated the secret (last element of the path).
+  PartyId leader() const { return path.back(); }
+
+  /// The party that most recently extended (or created) the hashkey.
+  PartyId presenter() const { return path.front(); }
+};
+
+/// Creates a leader's initial hashkey with path (leader).
+Hashkey make_leader_hashkey(const Bytes& secret, PartyId leader,
+                            const KeyPair& leader_keys);
+
+/// Extends `base` by prepending `party` to the path and wrapping the
+/// signature chain: used when `party` learned the hashkey on an outgoing arc
+/// and re-presents it on an incoming arc.
+Hashkey extend_hashkey(const Hashkey& base, PartyId party,
+                       const KeyPair& party_keys);
+
+/// Resolves a party id to its public key.
+using PublicKeyLookup = std::function<PublicKey(PartyId)>;
+
+/// Verifies the whole hashkey:
+///  * SHA-256(secret) matches `hashlock`,
+///  * the path is non-empty with distinct vertices,
+///  * every signature in the chain verifies under the path party's key.
+///
+/// Graph validity of the path (consecutive pairs are arcs of G) and the
+/// timeout are checked separately by the arc contract, which knows G.
+bool verify_hashkey(const Hashkey& key, const Digest& hashlock,
+                    const PublicKeyLookup& key_of);
+
+/// Signs a redemption-premium path (paper §7.1: premium paths "are
+/// authenticated by signatures" exactly like hashkey paths). The signer is
+/// the depositor; `tag` distinguishes the leader/hashlock the premium is
+/// for.
+Signature sign_premium_path(const KeyPair& signer, std::uint64_t tag,
+                            const std::vector<PartyId>& path);
+
+/// Verifies a premium-path signature under the depositor's key.
+bool verify_premium_path(const PublicKey& signer, std::uint64_t tag,
+                         const std::vector<PartyId>& path,
+                         const Signature& sig);
+
+}  // namespace xchain::crypto

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/bytes.hpp"
+
+namespace xchain::crypto {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// splitmix64). Determinism matters: every protocol run, test, and benchmark
+/// in this repository is reproducible from its seed.
+class Rng {
+ public:
+  /// Seeds from a 64-bit value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Seeds from a string label (hashed to a seed); convenient for deriving
+  /// independent per-party streams: Rng("alice"), Rng("bob"), ...
+  explicit Rng(std::string_view label);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound); bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Fills and returns `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace xchain::crypto

@@ -1,0 +1,137 @@
+#include "crypto/schnorr.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace xchain::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // These witnesses make Miller-Rabin deterministic for all n < 2^64.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+const GroupParams& group() {
+  static const GroupParams params = [] {
+    // Deterministic search for the first safe prime p = 2q + 1 above 2^61.
+    std::uint64_t q = (1ull << 60) + 1;
+    while (!(is_prime_u64(q) && is_prime_u64(2 * q + 1))) {
+      q += 2;
+    }
+    // g = 4 is a quadratic residue, hence generates the order-q subgroup.
+    return GroupParams{2 * q + 1, q, 4};
+  }();
+  return params;
+}
+
+namespace {
+
+std::uint64_t digest_to_scalar(const Digest& d, std::uint64_t mod) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v % mod;
+}
+
+}  // namespace
+
+Bytes Signature::encode() const {
+  Bytes out;
+  append_u64(out, e);
+  append_u64(out, s);
+  return out;
+}
+
+KeyPair keygen(std::string_view seed) {
+  const GroupParams& gp = group();
+  Sha256 h;
+  h.update("xchain-keygen/");
+  h.update(seed);
+  const std::uint64_t x = 1 + digest_to_scalar(h.finish(), gp.q - 1);
+  return KeyPair{PrivateKey{x}, PublicKey{powmod(gp.g, x, gp.p)}};
+}
+
+Signature sign(const PrivateKey& key, const PublicKey& pub,
+               const Bytes& message) {
+  const GroupParams& gp = group();
+  // Deterministic nonce derivation (RFC 6979 in spirit).
+  Sha256 nh;
+  nh.update("xchain-nonce/");
+  Bytes key_bytes;
+  append_u64(key_bytes, key.x);
+  nh.update(key_bytes);
+  nh.update(message);
+  const std::uint64_t k = 1 + digest_to_scalar(nh.finish(), gp.q - 1);
+  const std::uint64_t r = powmod(gp.g, k, gp.p);
+
+  Sha256 eh;
+  eh.update("xchain-challenge/");
+  Bytes ctx;
+  append_u64(ctx, r);
+  append_u64(ctx, pub.y);
+  eh.update(ctx);
+  eh.update(message);
+  const std::uint64_t e = digest_to_scalar(eh.finish(), gp.q);
+  const std::uint64_t s = (k + mulmod(e, key.x, gp.q)) % gp.q;
+  return Signature{e, s};
+}
+
+bool verify(const PublicKey& pub, const Bytes& message, const Signature& sig) {
+  const GroupParams& gp = group();
+  if (pub.y == 0 || pub.y >= gp.p || sig.s >= gp.q || sig.e >= gp.q) {
+    return false;
+  }
+  // R' = g^s * y^(-e) = g^s * y^(q - e)  (y has order q).
+  const std::uint64_t gs = powmod(gp.g, sig.s, gp.p);
+  const std::uint64_t ye = powmod(pub.y, gp.q - sig.e, gp.p);
+  const std::uint64_t r = mulmod(gs, ye, gp.p);
+
+  Sha256 eh;
+  eh.update("xchain-challenge/");
+  Bytes ctx;
+  append_u64(ctx, r);
+  append_u64(ctx, pub.y);
+  eh.update(ctx);
+  eh.update(message);
+  return digest_to_scalar(eh.finish(), gp.q) == sig.e;
+}
+
+}  // namespace xchain::crypto

@@ -1,0 +1,316 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stack>
+
+namespace xchain::graph {
+
+Path concat(Vertex v, const Path& q) {
+  Path out;
+  out.reserve(q.size() + 1);
+  out.push_back(v);
+  out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+std::size_t Digraph::arc_count() const {
+  std::size_t n = 0;
+  for (const auto& adj : out_) n += adj.size();
+  return n;
+}
+
+void Digraph::add_arc(Vertex u, Vertex v) {
+  if (u == v) return;
+  if (has_arc(u, v)) return;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+}
+
+bool Digraph::has_arc(Vertex u, Vertex v) const {
+  if (u >= size() || v >= size()) return false;
+  const auto& adj = out_[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<Arc> Digraph::arcs() const {
+  std::vector<Arc> all;
+  all.reserve(arc_count());
+  for (Vertex u = 0; u < size(); ++u) {
+    for (Vertex v : out_[u]) all.push_back(Arc{u, v});
+  }
+  return all;
+}
+
+bool Digraph::is_path(const Path& q) const {
+  if (q.empty()) return false;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i] >= size()) return false;
+    for (std::size_t j = i + 1; j < q.size(); ++j) {
+      if (q[i] == q[j]) return false;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < q.size(); ++i) {
+    if (!has_arc(q[i], q[i + 1])) return false;
+  }
+  return true;
+}
+
+bool Digraph::closes_cycle(Vertex v, const Path& q) const {
+  // v || q = (v, u_0, ..., u_k) is a cycle iff q is a path, v == u_k, and
+  // the connecting pair (v, u_0) is an arc.
+  return !q.empty() && q.back() == v && is_path(q) && has_arc(v, q.front());
+}
+
+std::vector<int> Digraph::scc() const {
+  const std::size_t n = size();
+  std::vector<int> comp(n, -1), low(n, 0), num(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::stack<Vertex> stk;
+  int counter = 0, comp_count = 0;
+
+  // Iterative Tarjan to avoid recursion-depth limits on large graphs.
+  struct Frame {
+    Vertex v;
+    std::size_t next_child;
+  };
+  for (Vertex root = 0; root < n; ++root) {
+    if (num[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    num[root] = low[root] = counter++;
+    stk.push(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next_child < out_[f.v].size()) {
+        const Vertex w = out_[f.v][f.next_child++];
+        if (num[w] == -1) {
+          num[w] = low[w] = counter++;
+          stk.push(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], num[w]);
+        }
+      } else {
+        if (low[f.v] == num[f.v]) {
+          while (true) {
+            const Vertex w = stk.top();
+            stk.pop();
+            on_stack[w] = false;
+            comp[w] = comp_count;
+            if (w == f.v) break;
+          }
+          ++comp_count;
+        }
+        const Vertex done = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[done]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool Digraph::strongly_connected() const {
+  if (size() <= 1) return true;
+  const auto comp = scc();
+  return std::all_of(comp.begin(), comp.end(),
+                     [&](int c) { return c == comp[0]; });
+}
+
+bool Digraph::acyclic_when_removed(const std::vector<bool>& removed) const {
+  // Kahn's algorithm on the induced subgraph.
+  const std::size_t n = size();
+  std::vector<int> indeg(n, 0);
+  std::size_t live = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (removed[v]) continue;
+    ++live;
+    for (Vertex u : in_[v]) {
+      if (!removed[u]) ++indeg[v];
+    }
+  }
+  std::deque<Vertex> ready;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!removed[v] && indeg[v] == 0) ready.push_back(v);
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const Vertex v = ready.front();
+    ready.pop_front();
+    ++processed;
+    for (Vertex w : out_[v]) {
+      if (!removed[w] && --indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  return processed == live;
+}
+
+bool Digraph::is_feedback_vertex_set(
+    const std::vector<Vertex>& candidates) const {
+  std::vector<bool> removed(size(), false);
+  for (Vertex v : candidates) {
+    if (v >= size()) return false;
+    removed[v] = true;
+  }
+  return acyclic_when_removed(removed);
+}
+
+std::vector<Vertex> Digraph::minimum_feedback_vertex_set() const {
+  const std::size_t n = size();
+  std::vector<bool> removed(n, false);
+  if (acyclic_when_removed(removed)) return {};
+
+  // Try all subsets in increasing size order; n is protocol-scale (<~20).
+  for (std::size_t k = 1; k <= n; ++k) {
+    std::vector<Vertex> pick(k);
+    std::function<std::vector<Vertex>(std::size_t, Vertex)> search =
+        [&](std::size_t depth, Vertex start) -> std::vector<Vertex> {
+      if (depth == k) {
+        return is_feedback_vertex_set(pick) ? pick : std::vector<Vertex>{};
+      }
+      for (Vertex v = start; v < n; ++v) {
+        pick[depth] = v;
+        auto found = search(depth + 1, v + 1);
+        if (!found.empty()) return found;
+      }
+      return {};
+    };
+    auto found = search(0, 0);
+    if (!found.empty()) return found;
+  }
+  return {};  // unreachable: removing all vertices leaves an acyclic graph
+}
+
+std::vector<Vertex> Digraph::greedy_feedback_vertex_set() const {
+  std::vector<bool> removed(size(), false);
+  std::vector<Vertex> fvs;
+  while (!acyclic_when_removed(removed)) {
+    // Remove the live vertex maximizing min(in-degree, out-degree), a
+    // standard heuristic for hitting many cycles at once.
+    Vertex best = kNoParty;
+    std::size_t best_score = 0;
+    for (Vertex v = 0; v < size(); ++v) {
+      if (removed[v]) continue;
+      std::size_t din = 0, dout = 0;
+      for (Vertex u : in_[v]) din += !removed[u];
+      for (Vertex w : out_[v]) dout += !removed[w];
+      const std::size_t score = std::min(din, dout) + 1;
+      if (score > best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    removed[best] = true;
+    fvs.push_back(best);
+  }
+  std::sort(fvs.begin(), fvs.end());
+  return fvs;
+}
+
+std::size_t Digraph::diameter() const {
+  const std::size_t n = size();
+  if (n <= 1) return 0;
+  std::size_t diam = 0;
+  std::vector<int> dist(n);
+  for (Vertex s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[s] = 0;
+    std::deque<Vertex> queue{s};
+    while (!queue.empty()) {
+      const Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex w : out_[v]) {
+        if (dist[w] == -1) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (dist[v] > 0) diam = std::max(diam, static_cast<std::size_t>(dist[v]));
+    }
+  }
+  return diam;
+}
+
+std::vector<Path> Digraph::simple_paths(Vertex from, Vertex to) const {
+  std::vector<Path> result;
+  Path current{from};
+  std::vector<bool> visited(size(), false);
+  visited[from] = true;
+
+  std::function<void(Vertex)> dfs = [&](Vertex v) {
+    if (v == to) {
+      result.push_back(current);
+      return;
+    }
+    // Paths follow arc direction: the vertex after v is an out-neighbor.
+    std::vector<Vertex> nexts = out_[v];
+    std::sort(nexts.begin(), nexts.end());
+    for (Vertex w : nexts) {
+      if (visited[w]) continue;
+      visited[w] = true;
+      current.push_back(w);
+      dfs(w);
+      current.pop_back();
+      visited[w] = false;
+    }
+  };
+  dfs(from);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Digraph Digraph::cycle(std::size_t n) {
+  Digraph g(n);
+  for (Vertex v = 0; v + 1 < n; ++v) g.add_arc(v, v + 1);
+  if (n > 1) g.add_arc(static_cast<Vertex>(n - 1), 0);
+  return g;
+}
+
+Digraph Digraph::complete(std::size_t n) {
+  Digraph g(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (u != v) g.add_arc(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph Digraph::two_party() {
+  Digraph g(2);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  return g;
+}
+
+Digraph Digraph::figure3a() {
+  Digraph g(3);
+  g.add_arc(0, 1);  // A -> B
+  g.add_arc(1, 0);  // B -> A
+  g.add_arc(1, 2);  // B -> C
+  g.add_arc(2, 0);  // C -> A
+  return g;
+}
+
+std::string to_string(const Path& q) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (i > 0) out += ",";
+    if (q[i] < 26) {
+      out += static_cast<char>('A' + q[i]);
+    } else {
+      out += std::to_string(q[i]);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace xchain::graph

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace xchain::graph {
+
+/// A vertex id; in swap digraphs, vertices are parties.
+using Vertex = PartyId;
+
+/// A directed arc (u, v): in swap digraphs, "u transfers an asset to v".
+struct Arc {
+  Vertex from;
+  Vertex to;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// A path q = (u_0, ..., u_k): consecutive pairs (u_i, u_{i+1}) are arcs
+/// and vertices are distinct. Hashkey and redemption-premium paths run
+/// *from* the presenting party u_0 *to* the leader u_k following asset-flow
+/// arcs (paper §7: "q is a path from v to L_i in G"); the hashkey itself
+/// propagates against that direction, prepending vertices as it goes.
+using Path = std::vector<Vertex>;
+
+/// Concatenation v || q = (v, u_0, ..., u_k) (paper §7 notation).
+Path concat(Vertex v, const Path& q);
+
+/// A directed graph over vertices 0..n-1 with no parallel arcs or
+/// self-loops. Swap digraphs (paper §7) are strongly connected, but the
+/// class itself supports arbitrary digraphs so tests can probe the
+/// algorithms on degenerate inputs.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n) : out_(n), in_(n) {}
+
+  /// Number of vertices.
+  std::size_t size() const { return out_.size(); }
+
+  /// Number of arcs.
+  std::size_t arc_count() const;
+
+  /// Adds arc (u, v). Ignores duplicates; rejects self-loops.
+  void add_arc(Vertex u, Vertex v);
+
+  /// True iff (u, v) is an arc.
+  bool has_arc(Vertex u, Vertex v) const;
+
+  /// Vertices w with (v, w) an arc, in insertion order.
+  const std::vector<Vertex>& out_neighbors(Vertex v) const { return out_[v]; }
+
+  /// Vertices u with (u, v) an arc, in insertion order.
+  const std::vector<Vertex>& in_neighbors(Vertex v) const { return in_[v]; }
+
+  /// All arcs in deterministic (from, insertion) order.
+  std::vector<Arc> arcs() const;
+
+  /// True iff `q` is a path: each (q[i], q[i+1]) is an arc and vertices are
+  /// distinct.
+  bool is_path(const Path& q) const;
+
+  /// True iff v || q is a cycle in the paper's sense: q is a path, the
+  /// connecting pair (v, q.front()) is an arc, and the walk's endpoints
+  /// coincide (v == q.back()). Equation 1's base case tests this.
+  bool closes_cycle(Vertex v, const Path& q) const;
+
+  // -- Classic digraph algorithms used by the protocols --------------------
+
+  /// Strongly connected components (Tarjan). Returns component index per
+  /// vertex; components are numbered in reverse topological order.
+  std::vector<int> scc() const;
+
+  /// True iff the digraph is strongly connected (swap digraph requirement).
+  bool strongly_connected() const;
+
+  /// True iff the digraph restricted to `kept` (vertices NOT deleted) is
+  /// acyclic — the feedback-vertex-set test.
+  bool acyclic_when_removed(const std::vector<bool>& removed) const;
+
+  /// True iff `candidates` is a feedback vertex set: deleting them leaves
+  /// the digraph acyclic (the paper requires leaders to form an FVS).
+  bool is_feedback_vertex_set(const std::vector<Vertex>& candidates) const;
+
+  /// A minimum feedback vertex set, found by exhaustive search over subset
+  /// sizes. Exponential in n; intended for protocol-sized graphs (n <~ 20).
+  std::vector<Vertex> minimum_feedback_vertex_set() const;
+
+  /// A (not necessarily minimum) feedback vertex set found greedily:
+  /// repeatedly remove the vertex on the most cycles (by degree heuristic).
+  /// Linear-ish; used when n is large.
+  std::vector<Vertex> greedy_feedback_vertex_set() const;
+
+  /// Diameter: max over ordered vertex pairs of shortest directed path
+  /// length. Finite for strongly connected digraphs. Returns 0 for n <= 1.
+  std::size_t diameter() const;
+
+  /// Every simple directed path from `from` to `to` (consecutive pairs are
+  /// arcs). Exponential in the worst case; protocol graphs are small.
+  /// Returned in lexicographic order of vertex sequence.
+  std::vector<Path> simple_paths(Vertex from, Vertex to) const;
+
+  // -- Standard shapes used in tests and benchmarks ------------------------
+
+  /// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+  static Digraph cycle(std::size_t n);
+
+  /// Complete digraph: every ordered pair is an arc.
+  static Digraph complete(std::size_t n);
+
+  /// Two parties exchanging assets: arcs (0,1) and (1,0).
+  static Digraph two_party();
+
+  /// The paper's Figure 3a digraph: A=0, B=1, C=2, arcs A->B, B->A, B->C,
+  /// C->A.
+  static Digraph figure3a();
+
+ private:
+  std::vector<std::vector<Vertex>> out_;
+  std::vector<std::vector<Vertex>> in_;
+};
+
+/// Renders a path as "(A,B,C)" using letters for small ids, for logs/tests.
+std::string to_string(const Path& q);
+
+}  // namespace xchain::graph

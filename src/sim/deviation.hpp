@@ -1,0 +1,49 @@
+#pragma once
+
+#include <limits>
+#include <string>
+
+namespace xchain::sim {
+
+/// A party's deviation plan.
+///
+/// Smart contracts enforce ordering, timing, and well-formedness (paper
+/// §3.2), so a Byzantine party's only generic move is to *stop* performing
+/// protocol actions at some point — the sore loser move. A plan records how
+/// many of its scheduled actions a party performs before walking away.
+/// Protocol-specific dishonesty that remains expressible (e.g. the
+/// auctioneer publishing the wrong winner's hashkey) is modelled by
+/// dedicated knobs on the relevant protocol engine.
+class DeviationPlan {
+ public:
+  /// Performs every action: a compliant party.
+  static DeviationPlan conforming() {
+    return DeviationPlan(std::numeric_limits<int>::max());
+  }
+
+  /// Performs actions with ordinal < k, then halts. halt_after(0) never
+  /// acts at all.
+  static DeviationPlan halt_after(int k) { return DeviationPlan(k); }
+
+  /// True iff the action with this ordinal should be performed.
+  bool allows(int action_ordinal) const { return action_ordinal < limit_; }
+
+  bool is_conforming() const {
+    return limit_ == std::numeric_limits<int>::max();
+  }
+
+  /// Number of actions performed before halting (INT_MAX if conforming).
+  int halt_point() const { return limit_; }
+
+  std::string str() const {
+    return is_conforming() ? "conform" : ("halt@" + std::to_string(limit_));
+  }
+
+  friend bool operator==(const DeviationPlan&, const DeviationPlan&) = default;
+
+ private:
+  explicit DeviationPlan(int limit) : limit_(limit) {}
+  int limit_;
+};
+
+}  // namespace xchain::sim

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace xchain::sim {
+
+/// An active protocol participant. Parties are the only *active* entities
+/// in the model (paper §3.1): once per tick they observe public chain state
+/// and submit transactions; contracts do the rest.
+class Party {
+ public:
+  Party(PartyId id, std::string name)
+      : id_(id), name_(std::move(name)), keys_(crypto::keygen(name_)) {}
+  virtual ~Party() = default;
+
+  Party(const Party&) = delete;
+  Party& operator=(const Party&) = delete;
+
+  PartyId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const crypto::KeyPair& keys() const { return keys_; }
+  chain::Address address() const { return chain::Address::party(id_); }
+
+  /// Observe-and-act hook, called once per tick before block production.
+  /// Transactions submitted here are applied in this tick's blocks.
+  virtual void step(chain::MultiChain& chains, Tick now) = 0;
+
+ private:
+  PartyId id_;
+  std::string name_;
+  crypto::KeyPair keys_;
+};
+
+}  // namespace xchain::sim

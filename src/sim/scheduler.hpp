@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+#include "sim/party.hpp"
+
+namespace xchain::sim {
+
+/// Synchronous round scheduler (paper §3.1).
+///
+/// Each tick t:
+///   1. every party observes state up to block t-1 and submits transactions
+///      (in party-id order; order within a tick never matters because
+///      submissions land in the same block);
+///   2. every chain produces block t.
+///
+/// A state change made in block t is therefore observed and reacted to by
+/// every party at tick t+1 — the propagation bound Delta is any number of
+/// ticks >= 1, and protocol schedules express their timeouts as multiples
+/// of it.
+class Scheduler {
+ public:
+  explicit Scheduler(chain::MultiChain& chains) : chains_(chains) {}
+
+  /// Registers a party (non-owning; the protocol engine owns its actors).
+  void add_party(Party& p) { parties_.push_back(&p); }
+
+  /// Runs ticks [now, horizon).
+  void run_until(Tick horizon) {
+    for (; now_ < horizon; ++now_) {
+      for (Party* p : parties_) {
+        p->step(chains_, now_);
+      }
+      chains_.produce_all(now_);
+    }
+  }
+
+  /// The next tick to execute.
+  Tick now() const { return now_; }
+
+ private:
+  chain::MultiChain& chains_;
+  std::vector<Party*> parties_;
+  Tick now_ = 0;
+};
+
+}  // namespace xchain::sim

@@ -1,0 +1,204 @@
+// Contract-level tests for the §9 auction contracts: rejection paths,
+// timeout arithmetic, and settlement rules, driven directly (no engine).
+
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "contracts/auction.hpp"
+#include "crypto/secret.hpp"
+
+namespace xchain::contracts {
+namespace {
+
+using chain::Address;
+using chain::MultiChain;
+using chain::TxContext;
+
+constexpr PartyId kAlice = 0;
+constexpr PartyId kBob = 1;
+constexpr PartyId kCarol = 2;
+
+class AuctionContractFixture : public ::testing::Test {
+ protected:
+  AuctionContractFixture()
+      : coin_chain_(chains_.add_chain("coinchain")),
+        alice_keys_(crypto::keygen("alice")),
+        bob_keys_(crypto::keygen("bidder-1")),
+        s_bob_(crypto::Secret::from_label("win-bob")),
+        s_carol_(crypto::Secret::from_label("win-carol")) {
+    AuctionTerms terms;
+    terms.auctioneer = kAlice;
+    terms.bidders = {kBob, kCarol};
+    terms.hashlocks = {s_bob_.hashlock(), s_carol_.hashlock()};
+    terms.party_keys = {alice_keys_.pub, bob_keys_.pub,
+                        crypto::keygen("bidder-2").pub};
+    terms.delta = 2;
+    terms.bid_deadline = 2;
+    terms.declaration_start = 2;
+    terms.commit_time = 10;
+    coin_ = &coin_chain_.deploy<CoinAuctionContract>(
+        CoinAuctionContract::Params{terms, /*premium=*/3});
+    coin_chain_.ledger_for_setup().mint(Address::party(kAlice),
+                                        coin_chain_.native(), 6);
+    coin_chain_.ledger_for_setup().mint(Address::party(kBob),
+                                        coin_chain_.native(), 100);
+    coin_chain_.ledger_for_setup().mint(Address::party(kCarol),
+                                        coin_chain_.native(), 100);
+  }
+
+  void produce_until(Tick t) {
+    for (Tick now = coin_chain_.height() + 1; now <= t; ++now) {
+      chains_.produce_all(now);
+    }
+  }
+  void submit(PartyId who, std::function<void(TxContext&)> fn, Tick t) {
+    coin_chain_.submit({who, "tx", std::move(fn)});
+    produce_until(t);
+  }
+  Amount coins(PartyId p) {
+    return coin_chain_.ledger().balance(Address::party(p),
+                                        coin_chain_.native());
+  }
+
+  MultiChain chains_;
+  chain::Blockchain& coin_chain_;
+  crypto::KeyPair alice_keys_;
+  crypto::KeyPair bob_keys_;
+  crypto::Secret s_bob_;
+  crypto::Secret s_carol_;
+  CoinAuctionContract* coin_ = nullptr;
+};
+
+TEST_F(AuctionContractFixture, BidsRejectedWithoutEndowment) {
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 0);
+  EXPECT_FALSE(coin_->bid_of(0).has_value());
+  EXPECT_EQ(coins(kBob), 100);
+}
+
+TEST_F(AuctionContractFixture, EndowmentThenBidsAccepted) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  EXPECT_TRUE(coin_->premium_endowed());
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  EXPECT_EQ(coin_->bid_of(0), 50);
+  EXPECT_EQ(coins(kBob), 50);
+}
+
+TEST_F(AuctionContractFixture, LateBidRejected) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  produce_until(2);
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 3);
+  EXPECT_FALSE(coin_->bid_of(0).has_value());
+}
+
+TEST_F(AuctionContractFixture, NonBidderCannotBid) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  submit(kAlice, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  EXPECT_FALSE(coin_->bid_of(0).has_value());
+  EXPECT_FALSE(coin_->bid_of(1).has_value());
+}
+
+TEST_F(AuctionContractFixture, WinnerPicksHighestBid) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  submit(kCarol, [this](TxContext& c) { coin_->place_bid(c, 80); }, 2);
+  EXPECT_EQ(coin_->winner(), 1u);  // Carol (index 1) bid more
+}
+
+TEST_F(AuctionContractFixture, HashkeyTimeoutScalesWithPath) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  // |q| = 1 hashkey times out at declaration_start + 1 * delta = 4.
+  const auto key =
+      crypto::make_leader_hashkey(s_bob_.value(), kAlice, alice_keys_);
+  produce_until(4);
+  submit(kAlice,
+         [this, key](TxContext& c) { coin_->present_hashkey(c, 0, key); },
+         5);
+  EXPECT_FALSE(coin_->hashkey_received(0));  // too late
+}
+
+TEST_F(AuctionContractFixture, ForgedHashkeyRejected) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  // Bob forges a "leader" hashkey with his own signature.
+  const auto forged =
+      crypto::make_leader_hashkey(s_bob_.value(), kAlice, bob_keys_);
+  submit(kBob,
+         [this, forged](TxContext& c) { coin_->present_hashkey(c, 0, forged); },
+         1);
+  EXPECT_FALSE(coin_->hashkey_received(0));
+}
+
+TEST_F(AuctionContractFixture, SettlementRefundsOnNoHashkey) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  produce_until(11);  // commit_time 10; sweep at 11
+  EXPECT_TRUE(coin_->settled());
+  EXPECT_FALSE(coin_->completed_cleanly());
+  EXPECT_EQ(coins(kBob), 103);    // bid back + premium 3
+  EXPECT_EQ(coins(kAlice), 3);    // unused half of the endowment
+}
+
+TEST_F(AuctionContractFixture, SettlementPaysWinnerCleanly) {
+  submit(kAlice, [this](TxContext& c) { coin_->endow_premium(c); }, 0);
+  submit(kBob, [this](TxContext& c) { coin_->place_bid(c, 50); }, 1);
+  const auto key =
+      crypto::make_leader_hashkey(s_bob_.value(), kAlice, alice_keys_);
+  produce_until(2);
+  submit(kAlice,
+         [this, key](TxContext& c) { coin_->present_hashkey(c, 0, key); },
+         3);
+  produce_until(11);
+  EXPECT_TRUE(coin_->completed_cleanly());
+  EXPECT_EQ(coins(kAlice), 56);  // 50 bid + 6 endowment back
+  EXPECT_EQ(coins(kBob), 50);
+}
+
+TEST_F(AuctionContractFixture, TicketContractAwardsOnSingleKey) {
+  auto& ticket_chain = chains_.add_chain("ticketchain");
+  AuctionTerms terms = coin_->params().terms;
+  auto& ticket = ticket_chain.deploy<TicketAuctionContract>(
+      TicketAuctionContract::Params{terms, "ticket", 10});
+  ticket_chain.ledger_for_setup().mint(Address::party(kAlice), "ticket", 10);
+
+  ticket_chain.submit(
+      {kAlice, "escrow", [&](TxContext& c) { ticket.escrow_tickets(c); }});
+  produce_until(0);
+  const auto key =
+      crypto::make_leader_hashkey(s_carol_.value(), kAlice, alice_keys_);
+  produce_until(2);
+  ticket_chain.submit({kAlice, "key", [&](TxContext& c) {
+                         ticket.present_hashkey(c, 1, key);
+                       }});
+  produce_until(11);
+  EXPECT_EQ(ticket.awarded_to(), kCarol);
+  EXPECT_EQ(ticket_chain.ledger().balance(Address::party(kCarol), "ticket"),
+            10);
+}
+
+TEST_F(AuctionContractFixture, TicketContractRefundsOnTwoKeys) {
+  auto& ticket_chain = chains_.add_chain("ticketchain");
+  AuctionTerms terms = coin_->params().terms;
+  auto& ticket = ticket_chain.deploy<TicketAuctionContract>(
+      TicketAuctionContract::Params{terms, "ticket", 10});
+  ticket_chain.ledger_for_setup().mint(Address::party(kAlice), "ticket", 10);
+  ticket_chain.submit(
+      {kAlice, "escrow", [&](TxContext& c) { ticket.escrow_tickets(c); }});
+  produce_until(2);
+  const auto k0 =
+      crypto::make_leader_hashkey(s_bob_.value(), kAlice, alice_keys_);
+  const auto k1 =
+      crypto::make_leader_hashkey(s_carol_.value(), kAlice, alice_keys_);
+  ticket_chain.submit({kAlice, "k0", [&](TxContext& c) {
+                         ticket.present_hashkey(c, 0, k0);
+                       }});
+  ticket_chain.submit({kAlice, "k1", [&](TxContext& c) {
+                         ticket.present_hashkey(c, 1, k1);
+                       }});
+  produce_until(11);
+  EXPECT_FALSE(ticket.awarded_to().has_value());
+  EXPECT_EQ(ticket_chain.ledger().balance(Address::party(kAlice), "ticket"),
+            10);
+}
+
+}  // namespace
+}  // namespace xchain::contracts

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "core/auction.hpp"
+
+namespace xchain::core {
+namespace {
+
+AuctionConfig config() {
+  AuctionConfig cfg;
+  cfg.ticket_count = 10;
+  cfg.bids = {100, 80};  // Bob (party 1) outbids Carol (party 2)
+  cfg.premium_unit = 2;
+  cfg.delta = 2;
+  return cfg;
+}
+
+std::vector<BidderStrategy> conform(std::size_t n) {
+  return std::vector<BidderStrategy>(n, BidderStrategy::kConform);
+}
+
+TEST(Auction, HonestAuctionCompletes) {
+  const auto r = run_auction(config(), AuctioneerStrategy::kHonest,
+                             conform(2));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tickets_to, 1u);  // Bob
+  // Alice sells the tickets for the high bid; premiums round-trip.
+  EXPECT_EQ(r.auctioneer.by_symbol.at("ticket"), -10);
+  EXPECT_EQ(r.auctioneer.coin_delta, 100);
+  // Bob pays his bid and gets the tickets; Carol is made whole.
+  EXPECT_EQ(r.bidders[0].coin_delta, -100);
+  EXPECT_EQ(r.bidders[0].by_symbol.at("ticket"), 10);
+  EXPECT_EQ(r.bidders[1].coin_delta, 0);
+}
+
+TEST(Auction, AbandonCompensatesBidders) {
+  // Alice walks away after setup: every bidder's locked bid is refunded
+  // plus premium p (§9.2).
+  const auto r = run_auction(config(), AuctioneerStrategy::kAbandon,
+                             conform(2));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.tickets_to, 0u);  // back to Alice
+  EXPECT_EQ(r.auctioneer.coin_delta, -4);  // 2 * p
+  EXPECT_EQ(r.bidders[0].coin_delta, 2);
+  EXPECT_EQ(r.bidders[1].coin_delta, 2);
+}
+
+TEST(Auction, NoSetupNothingHappens) {
+  const auto r = run_auction(config(), AuctioneerStrategy::kNoSetup,
+                             conform(2));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.auctioneer.coin_delta, 0);
+  EXPECT_EQ(r.bidders[0].coin_delta, 0);
+  EXPECT_TRUE(r.bidders[0].by_symbol.empty());
+}
+
+TEST(Auction, DeclaringLoserForfeitsPremiumsAndSale) {
+  // Alice publishes the loser's hashkey: the coin contract detects the
+  // cheat (a non-winner key arrived) and refunds all bids with premiums;
+  // the ticket contract sees exactly one key and ships the tickets to
+  // Carol — Alice gave them away for nothing (paper: "she could have done
+  // that without an auction").
+  const auto r = run_auction(config(), AuctioneerStrategy::kDeclareLoser,
+                             conform(2));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.tickets_to, 2u);  // Carol
+  EXPECT_EQ(r.auctioneer.coin_delta, -4);
+  EXPECT_EQ(r.auctioneer.by_symbol.at("ticket"), -10);
+  EXPECT_EQ(r.bidders[0].coin_delta, 2);
+  EXPECT_EQ(r.bidders[1].coin_delta, 2);
+  EXPECT_EQ(r.bidders[1].by_symbol.at("ticket"), 10);
+}
+
+TEST(Auction, OneSidedDeclarationFixedByChallenge) {
+  // Lemma 7: a hashkey published on one contract is forwarded to the
+  // other by compliant bidders, so the coin-only declaration completes
+  // exactly like an honest one.
+  for (auto strat : {AuctioneerStrategy::kCoinOnly,
+                     AuctioneerStrategy::kTicketOnly}) {
+    const auto r = run_auction(config(), strat, conform(2));
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.tickets_to, 1u);
+    EXPECT_EQ(r.auctioneer.coin_delta, 100);
+    EXPECT_EQ(r.bidders[0].coin_delta, -100);
+    EXPECT_EQ(r.bidders[0].by_symbol.at("ticket"), 10);
+  }
+}
+
+TEST(Auction, SplitDeclarationCaughtAndPunished) {
+  // Winner's key on coins, loser's on tickets: after forwarding, the coin
+  // contract holds both keys -> cheat -> refunds + premiums; the ticket
+  // contract holds two keys -> tickets back to Alice.
+  const auto r = run_auction(config(), AuctioneerStrategy::kSplit,
+                             conform(2));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.tickets_to, 0u);
+  EXPECT_EQ(r.auctioneer.coin_delta, -4);
+  EXPECT_EQ(r.bidders[0].coin_delta, 2);
+  EXPECT_EQ(r.bidders[1].coin_delta, 2);
+}
+
+TEST(Auction, SoreLoserBidderCannotWreckTheAuction) {
+  // §9: the naive protocol let an angry loser cancel the auction by
+  // withholding its commit vote. Here the loser has no such power: honest
+  // Alice publishes on both chains herself.
+  const auto r = run_auction(config(), AuctioneerStrategy::kHonest,
+                             {BidderStrategy::kConform,
+                              BidderStrategy::kNoForward});
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tickets_to, 1u);
+  EXPECT_EQ(r.bidders[0].by_symbol.at("ticket"), 10);
+}
+
+TEST(Auction, ShirkingForwarderOnlyHurtsItself) {
+  // Coin-only declaration with BOTH bidders shirking: the winner's key
+  // never reaches the ticket chain, so Bob pays without receiving — but
+  // only because he failed his own (costless) forwarding duty. Lemma 8
+  // protects compliant bidders only.
+  const auto r = run_auction(config(), AuctioneerStrategy::kCoinOnly,
+                             {BidderStrategy::kNoForward,
+                              BidderStrategy::kNoForward});
+  EXPECT_EQ(r.tickets_to, 0u);
+  EXPECT_EQ(r.bidders[0].coin_delta, -100);
+  EXPECT_EQ(r.bidders[0].by_symbol.count("ticket"), 0u);
+}
+
+TEST(Auction, NoBidsQuietlyUnwinds) {
+  const auto r = run_auction(config(), AuctioneerStrategy::kHonest,
+                             {BidderStrategy::kNoBid,
+                              BidderStrategy::kNoBid});
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.auctioneer.coin_delta, 0);  // endowment returned
+  EXPECT_EQ(r.tickets_to, 0u);
+}
+
+// Lemma 8 sweep: under every auctioneer strategy, compliant bidders never
+// have a bid stolen: a bidder that loses coins gains the tickets.
+class AuctionSweep
+    : public ::testing::TestWithParam<AuctioneerStrategy> {};
+
+TEST_P(AuctionSweep, CompliantBidsCannotBeStolen) {
+  const auto r = run_auction(config(), GetParam(), conform(2));
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto& d = r.bidders[i];
+    if (d.coin_delta < 0) {
+      ASSERT_TRUE(d.by_symbol.count("ticket"))
+          << "bidder " << i << " paid without tickets";
+      EXPECT_GT(d.by_symbol.at("ticket"), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, AuctionSweep,
+    ::testing::Values(AuctioneerStrategy::kHonest,
+                      AuctioneerStrategy::kNoSetup,
+                      AuctioneerStrategy::kAbandon,
+                      AuctioneerStrategy::kDeclareLoser,
+                      AuctioneerStrategy::kCoinOnly,
+                      AuctioneerStrategy::kTicketOnly,
+                      AuctioneerStrategy::kSplit));
+
+// n-bidder generalization: the auctioneer's endowment is n * p and every
+// locked-up bidder is compensated on abandonment.
+class AuctionScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(AuctionScale, AbandonCompensatesEveryBidder) {
+  const int n = GetParam();
+  AuctionConfig cfg = config();
+  cfg.bids.clear();
+  for (int i = 0; i < n; ++i) cfg.bids.push_back(50 + 10 * i);
+  const auto r = run_auction(cfg, AuctioneerStrategy::kAbandon,
+                             conform(static_cast<std::size_t>(n)));
+  EXPECT_EQ(r.auctioneer.coin_delta, -2 * n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(r.bidders[static_cast<std::size_t>(i)].coin_delta, 2);
+  }
+}
+
+TEST_P(AuctionScale, HonestCompletesAtScale) {
+  const int n = GetParam();
+  AuctionConfig cfg = config();
+  cfg.bids.clear();
+  for (int i = 0; i < n; ++i) cfg.bids.push_back(50 + 10 * i);
+  const auto r = run_auction(cfg, AuctioneerStrategy::kHonest,
+                             conform(static_cast<std::size_t>(n)));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tickets_to, static_cast<PartyId>(n));  // highest bidder
+  EXPECT_EQ(r.auctioneer.coin_delta, 50 + 10 * (n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AuctionScale, ::testing::Values(2, 3, 5, 8));
+
+}  // namespace
+}  // namespace xchain::core

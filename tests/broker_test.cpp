@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "core/broker.hpp"
+#include "core/premiums.hpp"
+
+namespace xchain::core {
+namespace {
+
+using sim::DeviationPlan;
+
+BrokerConfig config() {
+  BrokerConfig cfg;
+  cfg.ticket_count = 10;
+  cfg.sale_price = 101;
+  cfg.purchase_price = 100;
+  cfg.premium_unit = 1;
+  cfg.delta = 1;
+  return cfg;
+}
+
+DeviationPlan conform() { return DeviationPlan::conforming(); }
+
+// ---------------------------------------------------------------------------
+// §8.2 premium formula on the broker digraph (A=0, B=1, C=2).
+// ---------------------------------------------------------------------------
+
+TEST(BrokerPremiums, SingleRoundValues) {
+  graph::Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  const auto phases = broker_premiums(g, {{1, 0}, {2, 0}},
+                                      {{{0, 2}, {0, 1}}}, 1);
+  ASSERT_EQ(phases.size(), 2u);
+  // T(A,B) = R_B(B) = 4, T(A,C) = R_C(C) = 4 (Equation 1 on this digraph).
+  EXPECT_EQ(phases[1].at({0, 1}), 4);
+  EXPECT_EQ(phases[1].at({0, 2}), 4);
+  // E(B,A) = E(C,A) = T(A) = 8.
+  EXPECT_EQ(phases[0].at({1, 0}), 8);
+  EXPECT_EQ(phases[0].at({2, 0}), 8);
+}
+
+TEST(BrokerPremiums, MultiRoundChainsForward) {
+  // Two trading rounds: escrow premium must cover round-1 premiums, which
+  // cover round-2 premiums, which equal the leaders' redemption premiums.
+  graph::Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  g.add_arc(1, 0);
+  g.add_arc(2, 0);
+  const auto phases = broker_premiums(
+      g, {{1, 0}}, {{{0, 2}}, {{2, 0}}}, 1);
+  ASSERT_EQ(phases.size(), 3u);
+  // Round 2: T_2(C,A) = R_A(A) = 4.
+  EXPECT_EQ(phases[2].at({2, 0}), 4);
+  // Round 1: T_1(A,C) = T_2(C) = 4.
+  EXPECT_EQ(phases[1].at({0, 2}), 4);
+  // Escrow: E(B,A) = T_1(A) = 4.
+  EXPECT_EQ(phases[0].at({1, 0}), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Conforming run: the deal completes and Alice pockets the spread.
+// ---------------------------------------------------------------------------
+
+TEST(Broker, ConformingDealCompletes) {
+  const auto r = run_broker_deal(config(), conform(), conform(), conform());
+  EXPECT_TRUE(r.completed);
+  // Premium flows all net to zero.
+  EXPECT_EQ(r.alice.coin_delta, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  EXPECT_EQ(r.carol.coin_delta, 0);
+  // Assets: Bob sells 10 tickets for 100; Carol pays 101 for the tickets;
+  // Alice nets the 1-coin spread without ever owning anything.
+  EXPECT_EQ(r.bob.by_symbol.at("ticket"), -10);
+  EXPECT_EQ(r.bob.by_symbol.at("coin"), 100);
+  EXPECT_EQ(r.carol.by_symbol.at("ticket"), 10);
+  EXPECT_EQ(r.carol.by_symbol.at("coin"), -101);
+  EXPECT_EQ(r.alice.by_symbol.at("coin"), 1);
+  EXPECT_EQ(r.bob_lockup, 0);
+  EXPECT_EQ(r.carol_lockup, 0);
+}
+
+// ---------------------------------------------------------------------------
+// §8.2 deviation scenarios with exact premium flows (p = 1).
+// Premiums: E(B,A)=E(C,A)=8, T(A,B)=T(A,C)=4; per-arc redemption deposits:
+// 5 by A on each of (B,A),(C,A); 6 by B on (A,B); 6 by C on (A,C).
+// ---------------------------------------------------------------------------
+
+TEST(Broker, BobOmitsEscrowPaysAliceAndCarol) {
+  // "If Bob omits B1 ... Bob pays a premium to Carol and to Alice."
+  // Flows (p = 1): Bob forfeits E(B,A) = 8 to Alice and his 6 in
+  // redemption deposits on (A,B); Alice pays T(A,C) = 4 to Carol, loses
+  // the k_B/k_C slots on (B,A)/(C,A) (3 to Bob, 3 to Carol) but recovers
+  // her k_A slots by a recovery release and collects Carol's withheld
+  // k_C/k_B slots (5): A = 8-4-3-3+6+5 = +9; B = -8+3-6 = -11;
+  // C = +4+3-5 = +2.
+  const auto r = run_broker_deal(config(), conform(),
+                                 DeviationPlan::halt_after(2), conform());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.alice.coin_delta, 9);
+  EXPECT_EQ(r.bob.coin_delta, -11);
+  EXPECT_EQ(r.carol.coin_delta, 2);
+  // Carol's coins were locked up and refunded; she is compensated.
+  EXPECT_GT(r.carol_lockup, 0);
+  EXPECT_EQ(r.carol.by_symbol.count("coin"), 0u);
+}
+
+TEST(Broker, AliceOmitsTradesPaysBoth) {
+  // "If Alice omits A1 after Bob performs B1, she pays Carol a premium...
+  // if she omits A2 after Carol performs C1, Alice pays Bob."
+  // A: -4 - 4 - 5 - 5 + 6 + 6 = -6;  B: +4 + 5 - 6 = +3;  C likewise +3.
+  const auto r = run_broker_deal(config(), DeviationPlan::halt_after(2),
+                                 conform(), conform());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.alice.coin_delta, -6);
+  EXPECT_EQ(r.bob.coin_delta, 3);
+  EXPECT_EQ(r.carol.coin_delta, 3);
+  EXPECT_GT(r.bob_lockup, 0);
+  EXPECT_GT(r.carol_lockup, 0);
+}
+
+TEST(Broker, AliceOmitsA3PaysBoth) {
+  // "If she omits A3 after Bob and Carol complete B1, B2, C1, and C2, then
+  // she pays premiums to both on their respective blockchains."
+  // A: -5 - 5 + 2 + 2 = -6;  B: +5 - 2 = +3;  C: +5 - 2 = +3.
+  const auto r = run_broker_deal(config(), DeviationPlan::halt_after(3),
+                                 conform(), conform());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.alice.coin_delta, -6);
+  EXPECT_EQ(r.bob.coin_delta, 3);
+  EXPECT_EQ(r.carol.coin_delta, 3);
+  // The conditional trades unwound: assets back to their owners.
+  EXPECT_EQ(r.bob.by_symbol.count("ticket"), 0u);
+  EXPECT_EQ(r.carol.by_symbol.count("coin"), 0u);
+}
+
+TEST(Broker, CarolOmitsEscrowPaysAliceAndBob) {
+  // Symmetric to Bob's omission.
+  const auto r = run_broker_deal(config(), conform(), conform(),
+                                 DeviationPlan::halt_after(2));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.alice.coin_delta, 9);
+  EXPECT_EQ(r.carol.coin_delta, -11);
+  EXPECT_EQ(r.bob.coin_delta, 2);
+  EXPECT_GT(r.bob_lockup, 0);
+}
+
+TEST(Broker, PremiumPhaseAbortCostsNothing) {
+  // Alice never deposits trading premiums: everything upstream truncates.
+  const auto r = run_broker_deal(config(), DeviationPlan::halt_after(0),
+                                 conform(), conform());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.alice.coin_delta, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  EXPECT_EQ(r.carol.coin_delta, 0);
+  EXPECT_EQ(r.bob_lockup, 0);
+  EXPECT_EQ(r.carol_lockup, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over all single-deviator plans.
+// ---------------------------------------------------------------------------
+
+class BrokerSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BrokerSweep, CompliantPartiesAreHedged) {
+  const auto [deviator, halt] = GetParam();
+  DeviationPlan plans[3] = {conform(), conform(), conform()};
+  plans[deviator] = DeviationPlan::halt_after(halt);
+  const auto r = run_broker_deal(config(), plans[0], plans[1], plans[2]);
+
+  const PayoffDelta* payoffs[3] = {&r.alice, &r.bob, &r.carol};
+  Amount total = 0;
+  for (int v = 0; v < 3; ++v) {
+    total += payoffs[v]->coin_delta;
+    if (v == deviator) continue;
+    EXPECT_GE(payoffs[v]->coin_delta, 0)
+        << "deviator " << deviator << " halt@" << halt << " party " << v;
+  }
+  EXPECT_EQ(total, 0);
+  // Locked-and-refunded compliant principals are compensated (hedged).
+  if (deviator != 1 && r.bob_lockup > 0) {
+    EXPECT_GT(r.bob.coin_delta, 0);
+  }
+  if (deviator != 2 && r.carol_lockup > 0) {
+    EXPECT_GT(r.carol.coin_delta, 0);
+  }
+}
+
+std::vector<std::tuple<int, int>> broker_cases() {
+  std::vector<std::tuple<int, int>> cases;
+  for (int d = 0; d < 3; ++d) {
+    for (int halt = 0; halt <= kBrokerActions; ++halt) {
+      cases.emplace_back(d, halt);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, BrokerSweep,
+                         ::testing::ValuesIn(broker_cases()));
+
+}  // namespace
+}  // namespace xchain::core

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/crr.hpp"
+
+namespace xchain::core {
+namespace {
+
+CrrParams base_params() {
+  CrrParams p;
+  p.spot = 100.0;
+  p.strike = 100.0;
+  p.rate = 0.05;
+  p.volatility = 0.2;
+  p.expiry = 1.0;
+  p.steps = 1000;
+  return p;
+}
+
+TEST(Crr, EuropeanCallMatchesBlackScholes) {
+  CrrParams p = base_params();
+  p.is_call = true;
+  // Black–Scholes: C(100,100,5%,20%,1y) = 10.4506.
+  EXPECT_NEAR(crr_price(p), 10.4506, 0.05);
+}
+
+TEST(Crr, EuropeanPutMatchesBlackScholes) {
+  CrrParams p = base_params();
+  p.is_call = false;
+  // Put–call parity: P = C - S + K e^{-rT} = 10.4506 - 4.8771 = 5.5735.
+  EXPECT_NEAR(crr_price(p), 5.5735, 0.05);
+}
+
+TEST(Crr, PutCallParityHolds) {
+  CrrParams c = base_params();
+  c.is_call = true;
+  CrrParams p = base_params();
+  p.is_call = false;
+  const double lhs = crr_price(c) - crr_price(p);
+  const double rhs = c.spot - c.strike * std::exp(-c.rate * c.expiry);
+  EXPECT_NEAR(lhs, rhs, 1e-6);
+}
+
+TEST(Crr, AmericanCallEqualsEuropeanWithoutDividends) {
+  CrrParams eu = base_params();
+  CrrParams am = base_params();
+  am.american = true;
+  EXPECT_NEAR(crr_price(eu), crr_price(am), 1e-9);
+}
+
+TEST(Crr, AmericanPutExceedsEuropean) {
+  CrrParams eu = base_params();
+  eu.is_call = false;
+  CrrParams am = eu;
+  am.american = true;
+  EXPECT_GT(crr_price(am), crr_price(eu));
+}
+
+TEST(Crr, ConvergenceInSteps) {
+  CrrParams coarse = base_params();
+  coarse.steps = 64;
+  CrrParams fine = base_params();
+  fine.steps = 2048;
+  EXPECT_NEAR(crr_price(coarse), crr_price(fine), 0.2);
+}
+
+TEST(Crr, DeepInTheMoneyCallNearIntrinsic) {
+  CrrParams p = base_params();
+  p.spot = 200.0;
+  p.rate = 0.0;
+  // Intrinsic value 100; time value tiny relative to it.
+  EXPECT_GT(crr_price(p), 100.0);
+  EXPECT_LT(crr_price(p), 105.0);
+}
+
+TEST(Crr, RejectsDegenerateInputs) {
+  CrrParams p = base_params();
+  p.steps = 0;
+  EXPECT_THROW(crr_price(p), std::invalid_argument);
+  p = base_params();
+  p.volatility = 0.0;
+  EXPECT_THROW(crr_price(p), std::invalid_argument);
+}
+
+TEST(SoreLoserPremium, IncreasesWithLockupDuration) {
+  const Amount p1 = sore_loser_premium(10'000, 0.5, 0.0, 6, 730.0);
+  const Amount p2 = sore_loser_premium(10'000, 0.5, 0.0, 24, 730.0);
+  EXPECT_GT(p1, 0);
+  EXPECT_GT(p2, p1);
+}
+
+TEST(SoreLoserPremium, IncreasesWithVolatility) {
+  const Amount lo = sore_loser_premium(10'000, 0.2, 0.0, 12, 730.0);
+  const Amount hi = sore_loser_premium(10'000, 0.8, 0.0, 12, 730.0);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(SoreLoserPremium, SmallFractionOfPrincipal) {
+  // The premise of the whole construction: p << v for realistic params
+  // (here ~12h lockup at 50% annualized vol).
+  const Amount v = 1'000'000;
+  const Amount p = sore_loser_premium(v, 0.5, 0.0, 1, 730.0);
+  EXPECT_GT(p, 0);
+  EXPECT_LT(p, v / 50);
+}
+
+TEST(SoreLoserPremium, ZeroForDegenerateInputs) {
+  EXPECT_EQ(sore_loser_premium(0, 0.5, 0.0, 6, 730.0), 0);
+  EXPECT_EQ(sore_loser_premium(100, 0.5, 0.0, 0, 730.0), 0);
+}
+
+}  // namespace
+}  // namespace xchain::core

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/digraph.hpp"
+
+namespace xchain::graph {
+namespace {
+
+TEST(Digraph, BasicArcs) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  EXPECT_TRUE(g.has_arc(0, 1));
+  EXPECT_FALSE(g.has_arc(1, 0));
+  EXPECT_EQ(g.arc_count(), 2u);
+  g.add_arc(0, 1);  // duplicate ignored
+  EXPECT_EQ(g.arc_count(), 2u);
+  g.add_arc(1, 1);  // self-loop rejected
+  EXPECT_EQ(g.arc_count(), 2u);
+}
+
+TEST(Digraph, NeighborLists) {
+  const Digraph g = Digraph::figure3a();
+  EXPECT_EQ(g.out_neighbors(1), (std::vector<Vertex>{0, 2}));  // B -> A, C
+  EXPECT_EQ(g.in_neighbors(0), (std::vector<Vertex>{1, 2}));   // B, C -> A
+}
+
+TEST(Digraph, ArcsEnumeration) {
+  const Digraph g = Digraph::figure3a();
+  const auto arcs = g.arcs();
+  ASSERT_EQ(arcs.size(), 4u);
+  EXPECT_EQ(arcs[0], (Arc{0, 1}));
+  EXPECT_EQ(arcs[1], (Arc{1, 0}));
+  EXPECT_EQ(arcs[2], (Arc{1, 2}));
+  EXPECT_EQ(arcs[3], (Arc{2, 0}));
+}
+
+TEST(Digraph, PathPredicate) {
+  const Digraph g = Digraph::figure3a();
+  // Arcs: A->B, B->A, B->C, C->A (A=0, B=1, C=2). Paths follow arcs.
+  EXPECT_TRUE(g.is_path({0}));           // trivial
+  EXPECT_TRUE(g.is_path({1, 0}));        // B->A
+  EXPECT_TRUE(g.is_path({2, 0}));        // C->A
+  EXPECT_TRUE(g.is_path({1, 2, 0}));     // B->C->A (Figure 3b's (B,C,A))
+  EXPECT_FALSE(g.is_path({2, 1}));       // no arc C->B
+  EXPECT_FALSE(g.is_path({0, 1, 0}));    // repeated vertex
+  EXPECT_FALSE(g.is_path({}));
+}
+
+TEST(Digraph, ConcatNotation) {
+  EXPECT_EQ(concat(5, {1, 2}), (Path{5, 1, 2}));
+  EXPECT_EQ(concat(0, {}), (Path{0}));
+}
+
+TEST(Digraph, ClosesCycle) {
+  const Digraph g = Digraph::figure3a();
+  // A || (B, A): arc (A,B) connects, q=(B,A) is a path, ends at A: cycle.
+  EXPECT_TRUE(g.closes_cycle(0, {1, 0}));
+  // A || (B, C, A): arc (A,B) connects, q=(B,C,A) is a path, ends at A.
+  EXPECT_TRUE(g.closes_cycle(0, {1, 2, 0}));
+  // B || (C, A): q is a path but ends at A != B: not a cycle.
+  EXPECT_FALSE(g.closes_cycle(1, {2, 0}));
+  // C || (A, B): connecting pair (C, A) is an arc... but q must end at C.
+  EXPECT_FALSE(g.closes_cycle(2, {0, 1}));
+}
+
+TEST(Digraph, SccOnFigure3a) {
+  EXPECT_TRUE(Digraph::figure3a().strongly_connected());
+}
+
+TEST(Digraph, SccSplitsComponents) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  g.add_arc(3, 2);
+  const auto comp = g.scc();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(Digraph, SccSingletons) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  const auto comp = g.scc();
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+}
+
+TEST(Digraph, CycleAndCompleteShapes) {
+  const Digraph c = Digraph::cycle(4);
+  EXPECT_EQ(c.arc_count(), 4u);
+  EXPECT_TRUE(c.strongly_connected());
+  const Digraph k = Digraph::complete(4);
+  EXPECT_EQ(k.arc_count(), 12u);
+  EXPECT_TRUE(k.strongly_connected());
+  EXPECT_TRUE(Digraph::two_party().strongly_connected());
+}
+
+TEST(Digraph, FeedbackVertexSetOnCycle) {
+  const Digraph g = Digraph::cycle(5);
+  EXPECT_FALSE(g.is_feedback_vertex_set({}));
+  EXPECT_TRUE(g.is_feedback_vertex_set({0}));
+  EXPECT_TRUE(g.is_feedback_vertex_set({3}));
+  EXPECT_EQ(g.minimum_feedback_vertex_set().size(), 1u);
+}
+
+TEST(Digraph, FeedbackVertexSetOnFigure3a) {
+  const Digraph g = Digraph::figure3a();
+  // Cycles: A->B->A and A->B->C->A; A and B each hit both.
+  EXPECT_TRUE(g.is_feedback_vertex_set({0}));
+  EXPECT_TRUE(g.is_feedback_vertex_set({1}));
+  EXPECT_FALSE(g.is_feedback_vertex_set({2}));  // A->B->A survives
+  EXPECT_EQ(g.minimum_feedback_vertex_set().size(), 1u);
+}
+
+TEST(Digraph, MinimumFvsOnCompleteGraph) {
+  // K_n needs n-1 vertices removed to become acyclic.
+  for (std::size_t n : {2u, 3u, 4u, 5u}) {
+    EXPECT_EQ(Digraph::complete(n).minimum_feedback_vertex_set().size(),
+              n - 1)
+        << "n=" << n;
+  }
+}
+
+TEST(Digraph, GreedyFvsIsValid) {
+  for (std::size_t n : {3u, 5u, 8u}) {
+    const Digraph g = Digraph::complete(n);
+    EXPECT_TRUE(g.is_feedback_vertex_set(g.greedy_feedback_vertex_set()));
+  }
+  const Digraph fig = Digraph::figure3a();
+  EXPECT_TRUE(fig.is_feedback_vertex_set(fig.greedy_feedback_vertex_set()));
+}
+
+TEST(Digraph, GreedyFvsEmptyOnAcyclic) {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 3);
+  EXPECT_TRUE(g.greedy_feedback_vertex_set().empty());
+}
+
+TEST(Digraph, DiameterOfCycle) {
+  EXPECT_EQ(Digraph::cycle(2).diameter(), 1u);
+  EXPECT_EQ(Digraph::cycle(5).diameter(), 4u);
+}
+
+TEST(Digraph, DiameterOfComplete) {
+  EXPECT_EQ(Digraph::complete(4).diameter(), 1u);
+}
+
+TEST(Digraph, DiameterOfFigure3a) {
+  // d(A,C) = 2 via B; d(C,B) = 2 via A.
+  EXPECT_EQ(Digraph::figure3a().diameter(), 2u);
+}
+
+TEST(Digraph, SimplePathsMatchFigure3b) {
+  const Digraph g = Digraph::figure3a();
+  // Figure 3b: hashkey k_A reaches arc (A,B) along paths (B,A) and (B,C,A).
+  const auto paths = g.simple_paths(1, 0);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (Path{1, 0}));
+  EXPECT_EQ(paths[1], (Path{1, 2, 0}));
+  // From C the only path to A is direct.
+  const auto from_c = g.simple_paths(2, 0);
+  ASSERT_EQ(from_c.size(), 1u);
+  EXPECT_EQ(from_c[0], (Path{2, 0}));
+}
+
+TEST(Digraph, SimplePathCountsInCompleteGraph) {
+  // K_4: paths from 0 to 1 = sum over subsets of intermediates:
+  // 1 + 2 + 2 = 5 (direct, one intermediate x2, two intermediates x2).
+  EXPECT_EQ(Digraph::complete(4).simple_paths(0, 1).size(), 5u);
+}
+
+TEST(Digraph, ToStringUsesLetters) {
+  EXPECT_EQ(to_string({0, 1, 2}), "(A,B,C)");
+  EXPECT_EQ(to_string({30}), "(30)");
+}
+
+}  // namespace
+}  // namespace xchain::graph

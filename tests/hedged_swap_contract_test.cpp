@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "contracts/hedged_swap.hpp"
+#include "crypto/secret.hpp"
+
+namespace xchain::contracts {
+namespace {
+
+using chain::Address;
+using chain::MultiChain;
+using chain::TxContext;
+
+constexpr PartyId kAlice = 0;  // principal owner in this fixture
+constexpr PartyId kBob = 1;    // premium payer / redeemer
+
+// Mirrors the apricot-chain contract of §5.2 with Delta = 2:
+// premium deadline 4 (=2*Delta), escrow deadline 6, redemption deadline 12.
+class HedgedFixture : public ::testing::Test {
+ protected:
+  HedgedFixture()
+      : bc_(chains_.add_chain("apricot")),
+        secret_(crypto::Secret::from_label("s")),
+        c_(bc_.deploy<HedgedSwapContract>(HedgedSwapContract::Params{
+            kAlice, kBob, "apricot", 100, /*premium=*/5, secret_.hashlock(),
+            /*premium_deadline=*/4, /*escrow_deadline=*/6,
+            /*redemption_deadline=*/12})) {
+    bc_.ledger_for_setup().mint(Address::party(kAlice), "apricot", 100);
+    bc_.ledger_for_setup().mint(Address::party(kBob), bc_.native(), 5);
+  }
+
+  void submit_premium(Tick t) {
+    bc_.submit(
+        {kBob, "premium", [&](TxContext& c) { c_.deposit_premium(c); }});
+    chains_.produce_all(t);
+  }
+  void submit_escrow(Tick t) {
+    bc_.submit(
+        {kAlice, "escrow", [&](TxContext& c) { c_.escrow_principal(c); }});
+    chains_.produce_all(t);
+  }
+  void submit_redeem(Tick t) {
+    bc_.submit({kBob, "redeem", [&](TxContext& c) {
+                  c_.redeem(c, secret_.value());
+                }});
+    chains_.produce_all(t);
+  }
+  void idle_until(Tick t) {
+    for (Tick now = bc_.height() + 1; now <= t; ++now) {
+      chains_.produce_all(now);
+    }
+  }
+
+  Amount coins(PartyId p) {
+    return bc_.ledger().balance(Address::party(p), bc_.native());
+  }
+  Amount tokens(PartyId p) {
+    return bc_.ledger().balance(Address::party(p), "apricot");
+  }
+
+  MultiChain chains_;
+  chain::Blockchain& bc_;
+  crypto::Secret secret_;
+  HedgedSwapContract& c_;
+};
+
+TEST_F(HedgedFixture, HappyPathRefundsPremium) {
+  submit_premium(0);
+  submit_escrow(1);
+  submit_redeem(2);
+  EXPECT_TRUE(c_.redeemed());
+  EXPECT_TRUE(c_.premium_refunded());
+  EXPECT_FALSE(c_.premium_awarded());
+  EXPECT_EQ(tokens(kBob), 100);  // principal to redeemer
+  EXPECT_EQ(coins(kBob), 5);     // premium back
+}
+
+TEST_F(HedgedFixture, PrincipalNeverEscrowedRefundsPremiumAtDeadline) {
+  submit_premium(0);
+  idle_until(7);  // escrow deadline 6; sweep at 7
+  EXPECT_TRUE(c_.premium_refunded());
+  EXPECT_EQ(coins(kBob), 5);
+  EXPECT_EQ(c_.premium_resolved_at(), 7);
+}
+
+TEST_F(HedgedFixture, UnredeemedPrincipalAwardsPremiumToOwner) {
+  submit_premium(0);
+  submit_escrow(1);
+  idle_until(13);  // redemption deadline 12; sweep at 13
+  EXPECT_TRUE(c_.principal_refunded());
+  EXPECT_TRUE(c_.premium_awarded());
+  EXPECT_EQ(tokens(kAlice), 100);  // principal back
+  EXPECT_EQ(coins(kAlice), 5);     // Bob's premium compensates Alice
+  EXPECT_EQ(coins(kBob), 0);
+}
+
+TEST_F(HedgedFixture, EscrowWithoutPremiumStillRefundsPrincipal) {
+  // Alice escrows even though Bob never deposited (a deviating/imprudent
+  // Alice); at the redemption deadline she gets the principal back and no
+  // premium.
+  submit_escrow(1);
+  idle_until(13);
+  EXPECT_TRUE(c_.principal_refunded());
+  EXPECT_FALSE(c_.premium_awarded());
+  EXPECT_EQ(tokens(kAlice), 100);
+  EXPECT_EQ(coins(kAlice), 0);
+}
+
+TEST_F(HedgedFixture, LatePremiumRejected) {
+  idle_until(4);
+  submit_premium(5);  // premium deadline 4
+  EXPECT_FALSE(c_.premium_deposited());
+  EXPECT_EQ(coins(kBob), 5);
+}
+
+TEST_F(HedgedFixture, LateEscrowRejected) {
+  submit_premium(0);
+  idle_until(6);
+  submit_escrow(7);  // escrow deadline 6
+  EXPECT_FALSE(c_.escrowed());
+  // Premium was already refunded by the sweep at tick 7.
+  EXPECT_TRUE(c_.premium_refunded());
+}
+
+TEST_F(HedgedFixture, RedeemAtBoundaryTimely) {
+  submit_premium(0);
+  submit_escrow(1);
+  idle_until(11);
+  submit_redeem(12);  // inclusive deadline
+  EXPECT_TRUE(c_.redeemed());
+  EXPECT_TRUE(c_.premium_refunded());
+}
+
+TEST_F(HedgedFixture, LateRedeemLosesToSweep) {
+  submit_premium(0);
+  submit_escrow(1);
+  idle_until(12);
+  submit_redeem(13);
+  EXPECT_FALSE(c_.redeemed());
+  EXPECT_TRUE(c_.principal_refunded());
+  EXPECT_TRUE(c_.premium_awarded());
+}
+
+TEST_F(HedgedFixture, WrongSenderPremiumIgnored) {
+  bc_.submit(
+      {kAlice, "premium", [&](TxContext& c) { c_.deposit_premium(c); }});
+  chains_.produce_all(0);
+  EXPECT_FALSE(c_.premium_deposited());
+}
+
+TEST_F(HedgedFixture, WrongSenderEscrowIgnored) {
+  bc_.submit(
+      {kBob, "escrow", [&](TxContext& c) { c_.escrow_principal(c); }});
+  chains_.produce_all(0);
+  EXPECT_FALSE(c_.escrowed());
+}
+
+TEST_F(HedgedFixture, RedeemWithoutEscrowIsNoop) {
+  submit_premium(0);
+  submit_redeem(1);
+  EXPECT_FALSE(c_.redeemed());
+}
+
+TEST_F(HedgedFixture, ConservationAcrossOutcomes) {
+  submit_premium(0);
+  submit_escrow(1);
+  idle_until(13);
+  // Total coins and tokens in the system are conserved.
+  EXPECT_EQ(coins(kAlice) + coins(kBob) +
+                bc_.ledger().balance(c_.address(), bc_.native()),
+            5);
+  EXPECT_EQ(tokens(kAlice) + tokens(kBob) +
+                bc_.ledger().balance(c_.address(), "apricot"),
+            100);
+}
+
+}  // namespace
+}  // namespace xchain::contracts

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "contracts/htlc.hpp"
+#include "crypto/secret.hpp"
+
+namespace xchain::contracts {
+namespace {
+
+using chain::Address;
+using chain::MultiChain;
+using chain::TxContext;
+
+constexpr PartyId kAlice = 0;
+constexpr PartyId kBob = 1;
+
+class HtlcFixture : public ::testing::Test {
+ protected:
+  HtlcFixture()
+      : bc_(chains_.add_chain("apricot")),
+        secret_(crypto::Secret::from_label("s")),
+        htlc_(bc_.deploy<HtlcContract>(HtlcContract::Params{
+            kAlice, kBob, "apricot", 100, secret_.hashlock(),
+            /*escrow_deadline=*/2, /*timelock=*/6})) {
+    bc_.ledger_for_setup().mint(Address::party(kAlice), "apricot", 100);
+  }
+
+  void fund_at(Tick t) {
+    bc_.submit({kAlice, "fund", [&](TxContext& c) { htlc_.fund(c); }});
+    chains_.produce_all(t);
+  }
+  void redeem_at(Tick t, crypto::Bytes preimage) {
+    bc_.submit({kBob, "redeem", [this, p = std::move(preimage)](
+                                    TxContext& c) { htlc_.redeem(c, p); }});
+    chains_.produce_all(t);
+  }
+  void idle_until(Tick t) {
+    for (Tick now = bc_.height() + 1; now <= t; ++now) {
+      chains_.produce_all(now);
+    }
+  }
+
+  MultiChain chains_;
+  chain::Blockchain& bc_;
+  crypto::Secret secret_;
+  HtlcContract& htlc_;
+};
+
+TEST_F(HtlcFixture, FundThenRedeem) {
+  fund_at(0);
+  EXPECT_TRUE(htlc_.funded());
+  EXPECT_EQ(bc_.ledger().balance(htlc_.address(), "apricot"), 100);
+
+  redeem_at(1, secret_.value());
+  EXPECT_TRUE(htlc_.redeemed());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kBob), "apricot"), 100);
+  ASSERT_TRUE(htlc_.revealed_preimage().has_value());
+  EXPECT_EQ(*htlc_.revealed_preimage(), secret_.value());
+}
+
+TEST_F(HtlcFixture, RefundAfterTimelock) {
+  fund_at(0);
+  idle_until(7);  // timelock 6 inclusive; sweep at 7
+  EXPECT_TRUE(htlc_.refunded());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kAlice), "apricot"), 100);
+  EXPECT_EQ(htlc_.resolved_at(), 7);
+}
+
+TEST_F(HtlcFixture, NoRefundBeforeTimelock) {
+  fund_at(0);
+  idle_until(6);
+  EXPECT_FALSE(htlc_.refunded());
+  EXPECT_TRUE(htlc_.funded());
+}
+
+TEST_F(HtlcFixture, RedeemAtTimelockBoundaryIsTimely) {
+  fund_at(0);
+  idle_until(5);
+  redeem_at(6, secret_.value());  // height == timelock: timely (inclusive)
+  EXPECT_TRUE(htlc_.redeemed());
+}
+
+TEST_F(HtlcFixture, LateRedeemRejectedThenRefunded) {
+  fund_at(0);
+  idle_until(6);
+  redeem_at(7, secret_.value());  // late: rejected; refund sweep fires
+  EXPECT_FALSE(htlc_.redeemed());
+  EXPECT_TRUE(htlc_.refunded());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kAlice), "apricot"), 100);
+}
+
+TEST_F(HtlcFixture, WrongPreimageRejected) {
+  fund_at(0);
+  redeem_at(1, crypto::Secret::from_label("wrong").value());
+  EXPECT_FALSE(htlc_.redeemed());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kBob), "apricot"), 0);
+}
+
+TEST_F(HtlcFixture, LateFundingRejected) {
+  idle_until(2);
+  fund_at(3);  // escrow deadline 2: too late
+  EXPECT_FALSE(htlc_.funded());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kAlice), "apricot"), 100);
+}
+
+TEST_F(HtlcFixture, NonFunderCannotFund) {
+  bc_.submit({kBob, "fund", [&](TxContext& c) { htlc_.fund(c); }});
+  chains_.produce_all(0);
+  EXPECT_FALSE(htlc_.funded());
+}
+
+TEST_F(HtlcFixture, RedeemBeforeFundingIsNoop) {
+  redeem_at(0, secret_.value());
+  EXPECT_FALSE(htlc_.redeemed());
+}
+
+TEST_F(HtlcFixture, DoubleFundIgnored) {
+  fund_at(0);
+  bc_.submit({kAlice, "fund", [&](TxContext& c) { htlc_.fund(c); }});
+  chains_.produce_all(1);
+  EXPECT_EQ(bc_.ledger().balance(htlc_.address(), "apricot"), 100);
+}
+
+TEST_F(HtlcFixture, DoubleRedeemPaysOnce) {
+  fund_at(0);
+  redeem_at(1, secret_.value());
+  redeem_at(2, secret_.value());
+  EXPECT_EQ(bc_.ledger().balance(Address::party(kBob), "apricot"), 100);
+}
+
+TEST(Htlc, InsufficientBalanceFundRejected) {
+  MultiChain chains;
+  auto& bc = chains.add_chain("apricot");
+  const auto s = crypto::Secret::from_label("s");
+  auto& htlc = bc.deploy<HtlcContract>(HtlcContract::Params{
+      kAlice, kBob, "apricot", 100, s.hashlock(), 2, 6});
+  bc.ledger_for_setup().mint(Address::party(kAlice), "apricot", 50);
+  bc.submit({kAlice, "fund", [&](TxContext& c) { htlc.fund(c); }});
+  chains.produce_all(0);
+  EXPECT_FALSE(htlc.funded());
+  EXPECT_EQ(bc.ledger().balance(Address::party(kAlice), "apricot"), 50);
+}
+
+}  // namespace
+}  // namespace xchain::contracts

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "contracts/ladder.hpp"
+#include "crypto/secret.hpp"
+
+namespace xchain::contracts {
+namespace {
+
+using chain::Address;
+using chain::MultiChain;
+using chain::TxContext;
+using RS = LadderContract::RungState;
+
+constexpr PartyId kAlice = 0;
+constexpr PartyId kBob = 1;
+
+// A 2-round apricot-side ladder (Figure 2): rung 0 = Alice's principal
+// 10000 apricot, rung 1 = Bob's premium 100, rung 2 = Alice's premium 1.
+// Deadlines (Delta = 2): rung 2 at 4, rung 1 at 8, rung 0 at 10;
+// redemption at 16.
+class LadderFixture : public ::testing::Test {
+ protected:
+  LadderFixture()
+      : bc_(chains_.add_chain("apricot")),
+        secret_(crypto::Secret::from_label("s")),
+        ladder_(bc_.deploy<LadderContract>(LadderContract::Params{
+            {{kAlice, 10'000, 10, {}, false},
+             {kBob, 100, 8, {}, false},
+             // A^(2): released by the principal, forfeited on its default.
+             {kAlice, 1, 4, /*released_by=*/std::size_t{0},
+              /*guards_principal=*/true}},
+            kBob,
+            "apricot",
+            secret_.hashlock(),
+            16})) {
+    bc_.ledger_for_setup().mint(Address::party(kAlice), "apricot", 10'000);
+    bc_.ledger_for_setup().mint(Address::party(kAlice), bc_.native(), 1);
+    bc_.ledger_for_setup().mint(Address::party(kBob), bc_.native(), 100);
+  }
+
+  void deposit(PartyId who, std::size_t rung, Tick t) {
+    bc_.submit({who, "deposit",
+                [this, rung](TxContext& c) { ladder_.deposit(c, rung); }});
+    produce_until(t);
+  }
+  void redeem(PartyId who, Tick t, const crypto::Bytes& preimage) {
+    bc_.submit({who, "redeem", [this, preimage](TxContext& c) {
+                  ladder_.redeem(c, preimage);
+                }});
+    produce_until(t);
+  }
+  void produce_until(Tick t) {
+    for (Tick now = bc_.height() + 1; now <= t; ++now) {
+      chains_.produce_all(now);
+    }
+  }
+  Amount coins(PartyId p) {
+    return bc_.ledger().balance(Address::party(p), bc_.native());
+  }
+  Amount tokens(PartyId p) {
+    return bc_.ledger().balance(Address::party(p), "apricot");
+  }
+
+  MultiChain chains_;
+  chain::Blockchain& bc_;
+  crypto::Secret secret_;
+  LadderContract& ladder_;
+};
+
+TEST_F(LadderFixture, HappyPathDepositsGuardReleaseAndRedeem) {
+  deposit(kAlice, 2, 0);
+  EXPECT_EQ(ladder_.rung_state(2), RS::kHeld);
+  deposit(kBob, 1, 1);
+  EXPECT_EQ(ladder_.rung_state(1), RS::kHeld);
+  // Depositing rung 0 releases its guard, rung 2.
+  deposit(kAlice, 0, 2);
+  EXPECT_EQ(ladder_.rung_state(0), RS::kHeld);
+  EXPECT_EQ(ladder_.rung_state(2), RS::kRefunded);
+  EXPECT_EQ(coins(kAlice), 1);
+  // Redemption pays Bob and refunds his premium (rung 1).
+  redeem(kBob, 3, secret_.value());
+  EXPECT_TRUE(ladder_.principal_redeemed());
+  EXPECT_EQ(ladder_.rung_state(1), RS::kRefunded);
+  EXPECT_EQ(tokens(kBob), 10'000);
+  EXPECT_EQ(coins(kBob), 100);
+  EXPECT_FALSE(ladder_.dead());
+}
+
+TEST_F(LadderFixture, OutOfOrderDepositRejected) {
+  deposit(kBob, 1, 0);  // rung 2 not yet deposited
+  EXPECT_EQ(ladder_.rung_state(1), RS::kEmpty);
+  EXPECT_EQ(coins(kBob), 100);
+}
+
+TEST_F(LadderFixture, WrongDepositorRejected) {
+  bc_.submit({kBob, "deposit",
+              [this](TxContext& c) { ladder_.deposit(c, 2); }});
+  chains_.produce_all(0);
+  EXPECT_EQ(ladder_.rung_state(2), RS::kEmpty);
+}
+
+TEST_F(LadderFixture, MissedFirstRungKillsQuietly) {
+  // Nobody deposits rung 2: at its deadline the ladder dies with nothing
+  // held and nothing forfeited (the unprotected step).
+  produce_until(5);
+  EXPECT_TRUE(ladder_.dead());
+  EXPECT_EQ(coins(kAlice), 1);
+  EXPECT_EQ(coins(kBob), 100);
+}
+
+TEST_F(LadderFixture, MissedMiddleRungRefundsHeld) {
+  deposit(kAlice, 2, 0);
+  // Bob never deposits rung 1 (deadline 8): guard of rung 1 would be rung
+  // 3 (absent), so Alice's rung 2 is simply refunded.
+  produce_until(9);
+  EXPECT_TRUE(ladder_.dead());
+  EXPECT_EQ(ladder_.rung_state(2), RS::kRefunded);
+  EXPECT_EQ(coins(kAlice), 1);
+}
+
+TEST_F(LadderFixture, MissedPrincipalForfeitsGuardToCounterparty) {
+  deposit(kAlice, 2, 0);
+  deposit(kBob, 1, 1);
+  // Alice never escrows the principal (deadline 10): her guard (rung 2) is
+  // forfeited to Bob — "If Alice does not deposit her principal, Bob
+  // receives A^(2) as compensation for locking up A^(1)" — and Bob's rung
+  // 1 is refunded.
+  produce_until(11);
+  EXPECT_TRUE(ladder_.dead());
+  EXPECT_EQ(ladder_.rung_state(2), RS::kForfeited);
+  EXPECT_EQ(ladder_.rung_state(1), RS::kRefunded);
+  EXPECT_EQ(coins(kBob), 101);  // his 100 back plus Alice's 1
+  EXPECT_EQ(coins(kAlice), 0);
+}
+
+TEST_F(LadderFixture, UnredeemedPrincipalAwardsRungOneToOwner) {
+  deposit(kAlice, 2, 0);
+  deposit(kBob, 1, 1);
+  deposit(kAlice, 0, 2);
+  // Nobody redeems: at the redemption deadline the principal refunds to
+  // Alice and Bob's premium (rung 1) is awarded to her.
+  produce_until(17);
+  EXPECT_EQ(ladder_.rung_state(0), RS::kRefunded);
+  EXPECT_EQ(ladder_.rung_state(1), RS::kForfeited);
+  EXPECT_EQ(tokens(kAlice), 10'000);
+  // Her guard (rung 2, 1 coin) was refunded when she escrowed the
+  // principal; Bob's rung 1 (100) is awarded on top: 101 total.
+  EXPECT_EQ(coins(kAlice), 101);
+  EXPECT_EQ(coins(kBob), 0);
+}
+
+TEST_F(LadderFixture, LateRedeemRejected) {
+  deposit(kAlice, 2, 0);
+  deposit(kBob, 1, 1);
+  deposit(kAlice, 0, 2);
+  produce_until(16);
+  redeem(kBob, 17, secret_.value());
+  EXPECT_FALSE(ladder_.principal_redeemed());
+  EXPECT_EQ(ladder_.rung_state(0), RS::kRefunded);
+}
+
+TEST_F(LadderFixture, WrongPreimageRejected) {
+  deposit(kAlice, 2, 0);
+  deposit(kBob, 1, 1);
+  deposit(kAlice, 0, 2);
+  redeem(kBob, 3, crypto::Secret::from_label("wrong").value());
+  EXPECT_FALSE(ladder_.principal_redeemed());
+}
+
+TEST_F(LadderFixture, LateDepositRejected) {
+  produce_until(4);  // rung 2 deadline is 4
+  deposit(kAlice, 2, 5);
+  EXPECT_EQ(ladder_.rung_state(2), RS::kEmpty);
+  EXPECT_TRUE(ladder_.dead());
+}
+
+TEST_F(LadderFixture, DepositAfterDeathRejected) {
+  produce_until(5);  // ladder dead (rung 2 missed)
+  ASSERT_TRUE(ladder_.dead());
+  deposit(kAlice, 2, 6);
+  EXPECT_EQ(ladder_.rung_state(2), RS::kEmpty);
+}
+
+TEST(LadderContractValidation, RejectsEmptyAndBadDeadlines) {
+  EXPECT_THROW(LadderContract(LadderContract::Params{
+                   {}, kBob, "x", crypto::Digest{}, 10}),
+               std::invalid_argument);
+  // Deadlines must strictly decrease with rung index.
+  EXPECT_THROW(LadderContract(LadderContract::Params{
+                   {{kAlice, 10, 4, {}, false}, {kBob, 1, 8, {}, false}},
+                   kBob,
+                   "x",
+                   crypto::Digest{},
+                   10}),
+               std::invalid_argument);
+}
+
+TEST(LadderSingleRound, MatchesHedgedSwapSemantics) {
+  // rounds = 1 ladder: rung 0 principal (deadline 6), rung 1 premium
+  // (deadline 4), redemption 12 — exactly a §5.2 contract.
+  MultiChain chains;
+  auto& bc = chains.add_chain("apricot");
+  const auto s = crypto::Secret::from_label("s");
+  auto& ladder = bc.deploy<LadderContract>(LadderContract::Params{
+      {{kAlice, 500, 6, {}, false}, {kBob, 5, 4, {}, false}}, kBob, "apricot", s.hashlock(), 12});
+  bc.ledger_for_setup().mint(Address::party(kAlice), "apricot", 500);
+  bc.ledger_for_setup().mint(Address::party(kBob), bc.native(), 5);
+
+  bc.submit({kBob, "premium", [&](TxContext& c) { ladder.deposit(c, 1); }});
+  chains.produce_all(0);
+  bc.submit({kAlice, "escrow", [&](TxContext& c) { ladder.deposit(c, 0); }});
+  chains.produce_all(1);
+  // Unredeemed: premium awarded to Alice at redemption deadline.
+  for (Tick t = 2; t <= 13; ++t) chains.produce_all(t);
+  EXPECT_EQ(ladder.rung_state(0), RS::kRefunded);
+  EXPECT_EQ(ladder.rung_state(1), RS::kForfeited);
+  EXPECT_EQ(bc.ledger().balance(Address::party(kAlice), bc.native()), 5);
+}
+
+}  // namespace
+}  // namespace xchain::contracts

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/model_checker.hpp"
+
+namespace xchain::analysis {
+namespace {
+
+TEST(ModelChecker, HedgedTwoPartyHasNoViolations) {
+  core::TwoPartyConfig cfg;
+  cfg.delta = 2;
+  const auto report = check_hedged_two_party(cfg);
+  EXPECT_EQ(report.scenarios_explored, 25u);  // (conform + halt 0..3)^2
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, BaseTwoPartyExposesSoreLoser) {
+  // The negative control: the §5.1 base protocol must FAIL the hedged
+  // property (that is the paper's motivating flaw), and fail it only
+  // there — safety violations would mean our base protocol is broken.
+  core::TwoPartyConfig cfg;
+  cfg.delta = 2;
+  const auto report = check_base_two_party(cfg);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(std::all_of(
+      report.violations.begin(), report.violations.end(),
+      [](const Violation& v) { return v.property == "hedged"; }))
+      << report.summary();
+}
+
+TEST(ModelChecker, BootstrapTwoRoundsClean) {
+  core::BootstrapConfig cfg;
+  cfg.rounds = 2;
+  cfg.delta = 1;
+  const auto report = check_bootstrap(cfg);
+  EXPECT_EQ(report.scenarios_explored, 36u);  // (conform + halt 0..4)^2
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, MultiPartyTwoVerticesClean) {
+  core::MultiPartyConfig cfg;
+  cfg.g = graph::Digraph::two_party();
+  cfg.delta = 1;
+  const auto report = check_multi_party(cfg);
+  EXPECT_EQ(report.scenarios_explored, 36u);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, MultiPartyFigure3aClean) {
+  // 6^3 = 216 combinations, including multi-deviator ones.
+  core::MultiPartyConfig cfg;
+  cfg.g = graph::Digraph::figure3a();
+  cfg.delta = 1;
+  const auto report = check_multi_party(cfg);
+  EXPECT_EQ(report.scenarios_explored, 216u);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, BrokerClean) {
+  core::BrokerConfig cfg;
+  cfg.delta = 1;
+  const auto report = check_broker(cfg);
+  EXPECT_EQ(report.scenarios_explored, 216u);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, AuctionClean) {
+  core::AuctionConfig cfg;
+  cfg.delta = 1;
+  const auto report = check_auction(cfg);
+  EXPECT_EQ(report.scenarios_explored, 63u);  // 7 * 3^2
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(ModelChecker, SummaryMentionsCounts) {
+  core::TwoPartyConfig cfg;
+  cfg.delta = 1;
+  const auto report = check_hedged_two_party(cfg);
+  EXPECT_NE(report.summary().find("25 scenarios"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xchain::analysis

@@ -1,0 +1,149 @@
+// Multi-party swaps on digraphs that force MULTIPLE leaders with
+// non-trivial topology (the complete-graph tests cover multi-leader dense
+// graphs; these cover sparse shapes where hashkeys and premiums travel
+// long, distinct routes).
+
+#include <gtest/gtest.h>
+
+#include "core/multi_party.hpp"
+#include "core/premiums.hpp"
+
+namespace xchain::core {
+namespace {
+
+using graph::Digraph;
+using graph::Vertex;
+using sim::DeviationPlan;
+
+/// Two directed triangles sharing vertex 0:
+///   0 -> 1 -> 2 -> 0   and   0 -> 3 -> 4 -> 0.
+/// {0} is a minimum FVS (both cycles pass through 0).
+Digraph two_triangles() {
+  Digraph g(5);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  g.add_arc(0, 3);
+  g.add_arc(3, 4);
+  g.add_arc(4, 0);
+  return g;
+}
+
+/// A "theta" digraph: two vertex-disjoint directed paths from 0 to 3 and
+/// an arc back: 0->1->3, 0->2->3, 3->0. Single cycle family through 3->0;
+/// FVS = {0} or {3}.
+Digraph theta() {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 3);
+  g.add_arc(0, 2);
+  g.add_arc(2, 3);
+  g.add_arc(3, 0);
+  return g;
+}
+
+/// Two disjoint 2-cycles bridged into one SCC:
+/// 0<->1, 2<->3, 1->2, 3->0. Needs >= 2 leaders (the 2-cycles are
+/// vertex-disjoint).
+Digraph bridged_pairs() {
+  Digraph g(4);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  g.add_arc(2, 3);
+  g.add_arc(3, 2);
+  g.add_arc(1, 2);
+  g.add_arc(3, 0);
+  return g;
+}
+
+MultiPartyConfig config(Digraph g) {
+  MultiPartyConfig cfg;
+  cfg.g = std::move(g);
+  cfg.delta = 1;
+  return cfg;
+}
+
+TEST(MultiLeader, BridgedPairsNeedsTwoLeaders) {
+  const Digraph g = bridged_pairs();
+  EXPECT_TRUE(g.strongly_connected());
+  EXPECT_EQ(g.minimum_feedback_vertex_set().size(), 2u);
+}
+
+TEST(MultiLeader, ConformingRunsComplete) {
+  for (auto make : {two_triangles, theta, bridged_pairs}) {
+    const Digraph g = make();
+    const std::vector<DeviationPlan> plans(g.size(),
+                                           DeviationPlan::conforming());
+    const auto r = run_multi_party_swap(config(make()), plans);
+    EXPECT_TRUE(r.all_redeemed);
+    for (std::size_t v = 0; v < g.size(); ++v) {
+      EXPECT_EQ(r.payoffs[v].coin_delta, 0) << "party " << v;
+    }
+  }
+}
+
+TEST(MultiLeader, EveryLeaderChoiceWorksOnTheta) {
+  // Both {0} and {3} are valid feedback vertex sets for theta: the
+  // protocol must complete under either leader assignment.
+  for (Vertex leader : {Vertex{0}, Vertex{3}}) {
+    MultiPartyConfig cfg = config(theta());
+    cfg.leaders = {leader};
+    const std::vector<DeviationPlan> plans(4, DeviationPlan::conforming());
+    const auto r = run_multi_party_swap(cfg, plans);
+    EXPECT_TRUE(r.all_redeemed) << "leader " << leader;
+  }
+}
+
+TEST(MultiLeader, SingleDeviatorSweepAcrossShapes) {
+  for (auto make : {two_triangles, theta, bridged_pairs}) {
+    const Digraph g = make();
+    for (Vertex d = 0; d < g.size(); ++d) {
+      for (int halt = 0; halt <= kMultiPartyHedgedActions; ++halt) {
+        std::vector<DeviationPlan> plans(g.size(),
+                                         DeviationPlan::conforming());
+        plans[d] = DeviationPlan::halt_after(halt);
+        const auto r = run_multi_party_swap(config(make()), plans);
+        Amount total = 0;
+        for (std::size_t v = 0; v < g.size(); ++v) {
+          total += r.payoffs[v].coin_delta;
+          if (v == d) continue;
+          EXPECT_GE(r.payoffs[v].coin_delta, r.assets_refunded[v])
+              << "deviator " << d << " halt@" << halt << " party " << v;
+        }
+        EXPECT_EQ(total, 0);
+      }
+    }
+  }
+}
+
+TEST(MultiLeader, PremiumFormulasOnBridgedPairs) {
+  const Digraph g = bridged_pairs();
+  const auto leaders = g.minimum_feedback_vertex_set();
+  // Both formulas must be well-defined and strictly positive per arc.
+  const auto escrow = escrow_premiums(g, leaders, 1);
+  EXPECT_EQ(escrow.size(), g.arc_count());
+  for (const auto& [arc, amount] : escrow) {
+    EXPECT_GT(amount, 0) << arc.first << "->" << arc.second;
+  }
+  for (Vertex l : leaders) {
+    EXPECT_GT(leader_redemption_premium(g, l, 1), 0);
+  }
+}
+
+TEST(MultiLeader, LargerDeltaPreservesOutcomes) {
+  // The protocol semantics are Delta-invariant: the same deviation gives
+  // the same premium flows at any synchrony bound.
+  for (Tick delta : {Tick{1}, Tick{2}, Tick{4}}) {
+    MultiPartyConfig cfg = config(two_triangles());
+    cfg.delta = delta;
+    std::vector<DeviationPlan> plans(5, DeviationPlan::conforming());
+    plans[2] = DeviationPlan::halt_after(2);
+    const auto r = run_multi_party_swap(cfg, plans);
+    EXPECT_FALSE(r.all_redeemed) << "delta " << delta;
+    // Party 2 skipping escrow hurts only itself and compensates others.
+    EXPECT_LT(r.payoffs[2].coin_delta, 0) << "delta " << delta;
+  }
+}
+
+}  // namespace
+}  // namespace xchain::core

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "core/multi_party.hpp"
+
+namespace xchain::core {
+namespace {
+
+using graph::Digraph;
+using sim::DeviationPlan;
+
+std::vector<DeviationPlan> all_conform(std::size_t n) {
+  return std::vector<DeviationPlan>(n, DeviationPlan::conforming());
+}
+
+MultiPartyConfig config(Digraph g, bool hedged = true) {
+  MultiPartyConfig cfg;
+  cfg.g = std::move(g);
+  cfg.asset_amount = 100;
+  cfg.premium_unit = 1;
+  cfg.delta = 1;
+  cfg.hedged = hedged;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Conforming runs (Lemma 1): swap completes, all premiums refunded.
+// ---------------------------------------------------------------------------
+
+TEST(MultiParty, ConformingTwoPartyDigraph) {
+  const auto r =
+      run_multi_party_swap(config(Digraph::two_party()), all_conform(2));
+  EXPECT_TRUE(r.all_redeemed);
+  EXPECT_EQ(r.payoffs[0].coin_delta, 0);
+  EXPECT_EQ(r.payoffs[1].coin_delta, 0);
+  EXPECT_EQ(r.payoffs[0].by_symbol.at("token-0"), -100);
+  EXPECT_EQ(r.payoffs[0].by_symbol.at("token-1"), 100);
+}
+
+TEST(MultiParty, ConformingFigure3a) {
+  const auto r =
+      run_multi_party_swap(config(Digraph::figure3a()), all_conform(3));
+  EXPECT_TRUE(r.all_redeemed);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(r.payoffs[v].coin_delta, 0) << "party " << v;
+  }
+  // B receives A's token (arc A->B) and pays out two of its own.
+  EXPECT_EQ(r.payoffs[1].by_symbol.at("token-0"), 100);
+  EXPECT_EQ(r.payoffs[1].by_symbol.at("token-1"), -200);
+  // A receives from B and C.
+  EXPECT_EQ(r.payoffs[0].by_symbol.at("token-1"), 100);
+  EXPECT_EQ(r.payoffs[0].by_symbol.at("token-2"), 100);
+}
+
+TEST(MultiParty, ConformingCycles) {
+  for (std::size_t n : {3u, 4u, 6u}) {
+    const auto r =
+        run_multi_party_swap(config(Digraph::cycle(n)), all_conform(n));
+    EXPECT_TRUE(r.all_redeemed) << "n=" << n;
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_EQ(r.payoffs[v].coin_delta, 0);
+    }
+  }
+}
+
+TEST(MultiParty, ConformingCompleteGraphs) {
+  for (std::size_t n : {3u, 4u}) {
+    const auto r =
+        run_multi_party_swap(config(Digraph::complete(n)), all_conform(n));
+    EXPECT_TRUE(r.all_redeemed) << "n=" << n;
+    for (std::size_t v = 0; v < n; ++v) {
+      EXPECT_EQ(r.payoffs[v].coin_delta, 0);
+    }
+  }
+}
+
+TEST(MultiParty, ConformingBaseProtocol) {
+  const auto r = run_multi_party_swap(
+      config(Digraph::figure3a(), /*hedged=*/false), all_conform(3));
+  EXPECT_TRUE(r.all_redeemed);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_EQ(r.payoffs[v].coin_delta, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3a deviation scenarios with exact Equation-1/2 payoffs (p = 1).
+// Leader A; R((A),B)=2, R((A),C)=3, R(A)=5; E(B,A)=E(C,A)=E(B,C)=5,
+// E(A,B)=10.
+// ---------------------------------------------------------------------------
+
+TEST(MultiParty, LeaderWithholdsHashkey) {
+  // A halts before phase 4: no hashkey ever appears (Lemma 2 situation).
+  // All assets refund; every redemption premium is awarded to the arc
+  // sender: A nets -2p-3p+p = -4, B nets +2p+2p-p = +3, C nets +3p-2p = +1.
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[0] = DeviationPlan::halt_after(3);
+  const auto r = run_multi_party_swap(config(Digraph::figure3a()), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  EXPECT_EQ(r.payoffs[0].coin_delta, -4);
+  EXPECT_EQ(r.payoffs[1].coin_delta, 3);
+  EXPECT_EQ(r.payoffs[2].coin_delta, 1);
+  // Lemma 2: at least p per escrowed (and refunded) asset.
+  EXPECT_GE(r.payoffs[1].coin_delta, r.assets_refunded[1]);
+  EXPECT_GE(r.payoffs[2].coin_delta, r.assets_refunded[2]);
+}
+
+TEST(MultiParty, FollowerWithholdsHashkeyPropagation) {
+  // B halts before phase 4. A's release of k_A redeems (B,A) and (C,A); C
+  // relays and redeems (B,C); (A,B) times out unredeemed: B's premium p on
+  // it is awarded to A.
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[1] = DeviationPlan::halt_after(3);
+  const auto r = run_multi_party_swap(config(Digraph::figure3a()), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  EXPECT_EQ(r.payoffs[0].coin_delta, 1);   // +p for its locked asset
+  EXPECT_EQ(r.payoffs[1].coin_delta, -1);  // deviator pays
+  EXPECT_EQ(r.payoffs[2].coin_delta, 0);   // C completed everything
+  EXPECT_EQ(r.assets_refunded[0], 1);      // (A,B) came back to A
+  // B's assets were redeemed out from under it — self-harm, as in the
+  // two-party case.
+  EXPECT_EQ(r.payoffs[1].by_symbol.at("token-1"), -200);
+}
+
+TEST(MultiParty, FollowerSkipsEscrowPhase) {
+  // C halts before phase 3 (Lemma 3 situation). A escrowed on (A,B), B on
+  // (B,A) and (B,C); all refund. Premium flows: E(C,A)=5 awarded to A;
+  // every redemption premium awarded to its arc's sender.
+  // A: +5 (escrow award) - 2 - 3 (its deposits) + 1 (from (A,B)) = +1.
+  // B: +2 (on (B,A)) + 2 (on (B,C)) - 1 (its deposit) = +3.
+  // C: +3 (on (C,A)) - 2 (its deposit) - 5 (escrow premium) = -4.
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[2] = DeviationPlan::halt_after(2);
+  const auto r = run_multi_party_swap(config(Digraph::figure3a()), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  EXPECT_EQ(r.payoffs[0].coin_delta, 1);
+  EXPECT_EQ(r.payoffs[1].coin_delta, 3);
+  EXPECT_EQ(r.payoffs[2].coin_delta, -4);
+  EXPECT_EQ(r.assets_refunded[0], 1);
+  EXPECT_EQ(r.assets_refunded[1], 2);
+  EXPECT_GE(r.payoffs[0].coin_delta, r.assets_refunded[0]);
+  EXPECT_GE(r.payoffs[1].coin_delta, r.assets_refunded[1]);
+}
+
+TEST(MultiParty, FollowerSkipsEscrowPremiums) {
+  // C halts before phase 1 (Lemma 5 situation): premium distribution
+  // fails; compliant parties end with zero escrow-premium losses.
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[2] = DeviationPlan::halt_after(0);
+  const auto r = run_multi_party_swap(config(Digraph::figure3a()), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  EXPECT_GE(r.payoffs[0].coin_delta, 0);
+  EXPECT_GE(r.payoffs[1].coin_delta, 0);
+  // Nobody escrowed any asset.
+  EXPECT_EQ(r.assets_escrowed[0] + r.assets_escrowed[1] +
+                r.assets_escrowed[2],
+            0);
+}
+
+TEST(MultiParty, FollowerSkipsRedemptionPremiums) {
+  // C halts before phase 2 (Lemma 4 situation): activation fails on arcs
+  // needing C's deposits; compliant parties break even.
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[2] = DeviationPlan::halt_after(1);
+  const auto r = run_multi_party_swap(config(Digraph::figure3a()), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  EXPECT_GE(r.payoffs[0].coin_delta, 0);
+  EXPECT_GE(r.payoffs[1].coin_delta, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Base protocol exposure: the sore-loser flaw the hedged version removes.
+// ---------------------------------------------------------------------------
+
+TEST(MultiParty, BaseProtocolLocksWithoutCompensation) {
+  std::vector<DeviationPlan> plans = all_conform(3);
+  plans[2] = DeviationPlan::halt_after(0);  // C never escrows (base phase 1)
+  const auto r = run_multi_party_swap(
+      config(Digraph::figure3a(), /*hedged=*/false), plans);
+  EXPECT_FALSE(r.all_redeemed);
+  // Assets were locked and refunded...
+  EXPECT_GT(r.assets_refunded[0] + r.assets_refunded[1], 0);
+  // ...and nobody received any compensation: the flaw.
+  EXPECT_EQ(r.payoffs[0].coin_delta, 0);
+  EXPECT_EQ(r.payoffs[1].coin_delta, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: hedged guarantee over graphs x single deviator x phase.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  int graph_kind;  // 0 = two_party, 1 = figure3a, 2 = cycle4, 3 = complete3
+  PartyId deviator;
+  int halt;
+};
+
+Digraph graph_of(int kind) {
+  switch (kind) {
+    case 0: return Digraph::two_party();
+    case 1: return Digraph::figure3a();
+    case 2: return Digraph::cycle(4);
+    default: return Digraph::complete(3);
+  }
+}
+
+class MultiPartySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MultiPartySweep, CompliantPartiesAreHedged) {
+  const auto& [kind, deviator, halt] = GetParam();
+  Digraph g = graph_of(kind);
+  std::vector<DeviationPlan> plans = all_conform(g.size());
+  plans[deviator] = DeviationPlan::halt_after(halt);
+  const auto r = run_multi_party_swap(config(std::move(g)), plans);
+
+  Amount total = 0;
+  for (std::size_t v = 0; v < r.payoffs.size(); ++v) {
+    total += r.payoffs[v].coin_delta;
+    if (v == deviator) continue;
+    // Compliant parties never lose coins...
+    EXPECT_GE(r.payoffs[v].coin_delta, 0)
+        << "graph " << kind << " deviator " << deviator << " halt@" << halt
+        << " party " << v;
+    // ...and are paid at least p per locked-and-refunded asset (Lemma 6).
+    EXPECT_GE(r.payoffs[v].coin_delta, r.assets_refunded[v])
+        << "graph " << kind << " deviator " << deviator << " halt@" << halt
+        << " party " << v;
+  }
+  EXPECT_EQ(total, 0) << "premiums are zero-sum";
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (int kind = 0; kind < 4; ++kind) {
+    const std::size_t n = graph_of(kind).size();
+    for (PartyId d = 0; d < n; ++d) {
+      for (int halt = 0; halt <= kMultiPartyHedgedActions; ++halt) {
+        cases.push_back({kind, d, halt});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MultiPartySweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+TEST(MultiParty, RejectsDisconnectedGraph) {
+  Digraph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);  // vertex 2 unreachable
+  EXPECT_THROW(run_multi_party_swap(config(std::move(g)), all_conform(3)),
+               std::invalid_argument);
+}
+
+TEST(MultiParty, RejectsBadLeaderSet) {
+  MultiPartyConfig cfg = config(Digraph::figure3a());
+  cfg.leaders = {2};  // C is not a feedback vertex set
+  EXPECT_THROW(run_multi_party_swap(cfg, all_conform(3)),
+               std::invalid_argument);
+}
+
+TEST(MultiParty, RejectsPlanCountMismatch) {
+  EXPECT_THROW(
+      run_multi_party_swap(config(Digraph::figure3a()), all_conform(2)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xchain::core

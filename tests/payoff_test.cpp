@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/payoff.hpp"
+
+namespace xchain::core {
+namespace {
+
+using chain::Address;
+
+TEST(PayoffTracker, ZeroDeltaWhenNothingMoves) {
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("alpha");
+  bc.ledger_for_setup().mint(Address::party(0), "x", 10);
+  PayoffTracker tracker(chains, 1);
+  const auto d = tracker.delta(chains, 0);
+  EXPECT_TRUE(d.by_symbol.empty());
+  EXPECT_EQ(d.coin_delta, 0);
+  EXPECT_EQ(d.value_delta, 0);
+}
+
+TEST(PayoffTracker, TracksTransfersAcrossChains) {
+  chain::MultiChain chains;
+  auto& a = chains.add_chain("alpha");
+  auto& b = chains.add_chain("beta");
+  a.ledger_for_setup().mint(Address::party(0), "x", 10);
+  b.ledger_for_setup().mint(Address::party(1), b.native(), 5);
+  PayoffTracker tracker(chains, 2);
+
+  a.ledger_for_setup().transfer(Address::party(0), Address::party(1), "x", 4);
+  b.ledger_for_setup().transfer(Address::party(1), Address::party(0),
+                                b.native(), 2);
+
+  const auto d0 = tracker.delta(chains, 0);
+  EXPECT_EQ(d0.by_symbol.at("x"), -4);
+  EXPECT_EQ(d0.by_symbol.at("beta-coin"), 2);
+  EXPECT_EQ(d0.coin_delta, 2);       // only the native coin counts
+  EXPECT_EQ(d0.value_delta, -2);     // everything at par
+
+  const auto d1 = tracker.delta(chains, 1);
+  EXPECT_EQ(d1.coin_delta, -2);
+  EXPECT_EQ(d1.value_delta, 2);
+}
+
+TEST(PayoffTracker, CoinDeltaSumsAcrossChains) {
+  chain::MultiChain chains;
+  auto& a = chains.add_chain("alpha");
+  auto& b = chains.add_chain("beta");
+  a.ledger_for_setup().mint(Address::party(0), a.native(), 10);
+  b.ledger_for_setup().mint(Address::party(0), b.native(), 10);
+  PayoffTracker tracker(chains, 1);
+  a.ledger_for_setup().transfer(Address::party(0), Address::party(1),
+                                a.native(), 3);
+  b.ledger_for_setup().transfer(Address::party(0), Address::party(1),
+                                b.native(), 4);
+  EXPECT_EQ(tracker.delta(chains, 0).coin_delta, -7);
+}
+
+TEST(PayoffTracker, ContractBalancesNotAttributedToParties) {
+  chain::MultiChain chains;
+  auto& a = chains.add_chain("alpha");
+  a.ledger_for_setup().mint(Address::party(0), "x", 10);
+  PayoffTracker tracker(chains, 1);
+  // Escrow to a contract address: the party's delta is negative, nobody
+  // else's is affected.
+  a.ledger_for_setup().transfer(Address::party(0), Address::contract(7), "x",
+                                10);
+  EXPECT_EQ(tracker.delta(chains, 0).by_symbol.at("x"), -10);
+}
+
+TEST(PayoffDelta, StrSkipsZeros) {
+  PayoffDelta d;
+  d.by_symbol["x"] = 3;
+  d.by_symbol["y"] = 0;
+  d.by_symbol["z"] = -1;
+  const std::string s = d.str();
+  EXPECT_NE(s.find("x: 3"), std::string::npos);
+  EXPECT_EQ(s.find("y"), std::string::npos);
+  EXPECT_NE(s.find("z: -1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xchain::core

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/premiums.hpp"
+
+namespace xchain::core {
+namespace {
+
+using graph::Digraph;
+using graph::Path;
+using graph::Vertex;
+
+// ---------------------------------------------------------------------------
+// Equation 1: redemption premiums
+// ---------------------------------------------------------------------------
+
+TEST(RedemptionPremium, Figure3aLeaderAlice) {
+  // Arcs: A->B, B->A, B->C, C->A; leader A, p = 1.
+  const Digraph g = Digraph::figure3a();
+  // R((A), B): B covers p plus its own re-deposit toward A (cycle) = 2.
+  EXPECT_EQ(redemption_premium(g, {0}, 1, 1), 2);
+  // R((A), C): C covers p plus B's chain (B covers p plus its cycle) = 3.
+  EXPECT_EQ(redemption_premium(g, {0}, 2, 1), 3);
+  // Leader's total deposit = 2 + 3.
+  EXPECT_EQ(leader_redemption_premium(g, 0, 1), 5);
+}
+
+TEST(RedemptionPremium, ScalesLinearlyWithP) {
+  const Digraph g = Digraph::figure3a();
+  EXPECT_EQ(leader_redemption_premium(g, 0, 7), 5 * 7);
+}
+
+TEST(RedemptionPremium, TwoPartyDigraph) {
+  const Digraph g = Digraph::two_party();
+  // R((A), B) = p + R((B,A), A) = p + p = 2p.
+  EXPECT_EQ(redemption_premium(g, {0}, 1, 1), 2);
+  EXPECT_EQ(leader_redemption_premium(g, 0, 1), 2);
+}
+
+TEST(RedemptionPremium, CycleGraphLinearInN) {
+  // §7 end: "If there is a unique path between any two parties, then each
+  // leader's premium is linear in n."
+  for (std::size_t n : {2u, 3u, 5u, 8u, 12u}) {
+    const Digraph g = Digraph::cycle(n);
+    EXPECT_EQ(leader_redemption_premium(g, 0, 1), static_cast<Amount>(n))
+        << "n=" << n;
+  }
+}
+
+TEST(RedemptionPremium, CompleteGraphExponentialInN) {
+  // §7 end: "In the worst case, for a complete digraph, each leader's
+  // premium is exponential in n."
+  Amount prev = 0;
+  std::vector<Amount> values;
+  for (std::size_t n : {2u, 3u, 4u, 5u, 6u}) {
+    const Amount r = leader_redemption_premium(Digraph::complete(n), 0, 1);
+    values.push_back(r);
+    if (prev > 0) {
+      EXPECT_GE(r, 2 * prev) << "n=" << n;  // at-least-doubling growth
+    }
+    prev = r;
+  }
+  EXPECT_EQ(values[0], 2);   // K_2
+  EXPECT_EQ(values[1], 10);  // K_3
+}
+
+TEST(RedemptionPremium, InteriorVertexGetsBaseP) {
+  const Digraph g = Digraph::figure3a();
+  // B already on path (B, A): amount is just p.
+  EXPECT_EQ(redemption_premium(g, {1, 0}, 1, 3), 3);
+}
+
+TEST(RedemptionDeposits, LeaderStartsBackwardFlow) {
+  const Digraph g = Digraph::figure3a();
+  const auto deposits = redemption_deposits_for(g, 0, {}, 1);
+  ASSERT_EQ(deposits.size(), 2u);  // incoming arcs (B,A), (C,A)
+  EXPECT_EQ(deposits[0].arc, (graph::Arc{1, 0}));
+  EXPECT_EQ(deposits[0].path, (Path{0}));
+  EXPECT_EQ(deposits[0].amount, 2);
+  EXPECT_EQ(deposits[1].arc, (graph::Arc{2, 0}));
+  EXPECT_EQ(deposits[1].amount, 3);
+}
+
+TEST(RedemptionDeposits, FollowerExtendsPath) {
+  const Digraph g = Digraph::figure3a();
+  // C saw a premium with path (A) on its outgoing arc (C,A); C deposits on
+  // its incoming arc (B,C) with path (C,A).
+  const auto deposits = redemption_deposits_for(g, 2, {0}, 1);
+  ASSERT_EQ(deposits.size(), 1u);
+  EXPECT_EQ(deposits[0].arc, (graph::Arc{1, 2}));
+  EXPECT_EQ(deposits[0].path, (Path{2, 0}));
+  EXPECT_EQ(deposits[0].amount, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Equation 2: escrow premiums
+// ---------------------------------------------------------------------------
+
+TEST(EscrowPremium, Figure3aValues) {
+  const Digraph g = Digraph::figure3a();
+  const auto e = escrow_premiums(g, {0}, 1);
+  // Arcs entering leader A carry R(A) = 5.
+  EXPECT_EQ(e.at({1, 0}), 5);
+  EXPECT_EQ(e.at({2, 0}), 5);
+  // Arc (B,C): covers C's outgoing premiums = E(C,A) = 5.
+  EXPECT_EQ(e.at({1, 2}), 5);
+  // Arc (A,B): covers B's outgoing premiums = E(B,A) + E(B,C) = 10.
+  EXPECT_EQ(e.at({0, 1}), 10);
+}
+
+TEST(EscrowPremium, RequiresFeedbackVertexSet) {
+  const Digraph g = Digraph::figure3a();
+  EXPECT_THROW(escrow_premiums(g, {2}, 1), std::invalid_argument);
+  EXPECT_THROW(escrow_premiums(g, {}, 1), std::invalid_argument);
+}
+
+TEST(EscrowPremium, CycleGraph) {
+  const Digraph g = Digraph::cycle(4);  // 0->1->2->3->0, leader 0
+  const auto e = escrow_premiums(g, {0}, 1);
+  // R(0) = 4. Every follower has exactly one outgoing arc, so all escrow
+  // premiums equal R(0) by the chain rule.
+  for (const auto& [arc, amount] : e) {
+    EXPECT_EQ(amount, 4) << arc.first << "->" << arc.second;
+  }
+}
+
+TEST(EscrowPremium, FollowerCoversOutgoing) {
+  // Follower invariant of Lemma 3: E(u,v) >= sum of E(v,w) for followers v.
+  const Digraph g = Digraph::complete(4);
+  const auto leaders = g.minimum_feedback_vertex_set();
+  const auto e = escrow_premiums(g, leaders, 1);
+  std::vector<bool> is_leader(g.size(), false);
+  for (Vertex l : leaders) is_leader[l] = true;
+  for (Vertex v = 0; v < g.size(); ++v) {
+    if (is_leader[v]) continue;
+    Amount outgoing = 0;
+    for (Vertex w : g.out_neighbors(v)) outgoing += e.at({v, w});
+    for (Vertex u : g.in_neighbors(v)) {
+      EXPECT_GE(e.at({u, v}), outgoing);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// §6: bootstrapping
+// ---------------------------------------------------------------------------
+
+TEST(Bootstrap, LadderAmounts) {
+  // A = B = 1,000,000, P = 100, r = 3.
+  const auto s = bootstrap_schedule(1'000'000, 1'000'000, 100.0, 3);
+  ASSERT_EQ(s.apricot.size(), 4u);
+  EXPECT_EQ(s.apricot[0], 1'000'000);
+  EXPECT_EQ(s.apricot[1], 10'000);   // A/P
+  EXPECT_EQ(s.apricot[2], 100);      // A/P^2
+  EXPECT_EQ(s.apricot[3], 1);        // A/P^3
+  EXPECT_EQ(s.banana[1], 20'000);    // (A+B)/P
+  EXPECT_EQ(s.banana[2], 300);       // (2A+B)/P^2
+  EXPECT_EQ(s.banana[3], 4);         // (3A+B)/P^3 — the paper's $4
+}
+
+TEST(Bootstrap, PaperMillionDollarClaim) {
+  // §6: "With 1% premiums and $4 initial lock-up risk, 3 bootstrapping
+  // rounds are enough to hedge a $1,000,000 swap."
+  EXPECT_EQ(bootstrap_rounds_needed(1'000'000, 1'000'000, 100.0, 4), 3);
+}
+
+TEST(Bootstrap, RoundsGrowLogarithmically) {
+  // Rounds needed ~ log_P((rA+B)/p): multiplying the swap size by P adds
+  // one round, plus occasionally one more from the linear rA term.
+  const int r1 = bootstrap_rounds_needed(10'000, 10'000, 10.0, 5);
+  const int r2 = bootstrap_rounds_needed(100'000, 100'000, 10.0, 5);
+  const int r3 = bootstrap_rounds_needed(1'000'000, 1'000'000, 10.0, 5);
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+  EXPECT_LE(r3 - r1, 4);  // logarithmic, not linear, in swap size
+  // A 100x larger swap at P=10 needs only ~2 more rounds.
+  EXPECT_LE(r3, r1 + 2 * 2);
+}
+
+TEST(Bootstrap, ZeroRoundsIsUnhedgedPrincipal) {
+  const auto s = bootstrap_schedule(500, 300, 100.0, 0);
+  EXPECT_EQ(s.initial_risk_apricot(), 500);
+  EXPECT_EQ(s.initial_risk_banana(), 300);
+}
+
+TEST(Bootstrap, RejectsBadFactor) {
+  EXPECT_THROW(bootstrap_schedule(100, 100, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(bootstrap_schedule(100, 100, 0.5, 2), std::invalid_argument);
+}
+
+TEST(Bootstrap, PremiumsShrinkMonotonically) {
+  const auto s = bootstrap_schedule(123'456, 654'321, 7.0, 6);
+  for (int j = 1; j <= s.rounds; ++j) {
+    EXPECT_LT(s.apricot[j], s.apricot[j - 1]);
+    EXPECT_LT(s.banana[j], s.banana[j - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace xchain::core

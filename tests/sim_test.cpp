@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "sim/deviation.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::sim {
+namespace {
+
+class RecordingParty : public Party {
+ public:
+  RecordingParty(PartyId id, chain::Blockchain& bc)
+      : Party(id, "rec-" + std::to_string(id)), bc_(bc) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    ticks_seen.push_back(now);
+    heights_seen.push_back(bc_.height());
+    chains.at(bc_.id()).submit(
+        {id(), "noop", [](chain::TxContext&) {}});
+  }
+
+  std::vector<Tick> ticks_seen;
+  std::vector<Tick> heights_seen;
+
+ private:
+  chain::Blockchain& bc_;
+};
+
+TEST(Scheduler, RunsEveryTickInOrder) {
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("test");
+  RecordingParty p(0, bc);
+  Scheduler sched(chains);
+  sched.add_party(p);
+  sched.run_until(5);
+  EXPECT_EQ(p.ticks_seen, (std::vector<Tick>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sched.now(), 5);
+  EXPECT_EQ(bc.height(), 4);
+}
+
+TEST(Scheduler, PartiesObservePreviousBlockState) {
+  // At tick t a party sees the chain at height t-1: the Delta = 1-tick
+  // propagation bound of §3.1.
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("test");
+  RecordingParty p(0, bc);
+  Scheduler sched(chains);
+  sched.add_party(p);
+  sched.run_until(3);
+  EXPECT_EQ(p.heights_seen, (std::vector<Tick>{-1, 0, 1}));
+}
+
+TEST(Scheduler, SubmittedTransactionsLandSameTick) {
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("test");
+  RecordingParty p(0, bc);
+  Scheduler sched(chains);
+  sched.add_party(p);
+  sched.run_until(4);
+  EXPECT_EQ(bc.applied_tx_count(), 4u);
+}
+
+TEST(Scheduler, ResumableRuns) {
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("test");
+  RecordingParty p(0, bc);
+  Scheduler sched(chains);
+  sched.add_party(p);
+  sched.run_until(2);
+  sched.run_until(2);  // no-op
+  sched.run_until(5);
+  EXPECT_EQ(p.ticks_seen.size(), 5u);
+}
+
+TEST(Scheduler, MultiplePartiesStepInIdOrderWithinTick) {
+  chain::MultiChain chains;
+  auto& bc = chains.add_chain("test");
+  std::vector<PartyId> order;
+
+  class OrderParty : public Party {
+   public:
+    OrderParty(PartyId id, std::vector<PartyId>& order)
+        : Party(id, "p"), order_(order) {}
+    void step(chain::MultiChain&, Tick) override { order_.push_back(id()); }
+    std::vector<PartyId>& order_;
+  };
+
+  OrderParty a(2, order), b(0, order);
+  Scheduler sched(chains);
+  sched.add_party(a);  // registration order, not id order, is used
+  sched.add_party(b);
+  sched.run_until(2);
+  EXPECT_EQ(order, (std::vector<PartyId>{2, 0, 2, 0}));
+  (void)bc;
+}
+
+TEST(DeviationPlan, ConformingAllowsEverything) {
+  const auto plan = DeviationPlan::conforming();
+  EXPECT_TRUE(plan.is_conforming());
+  EXPECT_TRUE(plan.allows(0));
+  EXPECT_TRUE(plan.allows(1000));
+  EXPECT_EQ(plan.str(), "conform");
+}
+
+TEST(DeviationPlan, HaltAfterIsPrefix) {
+  const auto plan = DeviationPlan::halt_after(2);
+  EXPECT_FALSE(plan.is_conforming());
+  EXPECT_TRUE(plan.allows(0));
+  EXPECT_TRUE(plan.allows(1));
+  EXPECT_FALSE(plan.allows(2));
+  EXPECT_FALSE(plan.allows(3));
+  EXPECT_EQ(plan.halt_point(), 2);
+  EXPECT_EQ(plan.str(), "halt@2");
+}
+
+TEST(DeviationPlan, HaltAtZeroNeverActs) {
+  EXPECT_FALSE(DeviationPlan::halt_after(0).allows(0));
+}
+
+TEST(DeviationPlan, Equality) {
+  EXPECT_EQ(DeviationPlan::conforming(), DeviationPlan::conforming());
+  EXPECT_EQ(DeviationPlan::halt_after(1), DeviationPlan::halt_after(1));
+  EXPECT_NE(DeviationPlan::halt_after(1), DeviationPlan::halt_after(2));
+  EXPECT_NE(DeviationPlan::conforming(), DeviationPlan::halt_after(1));
+}
+
+TEST(Party, KeysDerivedFromName) {
+  class Dummy : public Party {
+   public:
+    using Party::Party;
+    void step(chain::MultiChain&, Tick) override {}
+  };
+  Dummy a(0, "alice"), a2(1, "alice"), b(2, "bob");
+  EXPECT_EQ(a.keys().pub, a2.keys().pub);  // same name, same keys
+  EXPECT_NE(a.keys().pub.y, b.keys().pub.y);
+  EXPECT_EQ(a.address(), chain::Address::party(0));
+}
+
+}  // namespace
+}  // namespace xchain::sim

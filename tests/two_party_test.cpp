@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "core/two_party.hpp"
+
+namespace xchain::core {
+namespace {
+
+using sim::DeviationPlan;
+
+// A=100 apricot vs B=50 banana, p_a=2, p_b=1, Delta=2 ticks.
+TwoPartyConfig config() {
+  TwoPartyConfig cfg;
+  cfg.alice_tokens = 100;
+  cfg.bob_tokens = 50;
+  cfg.premium_a = 2;
+  cfg.premium_b = 1;
+  cfg.delta = 2;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Base protocol (§5.1)
+// ---------------------------------------------------------------------------
+
+TEST(BaseTwoParty, BothConformSwaps) {
+  const auto r = run_base_two_party(config(), DeviationPlan::conforming(),
+                                    DeviationPlan::conforming());
+  EXPECT_TRUE(r.swapped);
+  EXPECT_EQ(r.alice.by_symbol.at("apricot"), -100);
+  EXPECT_EQ(r.alice.by_symbol.at("banana"), 50);
+  EXPECT_EQ(r.bob.by_symbol.at("apricot"), 100);
+  EXPECT_EQ(r.bob.by_symbol.at("banana"), -50);
+  EXPECT_EQ(r.alice_lockup, 0);
+  EXPECT_EQ(r.bob_lockup, 0);
+}
+
+TEST(BaseTwoParty, BobAbandonsLocksAliceUncompensated) {
+  // §5.1: "If Bob walks away at Step 2, Alice's asset is locked up for
+  // 3*Delta... Bob pays no penalty."
+  const auto r = run_base_two_party(config(), DeviationPlan::conforming(),
+                                    DeviationPlan::halt_after(0));
+  EXPECT_FALSE(r.swapped);
+  EXPECT_GT(r.alice_lockup, 0);       // locked...
+  EXPECT_EQ(r.alice.coin_delta, 0);   // ...and uncompensated: the flaw
+  EXPECT_EQ(r.alice.by_symbol.count("apricot"), 0u);  // refunded in full
+}
+
+TEST(BaseTwoParty, AliceAbandonsLocksBobUncompensated) {
+  // §5.1: "if Alice walks away at Step 3, Bob's asset is locked up for
+  // Delta" with no compensation.
+  const auto r = run_base_two_party(config(), DeviationPlan::halt_after(1),
+                                    DeviationPlan::conforming());
+  EXPECT_FALSE(r.swapped);
+  EXPECT_GT(r.bob_lockup, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  // Alice also locked her own asset; both refunded.
+  EXPECT_GT(r.alice_lockup, 0);
+}
+
+TEST(BaseTwoParty, AliceNeverStartsNothingMoves) {
+  const auto r = run_base_two_party(config(), DeviationPlan::halt_after(0),
+                                    DeviationPlan::conforming());
+  EXPECT_FALSE(r.swapped);
+  EXPECT_TRUE(r.alice.by_symbol.empty());
+  EXPECT_TRUE(r.bob.by_symbol.empty());
+}
+
+TEST(BaseTwoParty, BobStealsNothingWithoutSecret) {
+  // Safety: whatever Bob does, he cannot take Alice's tokens without s.
+  for (int k = 0; k <= 2; ++k) {
+    const auto r = run_base_two_party(config(), DeviationPlan::halt_after(1),
+                                      DeviationPlan::halt_after(k));
+    const auto it = r.bob.by_symbol.find("apricot");
+    EXPECT_TRUE(it == r.bob.by_symbol.end() || it->second <= 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hedged protocol (§5.2, Figure 1)
+// ---------------------------------------------------------------------------
+
+TEST(HedgedTwoParty, BothConformSwapsAndRefundsPremiums) {
+  const auto r = run_hedged_two_party(config(), DeviationPlan::conforming(),
+                                      DeviationPlan::conforming());
+  EXPECT_TRUE(r.swapped);
+  EXPECT_EQ(r.alice.by_symbol.at("apricot"), -100);
+  EXPECT_EQ(r.alice.by_symbol.at("banana"), 50);
+  EXPECT_EQ(r.alice.coin_delta, 0);  // premiums refunded
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  EXPECT_EQ(r.alice_lockup, 0);
+  EXPECT_EQ(r.bob_lockup, 0);
+}
+
+TEST(HedgedTwoParty, BobRenegesAfterAliceEscrowsPaysPb) {
+  // §5.2: "If Bob is first to deviate after Alice escrows her principal,
+  // he will pay Alice p_b."
+  const auto r = run_hedged_two_party(config(), DeviationPlan::conforming(),
+                                      DeviationPlan::halt_after(1));
+  EXPECT_FALSE(r.swapped);
+  EXPECT_GT(r.alice_lockup, 0);
+  EXPECT_EQ(r.alice.coin_delta, 1);   // +p_b
+  EXPECT_EQ(r.bob.coin_delta, -1);    // -p_b
+  EXPECT_EQ(r.alice.by_symbol.count("apricot"), 0u);  // principal refunded
+}
+
+TEST(HedgedTwoParty, AliceRenegesAfterBobEscrowsPaysNetPa) {
+  // §5.2: "If Alice is the first to omit a step after Bob escrows his
+  // principal, she will pay Bob p_a + p_b, and Bob will pay Alice p_b" —
+  // net: Alice -p_a, Bob +p_a.
+  const auto r = run_hedged_two_party(config(), DeviationPlan::halt_after(2),
+                                      DeviationPlan::conforming());
+  EXPECT_FALSE(r.swapped);
+  EXPECT_GT(r.bob_lockup, 0);
+  EXPECT_EQ(r.alice.coin_delta, -2);  // -(p_a+p_b) + p_b = -p_a
+  EXPECT_EQ(r.bob.coin_delta, 2);     // +(p_a+p_b) - p_b = +p_a
+}
+
+TEST(HedgedTwoParty, PremiumPhaseAbortCostsNothing) {
+  // Alice deposits her premium, Bob never responds: premiums are refunded,
+  // no principals move. (Residual risk is lock-up of the premium only.)
+  const auto r = run_hedged_two_party(config(), DeviationPlan::conforming(),
+                                      DeviationPlan::halt_after(0));
+  EXPECT_FALSE(r.swapped);
+  EXPECT_EQ(r.alice.coin_delta, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  EXPECT_EQ(r.alice_lockup, 0);  // principal never escrowed
+  EXPECT_EQ(r.alice.by_symbol.count("apricot"), 0u);
+}
+
+TEST(HedgedTwoParty, AliceSkipsEscrowOnlyPremiumsMove) {
+  const auto r = run_hedged_two_party(config(), DeviationPlan::halt_after(1),
+                                      DeviationPlan::conforming());
+  EXPECT_FALSE(r.swapped);
+  // Truncated run: both premiums eventually refunded, nobody escrowed.
+  EXPECT_EQ(r.alice.coin_delta, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+  EXPECT_EQ(r.alice_lockup, 0);
+  EXPECT_EQ(r.bob_lockup, 0);
+}
+
+TEST(HedgedTwoParty, BobSkipsFinalRedeemHurtsOnlyHimself) {
+  const auto r = run_hedged_two_party(config(), DeviationPlan::conforming(),
+                                      DeviationPlan::halt_after(2));
+  EXPECT_FALSE(r.swapped);
+  // Alice redeemed Bob's banana and got her premium back, plus Bob's p_b
+  // as compensation for her locked apricot principal (never redeemed).
+  EXPECT_EQ(r.alice.by_symbol.at("banana"), 50);
+  EXPECT_EQ(r.alice.coin_delta, 1);
+  EXPECT_EQ(r.bob.by_symbol.at("banana"), -50);
+  EXPECT_EQ(r.bob.coin_delta, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: the hedged guarantee over every deviation pair
+// ---------------------------------------------------------------------------
+
+struct PlanCase {
+  int alice;  // -1 = conforming
+  int bob;
+};
+
+class HedgedSweep : public ::testing::TestWithParam<PlanCase> {};
+
+DeviationPlan plan_of(int k) {
+  return k < 0 ? DeviationPlan::conforming() : DeviationPlan::halt_after(k);
+}
+
+TEST_P(HedgedSweep, CompliantPartiesNeverLoseCoins) {
+  const auto [ka, kb] = GetParam();
+  const auto r = run_hedged_two_party(config(), plan_of(ka), plan_of(kb));
+  if (ka < 0) {
+    EXPECT_GE(r.alice.coin_delta, 0) << "alice compliant, bob halt@" << kb;
+    // Hedged property (Definition 1): a compliant party whose principal
+    // was locked up and refunded receives compensation.
+    if (r.alice_lockup > 0) {
+      EXPECT_GT(r.alice.coin_delta, 0);
+    }
+  }
+  if (kb < 0) {
+    EXPECT_GE(r.bob.coin_delta, 0) << "bob compliant, alice halt@" << ka;
+    if (r.bob_lockup > 0) {
+      EXPECT_GT(r.bob.coin_delta, 0);
+    }
+  }
+  // Conservation: premium flows are zero-sum.
+  EXPECT_EQ(r.alice.coin_delta + r.bob.coin_delta, 0);
+}
+
+TEST_P(HedgedSweep, SafetyNoTokenTheft) {
+  const auto [ka, kb] = GetParam();
+  const auto r = run_hedged_two_party(config(), plan_of(ka), plan_of(kb));
+  // A compliant Alice never loses her apricot tokens without receiving the
+  // banana tokens.
+  if (ka < 0) {
+    const bool lost_apricot = r.alice.by_symbol.count("apricot") &&
+                              r.alice.by_symbol.at("apricot") < 0;
+    const bool got_banana = r.alice.by_symbol.count("banana") &&
+                            r.alice.by_symbol.at("banana") > 0;
+    if (lost_apricot) {
+      EXPECT_TRUE(got_banana);
+    }
+  }
+  if (kb < 0) {
+    const bool lost_banana = r.bob.by_symbol.count("banana") &&
+                             r.bob.by_symbol.at("banana") < 0;
+    const bool got_apricot = r.bob.by_symbol.count("apricot") &&
+                             r.bob.by_symbol.at("apricot") > 0;
+    if (lost_banana) {
+      EXPECT_TRUE(got_apricot);
+    }
+  }
+}
+
+std::vector<PlanCase> all_plan_pairs() {
+  std::vector<PlanCase> cases;
+  for (int a = -1; a <= kHedgedTwoPartyActions; ++a) {
+    for (int b = -1; b <= kHedgedTwoPartyActions; ++b) {
+      cases.push_back({a, b});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlans, HedgedSweep,
+                         ::testing::ValuesIn(all_plan_pairs()),
+                         [](const auto& info) {
+                           auto name = [](int k) {
+                             return k < 0 ? std::string("conform")
+                                          : "halt" + std::to_string(k);
+                           };
+                           return "alice_" + name(info.param.alice) +
+                                  "_bob_" + name(info.param.bob);
+                         });
+
+// Delta-robustness: the guarantees hold for any synchrony bound.
+class DeltaSweep : public ::testing::TestWithParam<Tick> {};
+
+TEST_P(DeltaSweep, ConformingSwapCompletesAtAnyDelta) {
+  TwoPartyConfig cfg = config();
+  cfg.delta = GetParam();
+  const auto r = run_hedged_two_party(cfg, DeviationPlan::conforming(),
+                                      DeviationPlan::conforming());
+  EXPECT_TRUE(r.swapped);
+  EXPECT_EQ(r.alice.coin_delta, 0);
+  EXPECT_EQ(r.bob.coin_delta, 0);
+}
+
+TEST_P(DeltaSweep, BobRenegeCompensationScalesNotWithDelta) {
+  TwoPartyConfig cfg = config();
+  cfg.delta = GetParam();
+  const auto r = run_hedged_two_party(cfg, DeviationPlan::conforming(),
+                                      DeviationPlan::halt_after(1));
+  EXPECT_EQ(r.alice.coin_delta, 1);
+  // Lock-up duration grows with Delta (that is exactly the risk premiums
+  // compensate for).
+  EXPECT_GE(r.alice_lockup, 3 * cfg.delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep,
+                         ::testing::Values<Tick>(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace xchain::core

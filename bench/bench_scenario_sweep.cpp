@@ -1,0 +1,149 @@
+// Scenario-sweep throughput: how many adversarial deviation schedules per
+// second the ScenarioRunner can enumerate, execute, and audit, per protocol
+// family. This is the capacity metric for future fuzzing / scaling PRs —
+// exhaustive coverage is only as deep as the sweeps are fast.
+//
+// Emits BENCH_scenario_sweep.json (schedules/second per protocol) into the
+// working directory alongside the usual Google Benchmark output.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/reference_configs.hpp"
+#include "sim/scenario.hpp"
+
+using namespace xchain;
+
+namespace {
+
+core::TwoPartyConfig two_party_config() {
+  return sim::reference_two_party_config();
+}
+
+core::MultiPartyConfig multi_party_config(graph::Digraph g) {
+  return sim::reference_multi_party_config(std::move(g));
+}
+
+core::AuctionConfig auction_config() {
+  return sim::reference_auction_config();
+}
+
+struct NamedAdapter {
+  std::string name;
+  std::unique_ptr<sim::ProtocolAdapter> adapter;
+};
+
+std::vector<NamedAdapter> make_adapters() {
+  std::vector<NamedAdapter> out;
+  out.push_back({"two_party", std::make_unique<sim::TwoPartySwapAdapter>(
+                                  two_party_config())});
+  out.push_back({"multi_party_fig3a",
+                 std::make_unique<sim::MultiPartySwapAdapter>(
+                     multi_party_config(graph::Digraph::figure3a()))});
+  out.push_back({"multi_party_cycle4",
+                 std::make_unique<sim::MultiPartySwapAdapter>(
+                     multi_party_config(graph::Digraph::cycle(4)))});
+  out.push_back({"auction_open", std::make_unique<sim::TicketAuctionAdapter>(
+                                     auction_config(), /*sealed=*/false)});
+  out.push_back({"auction_sealed",
+                 std::make_unique<sim::TicketAuctionAdapter>(
+                     auction_config(), /*sealed=*/true)});
+  return out;
+}
+
+void BM_Sweep(benchmark::State& state, const sim::ProtocolAdapter& adapter) {
+  sim::ScenarioRunner runner(adapter);
+  std::size_t schedules = 0;
+  for (auto _ : state) {
+    auto report = runner.sweep();
+    benchmark::DoNotOptimize(report);
+    schedules += report.schedules_run;
+    if (!report.ok()) {
+      state.SkipWithError(("hedging-bound violation: " + report.str()).c_str());
+      return;
+    }
+  }
+  state.counters["schedules_per_second"] = benchmark::Counter(
+      static_cast<double>(schedules), benchmark::Counter::kIsRate);
+}
+
+// Deliberately measures with its own chrono loop instead of reusing the
+// BM_Sweep counters: the JSON must be emitted with stable methodology even
+// when benchmarks are filtered out or flags change their iteration counts.
+void write_json(const std::vector<NamedAdapter>& adapters) {
+  std::FILE* f = std::fopen("BENCH_scenario_sweep.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open BENCH_scenario_sweep.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"scenario_sweep\",\n");
+  std::fprintf(f, "  \"unit\": \"schedules_per_second\",\n");
+  std::fprintf(f, "  \"protocols\": [\n");
+  std::size_t total_schedules = 0;
+  double total_seconds = 0;
+  for (std::size_t i = 0; i < adapters.size(); ++i) {
+    sim::ScenarioRunner runner(*adapters[i].adapter);
+    // One warm-up, then time enough repetitions for a stable figure.
+    auto warm = runner.sweep();
+    const int reps = 5;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t schedules = 0;
+    std::size_t violations = 0;
+    for (int r = 0; r < reps; ++r) {
+      const auto report = runner.sweep();
+      schedules += report.schedules_run;
+      violations += report.violations.size();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    total_schedules += schedules;
+    total_seconds += secs;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"schedules\": %zu, "
+        "\"schedules_per_second\": %.1f, \"violations\": %zu}%s\n",
+        adapters[i].name.c_str(), warm.schedules_run,
+        static_cast<double>(schedules) / secs, violations,
+        i + 1 < adapters.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"total_schedules_per_second\": %.1f\n}\n",
+               static_cast<double>(total_schedules) / total_seconds);
+  std::fclose(f);
+  std::printf("wrote BENCH_scenario_sweep.json (%.1f schedules/s overall)\n",
+              static_cast<double>(total_schedules) / total_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto adapters = make_adapters();
+
+  std::printf("=== scenario sweep: exhaustive deviation-schedule audit ===\n");
+  for (const auto& [name, adapter] : adapters) {
+    const auto report = sim::ScenarioRunner(*adapter).sweep();
+    std::printf("%-20s %4zu schedules, %4zu conforming audits, %zu "
+                "violations\n",
+                name.c_str(), report.schedules_run,
+                report.conforming_audited, report.violations.size());
+  }
+
+  for (const auto& [name, adapter] : adapters) {
+    benchmark::RegisterBenchmark(("BM_Sweep/" + name).c_str(),
+                                 [&adapter = *adapter](benchmark::State& st) {
+                                   BM_Sweep(st, adapter);
+                                 });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  write_json(adapters);
+  return 0;
+}

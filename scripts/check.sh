@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification, end to end: configure, build, test from a clean (or
+# incremental) build tree. Mirrors ROADMAP.md's "Tier-1 verify" command.
+#
+# Usage: scripts/check.sh [--clean]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--clean" ]]; then
+  rm -rf build
+fi
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all green"

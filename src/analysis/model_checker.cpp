@@ -2,20 +2,19 @@
 
 #include <functional>
 
+#include "sim/plan_space.hpp"
+
 namespace xchain::analysis {
 
 namespace {
 
 using sim::DeviationPlan;
+using sim::for_each_plan_combination;
 
-/// The full plan space for a role with `actions` protocol actions:
-/// conforming plus every halting point.
+/// The checker's historical plan space keeps the redundant halt@actions
+/// encoding (tests pin the resulting scenario counts).
 std::vector<DeviationPlan> plan_space(int actions) {
-  std::vector<DeviationPlan> plans{DeviationPlan::conforming()};
-  for (int k = 0; k <= actions; ++k) {
-    plans.push_back(DeviationPlan::halt_after(k));
-  }
-  return plans;
+  return sim::plan_space(actions, /*include_full_halt=*/true);
 }
 
 std::string scenario_name(const std::vector<DeviationPlan>& plans) {
@@ -25,27 +24,6 @@ std::string scenario_name(const std::vector<DeviationPlan>& plans) {
     s += "p" + std::to_string(i) + "=" + plans[i].str();
   }
   return s;
-}
-
-/// Iterates the cartesian product of per-role plan spaces.
-void for_each_combination(
-    const std::vector<std::vector<DeviationPlan>>& spaces,
-    const std::function<void(const std::vector<DeviationPlan>&)>& fn) {
-  std::vector<std::size_t> index(spaces.size(), 0);
-  while (true) {
-    std::vector<DeviationPlan> combo;
-    combo.reserve(spaces.size());
-    for (std::size_t i = 0; i < spaces.size(); ++i) {
-      combo.push_back(spaces[i][index[i]]);
-    }
-    fn(combo);
-    std::size_t i = 0;
-    for (; i < spaces.size(); ++i) {
-      if (++index[i] < spaces[i].size()) break;
-      index[i] = 0;
-    }
-    if (i == spaces.size()) return;
-  }
 }
 
 bool lost(const core::PayoffDelta& d, const std::string& sym) {
@@ -86,7 +64,7 @@ CheckReport check_two_party_impl(const core::TwoPartyConfig& cfg,
       hedged ? core::kHedgedTwoPartyActions : core::kBaseTwoPartyActions;
   const auto space = plan_space(actions);
 
-  for_each_combination({space, space}, [&](const auto& plans) {
+  for_each_plan_combination({space, space}, [&](const auto& plans) {
     const auto r = hedged
                        ? core::run_hedged_two_party(cfg, plans[0], plans[1])
                        : core::run_base_two_party(cfg, plans[0], plans[1]);
@@ -155,7 +133,7 @@ CheckReport check_bootstrap(const core::BootstrapConfig& cfg) {
       "bootstrap-" + std::to_string(cfg.rounds) + "-rounds";
   const auto space = plan_space(core::bootstrap_action_count(cfg.rounds));
 
-  for_each_combination({space, space}, [&](const auto& plans) {
+  for_each_plan_combination({space, space}, [&](const auto& plans) {
     const auto r = core::run_bootstrap_swap(cfg, plans[0], plans[1]);
     ++report.scenarios_explored;
     report.events_observed += r.events.size();
@@ -200,7 +178,7 @@ CheckReport check_multi_party(const core::MultiPartyConfig& cfg) {
   const std::vector<std::vector<DeviationPlan>> spaces(
       cfg.g.size(), plan_space(actions));
 
-  for_each_combination(spaces, [&](const auto& plans) {
+  for_each_plan_combination(spaces, [&](const auto& plans) {
     const auto r = core::run_multi_party_swap(cfg, plans);
     ++report.scenarios_explored;
     report.events_observed += r.events.size();
@@ -248,7 +226,7 @@ CheckReport check_broker(const core::BrokerConfig& cfg) {
   report.protocol = "broker";
   const auto space = plan_space(core::kBrokerActions);
 
-  for_each_combination({space, space, space}, [&](const auto& plans) {
+  for_each_plan_combination({space, space, space}, [&](const auto& plans) {
     const auto r = core::run_broker_deal(cfg, plans[0], plans[1], plans[2]);
     ++report.scenarios_explored;
     report.events_observed += r.events.size();

@@ -1,0 +1,46 @@
+#include "sim/payoff_audit.hpp"
+
+namespace xchain::sim {
+
+std::string Violation::str() const {
+  return schedule + ": " + party + " ended at " + std::to_string(coin_delta) +
+         " coins, floor " + std::to_string(required_min) +
+         (detail.empty() ? "" : (" (" + detail + ")"));
+}
+
+std::size_t audit_schedule(const std::string& schedule_label,
+                           const std::vector<PartyOutcome>& outcomes,
+                           std::vector<Violation>& out,
+                           bool check_conservation) {
+  std::size_t audited = 0;
+  Amount total = 0;
+  for (const PartyOutcome& o : outcomes) {
+    total += o.payoff.coin_delta;
+    if (!o.conforming) continue;
+    ++audited;
+
+    Amount floor = o.bound.min_coin_delta;
+    if (o.bound.goods_received) {
+      floor -= o.bound.spend_allowance;
+    }
+    if (o.payoff.coin_delta < floor) {
+      out.push_back({schedule_label, o.name, o.payoff.coin_delta, floor,
+                     o.bound.goods_received
+                         ? "spent more than allowance over premium floor"
+                         : "lost more than earned premiums"});
+    } else if (!o.bound.goods_received && o.payoff.coin_delta < 0) {
+      // A conforming party that received nothing must never end coin-
+      // negative, whatever floor the adapter computed (defence in depth
+      // against adapters under-reporting entitlements).
+      out.push_back({schedule_label, o.name, o.payoff.coin_delta, 0,
+                     "coin-negative without goods"});
+    }
+  }
+  if (check_conservation && total != 0) {
+    out.push_back({schedule_label, "<all>", total, 0,
+                   "native-coin flows not zero-sum across parties"});
+  }
+  return audited;
+}
+
+}  // namespace xchain::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/payoff.hpp"
+
+namespace xchain::sim {
+
+/// The paper's hedging guarantee (Definition 1) instantiated for one party
+/// in one finished run: a conforming party must end no worse off than its
+/// earned premium compensation. The protocol adapter fills in the numbers —
+/// the audit only compares them against the observed payoff.
+struct HedgeBound {
+  /// Premium-compensation floor on the party's native-coin delta. 0 for a
+  /// party that was never harmed; each locked-and-refunded principal raises
+  /// it by the premium the paper awards for that lock-up.
+  Amount min_coin_delta = 0;
+
+  /// Coins the party may legitimately spend in exchange for goods (e.g. the
+  /// winning bid in the ticket auction). The coin delta is allowed to dip
+  /// to `min_coin_delta - spend_allowance` only when `goods_received`.
+  Amount spend_allowance = 0;
+  bool goods_received = false;
+};
+
+/// One party's end-of-run state as seen by the audit.
+struct PartyOutcome {
+  std::string name;
+  bool conforming = true;
+  core::PayoffDelta payoff;
+  HedgeBound bound;
+};
+
+/// A schedule on which the hedging bound failed for a conforming party.
+struct Violation {
+  std::string schedule;  ///< label of the offending schedule
+  std::string party;
+  Amount coin_delta = 0;    ///< observed
+  Amount required_min = 0;  ///< the floor that was breached
+  std::string detail;
+
+  std::string str() const;
+};
+
+/// Audits one schedule's outcomes against each conforming party's
+/// HedgeBound, and checks that native-coin flows are zero-sum across
+/// parties when `check_conservation` (premiums only move between parties;
+/// contracts never strand coins). Appends any violations to `out` and
+/// returns the number of conforming parties audited.
+std::size_t audit_schedule(const std::string& schedule_label,
+                           const std::vector<PartyOutcome>& outcomes,
+                           std::vector<Violation>& out,
+                           bool check_conservation = true);
+
+}  // namespace xchain::sim

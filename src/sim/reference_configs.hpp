@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/auction.hpp"
+#include "core/multi_party.hpp"
+#include "core/two_party.hpp"
+#include "graph/digraph.hpp"
+
+namespace xchain::sim {
+
+/// Canonical paper-parameter protocol configurations, shared by the
+/// scenario-sweep tests and benchmarks so both always audit and measure the
+/// same schedule space (the numbers mirror the seed unit-test fixtures:
+/// A=100 apricot vs B=50 banana with p_a=2, p_b=1; Figure 3a with uniform
+/// p=1; a 10-ticket auction with bids 100/80 and p=2).
+
+inline core::TwoPartyConfig reference_two_party_config() {
+  core::TwoPartyConfig cfg;
+  cfg.alice_tokens = 100;
+  cfg.bob_tokens = 50;
+  cfg.premium_a = 2;
+  cfg.premium_b = 1;
+  cfg.delta = 2;
+  return cfg;
+}
+
+inline core::MultiPartyConfig reference_multi_party_config(
+    graph::Digraph g = graph::Digraph::figure3a()) {
+  core::MultiPartyConfig cfg;
+  cfg.g = std::move(g);
+  cfg.asset_amount = 100;
+  cfg.premium_unit = 1;
+  cfg.delta = 1;
+  cfg.hedged = true;
+  return cfg;
+}
+
+inline core::AuctionConfig reference_auction_config() {
+  core::AuctionConfig cfg;
+  cfg.ticket_count = 10;
+  cfg.bids = {100, 80};
+  cfg.premium_unit = 2;
+  cfg.delta = 2;
+  cfg.collateral = 150;
+  return cfg;
+}
+
+}  // namespace xchain::sim

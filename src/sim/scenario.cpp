@@ -1,0 +1,197 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+#include "sim/plan_space.hpp"
+
+namespace xchain::sim {
+
+namespace {
+
+/// Streams every schedule within the deviator budget to `fn`, without
+/// materializing the cross product (it is exponential in the party count).
+void for_each_schedule(const ProtocolAdapter& adapter, int max_deviators,
+                       const std::function<void(const Schedule&)>& fn) {
+  const std::size_t n = adapter.party_count();
+  std::vector<std::vector<DeviationPlan>> spaces;
+  for (std::size_t p = 0; p < n; ++p) {
+    spaces.push_back(plan_space(adapter.action_count(static_cast<PartyId>(p))));
+  }
+
+  for (int variant = 0; variant < adapter.variant_count(); ++variant) {
+    const int variant_deviators = adapter.variant_conforming(variant) ? 0 : 1;
+    for_each_plan_combination(spaces, [&](const auto& plans) {
+      int deviators = variant_deviators;
+      for (const DeviationPlan& plan : plans) {
+        if (!plan.is_conforming()) ++deviators;
+      }
+      if (max_deviators >= 0 && deviators > max_deviators) return;
+
+      Schedule s;
+      s.variant = variant;
+      s.plans = plans;
+      s.label = adapter.name() + "[" + adapter.variant_label(variant);
+      for (std::size_t p = 0; p < n; ++p) {
+        s.label += (p == 0 ? "|" : ",") + plans[p].str();
+      }
+      s.label += "]";
+      fn(s);
+    });
+  }
+}
+
+}  // namespace
+
+std::string SweepReport::str() const {
+  std::string s = protocol + ": " + std::to_string(schedules_run) +
+                  " schedules, " + std::to_string(conforming_audited) +
+                  " conforming-party audits, " +
+                  std::to_string(violations.size()) + " violations";
+  for (const Violation& v : violations) {
+    s += "\n  " + v.str();
+  }
+  return s;
+}
+
+std::vector<Schedule> ScenarioRunner::enumerate(int max_deviators) const {
+  std::vector<Schedule> schedules;
+  for_each_schedule(adapter_, max_deviators,
+                    [&](const Schedule& s) { schedules.push_back(s); });
+  return schedules;
+}
+
+SweepReport ScenarioRunner::sweep(int max_deviators) const {
+  SweepReport report;
+  report.protocol = adapter_.name();
+  for_each_schedule(adapter_, max_deviators, [&](const Schedule& s) {
+    const std::vector<PartyOutcome> outcomes = adapter_.run(s);
+    report.conforming_audited +=
+        audit_schedule(s.label, outcomes, report.violations);
+    ++report.schedules_run;
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Two-party swap
+// ---------------------------------------------------------------------------
+
+std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 2) {
+    throw std::invalid_argument("two-party schedule needs 2 plans");
+  }
+  const core::TwoPartyResult r =
+      core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
+
+  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
+  if (r.alice_lockup > 0) alice.bound.min_coin_delta = cfg_.premium_b;
+  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  if (r.bob_lockup > 0) bob.bound.min_coin_delta = cfg_.premium_a;
+  return {std::move(alice), std::move(bob)};
+}
+
+// ---------------------------------------------------------------------------
+// Multi-party ARC swap
+// ---------------------------------------------------------------------------
+
+std::vector<PartyOutcome> MultiPartySwapAdapter::run(
+    const Schedule& s) const {
+  const core::MultiPartyResult r = core::run_multi_party_swap(cfg_, s.plans);
+
+  std::vector<PartyOutcome> outcomes;
+  for (std::size_t v = 0; v < cfg_.g.size(); ++v) {
+    PartyOutcome o{"party-" + std::to_string(v), s.plans[v].is_conforming(),
+                   r.payoffs[v], {}};
+    if (cfg_.hedged) {
+      o.bound.min_coin_delta = cfg_.premium_unit * r.assets_refunded[v];
+    }
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// Ticket auction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+core::AuctioneerStrategy auctioneer_of(int variant) {
+  switch (variant) {
+    case 0: return core::AuctioneerStrategy::kHonest;
+    case 1: return core::AuctioneerStrategy::kNoSetup;
+    case 2: return core::AuctioneerStrategy::kAbandon;
+    case 3: return core::AuctioneerStrategy::kDeclareLoser;
+    case 4: return core::AuctioneerStrategy::kCoinOnly;
+    case 5: return core::AuctioneerStrategy::kTicketOnly;
+    default: return core::AuctioneerStrategy::kSplit;
+  }
+}
+
+/// Maps a bidder's halt point onto its BidderStrategy. The bidder script
+/// is: bid/commit (0), [sealed: reveal (1)], forward one-sided keys (last).
+core::BidderStrategy bidder_of(const DeviationPlan& plan, bool sealed) {
+  if (plan.is_conforming()) return core::BidderStrategy::kConform;
+  switch (plan.halt_point()) {
+    case 0: return core::BidderStrategy::kNoBid;
+    case 1:
+      return sealed ? core::BidderStrategy::kCommitNoReveal
+                    : core::BidderStrategy::kNoForward;
+    default: return core::BidderStrategy::kNoForward;
+  }
+}
+
+}  // namespace
+
+std::string TicketAuctionAdapter::variant_label(int variant) const {
+  switch (variant) {
+    case 0: return "honest";
+    case 1: return "no-setup";
+    case 2: return "abandon";
+    case 3: return "declare-loser";
+    case 4: return "coin-only";
+    case 5: return "ticket-only";
+    default: return "split";
+  }
+}
+
+std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != party_count()) {
+    throw std::invalid_argument("auction schedule plan count mismatch");
+  }
+  std::vector<core::BidderStrategy> bidders;
+  for (std::size_t i = 1; i < s.plans.size(); ++i) {
+    bidders.push_back(bidder_of(s.plans[i], sealed_));
+  }
+  const core::AuctioneerStrategy strat = auctioneer_of(s.variant);
+  const core::AuctionResult r = sealed_
+                                    ? core::run_sealed_auction(cfg_, strat,
+                                                               bidders)
+                                    : core::run_auction(cfg_, strat, bidders);
+
+  std::vector<PartyOutcome> outcomes;
+  outcomes.push_back({"auctioneer",
+                      s.variant == 0 && s.plans[0].is_conforming(),
+                      r.auctioneer,
+                      {}});
+  for (std::size_t i = 0; i < bidders.size(); ++i) {
+    PartyOutcome o{"bidder-" + std::to_string(i + 1),
+                   s.plans[i + 1].is_conforming(), r.bidders[i], {}};
+    const auto it = o.payoff.by_symbol.find("ticket");
+    if (it != o.payoff.by_symbol.end() && it->second > 0) {
+      o.bound.goods_received = true;
+      o.bound.spend_allowance = cfg_.bids[i];  // never pay above the bid
+    } else if (o.conforming && s.variant != 0 &&
+               strat != core::AuctioneerStrategy::kNoSetup && !r.completed &&
+               cfg_.bids[i] > 0) {
+      // §9.2: a conforming bidder locked its bid (the auctioneer did set
+      // up, so bidding happened) and the deviant auctioneer killed the
+      // auction without shipping it tickets — it is owed the premium p.
+      o.bound.min_coin_delta = cfg_.premium_unit;
+    }
+    outcomes.push_back(std::move(o));
+  }
+  return outcomes;
+}
+
+}  // namespace xchain::sim

@@ -1,0 +1,175 @@
+#pragma once
+
+// Adversarial scenario-sweep engine.
+//
+// The paper's central claim is quantitative: under *any* sore-loser
+// deviation, every conforming party ends no worse off than its premium
+// compensation (Definition 1 and the per-protocol lemmas). A handful of
+// hand-picked deviations cannot establish that — this module enumerates the
+// whole schedule space instead.
+//
+// A ProtocolAdapter describes one protocol engine: how many parties it has,
+// how many deviation ordinals each party's script exposes, and which
+// protocol-specific dishonesty variants exist beyond generic halting (e.g.
+// the auctioneer's seven declaration strategies). ScenarioRunner takes an
+// adapter, enumerates the cross product of per-party DeviationPlan
+// {conform, halt@0..halt@k-1} choices times the dishonesty variants, runs
+// every schedule through the engine (each run drives a fresh MultiChain via
+// Scheduler), and feeds each final state to payoff_audit, which flags any
+// schedule where a conforming party loses more than its earned premiums.
+//
+// Adapters for the three protocol families — two-party hedged swap (§5),
+// multi-party ARC swap (§7), ticket auction open + sealed (§9) — live at
+// the bottom of this header. Future fuzzing / scaling PRs should drive new
+// engines through the same interface.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/auction.hpp"
+#include "core/multi_party.hpp"
+#include "core/two_party.hpp"
+#include "sim/deviation.hpp"
+#include "sim/payoff_audit.hpp"
+
+namespace xchain::sim {
+
+/// One fully-specified adversarial schedule: a deviation plan per party
+/// plus a protocol-specific dishonesty variant index.
+struct Schedule {
+  std::vector<DeviationPlan> plans;
+  int variant = 0;
+  std::string label;
+};
+
+/// How ScenarioRunner talks to one protocol engine. run() must execute the
+/// schedule on fresh state (a new MultiChain advanced by Scheduler) so
+/// schedules never contaminate each other.
+class ProtocolAdapter {
+ public:
+  virtual ~ProtocolAdapter() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t party_count() const = 0;
+
+  /// Number of deviation ordinals in party p's script; enumeration tries
+  /// halt@0 .. halt@(count-1) plus conforming. (halt@count would repeat
+  /// conforming: the party performs its whole script.)
+  virtual int action_count(PartyId p) const = 0;
+
+  /// Protocol-specific dishonesty variants (variant 0 must be "honest").
+  virtual int variant_count() const { return 1; }
+  virtual std::string variant_label(int variant) const {
+    return variant == 0 ? "honest" : "variant-" + std::to_string(variant);
+  }
+  /// Whether the variant leaves every party's conformity to its plan alone
+  /// (false marks the variant's owner — by convention party 0 — deviant).
+  virtual bool variant_conforming(int variant) const { return variant == 0; }
+
+  virtual std::vector<PartyOutcome> run(const Schedule& s) const = 0;
+};
+
+/// Result of sweeping one adapter's schedule space.
+struct SweepReport {
+  std::string protocol;
+  std::size_t schedules_run = 0;
+  std::size_t conforming_audited = 0;
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string str() const;
+};
+
+/// Enumerates and audits deviation schedules for one protocol.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const ProtocolAdapter& adapter)
+      : adapter_(adapter) {}
+
+  /// All schedules with at most `max_deviators` deviating parties
+  /// (-1 = unbounded, the full cross product). A dishonest variant counts
+  /// as one deviator.
+  std::vector<Schedule> enumerate(int max_deviators = -1) const;
+
+  /// Runs and audits every enumerated schedule.
+  SweepReport sweep(int max_deviators = -1) const;
+
+ private:
+  const ProtocolAdapter& adapter_;
+};
+
+// ---------------------------------------------------------------------------
+// Concrete adapters
+// ---------------------------------------------------------------------------
+
+/// Hedged two-party swap (§5.2, Figure 1). Bound: a conforming party whose
+/// principal was locked up and refunded earns at least the counterparty's
+/// premium (p_b for Alice, p_a for Bob).
+class TwoPartySwapAdapter final : public ProtocolAdapter {
+ public:
+  explicit TwoPartySwapAdapter(core::TwoPartyConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "hedged-two-party"; }
+  std::size_t party_count() const override { return 2; }
+  int action_count(PartyId) const override {
+    return core::kHedgedTwoPartyActions;
+  }
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+
+ private:
+  core::TwoPartyConfig cfg_;
+};
+
+/// Multi-party ARC swap on a digraph (§7). Bound (Lemma 6): a conforming
+/// party earns at least premium_unit per locked-and-refunded asset.
+class MultiPartySwapAdapter final : public ProtocolAdapter {
+ public:
+  explicit MultiPartySwapAdapter(core::MultiPartyConfig cfg)
+      : cfg_(std::move(cfg)) {}
+
+  std::string name() const override {
+    return std::string(cfg_.hedged ? "hedged" : "base") + "-multi-party-n" +
+           std::to_string(cfg_.g.size());
+  }
+  std::size_t party_count() const override { return cfg_.g.size(); }
+  int action_count(PartyId) const override {
+    return cfg_.hedged ? core::kMultiPartyHedgedActions
+                       : core::kMultiPartyBaseActions;
+  }
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+
+ private:
+  core::MultiPartyConfig cfg_;
+};
+
+/// Ticket auction (§9), open or sealed-bid. Party 0 is the auctioneer: her
+/// whole behaviour space is the AuctioneerStrategy enum, modelled as
+/// variants rather than halt points. Bidder halt ordinals map onto
+/// BidderStrategy (open: 0 = bid, 1 = forward; sealed: 0 = commit,
+/// 1 = reveal, 2 = forward). Bound (Lemma 8): a conforming bidder's coins
+/// move only against the tickets, and never by more than its bid.
+class TicketAuctionAdapter final : public ProtocolAdapter {
+ public:
+  TicketAuctionAdapter(core::AuctionConfig cfg, bool sealed)
+      : cfg_(std::move(cfg)), sealed_(sealed) {}
+
+  std::string name() const override {
+    return sealed_ ? "sealed-ticket-auction" : "ticket-auction";
+  }
+  std::size_t party_count() const override { return cfg_.bids.size() + 1; }
+  int action_count(PartyId p) const override {
+    if (p == 0) return 0;  // the auctioneer deviates via variants only
+    return sealed_ ? 3 : 2;
+  }
+  int variant_count() const override { return 7; }
+  std::string variant_label(int variant) const override;
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+
+ private:
+  core::AuctionConfig cfg_;
+  bool sealed_;
+};
+
+}  // namespace xchain::sim

@@ -1,17 +1,29 @@
 // Scenario-sweep throughput: how many adversarial deviation schedules per
 // second the ScenarioRunner can enumerate, execute, and audit, per protocol
-// family. This is the capacity metric for future fuzzing / scaling PRs —
-// exhaustive coverage is only as deep as the sweeps are fast.
+// family and per worker-thread count. This is the capacity metric for
+// future fuzzing / scaling PRs — exhaustive coverage is only as deep as the
+// sweeps are fast.
 //
-// Emits BENCH_scenario_sweep.json (schedules/second per protocol) into the
-// working directory alongside the usual Google Benchmark output.
+// Every protocol engine with an adapter is measured: two-party swap,
+// multi-party ARC (Fig 3a + cycle4), open + sealed ticket auctions, the §8
+// broker deal, the §6 bootstrap ladder, and the CRR-priced ladder. The
+// benchmark axis `threads` sweeps the sharded parallel runner (1/2/4/8 by
+// default; `--threads=N` pins the parallel measurement to N workers).
+//
+// Emits BENCH_scenario_sweep.json (schedules/second per protocol, plus the
+// parallel scaling curve and the 8-thread speedup) into the working
+// directory alongside the usual Google Benchmark output.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/digraph.hpp"
@@ -22,16 +34,8 @@ using namespace xchain;
 
 namespace {
 
-core::TwoPartyConfig two_party_config() {
-  return sim::reference_two_party_config();
-}
-
 core::MultiPartyConfig multi_party_config(graph::Digraph g) {
   return sim::reference_multi_party_config(std::move(g));
-}
-
-core::AuctionConfig auction_config() {
-  return sim::reference_auction_config();
 }
 
 struct NamedAdapter {
@@ -42,28 +46,40 @@ struct NamedAdapter {
 std::vector<NamedAdapter> make_adapters() {
   std::vector<NamedAdapter> out;
   out.push_back({"two_party", std::make_unique<sim::TwoPartySwapAdapter>(
-                                  two_party_config())});
+                                  sim::reference_two_party_config())});
   out.push_back({"multi_party_fig3a",
                  std::make_unique<sim::MultiPartySwapAdapter>(
                      multi_party_config(graph::Digraph::figure3a()))});
   out.push_back({"multi_party_cycle4",
                  std::make_unique<sim::MultiPartySwapAdapter>(
                      multi_party_config(graph::Digraph::cycle(4)))});
-  out.push_back({"auction_open", std::make_unique<sim::TicketAuctionAdapter>(
-                                     auction_config(), /*sealed=*/false)});
+  out.push_back({"auction_open",
+                 std::make_unique<sim::TicketAuctionAdapter>(
+                     sim::reference_auction_config(), /*sealed=*/false)});
   out.push_back({"auction_sealed",
                  std::make_unique<sim::TicketAuctionAdapter>(
-                     auction_config(), /*sealed=*/true)});
+                     sim::reference_auction_config(), /*sealed=*/true)});
+  out.push_back({"broker", std::make_unique<sim::BrokerDealAdapter>(
+                               sim::reference_broker_config())});
+  out.push_back({"bootstrap_r2", std::make_unique<sim::BootstrapSwapAdapter>(
+                                     sim::reference_bootstrap_config())});
+  out.push_back({"crr_ladder",
+                 std::make_unique<sim::BootstrapSwapAdapter>(
+                     sim::make_crr_ladder_adapter(
+                         sim::reference_crr_ladder_config()))});
   return out;
 }
 
 void BM_Sweep(benchmark::State& state, const sim::ProtocolAdapter& adapter) {
+  const auto threads = static_cast<unsigned>(state.range(0));
   sim::ScenarioRunner runner(adapter);
   std::size_t schedules = 0;
+  unsigned workers = 1;
   for (auto _ : state) {
-    auto report = runner.sweep();
+    auto report = runner.sweep({/*max_deviators=*/-1, threads});
     benchmark::DoNotOptimize(report);
     schedules += report.schedules_run;
+    workers = report.workers;
     if (!report.ok()) {
       state.SkipWithError(("hedging-bound violation: " + report.str()).c_str());
       return;
@@ -71,12 +87,37 @@ void BM_Sweep(benchmark::State& state, const sim::ProtocolAdapter& adapter) {
   }
   state.counters["schedules_per_second"] = benchmark::Counter(
       static_cast<double>(schedules), benchmark::Counter::kIsRate);
+  // Small spaces clamp below the requested thread count; surface the real
+  // worker count so a flat scaling row is read as "clamped", not "broken".
+  state.counters["workers"] = static_cast<double>(workers);
+}
+
+/// Total schedules/second over every adapter at one thread count, measured
+/// with a plain chrono loop (stable methodology independent of benchmark
+/// flags; reps chosen so each measurement runs long enough to smooth over
+/// scheduler noise).
+double measure_total_rate(const std::vector<NamedAdapter>& adapters,
+                          unsigned threads, int reps) {
+  std::size_t schedules = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& [name, adapter] : adapters) {
+      const auto report =
+          sim::ScenarioRunner(*adapter).sweep({/*max_deviators=*/-1, threads});
+      schedules += report.schedules_run;
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(schedules) / secs;
 }
 
 // Deliberately measures with its own chrono loop instead of reusing the
 // BM_Sweep counters: the JSON must be emitted with stable methodology even
 // when benchmarks are filtered out or flags change their iteration counts.
-void write_json(const std::vector<NamedAdapter>& adapters) {
+void write_json(const std::vector<NamedAdapter>& adapters,
+                const std::vector<unsigned>& thread_axis) {
   std::FILE* f = std::fopen("BENCH_scenario_sweep.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot open BENCH_scenario_sweep.json\n");
@@ -84,6 +125,11 @@ void write_json(const std::vector<NamedAdapter>& adapters) {
   }
   std::fprintf(f, "{\n  \"benchmark\": \"scenario_sweep\",\n");
   std::fprintf(f, "  \"unit\": \"schedules_per_second\",\n");
+  // Recorded so per-commit artifact readers can interpret the scaling
+  // curve: an 8-thread speedup is only meaningful with >= 8 hardware
+  // threads behind it.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"protocols\": [\n");
   std::size_t total_schedules = 0;
   double total_seconds = 0;
@@ -113,22 +159,69 @@ void write_json(const std::vector<NamedAdapter>& adapters) {
         static_cast<double>(schedules) / secs, violations,
         i + 1 < adapters.size() ? "," : "");
   }
-  std::fprintf(f,
-               "  ],\n  \"total_schedules_per_second\": %.1f\n}\n",
-               static_cast<double>(total_schedules) / total_seconds);
+  const double serial_rate =
+      static_cast<double>(total_schedules) / total_seconds;
+
+  // The parallel scaling curve: total rate across every protocol at each
+  // thread count, plus the headline speedup at the top of the axis. The
+  // speedup divides two rates from this same curve (axis entry 0 is always
+  // threads = 1), never the differently-measured per-protocol figures.
+  std::fprintf(f, "  ],\n  \"parallel\": [\n");
+  double base_rate = serial_rate;
+  double top_rate = serial_rate;
+  for (std::size_t i = 0; i < thread_axis.size(); ++i) {
+    const double rate = measure_total_rate(adapters, thread_axis[i], 3);
+    if (i == 0) base_rate = rate;
+    if (i + 1 == thread_axis.size()) top_rate = rate;
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"schedules_per_second\": %.1f}%s\n",
+                 thread_axis[i], rate,
+                 i + 1 < thread_axis.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_at_max_threads\": %.2f,\n",
+               top_rate / base_rate);
+  std::fprintf(f, "  \"total_schedules_per_second\": %.1f\n}\n", serial_rate);
   std::fclose(f);
-  std::printf("wrote BENCH_scenario_sweep.json (%.1f schedules/s overall)\n",
-              static_cast<double>(total_schedules) / total_seconds);
+  std::printf("wrote BENCH_scenario_sweep.json (%.1f schedules/s serial, "
+              "%.2fx at %u threads)\n",
+              serial_rate, top_rate / base_rate, thread_axis.back());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --threads=N pins the parallel JSON measurement (and the summary sweep)
+  // to N workers (0 = one per hardware thread, matching SweepOptions);
+  // the default axis is the 1/2/4/8 scaling curve. The flag is consumed
+  // here so Google Benchmark never sees it.
+  std::vector<unsigned> thread_axis = {1, 2, 4, 8};
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "invalid %s (want --threads=N, N >= 0)\n",
+                     argv[i]);
+        return 1;
+      }
+      const unsigned top =
+          n == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                 : static_cast<unsigned>(n);
+      thread_axis = top == 1 ? std::vector<unsigned>{1}  // no duplicate row
+                             : std::vector<unsigned>{1, top};
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   auto adapters = make_adapters();
 
   std::printf("=== scenario sweep: exhaustive deviation-schedule audit ===\n");
   for (const auto& [name, adapter] : adapters) {
-    const auto report = sim::ScenarioRunner(*adapter).sweep();
+    const auto report = sim::ScenarioRunner(*adapter)
+                            .sweep({/*max_deviators=*/-1, thread_axis.back()});
     std::printf("%-20s %4zu schedules, %4zu conforming audits, %zu "
                 "violations\n",
                 name.c_str(), report.schedules_run,
@@ -136,14 +229,20 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& [name, adapter] : adapters) {
-    benchmark::RegisterBenchmark(("BM_Sweep/" + name).c_str(),
-                                 [&adapter = *adapter](benchmark::State& st) {
-                                   BM_Sweep(st, adapter);
-                                 });
+    auto* bench = benchmark::RegisterBenchmark(
+        ("BM_Sweep/" + name).c_str(),
+        [&adapter = *adapter](benchmark::State& st) { BM_Sweep(st, adapter); });
+    bench->ArgName("threads");
+    // Wall clock, not main-thread CPU time: the sweep fans out to workers,
+    // so the schedules/s rate is only meaningful in real time.
+    bench->UseRealTime();
+    for (const unsigned t : thread_axis) {
+      bench->Arg(static_cast<long>(t));
+    }
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  write_json(adapters);
+  write_json(adapters, thread_axis);
   return 0;
 }

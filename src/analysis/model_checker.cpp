@@ -17,6 +17,14 @@ std::vector<DeviationPlan> plan_space(int actions) {
   return sim::plan_space(actions, /*include_full_halt=*/true);
 }
 
+// GCC 12's libstdc++ trips -Wrestrict on the inlined std::string
+// operator+ chain below (bogus "accessing 9223372036854775810 or more
+// bytes" — GCC PR 105651, fixed in GCC 13). The library builds with
+// -Werror, so suppress the false positive for just this function.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ < 13
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
 std::string scenario_name(const std::vector<DeviationPlan>& plans) {
   std::string s;
   for (std::size_t i = 0; i < plans.size(); ++i) {
@@ -25,6 +33,9 @@ std::string scenario_name(const std::vector<DeviationPlan>& plans) {
   }
   return s;
 }
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ < 13
+#pragma GCC diagnostic pop
+#endif
 
 bool lost(const core::PayoffDelta& d, const std::string& sym) {
   const auto it = d.by_symbol.find(sym);

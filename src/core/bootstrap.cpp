@@ -148,6 +148,35 @@ Tick principal_lockup_of(const contracts::LadderContract& c) {
 
 }  // namespace
 
+BootstrapSchedule bootstrap_amounts(const BootstrapConfig& cfg) {
+  if (cfg.rounds < 1) {
+    throw std::invalid_argument("bootstrap_amounts: rounds >= 1");
+  }
+  if (cfg.apricot_premiums.empty() && cfg.banana_premiums.empty()) {
+    return bootstrap_schedule(cfg.alice_tokens, cfg.bob_tokens, cfg.factor,
+                              cfg.rounds);
+  }
+  // Explicit premium rungs: the geometric ladder (and its factor > 1
+  // requirement) does not apply — only the principals come from the config.
+  const auto rounds = static_cast<std::size_t>(cfg.rounds);
+  if (cfg.apricot_premiums.size() != rounds ||
+      cfg.banana_premiums.size() != rounds) {
+    throw std::invalid_argument(
+        "bootstrap premium overrides must list one amount per round on both "
+        "chains");
+  }
+  BootstrapSchedule amounts;
+  amounts.rounds = cfg.rounds;
+  amounts.factor = cfg.factor;
+  amounts.apricot.push_back(cfg.alice_tokens);
+  amounts.banana.push_back(cfg.bob_tokens);
+  amounts.apricot.insert(amounts.apricot.end(), cfg.apricot_premiums.begin(),
+                         cfg.apricot_premiums.end());
+  amounts.banana.insert(amounts.banana.end(), cfg.banana_premiums.begin(),
+                        cfg.banana_premiums.end());
+  return amounts;
+}
+
 BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
                                    sim::DeviationPlan alice,
                                    sim::DeviationPlan bob) {
@@ -156,8 +185,7 @@ BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
   }
   const Tick d = cfg.delta;
   const int r = cfg.rounds;
-  const BootstrapSchedule amounts =
-      bootstrap_schedule(cfg.alice_tokens, cfg.bob_tokens, cfg.factor, r);
+  const BootstrapSchedule amounts = bootstrap_amounts(cfg);
 
   chain::MultiChain chains;
   chain::Blockchain& apricot = chains.add_chain("apricot");

@@ -17,6 +17,12 @@ struct BootstrapConfig {
   double factor = 100.0;            ///< P (premium = value / P)
   int rounds = 2;                   ///< r >= 1
   Tick delta = 2;                   ///< synchrony bound in ticks
+
+  /// Optional explicit premium-rung amounts, one per round (index 0 is
+  /// rung 1), overriding the geometric `factor` ladder — e.g. rungs priced
+  /// by the CRR model (§4). Both lists must be set together, `rounds` long.
+  std::vector<Amount> apricot_premiums;
+  std::vector<Amount> banana_premiums;
 };
 
 struct BootstrapResult {
@@ -45,6 +51,12 @@ struct BootstrapResult {
 /// Per-party action count (for deviation sweeps): r premium deposits, one
 /// principal escrow, one redemption.
 inline int bootstrap_action_count(int rounds) { return rounds + 2; }
+
+/// The ladder amounts a config produces: the geometric bootstrap_schedule
+/// of §6 unless the config carries explicit premium overrides. Shared by
+/// run_bootstrap_swap and the scenario-sweep adapter so both always agree
+/// on the rung values.
+BootstrapSchedule bootstrap_amounts(const BootstrapConfig& cfg);
 
 /// Runs the r-round bootstrapped hedged swap. Each party's deviation plan
 /// indexes its own actions in protocol order (Alice: her premium rungs in

@@ -1,6 +1,8 @@
 #pragma once
 
 #include "core/auction.hpp"
+#include "core/bootstrap.hpp"
+#include "core/broker.hpp"
 #include "core/multi_party.hpp"
 #include "core/two_party.hpp"
 #include "graph/digraph.hpp"
@@ -11,7 +13,9 @@ namespace xchain::sim {
 /// scenario-sweep tests and benchmarks so both always audit and measure the
 /// same schedule space (the numbers mirror the seed unit-test fixtures:
 /// A=100 apricot vs B=50 banana with p_a=2, p_b=1; Figure 3a with uniform
-/// p=1; a 10-ticket auction with bids 100/80 and p=2).
+/// p=1; a 10-ticket auction with bids 100/80 and p=2; the §8 broker deal
+/// with a 1-coin spread; a 2-round $1M/$1M bootstrap at P=100; a CRR-priced
+/// single-rung ladder over $100k/$100k).
 
 inline core::TwoPartyConfig reference_two_party_config() {
   core::TwoPartyConfig cfg;
@@ -41,6 +45,37 @@ inline core::AuctionConfig reference_auction_config() {
   cfg.premium_unit = 2;
   cfg.delta = 2;
   cfg.collateral = 150;
+  return cfg;
+}
+
+inline core::BrokerConfig reference_broker_config() {
+  core::BrokerConfig cfg;
+  cfg.ticket_count = 10;
+  cfg.sale_price = 101;
+  cfg.purchase_price = 100;
+  cfg.premium_unit = 1;
+  cfg.delta = 1;
+  return cfg;
+}
+
+inline core::BootstrapConfig reference_bootstrap_config(int rounds = 2) {
+  core::BootstrapConfig cfg;
+  cfg.alice_tokens = 1'000'000;
+  cfg.bob_tokens = 1'000'000;
+  cfg.factor = 100.0;
+  cfg.rounds = rounds;
+  cfg.delta = 2;
+  return cfg;
+}
+
+/// Principals for the CRR-priced ladder: $100k a side, Delta = 2 ticks
+/// (the §4 market parameters live in CrrLadderAdapter::Market defaults).
+inline core::BootstrapConfig reference_crr_ladder_config() {
+  core::BootstrapConfig cfg;
+  cfg.alice_tokens = 100'000;
+  cfg.bob_tokens = 100'000;
+  cfg.rounds = 1;
+  cfg.delta = 2;
   return cfg;
 }
 

@@ -1,42 +1,94 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <iterator>
 #include <stdexcept>
+#include <thread>
 
+#include "core/crr.hpp"
 #include "sim/plan_space.hpp"
 
 namespace xchain::sim {
 
 namespace {
 
-/// Streams every schedule within the deviator budget to `fn`, without
-/// materializing the cross product (it is exponential in the party count).
-void for_each_schedule(const ProtocolAdapter& adapter, int max_deviators,
-                       const std::function<void(const Schedule&)>& fn) {
-  const std::size_t n = adapter.party_count();
-  std::vector<std::vector<DeviationPlan>> spaces;
-  for (std::size_t p = 0; p < n; ++p) {
-    spaces.push_back(plan_space(adapter.action_count(static_cast<PartyId>(p))));
+/// Mixed-radix view of one adapter's raw schedule space (variant index
+/// outermost, party 0's plan least significant — exactly the order the
+/// serial enumeration has always visited). Random access by raw index lets
+/// parallel shards be plain index ranges, so no path ever materializes the
+/// cross product (it is exponential in the party count).
+class ScheduleSpace {
+ public:
+  explicit ScheduleSpace(const ProtocolAdapter& adapter) : adapter_(adapter) {
+    const std::size_t n = adapter.party_count();
+    for (std::size_t p = 0; p < n; ++p) {
+      spaces_.push_back(
+          plan_space(adapter.action_count(static_cast<PartyId>(p))));
+    }
+    combos_per_variant_ = 1;
+    for (const auto& space : spaces_) combos_per_variant_ *= space.size();
+    raw_size_ = combos_per_variant_ *
+                static_cast<std::size_t>(adapter.variant_count());
   }
 
-  for (int variant = 0; variant < adapter.variant_count(); ++variant) {
-    const int variant_deviators = adapter.variant_conforming(variant) ? 0 : 1;
-    for_each_plan_combination(spaces, [&](const auto& plans) {
-      int deviators = variant_deviators;
-      for (const DeviationPlan& plan : plans) {
-        if (!plan.is_conforming()) ++deviators;
-      }
-      if (max_deviators >= 0 && deviators > max_deviators) return;
+  /// Raw combination count, before any max_deviators filtering.
+  std::size_t raw_size() const { return raw_size_; }
 
-      Schedule s;
-      s.variant = variant;
-      s.plans = plans;
-      s.label = adapter.name() + "[" + adapter.variant_label(variant);
-      for (std::size_t p = 0; p < n; ++p) {
-        s.label += (p == 0 ? "|" : ",") + plans[p].str();
-      }
-      s.label += "]";
-      fn(s);
-    });
+  /// Decodes raw index `index` into `out`. Returns false (leaving `out`
+  /// untouched) when the combination exceeds the deviator budget.
+  bool make(std::size_t index, int max_deviators, Schedule& out) const {
+    const int variant = static_cast<int>(index / combos_per_variant_);
+    std::size_t rest = index % combos_per_variant_;
+    int deviators = adapter_.variant_conforming(variant) ? 0 : 1;
+    std::vector<DeviationPlan> plans;
+    plans.reserve(spaces_.size());
+    for (const auto& space : spaces_) {
+      const DeviationPlan& plan = space[rest % space.size()];
+      rest /= space.size();
+      if (!plan.is_conforming()) ++deviators;
+      plans.push_back(plan);
+    }
+    if (max_deviators >= 0 && deviators > max_deviators) return false;
+
+    out.variant = variant;
+    out.label = adapter_.name() + "[" + adapter_.variant_label(variant);
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      // Appended in two steps: `const char* + std::string&&` trips the
+      // GCC-12 -Wrestrict false positive (PR 105651) under -Werror.
+      out.label += p == 0 ? '|' : ',';
+      out.label += plans[p].str();
+    }
+    out.label += "]";
+    out.plans = std::move(plans);
+    return true;
+  }
+
+ private:
+  const ProtocolAdapter& adapter_;
+  std::vector<std::vector<DeviationPlan>> spaces_;
+  std::size_t combos_per_variant_ = 1;
+  std::size_t raw_size_ = 0;
+};
+
+/// One contiguous slice of the schedule space, swept independently. Shards
+/// carry no protocol name: they are merged into the caller's SweepReport.
+struct ShardResult {
+  std::size_t schedules_run = 0;
+  std::size_t conforming_audited = 0;
+  std::vector<Violation> violations;
+};
+
+void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
+                 int max_deviators, std::size_t begin, std::size_t end,
+                 ShardResult& out) {
+  Schedule s;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!space.make(i, max_deviators, s)) continue;
+    const std::vector<PartyOutcome> outcomes = adapter.run(s);
+    out.conforming_audited += audit_schedule(s.label, outcomes, out.violations);
+    ++out.schedules_run;
   }
 }
 
@@ -54,21 +106,91 @@ std::string SweepReport::str() const {
 }
 
 std::vector<Schedule> ScenarioRunner::enumerate(int max_deviators) const {
+  const ScheduleSpace space(adapter_);
   std::vector<Schedule> schedules;
-  for_each_schedule(adapter_, max_deviators,
-                    [&](const Schedule& s) { schedules.push_back(s); });
+  Schedule s;
+  for (std::size_t i = 0; i < space.raw_size(); ++i) {
+    if (space.make(i, max_deviators, s)) schedules.push_back(std::move(s));
+  }
   return schedules;
 }
 
 SweepReport ScenarioRunner::sweep(int max_deviators) const {
+  return sweep(SweepOptions{max_deviators, /*threads=*/1});
+}
+
+SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
   SweepReport report;
   report.protocol = adapter_.name();
-  for_each_schedule(adapter_, max_deviators, [&](const Schedule& s) {
-    const std::vector<PartyOutcome> outcomes = adapter_.run(s);
-    report.conforming_audited +=
-        audit_schedule(s.label, outcomes, report.violations);
-    ++report.schedules_run;
-  });
+
+  const ScheduleSpace space(adapter_);
+  unsigned threads = opts.threads != 0
+                         ? opts.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  // Spawning a worker only pays for itself over a batch of schedules:
+  // clamp so each worker gets at least ~16, degrading small spaces toward
+  // the serial path instead of paying thread/clone overhead for microwork.
+  constexpr std::size_t kMinSchedulesPerWorker = 16;
+  threads = static_cast<unsigned>(std::min<std::size_t>(
+      threads,
+      std::max<std::size_t>(space.raw_size() / kMinSchedulesPerWorker, 1)));
+  report.workers = threads;
+
+  if (threads <= 1) {
+    ShardResult all;
+    sweep_range(adapter_, space, opts.max_deviators, 0, space.raw_size(),
+                all);
+    report.schedules_run = all.schedules_run;
+    report.conforming_audited = all.conforming_audited;
+    report.violations = std::move(all.violations);
+    return report;
+  }
+
+  // Contiguous raw-index shards, several per worker so uneven
+  // per-schedule run costs balance out; workers claim shards through an
+  // atomic cursor and decode each index on the fly (constant memory).
+  // Merging in shard order reproduces the serial enumeration order
+  // exactly, so the report is bit-identical to the serial path's whatever
+  // the thread count or claiming order.
+  const std::size_t shard_count =
+      std::min(space.raw_size(), static_cast<std::size_t>(threads) * 8);
+  std::vector<ShardResult> shards(shard_count);
+  std::atomic<std::size_t> next_shard{0};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        // A private engine per worker: chains built by run() are stateful,
+        // and a future adapter may keep per-run scratch state on itself.
+        const std::unique_ptr<ProtocolAdapter> engine = adapter_.clone();
+        const ScheduleSpace worker_space(*engine);
+        for (std::size_t shard = next_shard.fetch_add(1);
+             shard < shard_count; shard = next_shard.fetch_add(1)) {
+          const std::size_t begin = shard * space.raw_size() / shard_count;
+          const std::size_t end =
+              (shard + 1) * space.raw_size() / shard_count;
+          sweep_range(*engine, worker_space, opts.max_deviators, begin, end,
+                      shards[shard]);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  for (ShardResult& shard : shards) {
+    report.schedules_run += shard.schedules_run;
+    report.conforming_audited += shard.conforming_audited;
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(shard.violations.begin()),
+                             std::make_move_iterator(shard.violations.end()));
+  }
   return report;
 }
 
@@ -192,6 +314,85 @@ std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
     outcomes.push_back(std::move(o));
   }
   return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// Brokered sale
+// ---------------------------------------------------------------------------
+
+std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 3) {
+    throw std::invalid_argument("broker schedule needs 3 plans");
+  }
+  const core::BrokerResult r =
+      core::run_broker_deal(cfg_, s.plans[0], s.plans[1], s.plans[2]);
+
+  // Alice never escrows a principal of her own (§8: she brokers other
+  // people's assets), so her hedge floor is breaking even. Bob and Carol
+  // are sellers: a locked-and-refunded principal earns at least the base
+  // premium p (§8.2's single-round formula compensates every lock-up with
+  // at least one premium unit).
+  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
+  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  if (r.bob_lockup > 0) bob.bound.min_coin_delta = cfg_.premium_unit;
+  PartyOutcome carol{"carol", s.plans[2].is_conforming(), r.carol, {}};
+  if (r.carol_lockup > 0) carol.bound.min_coin_delta = cfg_.premium_unit;
+  return {std::move(alice), std::move(bob), std::move(carol)};
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrapped premium ladder, geometric or CRR-priced
+// ---------------------------------------------------------------------------
+
+BootstrapSwapAdapter::BootstrapSwapAdapter(core::BootstrapConfig cfg,
+                                           std::string name)
+    : cfg_(std::move(cfg)),
+      name_(name.empty()
+                ? "bootstrap-ladder-r" + std::to_string(cfg_.rounds)
+                : std::move(name)) {
+  // Floors from the effective ladder: an unredeemed escrowed principal is
+  // refunded together with the rung-1 award on its own chain (§6 FINAL,
+  // mirroring §5.2's p_b for Alice). Bob's banana rung-1 carries p_a + p_b,
+  // but when both principals were locked, Alice's refund claims the apricot
+  // rung-1 that Bob deposited — so his guaranteed net is the difference,
+  // exactly the two-party p_a.
+  const core::BootstrapSchedule amounts = core::bootstrap_amounts(cfg_);
+  alice_floor_ = amounts.apricot[1];
+  bob_floor_ = std::max<Amount>(amounts.banana[1] - amounts.apricot[1], 0);
+}
+
+std::vector<PartyOutcome> BootstrapSwapAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 2) {
+    throw std::invalid_argument("bootstrap schedule needs 2 plans");
+  }
+  const core::BootstrapResult r =
+      core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
+
+  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
+  if (r.alice_lockup > 0) alice.bound.min_coin_delta = alice_floor_;
+  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  if (r.bob_lockup > 0) bob.bound.min_coin_delta = bob_floor_;
+  return {std::move(alice), std::move(bob)};
+}
+
+BootstrapSwapAdapter make_crr_ladder_adapter(core::BootstrapConfig cfg,
+                                             const CrrMarket& m) {
+  // CRR-prices the single premium rung pair of a one-round ladder: p_b for
+  // Alice's principal lock-up, p_a for Bob's, banana rung = p_a + p_b
+  // (§5.2). The lock-up windows mirror the two-party deadlines: Alice's
+  // principal is at risk for up to 6 Delta ticks, Bob's for 5 Delta.
+  cfg.rounds = 1;
+  const Amount p_b = std::max<Amount>(
+      core::sore_loser_premium(cfg.alice_tokens, m.volatility, m.rate,
+                               6 * cfg.delta, m.ticks_per_year),
+      1);
+  const Amount p_a = std::max<Amount>(
+      core::sore_loser_premium(cfg.bob_tokens, m.volatility, m.rate,
+                               5 * cfg.delta, m.ticks_per_year),
+      1);
+  cfg.apricot_premiums = {p_b};
+  cfg.banana_premiums = {p_a + p_b};
+  return BootstrapSwapAdapter(std::move(cfg), "crr-ladder");
 }
 
 }  // namespace xchain::sim

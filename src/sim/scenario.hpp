@@ -18,17 +18,29 @@
 // Scheduler), and feeds each final state to payoff_audit, which flags any
 // schedule where a conforming party loses more than its earned premiums.
 //
-// Adapters for the three protocol families — two-party hedged swap (§5),
-// multi-party ARC swap (§7), ticket auction open + sealed (§9) — live at
-// the bottom of this header. Future fuzzing / scaling PRs should drive new
-// engines through the same interface.
+// Sweeps are parallelizable: sweep(SweepOptions{.threads = N}) partitions
+// the enumerated schedule space into contiguous shards, runs the shards on
+// a worker pool (each worker drives its own adapter clone so per-run chain
+// state never crosses threads), and merges the per-shard results in shard
+// order — the merged report is identical, schedule for schedule, to the
+// serial sweep's.
+//
+// Adapters for all the protocol families — two-party hedged swap (§5),
+// multi-party ARC swap (§7), ticket auction open + sealed (§9), the
+// three-party brokered sale (§8), the bootstrapped premium-ladder swap
+// (§6), and the CRR-priced ladder (§4 + §6) — live at the bottom of this
+// header. Future fuzzing / scaling PRs should drive new engines through
+// the same interface.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "core/auction.hpp"
+#include "core/bootstrap.hpp"
+#include "core/broker.hpp"
 #include "core/multi_party.hpp"
 #include "core/two_party.hpp"
 #include "sim/deviation.hpp"
@@ -68,6 +80,13 @@ class ProtocolAdapter {
   /// (false marks the variant's owner — by convention party 0 — deviant).
   virtual bool variant_conforming(int variant) const { return variant == 0; }
 
+  /// An independent adapter driving the same protocol with the same
+  /// parameters. Parallel sweeps give every worker thread its own clone:
+  /// each run() builds stateful chains, and a future adapter is free to
+  /// cache per-run state on itself, so workers must never share one
+  /// instance.
+  virtual std::unique_ptr<ProtocolAdapter> clone() const = 0;
+
   virtual std::vector<PartyOutcome> run(const Schedule& s) const = 0;
 };
 
@@ -78,8 +97,23 @@ struct SweepReport {
   std::size_t conforming_audited = 0;
   std::vector<Violation> violations;
 
+  /// Worker threads actually used (small spaces clamp below the request:
+  /// a worker only pays for itself over a batch of schedules).
+  unsigned workers = 1;
+
   bool ok() const { return violations.empty(); }
   std::string str() const;
+};
+
+/// How to run a sweep.
+struct SweepOptions {
+  /// Schedules with more deviating parties are skipped (-1 = unbounded,
+  /// the full cross product). A dishonest variant counts as one deviator.
+  int max_deviators = -1;
+
+  /// Worker threads. 1 = serial; 0 = one per hardware thread. The result
+  /// is bit-identical whatever the count.
+  unsigned threads = 1;
 };
 
 /// Enumerates and audits deviation schedules for one protocol.
@@ -93,8 +127,13 @@ class ScenarioRunner {
   /// as one deviator.
   std::vector<Schedule> enumerate(int max_deviators = -1) const;
 
-  /// Runs and audits every enumerated schedule.
+  /// Runs and audits every enumerated schedule serially.
   SweepReport sweep(int max_deviators = -1) const;
+
+  /// Runs and audits every enumerated schedule, sharded over
+  /// `opts.threads` workers. Violations arrive in enumeration order
+  /// regardless of thread count.
+  SweepReport sweep(const SweepOptions& opts) const;
 
  private:
   const ProtocolAdapter& adapter_;
@@ -115,6 +154,9 @@ class TwoPartySwapAdapter final : public ProtocolAdapter {
   std::size_t party_count() const override { return 2; }
   int action_count(PartyId) const override {
     return core::kHedgedTwoPartyActions;
+  }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<TwoPartySwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
 
@@ -137,6 +179,9 @@ class MultiPartySwapAdapter final : public ProtocolAdapter {
   int action_count(PartyId) const override {
     return cfg_.hedged ? core::kMultiPartyHedgedActions
                        : core::kMultiPartyBaseActions;
+  }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<MultiPartySwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
 
@@ -165,11 +210,83 @@ class TicketAuctionAdapter final : public ProtocolAdapter {
   }
   int variant_count() const override { return 7; }
   std::string variant_label(int variant) const override;
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<TicketAuctionAdapter>(*this);
+  }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
 
  private:
   core::AuctionConfig cfg_;
   bool sealed_;
 };
+
+/// Three-party brokered sale (§8, after Herlihy–Liskov–Shrira): Alice
+/// brokers Bob's tickets to Carol. Bound (§8.2): a conforming seller whose
+/// principal was locked up and refunded earns at least the base premium p;
+/// Alice escrows nothing, so her floor is breaking even.
+class BrokerDealAdapter final : public ProtocolAdapter {
+ public:
+  explicit BrokerDealAdapter(core::BrokerConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override { return "hedged-broker"; }
+  std::size_t party_count() const override { return 3; }
+  int action_count(PartyId) const override { return core::kBrokerActions; }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<BrokerDealAdapter>(*this);
+  }
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+
+ private:
+  core::BrokerConfig cfg_;
+};
+
+/// Bootstrapped premium-ladder swap (§6, Figure 2), driven through the
+/// LadderContract pair. Bound (§6 via §5.2): a conforming party whose
+/// principal was locked up and refunded is awarded the rung-1 premium on
+/// its own chain (net of the rung-1 premium it forfeits on the
+/// counterparty's chain when both principals were escrowed — the exact
+/// two-party floors p_b and p_a generalized to the ladder amounts).
+/// Deliberately final: parallel workers clone adapters by value, so ladder
+/// variants (like the CRR-priced one) are expressed as config factories,
+/// never as subclasses that could slice through the base clone().
+class BootstrapSwapAdapter final : public ProtocolAdapter {
+ public:
+  explicit BootstrapSwapAdapter(core::BootstrapConfig cfg,
+                                std::string name = "");
+
+  std::string name() const override { return name_; }
+  std::size_t party_count() const override { return 2; }
+  int action_count(PartyId) const override {
+    return core::bootstrap_action_count(cfg_.rounds);
+  }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<BootstrapSwapAdapter>(*this);
+  }
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+
+  const core::BootstrapConfig& config() const { return cfg_; }
+
+ private:
+  core::BootstrapConfig cfg_;
+  std::string name_;
+  Amount alice_floor_ = 0;  ///< apricot rung-1 premium (Bob's deposit)
+  Amount bob_floor_ = 0;    ///< banana rung-1 minus apricot rung-1
+};
+
+/// Market parameters for CRR premium pricing (§4).
+struct CrrMarket {
+  double volatility = 0.8;       ///< annualized sigma (crypto-grade)
+  double rate = 0.0;             ///< risk-free rate
+  double ticks_per_year = 1460;  ///< tick = 6h (paper's Delta = 12h)
+};
+
+/// A single-rung ladder whose premiums are priced by the
+/// Cox–Ross–Rubinstein model (§4) instead of the geometric bootstrap
+/// factor: p_b prices the walk-away option on Alice's principal over its
+/// lock-up window, p_a on Bob's, and the banana rung carries p_a + p_b per
+/// §5.2. Wires the CRR engine (core/crr.*) and the ladder contract
+/// (contracts/ladder.*) into the sweep as the "crr-ladder" protocol.
+BootstrapSwapAdapter make_crr_ladder_adapter(core::BootstrapConfig cfg,
+                                             const CrrMarket& market = {});
 
 }  // namespace xchain::sim

@@ -1,0 +1,139 @@
+// The parallel sharded sweep must be a pure accelerator: whatever the
+// worker count, the merged report is identical — schedule for schedule,
+// violation for violation — to the serial sweep's. These tests pin that
+// equivalence on every reference protocol adapter and on a synthetic
+// adapter engineered to emit a violation per deviating schedule, so the
+// violation *ordering* is checked, not just the counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "sim/reference_configs.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::sim {
+namespace {
+
+std::vector<std::unique_ptr<ProtocolAdapter>> reference_adapters() {
+  std::vector<std::unique_ptr<ProtocolAdapter>> out;
+  out.push_back(
+      std::make_unique<TwoPartySwapAdapter>(reference_two_party_config()));
+  out.push_back(
+      std::make_unique<MultiPartySwapAdapter>(reference_multi_party_config()));
+  out.push_back(std::make_unique<MultiPartySwapAdapter>(
+      reference_multi_party_config(graph::Digraph::cycle(4))));
+  out.push_back(std::make_unique<TicketAuctionAdapter>(
+      reference_auction_config(), /*sealed=*/false));
+  out.push_back(std::make_unique<TicketAuctionAdapter>(
+      reference_auction_config(), /*sealed=*/true));
+  out.push_back(std::make_unique<BrokerDealAdapter>(reference_broker_config()));
+  out.push_back(
+      std::make_unique<BootstrapSwapAdapter>(reference_bootstrap_config()));
+  out.push_back(std::make_unique<BootstrapSwapAdapter>(
+      make_crr_ladder_adapter(reference_crr_ladder_config())));
+  return out;
+}
+
+void expect_identical(const SweepReport& serial, const SweepReport& parallel) {
+  EXPECT_EQ(parallel.protocol, serial.protocol);
+  EXPECT_EQ(parallel.schedules_run, serial.schedules_run);
+  EXPECT_EQ(parallel.conforming_audited, serial.conforming_audited);
+  ASSERT_EQ(parallel.violations.size(), serial.violations.size());
+  for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+    EXPECT_EQ(parallel.violations[i].schedule, serial.violations[i].schedule)
+        << "violation " << i << " out of order";
+    EXPECT_EQ(parallel.violations[i].party, serial.violations[i].party);
+    EXPECT_EQ(parallel.violations[i].coin_delta,
+              serial.violations[i].coin_delta);
+    EXPECT_EQ(parallel.violations[i].required_min,
+              serial.violations[i].required_min);
+  }
+}
+
+TEST(ParallelSweep, MatchesSerialOnEveryReferenceAdapter) {
+  for (const auto& adapter : reference_adapters()) {
+    ScenarioRunner runner(*adapter);
+    const SweepReport serial = runner.sweep();
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      const SweepReport parallel = runner.sweep({-1, threads});
+      SCOPED_TRACE(adapter->name() + " @ " + std::to_string(threads) +
+                   " threads");
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelSweep, MaxDeviatorsRespected) {
+  MultiPartySwapAdapter adapter(reference_multi_party_config());
+  ScenarioRunner runner(adapter);
+  const SweepReport serial = runner.sweep(1);
+  const SweepReport parallel = runner.sweep({1, 4});
+  expect_identical(serial, parallel);
+  EXPECT_EQ(parallel.schedules_run, 13u);  // 1 all-conform + 3 * 4 halts
+}
+
+TEST(ParallelSweep, ZeroMeansHardwareConcurrency) {
+  TwoPartySwapAdapter adapter(reference_two_party_config());
+  ScenarioRunner runner(adapter);
+  expect_identical(runner.sweep(), runner.sweep({-1, 0}));
+}
+
+TEST(ParallelSweep, MoreThreadsThanSchedules) {
+  TwoPartySwapAdapter adapter(reference_two_party_config());  // 16 schedules
+  ScenarioRunner runner(adapter);
+  expect_identical(runner.sweep(), runner.sweep({-1, 64}));
+}
+
+// ---------------------------------------------------------------------------
+// Violation ordering under load: a synthetic protocol whose every deviating
+// schedule produces exactly one violation with a schedule-specific label
+// and amount. If shard merging ever reordered or dropped results, these
+// lists would disagree.
+// ---------------------------------------------------------------------------
+
+class TattletaleAdapter final : public ProtocolAdapter {
+ public:
+  std::string name() const override { return "tattletale"; }
+  std::size_t party_count() const override { return 3; }
+  int action_count(PartyId) const override { return 4; }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<TattletaleAdapter>(*this);
+  }
+
+  std::vector<PartyOutcome> run(const Schedule& s) const override {
+    // The conforming victim loses coins proportional to the deviators'
+    // halt points; the deviators split the spoils so coins stay zero-sum.
+    Amount stolen = 0;
+    for (std::size_t p = 1; p < s.plans.size(); ++p) {
+      if (!s.plans[p].is_conforming()) stolen += s.plans[p].halt_point() + 1;
+    }
+    PartyOutcome victim{"victim", s.plans[0].is_conforming(), {}, {}};
+    victim.payoff.coin_delta = -stolen;
+    PartyOutcome thief{"thief", false, {}, {}};
+    thief.payoff.coin_delta = stolen;
+    PartyOutcome bystander{"bystander", false, {}, {}};
+    return {std::move(victim), std::move(thief), std::move(bystander)};
+  }
+};
+
+TEST(ParallelSweep, ViolationOrderingMatchesSerialExactly) {
+  TattletaleAdapter adapter;
+  ScenarioRunner runner(adapter);
+  const SweepReport serial = runner.sweep();
+  EXPECT_EQ(serial.schedules_run, 125u);
+  // Victim conforming (1/5 of plans) while either other party deviates
+  // (1 - (1/5)^2 of their joint space): 25 - 1 = 24 violating schedules.
+  EXPECT_EQ(serial.violations.size(), 24u);
+
+  for (const unsigned threads : {2u, 3u, 8u, 16u}) {
+    const SweepReport parallel = runner.sweep({-1, threads});
+    SCOPED_TRACE(threads);
+    expect_identical(serial, parallel);
+  }
+}
+
+}  // namespace
+}  // namespace xchain::sim

@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "core/two_party.hpp"
 #include "graph/digraph.hpp"
+#include "sim/plan_space.hpp"
 #include "sim/reference_configs.hpp"
 #include "sim/scenario.hpp"
 
@@ -98,6 +100,126 @@ TEST(ScenarioSweep, SealedAuctionBoundHoldsOnAllSchedules) {
   // 7 strategies x {conform, halt@0..2}^2 bidders.
   EXPECT_EQ(report.schedules_run, 112u);
   EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(ScenarioSweep, BrokerHedgedBoundHoldsOnAllSchedules) {
+  // Exhaustive over all three parties' halt points — 5^3 schedules, far
+  // beyond the single-deviator §8.2 walkthroughs in broker_test.cpp.
+  BrokerDealAdapter adapter(reference_broker_config());
+  const auto report = ScenarioRunner(adapter).sweep();
+  EXPECT_EQ(report.schedules_run, 125u);
+  EXPECT_EQ(report.conforming_audited, 75u);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(ScenarioSweep, BootstrapLadderBoundHoldsOnAllSchedules) {
+  // r = 2 rounds: {conform, halt@0..3}^2 = 25 schedules through the
+  // LadderContract pair.
+  BootstrapSwapAdapter adapter(reference_bootstrap_config());
+  const auto report = ScenarioRunner(adapter).sweep();
+  EXPECT_EQ(report.schedules_run, 25u);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(ScenarioSweep, CrrLadderBoundHoldsOnAllSchedules) {
+  // Single-rung ladder with CRR-priced premiums (§4): the floor a locked
+  // conforming party must earn is the option-priced premium itself.
+  const BootstrapSwapAdapter adapter =
+      make_crr_ladder_adapter(reference_crr_ladder_config());
+  EXPECT_GT(adapter.config().apricot_premiums.at(0), 0);
+  const auto report = ScenarioRunner(adapter).sweep();
+  EXPECT_EQ(report.schedules_run, 16u);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+// ---------------------------------------------------------------------------
+// Unhedged baselines: stripping the premiums out of the new protocols must
+// make the hedged floor fail somewhere — the audit has teeth on every
+// engine, and the premium machinery is what earns the 0-violation sweeps.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSweep, UnhedgedBrokerViolatesTheHedgedFloor) {
+  core::BrokerConfig cfg = reference_broker_config();
+  cfg.premium_unit = 0;  // §8.2 machinery present, but premiums are zero
+  BrokerDealAdapter adapter(cfg);
+  ScenarioRunner runner(adapter);
+
+  // With p = 0 the adapter's own floor degrades to break-even, so its
+  // sweep stays clean...
+  const auto report = runner.sweep();
+  EXPECT_TRUE(report.ok()) << report.str();
+
+  // ...but auditing the same outcomes against the hedged expectation (a
+  // locked-and-refunded seller earns at least one premium unit) must fail:
+  // without premiums, lock-ups go uncompensated.
+  std::vector<Violation> violations;
+  for (const Schedule& s : runner.enumerate()) {
+    const auto r =
+        core::run_broker_deal(cfg, s.plans[0], s.plans[1], s.plans[2]);
+    std::vector<PartyOutcome> outcomes;
+    outcomes.push_back({"alice", s.plans[0].is_conforming(), r.alice, {}});
+    outcomes.push_back({"bob", s.plans[1].is_conforming(), r.bob, {}});
+    if (r.bob_lockup > 0) outcomes.back().bound.min_coin_delta = 1;
+    outcomes.push_back({"carol", s.plans[2].is_conforming(), r.carol, {}});
+    if (r.carol_lockup > 0) outcomes.back().bound.min_coin_delta = 1;
+    audit_schedule(s.label, outcomes, violations);
+  }
+  EXPECT_FALSE(violations.empty())
+      << "premium-free broker lock-ups should breach the hedged floor";
+}
+
+TEST(ScenarioSweep, UnhedgedBaseSwapViolatesTheLadderFloor) {
+  // The ladder protocols' baseline is §5.1's premium-free atomic swap:
+  // audited against the hedged expectation (any locked-and-refunded
+  // principal earns at least one premium), it must produce violations —
+  // that sore-loser exposure is what §6's ladder exists to hedge.
+  const core::TwoPartyConfig cfg = reference_two_party_config();
+  std::vector<Violation> violations;
+  for (const DeviationPlan& pa : plan_space(core::kBaseTwoPartyActions)) {
+    for (const DeviationPlan& pb : plan_space(core::kBaseTwoPartyActions)) {
+      const auto r = core::run_base_two_party(cfg, pa, pb);
+      std::vector<PartyOutcome> outcomes;
+      outcomes.push_back({"alice", pa.is_conforming(), r.alice, {}});
+      if (r.alice_lockup > 0) outcomes.back().bound.min_coin_delta = 1;
+      outcomes.push_back({"bob", pb.is_conforming(), r.bob, {}});
+      if (r.bob_lockup > 0) outcomes.back().bound.min_coin_delta = 1;
+      audit_schedule("base-two-party[" + pa.str() + "," + pb.str() + "]",
+                     outcomes, violations);
+    }
+  }
+  EXPECT_FALSE(violations.empty())
+      << "the unhedged base swap should breach the premium floor somewhere";
+}
+
+// ---------------------------------------------------------------------------
+// Whole-fleet coverage: every protocol engine is swept, and the combined
+// schedule space has real breadth.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSweep, AllSevenProtocolEnginesSweptCleanly) {
+  TwoPartySwapAdapter two_party(reference_two_party_config());
+  MultiPartySwapAdapter arc(reference_multi_party_config());
+  TicketAuctionAdapter open_auction(reference_auction_config(),
+                                    /*sealed=*/false);
+  TicketAuctionAdapter sealed_auction(reference_auction_config(),
+                                      /*sealed=*/true);
+  BrokerDealAdapter broker(reference_broker_config());
+  const BootstrapSwapAdapter crr_ladder =
+      make_crr_ladder_adapter(reference_crr_ladder_config());
+  BootstrapSwapAdapter bootstrap(reference_bootstrap_config());
+
+  const ProtocolAdapter* engines[] = {
+      &two_party, &arc,        &open_auction, &sealed_auction,
+      &broker,    &crr_ladder, &bootstrap,
+  };
+  std::size_t total = 0;
+  for (const ProtocolAdapter* engine : engines) {
+    const auto report = ScenarioRunner(*engine).sweep();
+    EXPECT_TRUE(report.ok()) << report.str();
+    EXPECT_GT(report.conforming_audited, 0u) << engine->name();
+    total += report.schedules_run;
+  }
+  EXPECT_GE(total, 350u);
 }
 
 TEST(ScenarioSweep, AtLeastAHundredSchedulesAcrossThreeProtocols) {

@@ -11,8 +11,11 @@
 // default; `--threads=N` pins the parallel measurement to N workers).
 //
 // Emits BENCH_scenario_sweep.json (schedules/second per protocol, plus the
-// parallel scaling curve and the 8-thread speedup) into the working
-// directory alongside the usual Google Benchmark output.
+// parallel scaling curve and the 8-thread speedup) alongside the usual
+// Google Benchmark output; --json=PATH redirects the artifact anywhere
+// (default: BENCH_scenario_sweep.json in the working directory). The JSON
+// carries a git_commit / build_type / compiler stamp so per-commit CI
+// artifacts are comparable across runs (scripts/bench_compare.py).
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +32,18 @@
 #include "graph/digraph.hpp"
 #include "sim/reference_configs.hpp"
 #include "sim/scenario.hpp"
+
+// Build stamps injected by CMake (configure-time git HEAD; CI configures
+// fresh per commit, so the stamp is exact there).
+#ifndef XCHAIN_GIT_COMMIT
+#define XCHAIN_GIT_COMMIT "unknown"
+#endif
+#ifndef XCHAIN_BUILD_TYPE
+#define XCHAIN_BUILD_TYPE "unknown"
+#endif
+#ifndef XCHAIN_COMPILER
+#define XCHAIN_COMPILER "unknown"
+#endif
 
 using namespace xchain;
 
@@ -117,14 +132,21 @@ double measure_total_rate(const std::vector<NamedAdapter>& adapters,
 // BM_Sweep counters: the JSON must be emitted with stable methodology even
 // when benchmarks are filtered out or flags change their iteration counts.
 void write_json(const std::vector<NamedAdapter>& adapters,
-                const std::vector<unsigned>& thread_axis) {
-  std::FILE* f = std::fopen("BENCH_scenario_sweep.json", "w");
+                const std::vector<unsigned>& thread_axis,
+                const std::string& json_path) {
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (!f) {
-    std::fprintf(stderr, "cannot open BENCH_scenario_sweep.json\n");
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
     return;
   }
   std::fprintf(f, "{\n  \"benchmark\": \"scenario_sweep\",\n");
   std::fprintf(f, "  \"unit\": \"schedules_per_second\",\n");
+  // Provenance stamp: which commit/config produced this artifact, so the
+  // CI regression gate (scripts/bench_compare.py) can refuse to compare
+  // apples to oranges.
+  std::fprintf(f, "  \"git_commit\": \"%s\",\n", XCHAIN_GIT_COMMIT);
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", XCHAIN_BUILD_TYPE);
+  std::fprintf(f, "  \"compiler\": \"%s\",\n", XCHAIN_COMPILER);
   // Recorded so per-commit artifact readers can interpret the scaling
   // curve: an 8-thread speedup is only meaningful with >= 8 hardware
   // threads behind it.
@@ -182,9 +204,9 @@ void write_json(const std::vector<NamedAdapter>& adapters,
                top_rate / base_rate);
   std::fprintf(f, "  \"total_schedules_per_second\": %.1f\n}\n", serial_rate);
   std::fclose(f);
-  std::printf("wrote BENCH_scenario_sweep.json (%.1f schedules/s serial, "
-              "%.2fx at %u threads)\n",
-              serial_rate, top_rate / base_rate, thread_axis.back());
+  std::printf("wrote %s (%.1f schedules/s serial, %.2fx at %u threads)\n",
+              json_path.c_str(), serial_rate, top_rate / base_rate,
+              thread_axis.back());
 }
 
 }  // namespace
@@ -192,12 +214,20 @@ void write_json(const std::vector<NamedAdapter>& adapters,
 int main(int argc, char** argv) {
   // --threads=N pins the parallel JSON measurement (and the summary sweep)
   // to N workers (0 = one per hardware thread, matching SweepOptions);
-  // the default axis is the 1/2/4/8 scaling curve. The flag is consumed
-  // here so Google Benchmark never sees it.
+  // the default axis is the 1/2/4/8 scaling curve. --json=PATH redirects
+  // the JSON artifact (so CI jobs are not cwd-dependent). Both flags are
+  // consumed here so Google Benchmark never sees them.
   std::vector<unsigned> thread_axis = {1, 2, 4, 8};
+  std::string json_path = "BENCH_scenario_sweep.json";
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+      if (json_path.empty()) {
+        std::fprintf(stderr, "invalid --json= (want --json=PATH)\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       char* end = nullptr;
       const long n = std::strtol(argv[i] + 10, &end, 10);
       if (end == argv[i] + 10 || *end != '\0' || n < 0) {
@@ -243,6 +273,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  write_json(adapters, thread_axis);
+  write_json(adapters, thread_axis, json_path);
   return 0;
 }

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_scenario_sweep.json artifacts and gate regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json
+        [--max-regression 0.20] [--report-only]
+
+Exits non-zero when the candidate's serial `total_schedules_per_second`
+regresses by more than --max-regression (default 20%) relative to the
+baseline. --report-only prints the same comparison but always exits 0 —
+CI uses it on shared 1-core runners, where absolute throughput is too
+noisy to gate on (the committed baseline was measured on a dedicated
+host; see bench/baselines/). The gate also degrades itself to
+report-only when the baseline and candidate disagree on
+`hardware_threads`: absolute throughput only gates meaningfully between
+like-for-like hosts, so the enforcement arms once a baseline measured on
+the CI runner class is committed.
+
+Per-protocol rates and the parallel scaling curve are reported for
+context but never gated: small schedule spaces amortize world setup over
+few runs and are noisy by construction.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def fmt_rate(rate):
+    return f"{rate:,.0f}/s"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop in total_schedules_per_second"
+        " (default 0.20)",
+    )
+    ap.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (noisy shared runners)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    for doc, path in ((base, args.baseline), (cand, args.candidate)):
+        if doc.get("benchmark") != "scenario_sweep":
+            sys.exit(f"bench_compare: {path} is not a scenario_sweep artifact")
+        if "total_schedules_per_second" not in doc:
+            sys.exit(f"bench_compare: {path} lacks total_schedules_per_second")
+
+    print(
+        f"baseline : {args.baseline} "
+        f"(commit {base.get('git_commit', 'unknown')[:12]}, "
+        f"{base.get('build_type', 'unknown')}, "
+        f"{base.get('compiler', 'unknown')}, "
+        f"{base.get('hardware_threads', '?')} hw threads)"
+    )
+    print(
+        f"candidate: {args.candidate} "
+        f"(commit {cand.get('git_commit', 'unknown')[:12]}, "
+        f"{cand.get('build_type', 'unknown')}, "
+        f"{cand.get('compiler', 'unknown')}, "
+        f"{cand.get('hardware_threads', '?')} hw threads)"
+    )
+    if base.get("build_type") != cand.get("build_type"):
+        print(
+            "bench_compare: WARNING: build_type differs — rates are not"
+            " comparable",
+            file=sys.stderr,
+        )
+    if base.get("hardware_threads") != cand.get("hardware_threads"):
+        print(
+            "bench_compare: WARNING: hardware_threads differs"
+            f" ({base.get('hardware_threads', '?')} vs"
+            f" {cand.get('hardware_threads', '?')}) — different host class,"
+            " degrading to report-only",
+            file=sys.stderr,
+        )
+        args.report_only = True
+
+    # Per-protocol context (never gated).
+    base_protocols = {p["name"]: p for p in base.get("protocols", [])}
+    for p in cand.get("protocols", []):
+        b = base_protocols.get(p["name"])
+        if b is None:
+            print(f"  {p['name']:<22} {fmt_rate(p['schedules_per_second']):>14}"
+                  f"  (new protocol)")
+            continue
+        ratio = p["schedules_per_second"] / max(b["schedules_per_second"], 1e-9)
+        print(
+            f"  {p['name']:<22} {fmt_rate(b['schedules_per_second']):>14} ->"
+            f" {fmt_rate(p['schedules_per_second']):>14}  ({ratio:5.2f}x)"
+        )
+        if p.get("violations", 0) != 0:
+            sys.exit(
+                f"bench_compare: candidate reports {p['violations']} hedging"
+                f" violations in {p['name']} — a correctness failure, not a"
+                " perf question"
+            )
+
+    base_total = base["total_schedules_per_second"]
+    cand_total = cand["total_schedules_per_second"]
+    ratio = cand_total / max(base_total, 1e-9)
+    print(
+        f"  {'TOTAL (serial)':<22} {fmt_rate(base_total):>14} ->"
+        f" {fmt_rate(cand_total):>14}  ({ratio:5.2f}x)"
+    )
+
+    floor = 1.0 - args.max_regression
+    if ratio < floor:
+        msg = (
+            f"bench_compare: REGRESSION: total_schedules_per_second fell to"
+            f" {ratio:.2f}x of baseline (floor {floor:.2f}x)"
+        )
+        if args.report_only:
+            print(msg + " [report-only: not failing]")
+            return
+        sys.exit(msg)
+    print(f"bench_compare: OK ({ratio:.2f}x of baseline, floor {floor:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

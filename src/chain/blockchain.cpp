@@ -10,14 +10,22 @@ Ledger& TxContext::ledger() { return bc_.ledger_; }
 
 const Symbol& TxContext::native() const { return bc_.native(); }
 
+SymbolId TxContext::native_id() const { return bc_.native_id(); }
+
+bool TxContext::tracing() const { return bc_.tracing(); }
+
 void TxContext::emit(ContractId contract, std::string kind,
                      std::string detail) {
+  if (!bc_.tracing()) return;
   bc_.events_.push_back(
       Event{now_, bc_.id(), contract, std::move(kind), std::move(detail)});
 }
 
 Blockchain::Blockchain(ChainId id, std::string name, Symbol native)
-    : id_(id), name_(std::move(name)), native_(std::move(native)) {}
+    : id_(id),
+      name_(std::move(name)),
+      native_(std::move(native)),
+      native_id_(SymbolTable::intern(native_)) {}
 
 void Blockchain::submit(Transaction tx) { mempool_.push_back(std::move(tx)); }
 
@@ -30,10 +38,11 @@ void Blockchain::register_contract(std::unique_ptr<Contract> c) {
 void Blockchain::produce_block(Tick now) {
   height_ = now;
   // Apply queued transactions in submission order (contracts can rely on
-  // arrival order, paper §3.2 footnote).
-  std::vector<Transaction> batch;
-  batch.swap(mempool_);
-  for (Transaction& tx : batch) {
+  // arrival order, paper §3.2 footnote). The batch/mempool pair ping-pongs
+  // so both keep their capacity across blocks.
+  batch_.clear();
+  batch_.swap(mempool_);
+  for (Transaction& tx : batch_) {
     TxContext ctx(*this, tx.sender, now);
     tx.effect(ctx);
     ++applied_tx_count_;
@@ -45,15 +54,38 @@ void Blockchain::produce_block(Tick now) {
   }
 }
 
+void Blockchain::reset() {
+  ledger_.restore();
+  height_ = -1;
+  mempool_.clear();
+  events_.clear();
+  applied_tx_count_ = 0;
+  for (auto& c : contracts_) c->reset();
+}
+
 Blockchain& MultiChain::add_chain(const std::string& name) {
   const ChainId id = static_cast<ChainId>(chains_.size());
   chains_.push_back(
       std::make_unique<Blockchain>(id, name, name + "-coin"));
+  chains_.back()->set_trace(trace_);
   return *chains_.back();
+}
+
+void MultiChain::set_trace(TraceMode mode) {
+  trace_ = mode;
+  for (auto& c : chains_) c->set_trace(mode);
 }
 
 void MultiChain::produce_all(Tick now) {
   for (auto& c : chains_) c->produce_block(now);
+}
+
+void MultiChain::checkpoint() {
+  for (auto& c : chains_) c->checkpoint();
+}
+
+void MultiChain::reset() {
+  for (auto& c : chains_) c->reset();
 }
 
 EventLog MultiChain::all_events() const {

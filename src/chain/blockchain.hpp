@@ -14,6 +14,12 @@ namespace xchain::chain {
 
 class Blockchain;
 
+/// How much human-readable trace a chain records. Sweep runs execute
+/// millions of transactions whose traces nobody reads; kOff stops the
+/// per-transaction string traffic (event logs and submit-site note labels)
+/// without touching protocol behaviour. Tests and examples keep kFull.
+enum class TraceMode : std::uint8_t { kFull, kOff };
+
 /// Execution context handed to contract code while a transaction (or the
 /// per-block timeout sweep) runs. It exposes *only this chain's* state —
 /// contracts cannot observe other chains (paper §3.1); cross-chain
@@ -35,7 +41,14 @@ class TxContext {
   /// The chain's native currency symbol (used for premiums).
   const Symbol& native() const;
 
-  /// Appends to the chain's public event log.
+  /// Interned handle for the native symbol — the hot-path spelling.
+  SymbolId native_id() const;
+
+  /// False when the chain runs traceless (TraceMode::kOff): callers should
+  /// skip building emit() arguments entirely.
+  bool tracing() const;
+
+  /// Appends to the chain's public event log (no-op when traceless).
   void emit(ContractId contract, std::string kind, std::string detail = "");
 
  private:
@@ -82,6 +95,14 @@ class Contract {
   /// expired refund, which is their dominant strategy.
   virtual void on_block(TxContext& ctx) { (void)ctx; }
 
+  /// Restores the contract to its just-constructed state. Reusable worlds
+  /// (MultiChain::reset) call this once per schedule so sweep workers can
+  /// re-run protocols on one arena-style world instead of redeploying.
+  /// Contracts deployed on reusable chains must override this to clear
+  /// every mutable member; pure caches of deterministic computation may
+  /// survive.
+  virtual void reset() {}
+
  private:
   friend class Blockchain;
   ContractId id_ = 0;
@@ -99,6 +120,11 @@ class Blockchain {
   ChainId id() const { return id_; }
   const std::string& name() const { return name_; }
   const Symbol& native() const { return native_; }
+  SymbolId native_id() const { return native_id_; }
+
+  TraceMode trace() const { return trace_; }
+  void set_trace(TraceMode mode) { trace_ = mode; }
+  bool tracing() const { return trace_ == TraceMode::kFull; }
 
   /// Read-only ledger view (public state).
   const Ledger& ledger() const { return ledger_; }
@@ -115,7 +141,8 @@ class Blockchain {
   /// Queues a transaction for the next block.
   void submit(Transaction tx);
 
-  /// Number of transactions applied over the chain's lifetime.
+  /// Number of transactions applied over the chain's lifetime (zeroed by
+  /// reset(), so reused worlds report per-run counts).
   std::size_t applied_tx_count() const { return applied_tx_count_; }
 
   /// Deploys a contract; returns a stable reference. Deployment happens at
@@ -133,6 +160,13 @@ class Blockchain {
   /// sweep, as the block at height `now`.
   void produce_block(Tick now);
 
+  /// Captures the ledger state as the baseline reset() returns to.
+  void checkpoint() { ledger_.checkpoint(); }
+
+  /// Rolls the chain back to its checkpoint: ledger balances, height,
+  /// event log, mempool, tx count, and every contract's state.
+  void reset();
+
  private:
   friend class TxContext;
 
@@ -141,9 +175,12 @@ class Blockchain {
   ChainId id_;
   std::string name_;
   Symbol native_;
+  SymbolId native_id_;
+  TraceMode trace_ = TraceMode::kFull;
   Ledger ledger_;
   Tick height_ = -1;
   std::vector<Transaction> mempool_;
+  std::vector<Transaction> batch_;  ///< produce_block scratch, capacity reused
   std::vector<std::unique_ptr<Contract>> contracts_;
   EventLog events_;
   std::size_t applied_tx_count_ = 0;
@@ -162,14 +199,25 @@ class MultiChain {
 
   std::size_t count() const { return chains_.size(); }
 
+  /// Trace mode applied to every chain, current and future.
+  void set_trace(TraceMode mode);
+  TraceMode trace() const { return trace_; }
+
   /// Produces the block at height `now` on every chain.
   void produce_all(Tick now);
+
+  /// Checkpoints / resets every chain — the world-reuse pair: checkpoint
+  /// once after setup (endowments minted, contracts deployed), reset
+  /// before each subsequent run.
+  void checkpoint();
+  void reset();
 
   /// Concatenated event logs of all chains, sorted by (tick, chain).
   EventLog all_events() const;
 
  private:
   std::vector<std::unique_ptr<Blockchain>> chains_;
+  TraceMode trace_ = TraceMode::kFull;
 };
 
 }  // namespace xchain::chain

@@ -4,40 +4,94 @@
 
 namespace xchain::chain {
 
-Amount Ledger::balance(const Address& who, const Symbol& sym) const {
-  const auto it = balances_.find(Key{who, sym});
-  return it == balances_.end() ? 0 : it->second;
+const std::vector<Amount>* Ledger::row_of(const Address& who) const {
+  const Book& book = who.kind == Address::Kind::kParty ? party_ : contract_;
+  if (who.id >= book.size()) return nullptr;
+  return &book[who.id];
 }
 
-void Ledger::mint(const Address& who, const Symbol& sym, Amount amount) {
-  balances_[Key{who, sym}] += amount;
+Amount* Ledger::cell(const Address& who, std::uint32_t col) {
+  Book& book = who.kind == Address::Kind::kParty ? party_ : contract_;
+  if (who.id >= book.size()) book.resize(who.id + 1);
+  std::vector<Amount>& row = book[who.id];
+  if (col >= row.size()) row.resize(col + 1, 0);
+  return &row[col];
 }
 
-bool Ledger::transfer(const Address& from, const Address& to,
-                      const Symbol& sym, Amount amount) {
+std::uint32_t Ledger::column_of(SymbolId sym) {
+  if (sym.value() < col_of_.size() && col_of_[sym.value()] != kNoColumn) {
+    return col_of_[sym.value()];
+  }
+  if (sym.value() >= col_of_.size()) {
+    col_of_.resize(sym.value() + 1, kNoColumn);
+  }
+  const auto col = static_cast<std::uint32_t>(symbols_.size());
+  col_of_[sym.value()] = col;
+  symbols_.push_back(sym);
+  // Keep the name-ordered column list sorted so holdings() stays in the
+  // deterministic (kind, id, symbol name) order the map-era code produced.
+  // Columns are few per ledger; re-sorting on insert is cold-path work.
+  cols_by_name_.push_back(col);
+  std::sort(cols_by_name_.begin(), cols_by_name_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return SymbolTable::name(symbols_[a]) <
+                     SymbolTable::name(symbols_[b]);
+            });
+  return col;
+}
+
+Amount Ledger::balance(const Address& who, SymbolId sym) const {
+  if (!sym.valid() || sym.value() >= col_of_.size()) return 0;
+  const std::uint32_t col = col_of_[sym.value()];
+  if (col == kNoColumn) return 0;
+  const std::vector<Amount>* row = row_of(who);
+  return row && col < row->size() ? (*row)[col] : 0;
+}
+
+void Ledger::mint(const Address& who, SymbolId sym, Amount amount) {
+  *cell(who, column_of(sym)) += amount;
+}
+
+bool Ledger::transfer(const Address& from, const Address& to, SymbolId sym,
+                      Amount amount) {
   if (amount < 0) return false;
   if (amount == 0) return true;
-  auto it = balances_.find(Key{from, sym});
-  if (it == balances_.end() || it->second < amount) return false;
-  it->second -= amount;
-  balances_[Key{to, sym}] += amount;
+  if (balance(from, sym) < amount) return false;
+  const std::uint32_t col = column_of(sym);
+  *cell(from, col) -= amount;
+  *cell(to, col) += amount;
   return true;
 }
 
 std::vector<std::tuple<Address, Symbol, Amount>> Ledger::holdings() const {
   std::vector<std::tuple<Address, Symbol, Amount>> out;
-  out.reserve(balances_.size());
-  for (const auto& [key, amount] : balances_) {
-    if (amount != 0) out.emplace_back(key.who, key.sym, amount);
-  }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    const auto& [aw, as, aa] = a;
-    const auto& [bw, bs, ba] = b;
-    if (aw.kind != bw.kind) return aw.kind < bw.kind;
-    if (aw.id != bw.id) return aw.id < bw.id;
-    return as < bs;
-  });
+  const auto scan = [&](const Book& book, Address::Kind kind) {
+    for (std::size_t id = 0; id < book.size(); ++id) {
+      const Address who{kind, id};
+      for (const std::uint32_t col : cols_by_name_) {
+        if (col < book[id].size() && book[id][col] != 0) {
+          out.emplace_back(who, SymbolTable::name(symbols_[col]),
+                           book[id][col]);
+        }
+      }
+    }
+  };
+  scan(party_, Address::Kind::kParty);
+  scan(contract_, Address::Kind::kContract);
   return out;
+}
+
+void Ledger::checkpoint() {
+  saved_party_ = party_;
+  saved_contract_ = contract_;
+}
+
+void Ledger::restore() {
+  // Columns interned after the checkpoint keep their mapping (it is pure
+  // naming); only balances roll back. Rows that grew since the checkpoint
+  // shrink back, so restored state is exactly the checkpointed book.
+  party_ = saved_party_;
+  contract_ = saved_contract_;
 }
 
 }  // namespace xchain::chain

@@ -1,10 +1,11 @@
 #pragma once
 
 #include <string>
-#include <unordered_map>
+#include <tuple>
 #include <vector>
 
 #include "chain/address.hpp"
+#include "common/symbol.hpp"
 #include "common/types.hpp"
 
 namespace xchain::chain {
@@ -15,40 +16,90 @@ using Symbol = std::string;
 
 /// Per-chain balance book: (address, symbol) -> amount.
 ///
+/// Storage is dense, the way production chain runtimes key hot state:
+/// party and contract ids index rows directly, and each distinct symbol
+/// occupies a small per-ledger column (mapped from its global SymbolId), so
+/// the hot path — contract-driven transfers during block production — is a
+/// handful of array indexings with no hashing or string traffic. (The old
+/// representation was an unordered_map over (Address, string) keys with a
+/// weak XOR/shift hash; the dense book replaced it outright.)
+///
 /// All mutation happens inside transaction execution (the chain runtime
 /// constructs the only mutable references); reads are free for everyone,
 /// matching the public-ledger model of §3.1.
 class Ledger {
  public:
   /// Balance of `who` in `sym` (0 if never touched).
-  Amount balance(const Address& who, const Symbol& sym) const;
+  Amount balance(const Address& who, SymbolId sym) const;
+  Amount balance(const Address& who, const Symbol& sym) const {
+    return balance(who, SymbolTable::intern(sym));
+  }
 
   /// Creates `amount` units of `sym` at `who` out of thin air. Used only
   /// for world setup (initial endowments), never by contracts.
-  void mint(const Address& who, const Symbol& sym, Amount amount);
+  void mint(const Address& who, SymbolId sym, Amount amount);
+  void mint(const Address& who, const Symbol& sym, Amount amount) {
+    mint(who, SymbolTable::intern(sym), amount);
+  }
 
   /// Moves `amount` of `sym` from `from` to `to`. Returns false (and moves
   /// nothing) if `from`'s balance is insufficient or amount is negative.
-  bool transfer(const Address& from, const Address& to, const Symbol& sym,
+  bool transfer(const Address& from, const Address& to, SymbolId sym,
                 Amount amount);
+  bool transfer(const Address& from, const Address& to, const Symbol& sym,
+                Amount amount) {
+    return transfer(from, to, SymbolTable::intern(sym), amount);
+  }
 
   /// Every (address, symbol, amount) triple with nonzero balance, in
-  /// deterministic order — used by payoff accounting.
+  /// deterministic order — (kind, id, symbol name) ascending, exactly the
+  /// order the pre-dense map-and-sort implementation produced. Used by
+  /// payoff accounting and traces.
   std::vector<std::tuple<Address, Symbol, Amount>> holdings() const;
 
- private:
-  struct Key {
-    Address who;
-    Symbol sym;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      return std::hash<Address>{}(k.who) ^
-             (std::hash<std::string>{}(k.sym) << 1);
+  /// Calls `fn(SymbolId, Amount)` for each nonzero holding of `who`, in
+  /// symbol-name order — the allocation-free spine of holdings().
+  template <class F>
+  void for_each_holding(const Address& who, F&& fn) const {
+    const std::vector<Amount>* row = row_of(who);
+    if (!row) return;
+    for (const std::uint32_t col : cols_by_name_) {
+      if (col < row->size() && (*row)[col] != 0) {
+        fn(symbols_[col], (*row)[col]);
+      }
     }
-  };
-  std::unordered_map<Key, Amount, KeyHash> balances_;
+  }
+
+  /// Captures the current balances as the checkpoint restore() returns to.
+  void checkpoint();
+
+  /// Restores the balances captured by checkpoint() (empties the book if
+  /// checkpoint() was never called). Part of the arena-style world-reuse
+  /// path: sweep workers reset one world per schedule instead of
+  /// rebuilding chains from scratch.
+  void restore();
+
+ private:
+  /// Rows indexed by party id / contract id respectively; cells indexed by
+  /// per-ledger column. Rows and columns grow on demand and may be ragged
+  /// (a row only reaches as far as the last column it ever touched).
+  using Book = std::vector<std::vector<Amount>>;
+
+  const std::vector<Amount>* row_of(const Address& who) const;
+  Amount* cell(const Address& who, std::uint32_t col);
+  std::uint32_t column_of(SymbolId sym);
+
+  Book party_;
+  Book contract_;
+  /// SymbolId::value() -> column (kNoColumn when absent from this ledger).
+  std::vector<std::uint32_t> col_of_;
+  std::vector<SymbolId> symbols_;           ///< column -> symbol
+  std::vector<std::uint32_t> cols_by_name_; ///< columns, symbol-name order
+
+  Book saved_party_;
+  Book saved_contract_;
+
+  static constexpr std::uint32_t kNoColumn = 0xffffffffu;
 };
 
 }  // namespace xchain::chain

@@ -1,0 +1,55 @@
+#include "common/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace xchain {
+
+namespace {
+
+/// Interner storage. A deque gives reference stability for name(); the map
+/// keys are views into the deque entries, so each name is stored once.
+struct Store {
+  std::shared_mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, std::uint32_t> index;
+};
+
+Store& store() {
+  static Store s;
+  return s;
+}
+
+}  // namespace
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  Store& s = store();
+  {
+    std::shared_lock lock(s.mu);
+    const auto it = s.index.find(name);
+    if (it != s.index.end()) return SymbolId(it->second);
+  }
+  std::unique_lock lock(s.mu);
+  const auto it = s.index.find(name);  // raced inserts resolve here
+  if (it != s.index.end()) return SymbolId(it->second);
+  const auto id = static_cast<std::uint32_t>(s.names.size());
+  s.names.emplace_back(name);
+  s.index.emplace(s.names.back(), id);
+  return SymbolId(id);
+}
+
+const std::string& SymbolTable::name(SymbolId id) {
+  Store& s = store();
+  std::shared_lock lock(s.mu);
+  return s.names[id.value()];
+}
+
+std::size_t SymbolTable::size() {
+  Store& s = store();
+  std::shared_lock lock(s.mu);
+  return s.names.size();
+}
+
+}  // namespace xchain

@@ -26,17 +26,24 @@ bool MultiPartyArcContract::all_hashlocks_open() const {
 void MultiPartyArcContract::deposit_escrow_premium(chain::TxContext& ctx) {
   if (ctx.sender() != sender_of_arc() || ep_deposited_) return;
   if (ctx.now() > p_.escrow_deadline) {
-    ctx.emit(id(), "escrow_premium_rejected", "too late");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "escrow_premium_rejected", "too late");
+    }
     return;
   }
   if (!ctx.ledger().transfer(chain::Address::party(sender_of_arc()),
-                             address(), ctx.native(), p_.escrow_premium)) {
-    ctx.emit(id(), "escrow_premium_rejected", "insufficient balance");
+                             address(), ctx.native_id(),
+                             p_.escrow_premium)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "escrow_premium_rejected", "insufficient balance");
+    }
     return;
   }
   ep_deposited_ = ctx.now();
-  ctx.emit(id(), "escrow_premium_deposited",
-           std::to_string(p_.escrow_premium));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrow_premium_deposited",
+             std::to_string(p_.escrow_premium));
+  }
 }
 
 void MultiPartyArcContract::deposit_redemption_premium(
@@ -46,51 +53,71 @@ void MultiPartyArcContract::deposit_redemption_premium(
   RedemptionPremium& slot = rp_[leader_index];
   if (ctx.sender() != recipient_of_arc() || slot.deposited_at) return;
   if (ctx.now() > p_.redemption_premium_deadline) {
-    ctx.emit(id(), "redemption_premium_rejected", "too late");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "too late");
+    }
     return;
   }
   // Well-formedness (§3.2): the path must be a real path of G from v to
   // the leader, signed by the depositor.
   if (!p_.g.is_path(q) || q.front() != recipient_of_arc() ||
       q.back() != p_.hashlocks[leader_index].leader) {
-    ctx.emit(id(), "redemption_premium_rejected", "bad path");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "bad path");
+    }
     return;
   }
-  if (!crypto::verify_premium_path(p_.party_keys[ctx.sender()], leader_index,
+  if (!vcache_.verify_premium_path(p_.party_keys[ctx.sender()], leader_index,
                                    q, path_sig)) {
-    ctx.emit(id(), "redemption_premium_rejected", "bad signature");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "bad signature");
+    }
     return;
   }
   // Equation 1 dictates the amount; the beneficiary is u.
+  const auto memo = rp_amount_memo_.find(q);
   const Amount amount =
-      core::redemption_premium(p_.g, q, sender_of_arc(), p_.premium_unit);
+      memo != rp_amount_memo_.end()
+          ? memo->second
+          : rp_amount_memo_
+                .emplace(q, core::redemption_premium(p_.g, q, sender_of_arc(),
+                                                     p_.premium_unit))
+                .first->second;
   if (!ctx.ledger().transfer(chain::Address::party(recipient_of_arc()),
-                             address(), ctx.native(), amount)) {
-    ctx.emit(id(), "redemption_premium_rejected", "insufficient balance");
+                             address(), ctx.native_id(), amount)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "insufficient balance");
+    }
     return;
   }
   slot.amount = amount;
   slot.path = q;
   slot.deposited_at = ctx.now();
-  ctx.emit(id(), "redemption_premium_deposited",
-           "leader " + std::to_string(leader_index) + " amount " +
-               std::to_string(amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "redemption_premium_deposited",
+             "leader " + std::to_string(leader_index) + " amount " +
+                 std::to_string(amount));
+  }
 }
 
 void MultiPartyArcContract::escrow_asset(chain::TxContext& ctx) {
   if (ctx.sender() != sender_of_arc() || escrowed_at_) return;
   if (ctx.now() > p_.escrow_deadline) {
-    ctx.emit(id(), "escrow_rejected", "too late");
+    if (ctx.tracing()) ctx.emit(id(), "escrow_rejected", "too late");
     return;
   }
   if (!ctx.ledger().transfer(chain::Address::party(sender_of_arc()),
-                             address(), p_.asset_symbol, p_.asset_amount)) {
-    ctx.emit(id(), "escrow_rejected", "insufficient balance");
+                             address(), sym_, p_.asset_amount)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "escrow_rejected", "insufficient balance");
+    }
     return;
   }
   escrowed_at_ = ctx.now();
-  ctx.emit(id(), "escrowed",
-           p_.asset_symbol + ":" + std::to_string(p_.asset_amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrowed",
+             p_.asset_symbol + ":" + std::to_string(p_.asset_amount));
+  }
   // Lemma 1: "v's escrow premium E(v, w) is refunded as soon as v escrows
   // its asset on that arc."
   if (ep_deposited_ && !ep_refunded_ && !ep_awarded_) {
@@ -104,26 +131,28 @@ void MultiPartyArcContract::present_hashkey(chain::TxContext& ctx,
   if (leader_index >= hashkeys_.size() || hashkeys_[leader_index]) return;
   // Timeliness: (diam + |q|) * Delta from the hashkey base.
   if (ctx.now() > path_deadline(key.path.size())) {
-    ctx.emit(id(), "hashkey_rejected", "timed out");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "timed out");
     return;
   }
   // Structural validity: the path must run from this arc's recipient to
   // the leader along arcs of G.
   if (!p_.g.is_path(key.path) || key.presenter() != recipient_of_arc() ||
       key.leader() != p_.hashlocks[leader_index].leader) {
-    ctx.emit(id(), "hashkey_rejected", "bad path");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "bad path");
     return;
   }
   const auto key_of = [this](PartyId pid) { return p_.party_keys[pid]; };
-  if (!crypto::verify_hashkey(key, p_.hashlocks[leader_index].digest,
+  if (!vcache_.verify_hashkey(key, p_.hashlocks[leader_index].digest,
                               key_of)) {
-    ctx.emit(id(), "hashkey_rejected", "bad crypto");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "bad crypto");
     return;
   }
   hashkeys_[leader_index] = key;
-  ctx.emit(id(), "hashkey_presented",
-           "leader " + std::to_string(leader_index) + " path " +
-               graph::to_string(key.path));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "hashkey_presented",
+             "leader " + std::to_string(leader_index) + " path " +
+                 graph::to_string(key.path));
+  }
 
   // Lemma 1: "v's redemption premium R_i(q, u) is refunded as soon as v
   // sends hashkey k_i on that arc."
@@ -131,30 +160,37 @@ void MultiPartyArcContract::present_hashkey(chain::TxContext& ctx,
   if (slot.deposited_at && !slot.refunded && !slot.awarded) {
     ctx.ledger().transfer(address(),
                           chain::Address::party(recipient_of_arc()),
-                          ctx.native(), slot.amount);
+                          ctx.native_id(), slot.amount);
     slot.refunded = true;
-    ctx.emit(id(), "redemption_premium_refunded",
-             "leader " + std::to_string(leader_index));
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_refunded",
+               "leader " + std::to_string(leader_index));
+    }
   }
 
   // Redemption: all hashkeys collected -> the asset goes to v.
   if (escrowed_at_ && !redeemed_ && !refunded_ && all_hashlocks_open()) {
     ctx.ledger().transfer(address(),
-                          chain::Address::party(recipient_of_arc()),
-                          p_.asset_symbol, p_.asset_amount);
+                          chain::Address::party(recipient_of_arc()), sym_,
+                          p_.asset_amount);
     redeemed_ = true;
     asset_resolved_at_ = ctx.now();
-    ctx.emit(id(), "redeemed", "to " + std::to_string(recipient_of_arc()));
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redeemed", "to " + std::to_string(recipient_of_arc()));
+    }
   }
 }
 
 void MultiPartyArcContract::refund_escrow_premium(chain::TxContext& ctx,
                                                   PartyId to, bool award) {
-  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native(),
+  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native_id(),
                         p_.escrow_premium);
   (award ? ep_awarded_ : ep_refunded_) = true;
-  ctx.emit(id(), award ? "escrow_premium_awarded" : "escrow_premium_refunded",
-           "to " + std::to_string(to));
+  if (ctx.tracing()) {
+    ctx.emit(id(),
+             award ? "escrow_premium_awarded" : "escrow_premium_refunded",
+             "to " + std::to_string(to));
+  }
 }
 
 void MultiPartyArcContract::on_block(chain::TxContext& ctx) {
@@ -175,11 +211,13 @@ void MultiPartyArcContract::on_block(chain::TxContext& ctx) {
     if (slot.deposited_at && !slot.refunded && !slot.awarded &&
         !hashkeys_[i] && ctx.now() > path_deadline(slot.path.size())) {
       ctx.ledger().transfer(address(), chain::Address::party(sender_of_arc()),
-                            ctx.native(), slot.amount);
+                            ctx.native_id(), slot.amount);
       slot.awarded = true;
-      ctx.emit(id(), "redemption_premium_awarded",
-               "leader " + std::to_string(i) + " to " +
-                   std::to_string(sender_of_arc()));
+      if (ctx.tracing()) {
+        ctx.emit(id(), "redemption_premium_awarded",
+                 "leader " + std::to_string(i) + " to " +
+                     std::to_string(sender_of_arc()));
+      }
     }
   }
   // Asset refund: after the longest possible hashkey deadline, an
@@ -187,11 +225,31 @@ void MultiPartyArcContract::on_block(chain::TxContext& ctx) {
   if (escrowed_at_ && !redeemed_ && !refunded_ &&
       ctx.now() > path_deadline(p_.g.size())) {
     ctx.ledger().transfer(address(), chain::Address::party(sender_of_arc()),
-                          p_.asset_symbol, p_.asset_amount);
+                          sym_, p_.asset_amount);
     refunded_ = true;
     asset_resolved_at_ = ctx.now();
-    ctx.emit(id(), "refunded", "to " + std::to_string(sender_of_arc()));
+    if (ctx.tracing()) {
+      ctx.emit(id(), "refunded", "to " + std::to_string(sender_of_arc()));
+    }
   }
+}
+
+void MultiPartyArcContract::reset() {
+  ep_deposited_.reset();
+  ep_refunded_ = false;
+  ep_awarded_ = false;
+  for (RedemptionPremium& slot : rp_) {
+    slot.amount = 0;
+    slot.path.clear();
+    slot.deposited_at.reset();
+    slot.refunded = false;
+    slot.awarded = false;
+  }
+  escrowed_at_.reset();
+  asset_resolved_at_.reset();
+  redeemed_ = false;
+  refunded_ = false;
+  for (auto& k : hashkeys_) k.reset();
 }
 
 }  // namespace xchain::contracts

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -91,6 +92,10 @@ class MultiPartyArcContract : public chain::Contract {
   /// Timeout sweep: premium refunds/awards and the final asset refund.
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse). The signature
+  /// verification memo survives: it caches pure computation.
+  void reset() override;
+
   // -- Public state -----------------------------------------------------------
 
   const Params& params() const { return p_; }
@@ -156,7 +161,14 @@ class MultiPartyArcContract : public chain::Contract {
   void refund_escrow_premium(chain::TxContext& ctx, PartyId to, bool award);
 
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.asset_symbol);
   std::size_t diam_;
+  /// Memoized signature verification: reused worlds re-see the same
+  /// deterministic hashkeys/path signatures every schedule.
+  crypto::VerifyCache vcache_;
+  /// Equation 1 amounts per deposit path (pure in (g, p), so it survives
+  /// reset() like the signature memo).
+  std::map<graph::Path, Amount> rp_amount_memo_;
   std::optional<Tick> ep_deposited_;
   bool ep_refunded_ = false;
   bool ep_awarded_ = false;

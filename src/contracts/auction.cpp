@@ -6,7 +6,8 @@
 namespace xchain::contracts {
 
 bool auction_hashkey_valid(const AuctionTerms& terms, std::size_t i,
-                           const crypto::Hashkey& key, Tick now) {
+                           const crypto::Hashkey& key, Tick now,
+                           crypto::VerifyCache* vcache) {
   if (i >= terms.hashlocks.size()) return false;
   // Timeout: |q| * Delta after the declaration phase starts.
   if (now > terms.declaration_start +
@@ -16,7 +17,8 @@ bool auction_hashkey_valid(const AuctionTerms& terms, std::size_t i,
   // The chain of custody must originate at the auctioneer.
   if (key.leader() != terms.auctioneer) return false;
   const auto key_of = [&terms](PartyId p) { return terms.party_keys[p]; };
-  return crypto::verify_hashkey(key, terms.hashlocks[i], key_of);
+  return vcache ? vcache->verify_hashkey(key, terms.hashlocks[i], key_of)
+                : crypto::verify_hashkey(key, terms.hashlocks[i], key_of);
 }
 
 // ---------------------------------------------------------------------------
@@ -42,20 +44,20 @@ void CoinAuctionContract::endow_premium(chain::TxContext& ctx) {
   const Amount total =
       p_.premium_per_bidder * static_cast<Amount>(bids_.size());
   if (!ctx.ledger().transfer(chain::Address::party(p_.terms.auctioneer),
-                             address(), ctx.native(), total)) {
+                             address(), ctx.native_id(), total)) {
     return;
   }
   premium_endowed_ = true;
-  ctx.emit(id(), "premium_endowed", std::to_string(total));
+  if (ctx.tracing()) ctx.emit(id(), "premium_endowed", std::to_string(total));
 }
 
 void CoinAuctionContract::place_bid(chain::TxContext& ctx, Amount amount) {
   if (!premium_endowed_) {
-    ctx.emit(id(), "bid_rejected", "no premium endowment");
+    if (ctx.tracing()) ctx.emit(id(), "bid_rejected", "no premium endowment");
     return;
   }
   if (ctx.now() > p_.terms.bid_deadline) {
-    ctx.emit(id(), "bid_rejected", "past bidding phase");
+    if (ctx.tracing()) ctx.emit(id(), "bid_rejected", "past bidding phase");
     return;
   }
   const auto it = std::find(p_.terms.bidders.begin(), p_.terms.bidders.end(),
@@ -65,26 +67,32 @@ void CoinAuctionContract::place_bid(chain::TxContext& ctx, Amount amount) {
       static_cast<std::size_t>(it - p_.terms.bidders.begin());
   if (bids_[i] || amount <= 0) return;
   if (!ctx.ledger().transfer(chain::Address::party(ctx.sender()), address(),
-                             ctx.native(), amount)) {
-    ctx.emit(id(), "bid_rejected", "insufficient balance");
+                             ctx.native_id(), amount)) {
+    if (ctx.tracing()) ctx.emit(id(), "bid_rejected", "insufficient balance");
     return;
   }
   bids_[i] = amount;
-  ctx.emit(id(), "bid_placed",
-           "bidder " + std::to_string(i) + " amount " +
-               std::to_string(amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "bid_placed",
+             "bidder " + std::to_string(i) + " amount " +
+                 std::to_string(amount));
+  }
 }
 
 void CoinAuctionContract::present_hashkey(chain::TxContext& ctx,
                                           std::size_t i,
                                           const crypto::Hashkey& key) {
   if (i >= keys_.size() || keys_[i] || settled_) return;
-  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now())) {
-    ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now(), &vcache_)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+    }
     return;
   }
   keys_[i] = key;
-  ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  }
 }
 
 void CoinAuctionContract::on_block(chain::TxContext& ctx) {
@@ -106,15 +114,15 @@ void CoinAuctionContract::on_block(chain::TxContext& ctx) {
       const PartyId to =
           i == *win ? p_.terms.auctioneer : p_.terms.bidders[i];
       ctx.ledger().transfer(address(), chain::Address::party(to),
-                            ctx.native(), *bids_[i]);
+                            ctx.native_id(), *bids_[i]);
     }
     if (premium_endowed_) {
       ctx.ledger().transfer(
           address(), chain::Address::party(p_.terms.auctioneer),
-          ctx.native(),
+          ctx.native_id(),
           p_.premium_per_bidder * static_cast<Amount>(bids_.size()));
     }
-    ctx.emit(id(), "settled", "winner paid");
+    if (ctx.tracing()) ctx.emit(id(), "settled", "winner paid");
     return;
   }
 
@@ -129,20 +137,30 @@ void CoinAuctionContract::on_block(chain::TxContext& ctx) {
     if (!bids_[i]) continue;
     ctx.ledger().transfer(address(),
                           chain::Address::party(p_.terms.bidders[i]),
-                          ctx.native(), *bids_[i]);
+                          ctx.native_id(), *bids_[i]);
     if (endowment_left >= p_.premium_per_bidder) {
       ctx.ledger().transfer(address(),
                             chain::Address::party(p_.terms.bidders[i]),
-                            ctx.native(), p_.premium_per_bidder);
+                            ctx.native_id(), p_.premium_per_bidder);
       endowment_left -= p_.premium_per_bidder;
     }
   }
   if (endowment_left > 0) {
     ctx.ledger().transfer(address(),
                           chain::Address::party(p_.terms.auctioneer),
-                          ctx.native(), endowment_left);
+                          ctx.native_id(), endowment_left);
   }
-  ctx.emit(id(), "settled", "bids refunded with premiums");
+  if (ctx.tracing()) {
+    ctx.emit(id(), "settled", "bids refunded with premiums");
+  }
+}
+
+void CoinAuctionContract::reset() {
+  premium_endowed_ = false;
+  for (auto& b : bids_) b.reset();
+  for (auto& k : keys_) k.reset();
+  settled_ = false;
+  clean_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -156,23 +174,29 @@ void TicketAuctionContract::escrow_tickets(chain::TxContext& ctx) {
   if (ctx.sender() != p_.terms.auctioneer || escrowed_) return;
   if (ctx.now() > p_.terms.bid_deadline) return;
   if (!ctx.ledger().transfer(chain::Address::party(p_.terms.auctioneer),
-                             address(), p_.symbol, p_.amount)) {
+                             address(), sym_, p_.amount)) {
     return;
   }
   escrowed_ = true;
-  ctx.emit(id(), "escrowed", p_.symbol + ":" + std::to_string(p_.amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrowed", p_.symbol + ":" + std::to_string(p_.amount));
+  }
 }
 
 void TicketAuctionContract::present_hashkey(chain::TxContext& ctx,
                                             std::size_t i,
                                             const crypto::Hashkey& key) {
   if (i >= keys_.size() || keys_[i] || settled_) return;
-  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now())) {
-    ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now(), &vcache_)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+    }
     return;
   }
   keys_[i] = key;
-  ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  }
 }
 
 void TicketAuctionContract::on_block(chain::TxContext& ctx) {
@@ -191,15 +215,23 @@ void TicketAuctionContract::on_block(chain::TxContext& ctx) {
   if (count == 1) {
     awarded_to_ = p_.terms.bidders[*sole];
     ctx.ledger().transfer(address(), chain::Address::party(*awarded_to_),
-                          p_.symbol, p_.amount);
-    ctx.emit(id(), "settled",
-             "tickets to bidder " + std::to_string(*sole));
+                          sym_, p_.amount);
+    if (ctx.tracing()) {
+      ctx.emit(id(), "settled", "tickets to bidder " + std::to_string(*sole));
+    }
   } else {
     ctx.ledger().transfer(address(),
-                          chain::Address::party(p_.terms.auctioneer),
-                          p_.symbol, p_.amount);
-    ctx.emit(id(), "settled", "tickets refunded");
+                          chain::Address::party(p_.terms.auctioneer), sym_,
+                          p_.amount);
+    if (ctx.tracing()) ctx.emit(id(), "settled", "tickets refunded");
   }
+}
+
+void TicketAuctionContract::reset() {
+  escrowed_ = false;
+  for (auto& k : keys_) k.reset();
+  settled_ = false;
+  awarded_to_.reset();
 }
 
 }  // namespace xchain::contracts

@@ -30,9 +30,11 @@ struct AuctionTerms {
 
 /// Validates a hashkey for bidder index `i` under `terms` at time `now`:
 /// crypto chain, distinct path ending at the auctioneer, |q|-scaled
-/// timeout.
+/// timeout. `vcache`, when given, memoizes the signature-chain check
+/// (reused sweep worlds re-see identical hashkeys every schedule).
 bool auction_hashkey_valid(const AuctionTerms& terms, std::size_t i,
-                           const crypto::Hashkey& key, Tick now);
+                           const crypto::Hashkey& key, Tick now,
+                           crypto::VerifyCache* vcache = nullptr);
 
 /// Coin-chain auction contract: records bids, collects hashkeys, settles.
 ///
@@ -64,6 +66,9 @@ class CoinAuctionContract : public chain::Contract {
 
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state -----------------------------------------------------------
   const Params& params() const { return p_; }
   bool premium_endowed() const { return premium_endowed_; }
@@ -83,6 +88,7 @@ class CoinAuctionContract : public chain::Contract {
 
  private:
   Params p_;
+  crypto::VerifyCache vcache_;
   bool premium_endowed_ = false;
   std::vector<std::optional<Amount>> bids_;
   std::vector<std::optional<crypto::Hashkey>> keys_;
@@ -111,6 +117,9 @@ class TicketAuctionContract : public chain::Contract {
 
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state -----------------------------------------------------------
   const Params& params() const { return p_; }
   bool escrowed() const { return escrowed_; }
@@ -127,6 +136,8 @@ class TicketAuctionContract : public chain::Contract {
 
  private:
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.symbol);
+  crypto::VerifyCache vcache_;
   bool escrowed_ = false;
   std::vector<std::optional<crypto::Hashkey>> keys_;
   bool settled_ = false;

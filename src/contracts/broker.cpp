@@ -36,22 +36,26 @@ void BrokerChainContract::deposit_escrow_premium(chain::TxContext& ctx) {
   if (ctx.sender() != ep_.payer || ep_.deposited) return;
   if (ctx.now() > p_.escrow_premium_deadline) return;
   if (!ctx.ledger().transfer(chain::Address::party(ep_.payer), address(),
-                             ctx.native(), ep_.amount)) {
+                             ctx.native_id(), ep_.amount)) {
     return;
   }
   ep_.deposited = true;
-  ctx.emit(id(), "escrow_premium_deposited", std::to_string(ep_.amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrow_premium_deposited", std::to_string(ep_.amount));
+  }
 }
 
 void BrokerChainContract::deposit_trading_premium(chain::TxContext& ctx) {
   if (ctx.sender() != tp_.payer || tp_.deposited) return;
   if (ctx.now() > p_.trading_premium_deadline) return;
   if (!ctx.ledger().transfer(chain::Address::party(tp_.payer), address(),
-                             ctx.native(), tp_.amount)) {
+                             ctx.native_id(), tp_.amount)) {
     return;
   }
   tp_.deposited = true;
-  ctx.emit(id(), "trading_premium_deposited", std::to_string(tp_.amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "trading_premium_deposited", std::to_string(tp_.amount));
+  }
 }
 
 void BrokerChainContract::deposit_redemption_premium(
@@ -64,40 +68,55 @@ void BrokerChainContract::deposit_redemption_premium(
   if (ctx.now() > p_.redemption_premium_deadline) return;
   if (!p_.g.is_path(q) || q.front() != a.to ||
       q.back() != p_.hashlocks[leader_index].leader) {
-    ctx.emit(id(), "redemption_premium_rejected", "bad path");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "bad path");
+    }
     return;
   }
-  if (!crypto::verify_premium_path(p_.party_keys[ctx.sender()], leader_index,
+  if (!vcache_.verify_premium_path(p_.party_keys[ctx.sender()], leader_index,
                                    q, path_sig)) {
-    ctx.emit(id(), "redemption_premium_rejected", "bad signature");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "bad signature");
+    }
     return;
   }
+  const std::pair<PartyId, graph::Path> memo_key{a.from, q};
+  const auto memo = rp_amount_memo_.find(memo_key);
   const Amount amount =
-      core::redemption_premium(p_.g, q, a.from, p_.premium_unit);
+      memo != rp_amount_memo_.end()
+          ? memo->second
+          : rp_amount_memo_
+                .emplace(memo_key, core::redemption_premium(
+                                       p_.g, q, a.from, p_.premium_unit))
+                .first->second;
   if (!ctx.ledger().transfer(chain::Address::party(a.to), address(),
-                             ctx.native(), amount)) {
+                             ctx.native_id(), amount)) {
     return;
   }
   slot.amount = amount;
   slot.path = q;
   slot.deposited_at = ctx.now();
-  ctx.emit(id(), "redemption_premium_deposited",
-           "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
-               std::to_string(leader_index) + " amount " +
-               std::to_string(amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "redemption_premium_deposited",
+             "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
+                 std::to_string(leader_index) + " amount " +
+                 std::to_string(amount));
+  }
 }
 
 void BrokerChainContract::escrow(chain::TxContext& ctx) {
   if (ctx.sender() != p_.escrow_arc.from || escrowed_at_) return;
   if (ctx.now() > p_.escrow_deadline) return;
   if (!ctx.ledger().transfer(chain::Address::party(p_.escrow_arc.from),
-                             address(), p_.symbol, p_.escrow_amount)) {
+                             address(), sym_, p_.escrow_amount)) {
     return;
   }
   escrowed_at_ = ctx.now();
   escrow_bucket_ = p_.escrow_amount;
-  ctx.emit(id(), "escrowed", p_.symbol + ":" +
-                                  std::to_string(p_.escrow_amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrowed",
+             p_.symbol + ":" + std::to_string(p_.escrow_amount));
+  }
   if (ep_.deposited && !ep_.refunded && !ep_.awarded) {
     pay_simple(ctx, ep_, ep_.payer, /*award=*/false, "escrow_premium");
   }
@@ -107,13 +126,17 @@ void BrokerChainContract::trade(chain::TxContext& ctx) {
   if (ctx.sender() != p_.trading_arc.from || traded_at_) return;
   if (ctx.now() > p_.trading_deadline) return;
   if (escrow_bucket_ < p_.trading_amount) {
-    ctx.emit(id(), "trade_rejected", "escrow bucket underfunded");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "trade_rejected", "escrow bucket underfunded");
+    }
     return;
   }
   escrow_bucket_ -= p_.trading_amount;
   trading_bucket_ += p_.trading_amount;
   traded_at_ = ctx.now();
-  ctx.emit(id(), "traded", std::to_string(p_.trading_amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "traded", std::to_string(p_.trading_amount));
+  }
   if (tp_.deposited && !tp_.refunded && !tp_.awarded) {
     pay_simple(ctx, tp_, tp_.payer, /*award=*/false, "trading_premium");
   }
@@ -127,33 +150,37 @@ void BrokerChainContract::present_hashkey(chain::TxContext& ctx, Which arc,
   if (keys[leader_index]) return;
   const graph::Arc& a = arc_of(arc);
   if (ctx.now() > path_deadline(key.path.size())) {
-    ctx.emit(id(), "hashkey_rejected", "timed out");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "timed out");
     return;
   }
   if (!p_.g.is_path(key.path) || key.presenter() != a.to ||
       key.leader() != p_.hashlocks[leader_index].leader) {
-    ctx.emit(id(), "hashkey_rejected", "bad path");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "bad path");
     return;
   }
   const auto key_of = [this](PartyId pid) { return p_.party_keys[pid]; };
-  if (!crypto::verify_hashkey(key, p_.hashlocks[leader_index].digest,
+  if (!vcache_.verify_hashkey(key, p_.hashlocks[leader_index].digest,
                               key_of)) {
-    ctx.emit(id(), "hashkey_rejected", "bad crypto");
+    if (ctx.tracing()) ctx.emit(id(), "hashkey_rejected", "bad crypto");
     return;
   }
   keys[leader_index] = key;
-  ctx.emit(id(), "hashkey_presented",
-           "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
-               std::to_string(leader_index));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "hashkey_presented",
+             "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
+                 std::to_string(leader_index));
+  }
 
   RedemptionSlot& slot = slots_of(arc)[leader_index];
   if (slot.deposited_at && !slot.refunded && !slot.awarded) {
     ctx.ledger().transfer(address(), chain::Address::party(a.to),
-                          ctx.native(), slot.amount);
+                          ctx.native_id(), slot.amount);
     slot.refunded = true;
-    ctx.emit(id(), "redemption_premium_refunded",
-             "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
-                 std::to_string(leader_index));
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_refunded",
+               "arc " + std::to_string(static_cast<int>(arc)) + " leader " +
+                   std::to_string(leader_index));
+    }
   }
   try_redeem(ctx, arc);
 }
@@ -165,29 +192,31 @@ void BrokerChainContract::try_redeem(chain::TxContext& ctx, Which arc) {
     if (escrow_bucket_ > 0) {
       ctx.ledger().transfer(address(),
                             chain::Address::party(p_.escrow_arc.to),
-                            p_.symbol, escrow_bucket_);
+                            sym_, escrow_bucket_);
       escrow_bucket_ = 0;
     }
-    ctx.emit(id(), "redeemed", "escrow arc");
+    if (ctx.tracing()) ctx.emit(id(), "redeemed", "escrow arc");
   }
   if (arc == Which::kTradingArc && !trading_redeemed_ && traded_at_) {
     trading_redeemed_ = true;
     ctx.ledger().transfer(address(),
                           chain::Address::party(p_.trading_arc.to),
-                          p_.symbol, trading_bucket_);
+                          sym_, trading_bucket_);
     trading_bucket_ = 0;
-    ctx.emit(id(), "redeemed", "trading arc");
+    if (ctx.tracing()) ctx.emit(id(), "redeemed", "trading arc");
   }
 }
 
 void BrokerChainContract::pay_simple(chain::TxContext& ctx,
                                      SimplePremium& prem, PartyId to,
                                      bool award, const char* label) {
-  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native(),
+  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native_id(),
                         prem.amount);
   (award ? prem.awarded : prem.refunded) = true;
-  ctx.emit(id(), std::string(label) + (award ? "_awarded" : "_refunded"),
-           "to " + std::to_string(to));
+  if (ctx.tracing()) {
+    ctx.emit(id(), std::string(label) + (award ? "_awarded" : "_refunded"),
+             "to " + std::to_string(to));
+  }
 }
 
 void BrokerChainContract::on_block(chain::TxContext& ctx) {
@@ -221,11 +250,13 @@ void BrokerChainContract::on_block(chain::TxContext& ctx) {
           ctx.now() > path_deadline(s.path.size())) {
         ctx.ledger().transfer(address(),
                               chain::Address::party(arc_of(arc).from),
-                              ctx.native(), s.amount);
+                              ctx.native_id(), s.amount);
         s.awarded = true;
-        ctx.emit(id(), "redemption_premium_awarded",
-                 "arc " + std::to_string(static_cast<int>(arc)) +
-                     " leader " + std::to_string(i));
+        if (ctx.tracing()) {
+          ctx.emit(id(), "redemption_premium_awarded",
+                   "arc " + std::to_string(static_cast<int>(arc)) +
+                       " leader " + std::to_string(i));
+        }
       }
     }
   }
@@ -236,13 +267,44 @@ void BrokerChainContract::on_block(chain::TxContext& ctx) {
     if (remainder > 0) {
       ctx.ledger().transfer(address(),
                             chain::Address::party(p_.escrow_arc.from),
-                            p_.symbol, remainder);
+                            sym_, remainder);
       escrow_bucket_ = trading_bucket_ = 0;
       refunded_ = true;
-      ctx.emit(id(), "refunded",
-               "to " + std::to_string(p_.escrow_arc.from));
+      if (ctx.tracing()) {
+        ctx.emit(id(), "refunded",
+                 "to " + std::to_string(p_.escrow_arc.from));
+      }
     }
   }
+}
+
+void BrokerChainContract::reset() {
+  const auto clear_simple = [](SimplePremium& prem) {
+    prem.deposited = false;
+    prem.refunded = false;
+    prem.awarded = false;
+  };
+  clear_simple(ep_);
+  clear_simple(tp_);
+  for (auto* slots : {&rp_escrow_, &rp_trading_}) {
+    for (RedemptionSlot& s : *slots) {
+      s.amount = 0;
+      s.path.clear();
+      s.deposited_at.reset();
+      s.refunded = false;
+      s.awarded = false;
+    }
+  }
+  for (auto* keys : {&keys_escrow_, &keys_trading_}) {
+    for (auto& k : *keys) k.reset();
+  }
+  escrowed_at_.reset();
+  traded_at_.reset();
+  escrow_bucket_ = 0;
+  trading_bucket_ = 0;
+  escrow_redeemed_ = false;
+  trading_redeemed_ = false;
+  refunded_ = false;
 }
 
 }  // namespace xchain::contracts

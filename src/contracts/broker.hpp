@@ -1,6 +1,8 @@
 #pragma once
 
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -87,6 +89,10 @@ class BrokerChainContract : public chain::Contract {
 
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse). The signature
+  /// verification memo survives: it caches pure computation.
+  void reset() override;
+
   // -- Public state -----------------------------------------------------------
 
   const Params& params() const { return p_; }
@@ -169,7 +175,12 @@ class BrokerChainContract : public chain::Contract {
   void try_redeem(chain::TxContext& ctx, Which arc);
 
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.symbol);
   std::size_t diam_;
+  crypto::VerifyCache vcache_;
+  /// Equation 1 amounts per (arc sender, deposit path) — pure in (g, p),
+  /// so it survives reset() like the signature memo.
+  std::map<std::pair<PartyId, graph::Path>, Amount> rp_amount_memo_;
   SimplePremium ep_;
   SimplePremium tp_;
   std::vector<RedemptionSlot> rp_escrow_;

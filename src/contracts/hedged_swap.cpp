@@ -5,52 +5,68 @@ namespace xchain::contracts {
 void HedgedSwapContract::deposit_premium(chain::TxContext& ctx) {
   if (ctx.sender() != p_.premium_payer || premium_deposited()) return;
   if (ctx.now() > p_.premium_deadline) {
-    ctx.emit(id(), "premium_rejected", "past premium deadline");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "premium_rejected", "past premium deadline");
+    }
     return;
   }
   if (!ctx.ledger().transfer(chain::Address::party(p_.premium_payer),
-                             address(), ctx.native(), p_.premium_amount)) {
-    ctx.emit(id(), "premium_rejected", "insufficient balance");
+                             address(), ctx.native_id(),
+                             p_.premium_amount)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "premium_rejected", "insufficient balance");
+    }
     return;
   }
   premium_at_ = ctx.now();
-  ctx.emit(id(), "premium_deposited", std::to_string(p_.premium_amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "premium_deposited", std::to_string(p_.premium_amount));
+  }
 }
 
 void HedgedSwapContract::escrow_principal(chain::TxContext& ctx) {
   if (ctx.sender() != p_.principal_owner || escrowed()) return;
   if (ctx.now() > p_.escrow_deadline) {
-    ctx.emit(id(), "escrow_rejected", "past escrow deadline");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "escrow_rejected", "past escrow deadline");
+    }
     return;
   }
   if (!ctx.ledger().transfer(chain::Address::party(p_.principal_owner),
-                             address(), p_.principal_symbol,
-                             p_.principal_amount)) {
-    ctx.emit(id(), "escrow_rejected", "insufficient balance");
+                             address(), sym_, p_.principal_amount)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "escrow_rejected", "insufficient balance");
+    }
     return;
   }
   escrowed_at_ = ctx.now();
-  ctx.emit(id(), "escrowed",
-           p_.principal_symbol + ":" + std::to_string(p_.principal_amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "escrowed",
+             p_.principal_symbol + ":" + std::to_string(p_.principal_amount));
+  }
 }
 
 void HedgedSwapContract::redeem(chain::TxContext& ctx,
                                 const crypto::Bytes& preimage) {
   if (!escrowed() || principal_resolved()) return;
   if (ctx.now() > p_.redemption_deadline) {
-    ctx.emit(id(), "redeem_rejected", "past redemption deadline");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redeem_rejected", "past redemption deadline");
+    }
     return;
   }
   if (!crypto::opens(p_.hashlock, preimage)) {
-    ctx.emit(id(), "redeem_rejected", "bad preimage");
+    if (ctx.tracing()) ctx.emit(id(), "redeem_rejected", "bad preimage");
     return;
   }
   preimage_ = preimage;
   ctx.ledger().transfer(address(), chain::Address::party(p_.premium_payer),
-                        p_.principal_symbol, p_.principal_amount);
+                        sym_, p_.principal_amount);
   redeemed_ = true;
   principal_resolved_at_ = ctx.now();
-  ctx.emit(id(), "redeemed", "to " + std::to_string(p_.premium_payer));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "redeemed", "to " + std::to_string(p_.premium_payer));
+  }
   if (premium_deposited() && !premium_resolved()) {
     resolve_premium(ctx, p_.premium_payer, /*award=*/false);
   }
@@ -58,12 +74,14 @@ void HedgedSwapContract::redeem(chain::TxContext& ctx,
 
 void HedgedSwapContract::resolve_premium(chain::TxContext& ctx, PartyId to,
                                          bool award) {
-  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native(),
+  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native_id(),
                         p_.premium_amount);
   (award ? premium_awarded_ : premium_refunded_) = true;
   premium_resolved_at_ = ctx.now();
-  ctx.emit(id(), award ? "premium_awarded" : "premium_refunded",
-           "to " + std::to_string(to));
+  if (ctx.tracing()) {
+    ctx.emit(id(), award ? "premium_awarded" : "premium_refunded",
+             "to " + std::to_string(to));
+  }
 }
 
 void HedgedSwapContract::on_block(chain::TxContext& ctx) {
@@ -77,15 +95,29 @@ void HedgedSwapContract::on_block(chain::TxContext& ctx) {
   if (escrowed() && !principal_resolved() &&
       ctx.now() > p_.redemption_deadline) {
     ctx.ledger().transfer(address(),
-                          chain::Address::party(p_.principal_owner),
-                          p_.principal_symbol, p_.principal_amount);
+                          chain::Address::party(p_.principal_owner), sym_,
+                          p_.principal_amount);
     principal_refunded_ = true;
     principal_resolved_at_ = ctx.now();
-    ctx.emit(id(), "refunded", "to " + std::to_string(p_.principal_owner));
+    if (ctx.tracing()) {
+      ctx.emit(id(), "refunded", "to " + std::to_string(p_.principal_owner));
+    }
     if (premium_deposited() && !premium_resolved()) {
       resolve_premium(ctx, p_.principal_owner, /*award=*/true);
     }
   }
+}
+
+void HedgedSwapContract::reset() {
+  premium_at_.reset();
+  escrowed_at_.reset();
+  principal_resolved_at_.reset();
+  premium_resolved_at_.reset();
+  redeemed_ = false;
+  principal_refunded_ = false;
+  premium_refunded_ = false;
+  premium_awarded_ = false;
+  preimage_.reset();
 }
 
 }  // namespace xchain::contracts

@@ -64,6 +64,9 @@ class HedgedSwapContract : public chain::Contract {
   ///    principal to its owner and award them the premium.
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state ---------------------------------------------------------
   const Params& params() const { return p_; }
   bool premium_deposited() const { return premium_at_.has_value(); }
@@ -96,6 +99,7 @@ class HedgedSwapContract : public chain::Contract {
   void resolve_premium(chain::TxContext& ctx, PartyId to, bool award);
 
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.principal_symbol);
   std::optional<Tick> premium_at_;
   std::optional<Tick> escrowed_at_;
   std::optional<Tick> principal_resolved_at_;

@@ -48,6 +48,9 @@ class HtlcContract : public chain::Contract {
   /// Timeout sweep: refunds the principal at/after the timelock.
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state (anyone may read) --------------------------------------
   const Params& params() const { return p_; }
   bool funded() const { return funded_at_.has_value(); }
@@ -65,6 +68,7 @@ class HtlcContract : public chain::Contract {
 
  private:
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.symbol);
   std::optional<Tick> funded_at_;
   std::optional<Tick> resolved_at_;
   bool redeemed_ = false;

@@ -34,9 +34,9 @@ PartyId LadderContract::other_party(PartyId p) const {
   return p == owner ? p_.counterparty : owner;
 }
 
-chain::Symbol LadderContract::symbol_of(std::size_t index,
-                                        const chain::TxContext& ctx) const {
-  return index == 0 ? p_.principal_symbol : ctx.native();
+SymbolId LadderContract::symbol_of(std::size_t index,
+                                   const chain::TxContext& ctx) const {
+  return index == 0 ? sym_ : ctx.native_id();
 }
 
 void LadderContract::deposit(chain::TxContext& ctx, std::size_t index) {
@@ -44,27 +44,35 @@ void LadderContract::deposit(chain::TxContext& ctx, std::size_t index) {
   Rung& r = rungs_[index];
   if (ctx.sender() != r.spec.depositor || r.deposited_at) return;
   if (ctx.now() > r.spec.deposit_deadline) {
-    ctx.emit(id(), "deposit_rejected",
-             "rung " + std::to_string(index) + " past deadline");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "deposit_rejected",
+               "rung " + std::to_string(index) + " past deadline");
+    }
     return;
   }
   if (index + 1 < rungs_.size() && !rungs_[index + 1].deposited_at) {
-    ctx.emit(id(), "deposit_rejected",
-             "rung " + std::to_string(index) + " out of order");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "deposit_rejected",
+               "rung " + std::to_string(index) + " out of order");
+    }
     return;
   }
   if (!ctx.ledger().transfer(chain::Address::party(r.spec.depositor),
                              address(), symbol_of(index, ctx),
                              r.spec.amount)) {
-    ctx.emit(id(), "deposit_rejected",
-             "rung " + std::to_string(index) + " insufficient balance");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "deposit_rejected",
+               "rung " + std::to_string(index) + " insufficient balance");
+    }
     return;
   }
   r.deposited_at = ctx.now();
   r.state = RungState::kHeld;
-  ctx.emit(id(), index == 0 ? "escrowed" : "rung_deposited",
-           "rung " + std::to_string(index) + " amount " +
-               std::to_string(r.spec.amount));
+  if (ctx.tracing()) {
+    ctx.emit(id(), index == 0 ? "escrowed" : "rung_deposited",
+             "rung " + std::to_string(index) + " amount " +
+                 std::to_string(r.spec.amount));
+  }
 
   // RELEASE rule: this deposit may end higher rungs' guard duty.
   for (std::size_t j = index + 1; j < rungs_.size(); ++j) {
@@ -81,11 +89,13 @@ void LadderContract::redeem(chain::TxContext& ctx,
   Rung& principal = rungs_[0];
   if (principal.state != RungState::kHeld) return;
   if (ctx.now() > p_.redemption_deadline) {
-    ctx.emit(id(), "redeem_rejected", "past redemption deadline");
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redeem_rejected", "past redemption deadline");
+    }
     return;
   }
   if (!crypto::opens(p_.hashlock, preimage)) {
-    ctx.emit(id(), "redeem_rejected", "bad preimage");
+    if (ctx.tracing()) ctx.emit(id(), "redeem_rejected", "bad preimage");
     return;
   }
   preimage_ = preimage;
@@ -106,14 +116,18 @@ void LadderContract::resolve(chain::TxContext& ctx, std::size_t index,
   const char* kind = final_state == RungState::kRefunded    ? "rung_refunded"
                      : final_state == RungState::kForfeited ? "rung_forfeited"
                                                             : "redeemed";
-  ctx.emit(id(), kind,
-           "rung " + std::to_string(index) + " to " + std::to_string(to));
+  if (ctx.tracing()) {
+    ctx.emit(id(), kind,
+             "rung " + std::to_string(index) + " to " + std::to_string(to));
+  }
 }
 
 void LadderContract::kill(chain::TxContext& ctx, std::size_t missing) {
   dead_ = true;
-  ctx.emit(id(), "ladder_dead",
-           "rung " + std::to_string(missing) + " missing at deadline");
+  if (ctx.tracing()) {
+    ctx.emit(id(), "ladder_dead",
+             "rung " + std::to_string(missing) + " missing at deadline");
+  }
   // DEFAULT rule: refund every held rung, except a principal guard when
   // the principal itself defaulted — that one compensates the
   // counterparty.
@@ -157,6 +171,16 @@ void LadderContract::on_block(chain::TxContext& ctx) {
       }
     }
   }
+}
+
+void LadderContract::reset() {
+  for (Rung& r : rungs_) {
+    r.state = RungState::kEmpty;
+    r.deposited_at.reset();
+    r.resolved_at.reset();
+  }
+  dead_ = false;
+  preimage_.reset();
 }
 
 }  // namespace xchain::contracts

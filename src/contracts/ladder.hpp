@@ -81,6 +81,9 @@ class LadderContract : public chain::Contract {
   /// Timeout sweep implementing DEFAULT and FINAL above.
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state ---------------------------------------------------------
   enum class RungState : std::uint8_t {
     kEmpty,      ///< not deposited
@@ -119,14 +122,14 @@ class LadderContract : public chain::Contract {
     std::optional<Tick> resolved_at;
   };
 
-  chain::Symbol symbol_of(std::size_t index, const chain::TxContext& ctx)
-      const;
+  SymbolId symbol_of(std::size_t index, const chain::TxContext& ctx) const;
   void resolve(chain::TxContext& ctx, std::size_t index, PartyId to,
                RungState final_state);
   void kill(chain::TxContext& ctx, std::size_t missing_index);
   PartyId other_party(PartyId p) const;
 
   Params p_;
+  SymbolId sym_ = SymbolTable::intern(p_.principal_symbol);
   std::vector<Rung> rungs_;
   bool dead_ = false;
   std::optional<crypto::Bytes> preimage_;

@@ -38,21 +38,21 @@ void SealedCoinAuctionContract::endow_premium(chain::TxContext& ctx) {
   const Amount total =
       p_.premium_per_bidder * static_cast<Amount>(commitments_.size());
   if (!ctx.ledger().transfer(chain::Address::party(p_.terms.auctioneer),
-                             address(), ctx.native(), total)) {
+                             address(), ctx.native_id(), total)) {
     return;
   }
   premium_endowed_ = true;
-  ctx.emit(id(), "premium_endowed", std::to_string(total));
+  if (ctx.tracing()) ctx.emit(id(), "premium_endowed", std::to_string(total));
 }
 
 void SealedCoinAuctionContract::commit_bid(chain::TxContext& ctx,
                                            const crypto::Digest& commitment) {
   if (!premium_endowed_) {
-    ctx.emit(id(), "commit_rejected", "no premium endowment");
+    if (ctx.tracing()) ctx.emit(id(), "commit_rejected", "no premium endowment");
     return;
   }
   if (ctx.now() > p_.terms.bid_deadline) {
-    ctx.emit(id(), "commit_rejected", "past commit phase");
+    if (ctx.tracing()) ctx.emit(id(), "commit_rejected", "past commit phase");
     return;
   }
   const auto it = std::find(p_.terms.bidders.begin(), p_.terms.bidders.end(),
@@ -62,12 +62,14 @@ void SealedCoinAuctionContract::commit_bid(chain::TxContext& ctx,
       static_cast<std::size_t>(it - p_.terms.bidders.begin());
   if (commitments_[i]) return;
   if (!ctx.ledger().transfer(chain::Address::party(ctx.sender()), address(),
-                             ctx.native(), p_.collateral)) {
-    ctx.emit(id(), "commit_rejected", "insufficient collateral");
+                             ctx.native_id(), p_.collateral)) {
+    if (ctx.tracing()) ctx.emit(id(), "commit_rejected", "insufficient collateral");
     return;
   }
   commitments_[i] = commitment;
-  ctx.emit(id(), "bid_committed", "bidder " + std::to_string(i));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "bid_committed", "bidder " + std::to_string(i));
+  }
 }
 
 void SealedCoinAuctionContract::reveal_bid(chain::TxContext& ctx, Amount bid,
@@ -79,32 +81,38 @@ void SealedCoinAuctionContract::reveal_bid(chain::TxContext& ctx, Amount bid,
       static_cast<std::size_t>(it - p_.terms.bidders.begin());
   if (!commitments_[i] || revealed_[i]) return;
   if (ctx.now() > p_.reveal_deadline) {
-    ctx.emit(id(), "reveal_rejected", "past reveal phase");
+    if (ctx.tracing()) ctx.emit(id(), "reveal_rejected", "past reveal phase");
     return;
   }
   if (bid <= 0 || bid > p_.collateral ||
       commitment_of(bid, nonce) != *commitments_[i]) {
-    ctx.emit(id(), "reveal_rejected", "bad opening");
+    if (ctx.tracing()) ctx.emit(id(), "reveal_rejected", "bad opening");
     return;
   }
   revealed_[i] = bid;
   // The uniform collateral hid the bid; refund the excess now.
   ctx.ledger().transfer(address(), chain::Address::party(ctx.sender()),
-                        ctx.native(), p_.collateral - bid);
-  ctx.emit(id(), "bid_revealed",
-           "bidder " + std::to_string(i) + " bid " + std::to_string(bid));
+                        ctx.native_id(), p_.collateral - bid);
+  if (ctx.tracing()) {
+    ctx.emit(id(), "bid_revealed",
+             "bidder " + std::to_string(i) + " bid " + std::to_string(bid));
+  }
 }
 
 void SealedCoinAuctionContract::present_hashkey(chain::TxContext& ctx,
                                                 std::size_t i,
                                                 const crypto::Hashkey& key) {
   if (i >= keys_.size() || keys_[i] || settled_) return;
-  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now())) {
-    ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+  if (!auction_hashkey_valid(p_.terms, i, key, ctx.now(), &vcache_)) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "hashkey_rejected", "bidder " + std::to_string(i));
+    }
     return;
   }
   keys_[i] = key;
-  ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  if (ctx.tracing()) {
+    ctx.emit(id(), "hashkey_presented", "bidder " + std::to_string(i));
+  }
 }
 
 void SealedCoinAuctionContract::on_block(chain::TxContext& ctx) {
@@ -123,7 +131,7 @@ void SealedCoinAuctionContract::on_block(chain::TxContext& ctx) {
     if (commitments_[i] && !revealed_[i]) {
       ctx.ledger().transfer(address(),
                             chain::Address::party(p_.terms.bidders[i]),
-                            ctx.native(), p_.collateral);
+                            ctx.native_id(), p_.collateral);
     }
   }
 
@@ -134,15 +142,15 @@ void SealedCoinAuctionContract::on_block(chain::TxContext& ctx) {
       const PartyId to =
           i == *win ? p_.terms.auctioneer : p_.terms.bidders[i];
       ctx.ledger().transfer(address(), chain::Address::party(to),
-                            ctx.native(), *revealed_[i]);
+                            ctx.native_id(), *revealed_[i]);
     }
     if (premium_endowed_) {
       ctx.ledger().transfer(
           address(), chain::Address::party(p_.terms.auctioneer),
-          ctx.native(),
+          ctx.native_id(),
           p_.premium_per_bidder * static_cast<Amount>(commitments_.size()));
     }
-    ctx.emit(id(), "settled", "winner paid");
+    if (ctx.tracing()) ctx.emit(id(), "settled", "winner paid");
     return;
   }
 
@@ -154,20 +162,31 @@ void SealedCoinAuctionContract::on_block(chain::TxContext& ctx) {
     if (!revealed_[i]) continue;
     ctx.ledger().transfer(address(),
                           chain::Address::party(p_.terms.bidders[i]),
-                          ctx.native(), *revealed_[i]);
+                          ctx.native_id(), *revealed_[i]);
     if (endowment_left >= p_.premium_per_bidder) {
       ctx.ledger().transfer(address(),
                             chain::Address::party(p_.terms.bidders[i]),
-                            ctx.native(), p_.premium_per_bidder);
+                            ctx.native_id(), p_.premium_per_bidder);
       endowment_left -= p_.premium_per_bidder;
     }
   }
   if (endowment_left > 0) {
     ctx.ledger().transfer(address(),
                           chain::Address::party(p_.terms.auctioneer),
-                          ctx.native(), endowment_left);
+                          ctx.native_id(), endowment_left);
   }
-  ctx.emit(id(), "settled", "bids refunded with premiums");
+  if (ctx.tracing()) {
+    ctx.emit(id(), "settled", "bids refunded with premiums");
+  }
+}
+
+void SealedCoinAuctionContract::reset() {
+  premium_endowed_ = false;
+  for (auto& c : commitments_) c.reset();
+  for (auto& r : revealed_) r.reset();
+  for (auto& k : keys_) k.reset();
+  settled_ = false;
+  clean_ = false;
 }
 
 }  // namespace xchain::contracts

@@ -55,6 +55,9 @@ class SealedCoinAuctionContract : public chain::Contract {
 
   void on_block(chain::TxContext& ctx) override;
 
+  /// Restores the just-constructed state (world reuse).
+  void reset() override;
+
   // -- Public state -----------------------------------------------------------
   const Params& params() const { return p_; }
   bool premium_endowed() const { return premium_endowed_; }
@@ -78,6 +81,7 @@ class SealedCoinAuctionContract : public chain::Contract {
 
  private:
   Params p_;
+  crypto::VerifyCache vcache_;
   bool premium_endowed_ = false;
   std::vector<std::optional<crypto::Digest>> commitments_;
   std::vector<std::optional<Amount>> revealed_;

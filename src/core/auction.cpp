@@ -1,11 +1,11 @@
 #include "core/auction.hpp"
 
-#include <map>
 #include <memory>
 #include <stdexcept>
 
 #include "contracts/auction.hpp"
 #include "contracts/sealed_auction.hpp"
+#include "crypto/hashkey.hpp"
 #include "crypto/secret.hpp"
 #include "sim/party.hpp"
 #include "sim/scheduler.hpp"
@@ -26,6 +26,7 @@ struct Setup {
   ChainId coin_chain = 0;
   ChainId ticket_chain = 0;
   std::vector<crypto::Secret> secrets;  ///< per bidder index
+  crypto::SigningCache* sign_cache = nullptr;
   Tick declaration_start = 0;
 };
 
@@ -40,16 +41,12 @@ class Auctioneer : public sim::Party {
     if (strategy_ == AuctioneerStrategy::kNoSetup) return;
     if (!did_setup_) {
       did_setup_ = true;
-      chains.at(s_.ticket_chain)
-          .submit({kAlice, "alice: escrow tickets",
-                   [c = s_.ticket](chain::TxContext& ctx) {
-                     c->escrow_tickets(ctx);
-                   }});
-      chains.at(s_.coin_chain)
-          .submit({kAlice, "alice: endow premium",
-                   [c = s_.coin](chain::TxContext& ctx) {
-                     c->endow_premium(ctx);
-                   }});
+      submit(chains, s_.ticket_chain, "escrow tickets",
+             [c = s_.ticket](chain::TxContext& ctx) {
+               c->escrow_tickets(ctx);
+             });
+      submit(chains, s_.coin_chain, "endow premium",
+             [c = s_.coin](chain::TxContext& ctx) { c->endow_premium(ctx); });
     }
     if (strategy_ == AuctioneerStrategy::kAbandon) return;
     // Declaration phase: inspect bids, publish per strategy. (At Delta = 1
@@ -97,20 +94,19 @@ class Auctioneer : public sim::Party {
 
   void publish(chain::MultiChain& chains, std::size_t bidder_index,
                ChainId chain) {
-    const crypto::Hashkey key = crypto::make_leader_hashkey(
-        s_.secrets[bidder_index].value(), kAlice, keys());
+    // The cached hashkey outlives the run: closures take it by reference.
+    const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+        bidder_index, s_.secrets[bidder_index].value(), kAlice, keys());
     if (chain == s_.coin_chain) {
-      chains.at(chain).submit(
-          {kAlice, "alice: declare on coin chain",
-           [c = s_.coin, bidder_index, key](chain::TxContext& ctx) {
-             c->present_hashkey(ctx, bidder_index, key);
-           }});
+      submit(chains, chain, "declare on coin chain",
+             [c = s_.coin, bidder_index, &key](chain::TxContext& ctx) {
+               c->present_hashkey(ctx, bidder_index, key);
+             });
     } else {
-      chains.at(chain).submit(
-          {kAlice, "alice: declare on ticket chain",
-           [c = s_.ticket, bidder_index, key](chain::TxContext& ctx) {
-             c->present_hashkey(ctx, bidder_index, key);
-           }});
+      submit(chains, chain, "declare on ticket chain",
+             [c = s_.ticket, bidder_index, &key](chain::TxContext& ctx) {
+               c->present_hashkey(ctx, bidder_index, key);
+             });
     }
   }
 
@@ -125,7 +121,7 @@ class Bidder : public sim::Party {
  public:
   Bidder(PartyId id, const Setup& s, BidderStrategy strategy, Amount bid)
       : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
-        strategy_(strategy), bid_(bid) {}
+        strategy_(strategy), bid_(bid), forwarded_(s.secrets.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick) override {
     if (strategy_ == BidderStrategy::kNoBid) return;
@@ -133,11 +129,10 @@ class Bidder : public sim::Party {
     if (!did_bid_ && s_.ticket->escrowed() && s_.coin->premium_endowed() &&
         bid_ > 0) {
       did_bid_ = true;
-      chains.at(s_.coin_chain)
-          .submit({id(), name() + ": place bid",
-                   [c = s_.coin, amount = bid_](chain::TxContext& ctx) {
-                     c->place_bid(ctx, amount);
-                   }});
+      submit(chains, s_.coin_chain, "place bid",
+             [c = s_.coin, amount = bid_](chain::TxContext& ctx) {
+               c->place_bid(ctx, amount);
+             });
     }
     if (strategy_ == BidderStrategy::kNoForward) return;
     // Challenge phase (Lemma 7): a hashkey on one contract but not the
@@ -154,21 +149,19 @@ class Bidder : public sim::Party {
           seen.path.end()) {
         continue;
       }
-      forwarded_[i] = true;
-      const crypto::Hashkey extended =
-          crypto::extend_hashkey(seen, id(), keys());
+      forwarded_[i] = 1;
+      const crypto::Hashkey& extended =
+          s_.sign_cache->extended_hashkey(i, seen, id(), keys());
       if (on_coin) {
-        chains.at(s_.ticket_chain)
-            .submit({id(), name() + ": forward hashkey",
-                     [c = s_.ticket, i, extended](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, i, extended);
-                     }});
+        submit(chains, s_.ticket_chain, "forward hashkey",
+               [c = s_.ticket, i, &extended](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, i, extended);
+               });
       } else {
-        chains.at(s_.coin_chain)
-            .submit({id(), name() + ": forward hashkey",
-                     [c = s_.coin, i, extended](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, i, extended);
-                     }});
+        submit(chains, s_.coin_chain, "forward hashkey",
+               [c = s_.coin, i, &extended](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, i, extended);
+               });
       }
     }
   }
@@ -178,7 +171,7 @@ class Bidder : public sim::Party {
   BidderStrategy strategy_;
   Amount bid_;
   bool did_bid_ = false;
-  std::map<std::size_t, bool> forwarded_;
+  std::vector<char> forwarded_;
 };
 
 // ---------------------------------------------------------------------------
@@ -191,6 +184,7 @@ struct SealedSetup {
   ChainId coin_chain = 0;
   ChainId ticket_chain = 0;
   std::vector<crypto::Secret> secrets;
+  crypto::SigningCache* sign_cache = nullptr;
   Tick declaration_start = 0;
   Tick reveal_deadline = 0;
 };
@@ -204,16 +198,12 @@ class SealedAuctioneer : public sim::Party {
     if (strategy_ == AuctioneerStrategy::kNoSetup) return;
     if (!did_setup_) {
       did_setup_ = true;
-      chains.at(s_.ticket_chain)
-          .submit({kAlice, "alice: escrow tickets",
-                   [c = s_.ticket](chain::TxContext& ctx) {
-                     c->escrow_tickets(ctx);
-                   }});
-      chains.at(s_.coin_chain)
-          .submit({kAlice, "alice: endow premium",
-                   [c = s_.coin](chain::TxContext& ctx) {
-                     c->endow_premium(ctx);
-                   }});
+      submit(chains, s_.ticket_chain, "escrow tickets",
+             [c = s_.ticket](chain::TxContext& ctx) {
+               c->escrow_tickets(ctx);
+             });
+      submit(chains, s_.coin_chain, "endow premium",
+             [c = s_.coin](chain::TxContext& ctx) { c->endow_premium(ctx); });
     }
     if (strategy_ == AuctioneerStrategy::kAbandon) return;
     if (!declared_ && now >= s_.declaration_start) {
@@ -225,27 +215,25 @@ class SealedAuctioneer : public sim::Party {
                                      : *win;
       const bool to_coin = strategy_ != AuctioneerStrategy::kTicketOnly;
       const bool to_ticket = strategy_ != AuctioneerStrategy::kCoinOnly;
-      const crypto::Hashkey key = crypto::make_leader_hashkey(
-          s_.secrets[target].value(), kAlice, keys());
       if (to_coin) {
-        chains.at(s_.coin_chain)
-            .submit({kAlice, "alice: declare (coin)",
-                     [c = s_.coin, target, key](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, target, key);
-                     }});
+        const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+            target, s_.secrets[target].value(), kAlice, keys());
+        submit(chains, s_.coin_chain, "declare (coin)",
+               [c = s_.coin, target, &key](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, target, key);
+               });
       }
       if (to_ticket) {
         const std::size_t t =
             strategy_ == AuctioneerStrategy::kSplit
                 ? lowest_revealed().value_or(target)
                 : target;
-        const crypto::Hashkey tk = crypto::make_leader_hashkey(
-            s_.secrets[t].value(), kAlice, keys());
-        chains.at(s_.ticket_chain)
-            .submit({kAlice, "alice: declare (ticket)",
-                     [c = s_.ticket, t, tk](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, t, tk);
-                     }});
+        const crypto::Hashkey& tk = s_.sign_cache->leader_hashkey(
+            t, s_.secrets[t].value(), kAlice, keys());
+        submit(chains, s_.ticket_chain, "declare (ticket)",
+               [c = s_.ticket, t, &tk](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, t, tk);
+               });
       }
     }
   }
@@ -272,7 +260,8 @@ class SealedBidder : public sim::Party {
                Amount bid)
       : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
         strategy_(strategy), bid_(bid),
-        nonce_(crypto::Secret::from_label("nonce-" + name()).value()) {}
+        nonce_(crypto::Secret::from_label("nonce-" + name()).value()),
+        forwarded_(s.secrets.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
     if (strategy_ == BidderStrategy::kNoBid || bid_ <= 0) return;
@@ -280,21 +269,19 @@ class SealedBidder : public sim::Party {
       committed_ = true;
       const auto digest =
           contracts::SealedCoinAuctionContract::commitment_of(bid_, nonce_);
-      chains.at(s_.coin_chain)
-          .submit({id(), name() + ": commit bid",
-                   [c = s_.coin, digest](chain::TxContext& ctx) {
-                     c->commit_bid(ctx, digest);
-                   }});
+      submit(chains, s_.coin_chain, "commit bid",
+             [c = s_.coin, digest](chain::TxContext& ctx) {
+               c->commit_bid(ctx, digest);
+             });
     }
     if (strategy_ == BidderStrategy::kCommitNoReveal) return;
     // Reveal once the commit phase has closed.
     if (!revealed_ && committed_ &&
         now > s_.coin->params().terms.bid_deadline) {
       revealed_ = true;
-      chains.at(s_.coin_chain)
-          .submit({id(), name() + ": reveal bid",
-                   [c = s_.coin, b = bid_, nn = nonce_](
-                       chain::TxContext& ctx) { c->reveal_bid(ctx, b, nn); }});
+      submit(chains, s_.coin_chain, "reveal bid",
+             [c = s_.coin, b = bid_, nn = nonce_](
+                 chain::TxContext& ctx) { c->reveal_bid(ctx, b, nn); });
     }
     if (strategy_ == BidderStrategy::kNoForward) return;
     for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
@@ -309,20 +296,19 @@ class SealedBidder : public sim::Party {
           seen.path.end()) {
         continue;
       }
-      forwarded_[i] = true;
-      const crypto::Hashkey ext = crypto::extend_hashkey(seen, id(), keys());
+      forwarded_[i] = 1;
+      const crypto::Hashkey& ext =
+          s_.sign_cache->extended_hashkey(i, seen, id(), keys());
       if (on_coin) {
-        chains.at(s_.ticket_chain)
-            .submit({id(), name() + ": forward",
-                     [c = s_.ticket, i, ext](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, i, ext);
-                     }});
+        submit(chains, s_.ticket_chain, "forward",
+               [c = s_.ticket, i, &ext](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, i, ext);
+               });
       } else {
-        chains.at(s_.coin_chain)
-            .submit({id(), name() + ": forward",
-                     [c = s_.coin, i, ext](chain::TxContext& ctx) {
-                       c->present_hashkey(ctx, i, ext);
-                     }});
+        submit(chains, s_.coin_chain, "forward",
+               [c = s_.coin, i, &ext](chain::TxContext& ctx) {
+                 c->present_hashkey(ctx, i, ext);
+               });
       }
     }
   }
@@ -334,164 +320,176 @@ class SealedBidder : public sim::Party {
   crypto::Bytes nonce_;
   bool committed_ = false;
   bool revealed_ = false;
-  std::map<std::size_t, bool> forwarded_;
+  std::vector<char> forwarded_;
 };
 
 }  // namespace
 
-AuctionResult run_sealed_auction(const AuctionConfig& cfg,
-                                 AuctioneerStrategy alice,
-                                 const std::vector<BidderStrategy>& bidders) {
+struct AuctionWorld::Impl {
+  AuctionConfig cfg;
+  bool sealed = false;
+  chain::MultiChain chains;
+  crypto::SigningCache sign_cache;
+  Setup s;         ///< open variant
+  SealedSetup ss;  ///< sealed variant
+  std::unique_ptr<PayoffTracker> tracker;
+};
+
+AuctionWorld::AuctionWorld(const AuctionConfig& cfg, bool sealed,
+                           chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& w = *impl_;
+  w.cfg = cfg;
+  w.sealed = sealed;
   const std::size_t n = cfg.bids.size();
-  if (bidders.size() != n) {
-    throw std::invalid_argument("run_sealed_auction: one strategy per "
-                                "bidder");
-  }
   const Tick d = cfg.delta;
 
-  chain::MultiChain chains;
-  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
-  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
+  w.chains.set_trace(trace);
+  chain::Blockchain& ticket_chain = w.chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = w.chains.add_chain("coinchain");
 
-  SealedSetup s;
-  s.ticket_chain = ticket_chain.id();
-  s.coin_chain = coin_chain.id();
-  s.declaration_start = 2 * d;  // commit + reveal phases precede it
-  s.reveal_deadline = 2 * d;
-
-  contracts::AuctionTerms terms;
+  AuctionTerms terms;
   terms.auctioneer = kAlice;
-  crypto::Rng rng("sealed-auction");
+  crypto::Rng rng(sealed ? "sealed-auction" : "auction");
   std::vector<crypto::PublicKey> keys(n + 1);
-  keys[kAlice] = crypto::keygen("alice").pub;
+  keys[kAlice] = crypto::keygen_cached("alice").pub;
+  std::vector<crypto::Secret> secrets;
   for (std::size_t i = 0; i < n; ++i) {
     const PartyId pid = static_cast<PartyId>(i + 1);
     terms.bidders.push_back(pid);
-    keys[pid] = crypto::keygen("bidder-" + std::to_string(pid)).pub;
-    s.secrets.push_back(crypto::Secret::random(rng));
-    terms.hashlocks.push_back(s.secrets.back().hashlock());
+    keys[pid] = crypto::keygen_cached("bidder-" + std::to_string(pid)).pub;
+    secrets.push_back(crypto::Secret::random(rng));
+    terms.hashlocks.push_back(secrets.back().hashlock());
   }
   terms.party_keys = keys;
   terms.delta = d;
-  terms.bid_deadline = d;  // commit phase
-  terms.declaration_start = 2 * d;
-  terms.commit_time = 6 * d;
 
-  s.coin = &coin_chain.deploy<contracts::SealedCoinAuctionContract>(
-      contracts::SealedCoinAuctionContract::Params{
-          terms, cfg.premium_unit, cfg.collateral, s.reveal_deadline});
-  s.ticket = &ticket_chain.deploy<contracts::TicketAuctionContract>(
-      contracts::TicketAuctionContract::Params{terms, "ticket",
-                                               cfg.ticket_count});
+  if (sealed) {
+    SealedSetup& s = w.ss;
+    s.ticket_chain = ticket_chain.id();
+    s.coin_chain = coin_chain.id();
+    s.declaration_start = 2 * d;  // commit + reveal phases precede it
+    s.reveal_deadline = 2 * d;
+    s.secrets = std::move(secrets);
+    s.sign_cache = &w.sign_cache;
 
-  ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
-                                       "ticket", cfg.ticket_count);
-  coin_chain.ledger_for_setup().mint(
-      chain::Address::party(kAlice), coin_chain.native(),
-      cfg.premium_unit * static_cast<Amount>(n));
-  for (std::size_t i = 0; i < n; ++i) {
+    terms.bid_deadline = d;  // commit phase
+    terms.declaration_start = 2 * d;
+    terms.commit_time = 6 * d;
+
+    s.coin = &coin_chain.deploy<contracts::SealedCoinAuctionContract>(
+        contracts::SealedCoinAuctionContract::Params{
+            terms, cfg.premium_unit, cfg.collateral, s.reveal_deadline});
+    s.ticket = &ticket_chain.deploy<contracts::TicketAuctionContract>(
+        contracts::TicketAuctionContract::Params{terms, "ticket",
+                                                 cfg.ticket_count});
+
+    ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
+                                         "ticket", cfg.ticket_count);
     coin_chain.ledger_for_setup().mint(
-        chain::Address::party(static_cast<PartyId>(i + 1)),
-        coin_chain.native(), cfg.collateral);
+        chain::Address::party(kAlice), coin_chain.native(),
+        cfg.premium_unit * static_cast<Amount>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      coin_chain.ledger_for_setup().mint(
+          chain::Address::party(static_cast<PartyId>(i + 1)),
+          coin_chain.native(), cfg.collateral);
+    }
+  } else {
+    Setup& s = w.s;
+    s.ticket_chain = ticket_chain.id();
+    s.coin_chain = coin_chain.id();
+    s.declaration_start = d;
+    s.secrets = std::move(secrets);
+    s.sign_cache = &w.sign_cache;
+
+    terms.bid_deadline = d;
+    terms.declaration_start = d;
+    terms.commit_time = 5 * d;
+
+    s.coin = &coin_chain.deploy<CoinAuctionContract>(
+        CoinAuctionContract::Params{terms, cfg.premium_unit});
+    s.ticket = &ticket_chain.deploy<TicketAuctionContract>(
+        TicketAuctionContract::Params{terms, "ticket", cfg.ticket_count});
+
+    ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
+                                         "ticket", cfg.ticket_count);
+    coin_chain.ledger_for_setup().mint(
+        chain::Address::party(kAlice), coin_chain.native(),
+        cfg.premium_unit * static_cast<Amount>(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      coin_chain.ledger_for_setup().mint(
+          chain::Address::party(static_cast<PartyId>(i + 1)),
+          coin_chain.native(), cfg.bids[i]);
+    }
   }
 
-  PayoffTracker tracker(chains, n + 1);
-  SealedAuctioneer a(s, alice);
-  std::vector<std::unique_ptr<SealedBidder>> bs;
-  sim::Scheduler sched(chains);
-  sched.add_party(a);
-  for (std::size_t i = 0; i < n; ++i) {
-    bs.push_back(std::make_unique<SealedBidder>(
-        static_cast<PartyId>(i + 1), s, bidders[i], cfg.bids[i]));
-    sched.add_party(*bs.back());
+  w.chains.checkpoint();
+  w.tracker = std::make_unique<PayoffTracker>(w.chains, n + 1);
+}
+
+AuctionWorld::~AuctionWorld() = default;
+AuctionWorld::AuctionWorld(AuctionWorld&&) noexcept = default;
+AuctionWorld& AuctionWorld::operator=(AuctionWorld&&) noexcept = default;
+
+AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
+                                const std::vector<BidderStrategy>& bidders) {
+  Impl& w = *impl_;
+  const std::size_t n = w.cfg.bids.size();
+  if (bidders.size() != n) {
+    throw std::invalid_argument(w.sealed
+                                    ? "run_sealed_auction: one strategy per "
+                                      "bidder"
+                                    : "run_auction: one strategy per bidder");
   }
-  sched.run_until(6 * d + 2);
+  const Tick d = w.cfg.delta;
+  w.chains.reset();
 
   AuctionResult out;
-  out.completed = s.coin->completed_cleanly();
-  out.tickets_to = s.ticket->awarded_to().value_or(kAlice);
-  out.auctioneer = tracker.delta(chains, kAlice);
+  sim::Scheduler sched(w.chains);
+  if (w.sealed) {
+    SealedAuctioneer a(w.ss, alice);
+    std::vector<std::unique_ptr<SealedBidder>> bs;
+    sched.add_party(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      bs.push_back(std::make_unique<SealedBidder>(
+          static_cast<PartyId>(i + 1), w.ss, bidders[i], w.cfg.bids[i]));
+      sched.add_party(*bs.back());
+    }
+    sched.run_until(6 * d + 2);
+    out.completed = w.ss.coin->completed_cleanly();
+    out.tickets_to = w.ss.ticket->awarded_to().value_or(kAlice);
+  } else {
+    Auctioneer a(w.s, alice, w.cfg.bids);
+    std::vector<std::unique_ptr<Bidder>> bs;
+    sched.add_party(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      bs.push_back(std::make_unique<Bidder>(static_cast<PartyId>(i + 1), w.s,
+                                            bidders[i], w.cfg.bids[i]));
+      sched.add_party(*bs.back());
+    }
+    sched.run_until(5 * d + 2);
+    out.completed = w.s.coin->completed_cleanly();
+    out.tickets_to = w.s.ticket->awarded_to().value_or(kAlice);
+  }
+
+  out.auctioneer = w.tracker->delta(w.chains, kAlice);
   for (std::size_t i = 0; i < n; ++i) {
     out.bidders.push_back(
-        tracker.delta(chains, static_cast<PartyId>(i + 1)));
+        w.tracker->delta(w.chains, static_cast<PartyId>(i + 1)));
   }
-  out.events = chains.all_events();
+  out.events = w.chains.all_events();
   return out;
+}
+
+AuctionResult run_sealed_auction(const AuctionConfig& cfg,
+                                 AuctioneerStrategy alice,
+                                 const std::vector<BidderStrategy>& bidders) {
+  return AuctionWorld(cfg, /*sealed=*/true).run(alice, bidders);
 }
 
 AuctionResult run_auction(const AuctionConfig& cfg, AuctioneerStrategy alice,
                           const std::vector<BidderStrategy>& bidders) {
-  const std::size_t n = cfg.bids.size();
-  if (bidders.size() != n) {
-    throw std::invalid_argument("run_auction: one strategy per bidder");
-  }
-  const Tick d = cfg.delta;
-
-  chain::MultiChain chains;
-  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
-  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
-
-  Setup s;
-  s.ticket_chain = ticket_chain.id();
-  s.coin_chain = coin_chain.id();
-  s.declaration_start = d;
-
-  AuctionTerms terms;
-  terms.auctioneer = kAlice;
-  crypto::Rng rng("auction");
-  std::vector<crypto::PublicKey> keys(n + 1);
-  keys[kAlice] = crypto::keygen("alice").pub;
-  for (std::size_t i = 0; i < n; ++i) {
-    const PartyId pid = static_cast<PartyId>(i + 1);
-    terms.bidders.push_back(pid);
-    keys[pid] = crypto::keygen("bidder-" + std::to_string(pid)).pub;
-    s.secrets.push_back(crypto::Secret::random(rng));
-    terms.hashlocks.push_back(s.secrets.back().hashlock());
-  }
-  terms.party_keys = keys;
-  terms.delta = d;
-  terms.bid_deadline = d;
-  terms.declaration_start = d;
-  terms.commit_time = 5 * d;
-
-  s.coin = &coin_chain.deploy<CoinAuctionContract>(
-      CoinAuctionContract::Params{terms, cfg.premium_unit});
-  s.ticket = &ticket_chain.deploy<TicketAuctionContract>(
-      TicketAuctionContract::Params{terms, "ticket", cfg.ticket_count});
-
-  ticket_chain.ledger_for_setup().mint(chain::Address::party(kAlice),
-                                       "ticket", cfg.ticket_count);
-  coin_chain.ledger_for_setup().mint(
-      chain::Address::party(kAlice), coin_chain.native(),
-      cfg.premium_unit * static_cast<Amount>(n));
-  for (std::size_t i = 0; i < n; ++i) {
-    coin_chain.ledger_for_setup().mint(
-        chain::Address::party(static_cast<PartyId>(i + 1)),
-        coin_chain.native(), cfg.bids[i]);
-  }
-
-  PayoffTracker tracker(chains, n + 1);
-  Auctioneer a(s, alice, cfg.bids);
-  std::vector<std::unique_ptr<Bidder>> bs;
-  sim::Scheduler sched(chains);
-  sched.add_party(a);
-  for (std::size_t i = 0; i < n; ++i) {
-    bs.push_back(std::make_unique<Bidder>(static_cast<PartyId>(i + 1), s,
-                                          bidders[i], cfg.bids[i]));
-    sched.add_party(*bs.back());
-  }
-  sched.run_until(5 * d + 2);
-
-  AuctionResult out;
-  out.completed = s.coin->completed_cleanly();
-  out.tickets_to = s.ticket->awarded_to().value_or(kAlice);
-  out.auctioneer = tracker.delta(chains, kAlice);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.bidders.push_back(
-        tracker.delta(chains, static_cast<PartyId>(i + 1)));
-  }
-  out.events = chains.all_events();
-  return out;
+  return AuctionWorld(cfg, /*sealed=*/false).run(alice, bidders);
 }
 
 }  // namespace xchain::core

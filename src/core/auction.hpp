@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -65,5 +66,27 @@ AuctionResult run_auction(const AuctionConfig& cfg, AuctioneerStrategy alice,
 AuctionResult run_sealed_auction(const AuctionConfig& cfg,
                                  AuctioneerStrategy alice,
                                  const std::vector<BidderStrategy>& bidders);
+
+/// Reusable world for the ticket auction (open or sealed-bid): chains,
+/// contracts, endowments, bidder secrets, and signature caches built once;
+/// every run() rolls back to the post-setup checkpoint and replays one
+/// strategy combination. The free functions above delegate to a fresh
+/// world; sweep workers keep one per adapter clone.
+class AuctionWorld {
+ public:
+  AuctionWorld(const AuctionConfig& cfg, bool sealed,
+               chain::TraceMode trace = chain::TraceMode::kFull);
+  ~AuctionWorld();
+  AuctionWorld(AuctionWorld&&) noexcept;
+  AuctionWorld& operator=(AuctionWorld&&) noexcept;
+
+  /// Resets the world and executes one strategy combination.
+  AuctionResult run(AuctioneerStrategy alice,
+                    const std::vector<BidderStrategy>& bidders);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xchain::core

@@ -61,7 +61,8 @@ class LadderParty : public sim::Party {
         schedule_(schedule),
         apricot_(apricot),
         banana_(banana),
-        secret_(std::move(secret)) {}
+        secret_(std::move(secret)),
+        submitted_(schedule.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick) override {
     for (std::size_t g = 0; g < schedule_.size(); ++g) {
@@ -71,8 +72,8 @@ class LadderParty : public sim::Party {
       if (act.actor == id() && !submitted_[g]) {
         const int ordinal = own_ordinal(g);
         if (plan_.allows(ordinal)) {
-          submitted_[g] = true;
-          submit(chains, act);
+          submitted_[g] = 1;
+          submit_action(chains, act);
         }
       }
       return;
@@ -99,14 +100,14 @@ class LadderParty : public sim::Party {
     return n;
   }
 
-  void submit(chain::MultiChain& chains, const GlobalAction& act) {
+  void submit_action(chain::MultiChain& chains, const GlobalAction& act) {
     contracts::LadderContract& target = ladder(act.chain);
     if (act.kind == GlobalAction::Kind::kDeposit) {
-      chains.at(act.chain).submit(
-          {id(), name() + ": deposit rung " + std::to_string(act.rung),
-           [&target, rung = act.rung](chain::TxContext& ctx) {
-             target.deposit(ctx, rung);
-           }});
+      submit(chains, act.chain,
+             [&act] { return "deposit rung " + std::to_string(act.rung); },
+             [&target, rung = act.rung](chain::TxContext& ctx) {
+               target.deposit(ctx, rung);
+             });
     } else {
       // Alice redeems with her secret; Bob with the preimage Alice
       // revealed on the banana chain.
@@ -114,11 +115,10 @@ class LadderParty : public sim::Party {
           id() == kAlice
               ? secret_.value()
               : banana_.revealed_preimage().value_or(crypto::Bytes{});
-      chains.at(act.chain).submit(
-          {id(), name() + ": redeem principal",
-           [&target, p = std::move(preimage)](chain::TxContext& ctx) {
-             target.redeem(ctx, p);
-           }});
+      submit(chains, act.chain, "redeem principal",
+             [&target, p = std::move(preimage)](chain::TxContext& ctx) {
+               target.redeem(ctx, p);
+             });
     }
   }
 
@@ -127,7 +127,7 @@ class LadderParty : public sim::Party {
   contracts::LadderContract& apricot_;
   contracts::LadderContract& banana_;
   crypto::Secret secret_;
-  std::map<std::size_t, bool> submitted_;
+  std::vector<char> submitted_;
 };
 
 Tick premium_lockup_of(const contracts::LadderContract& c) {
@@ -177,17 +177,32 @@ BootstrapSchedule bootstrap_amounts(const BootstrapConfig& cfg) {
   return amounts;
 }
 
-BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
-                                   sim::DeviationPlan alice,
-                                   sim::DeviationPlan bob) {
+struct BootstrapWorld::Impl {
+  BootstrapConfig cfg;
+  BootstrapSchedule amounts;
+  chain::MultiChain chains;
+  contracts::LadderContract* apricot_ladder = nullptr;
+  contracts::LadderContract* banana_ladder = nullptr;
+  crypto::Secret secret;
+  std::vector<GlobalAction> schedule;
+  std::unique_ptr<PayoffTracker> tracker;
+};
+
+BootstrapWorld::BootstrapWorld(const BootstrapConfig& cfg,
+                               chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
   if (cfg.rounds < 1) {
     throw std::invalid_argument("run_bootstrap_swap: rounds >= 1");
   }
+  Impl& w = *impl_;
+  w.cfg = cfg;
   const Tick d = cfg.delta;
   const int r = cfg.rounds;
-  const BootstrapSchedule amounts = bootstrap_amounts(cfg);
+  w.amounts = bootstrap_amounts(cfg);
+  const BootstrapSchedule& amounts = w.amounts;
 
-  chain::MultiChain chains;
+  chain::MultiChain& chains = w.chains;
+  chains.set_trace(trace);
   chain::Blockchain& apricot = chains.add_chain("apricot");
   chain::Blockchain& banana = chains.add_chain("banana");
 
@@ -203,7 +218,8 @@ BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
   };
 
   crypto::Rng rng("bootstrap-swap");
-  const crypto::Secret secret = crypto::Secret::random(rng);
+  w.secret = crypto::Secret::random(rng);
+  const crypto::Secret& secret = w.secret;
 
   contracts::LadderContract::Params ap;
   contracts::LadderContract::Params bp;
@@ -239,8 +255,8 @@ BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
   bp.hashlock = secret.hashlock();
   bp.redemption_deadline = (2 * r + 3) * d;
 
-  auto& apricot_ladder = apricot.deploy<contracts::LadderContract>(ap);
-  auto& banana_ladder = banana.deploy<contracts::LadderContract>(bp);
+  w.apricot_ladder = &apricot.deploy<contracts::LadderContract>(ap);
+  w.banana_ladder = &banana.deploy<contracts::LadderContract>(bp);
 
   // Endowments: principals plus exactly the premium coins each party needs.
   apricot.ledger_for_setup().mint(chain::Address::party(kAlice), "apricot",
@@ -256,13 +272,30 @@ BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
         amounts.banana[j]);
   }
 
-  const std::vector<GlobalAction> schedule = make_schedule(r);
-  PayoffTracker tracker(chains, 2);
-  LadderParty a(kAlice, "alice", alice, schedule, apricot_ladder,
-                banana_ladder, secret);
-  LadderParty b(kBob, "bob", bob, schedule, apricot_ladder, banana_ladder,
+  w.schedule = make_schedule(r);
+  chains.checkpoint();
+  w.tracker = std::make_unique<PayoffTracker>(chains, 2);
+}
+
+BootstrapWorld::~BootstrapWorld() = default;
+BootstrapWorld::BootstrapWorld(BootstrapWorld&&) noexcept = default;
+BootstrapWorld& BootstrapWorld::operator=(BootstrapWorld&&) noexcept =
+    default;
+
+BootstrapResult BootstrapWorld::run(sim::DeviationPlan alice,
+                                    sim::DeviationPlan bob) {
+  Impl& w = *impl_;
+  const Tick d = w.cfg.delta;
+  const int r = w.cfg.rounds;
+  w.chains.reset();
+  contracts::LadderContract& apricot_ladder = *w.apricot_ladder;
+  contracts::LadderContract& banana_ladder = *w.banana_ladder;
+
+  LadderParty a(kAlice, "alice", alice, w.schedule, apricot_ladder,
+                banana_ladder, w.secret);
+  LadderParty b(kBob, "bob", bob, w.schedule, apricot_ladder, banana_ladder,
                 crypto::Secret{});
-  sim::Scheduler sched(chains);
+  sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
   sched.run_until((2 * r + 4) * d + 2);
@@ -270,16 +303,22 @@ BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
   BootstrapResult out;
   out.swapped = apricot_ladder.principal_redeemed() &&
                 banana_ladder.principal_redeemed();
-  out.alice = tracker.delta(chains, kAlice);
-  out.bob = tracker.delta(chains, kBob);
-  out.initial_risk_apricot = amounts.initial_risk_apricot();
-  out.initial_risk_banana = amounts.initial_risk_banana();
+  out.alice = w.tracker->delta(w.chains, kAlice);
+  out.bob = w.tracker->delta(w.chains, kBob);
+  out.initial_risk_apricot = w.amounts.initial_risk_apricot();
+  out.initial_risk_banana = w.amounts.initial_risk_banana();
   out.max_premium_lockup = std::max(premium_lockup_of(apricot_ladder),
                                     premium_lockup_of(banana_ladder));
   out.alice_lockup = principal_lockup_of(apricot_ladder);
   out.bob_lockup = principal_lockup_of(banana_ladder);
-  out.events = chains.all_events();
+  out.events = w.chains.all_events();
   return out;
+}
+
+BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
+                                   sim::DeviationPlan alice,
+                                   sim::DeviationPlan bob) {
+  return BootstrapWorld(cfg).run(alice, bob);
 }
 
 }  // namespace xchain::core

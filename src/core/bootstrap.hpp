@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
@@ -68,5 +70,25 @@ BootstrapSchedule bootstrap_amounts(const BootstrapConfig& cfg);
 BootstrapResult run_bootstrap_swap(const BootstrapConfig& cfg,
                                    sim::DeviationPlan alice,
                                    sim::DeviationPlan bob);
+
+/// Reusable world for the bootstrapped ladder swap: both chains, both
+/// ladder contracts, and endowments built once; every run() rolls back to
+/// the post-setup checkpoint and replays one schedule. run_bootstrap_swap
+/// delegates to a fresh world; sweep workers keep one per adapter clone.
+class BootstrapWorld {
+ public:
+  explicit BootstrapWorld(const BootstrapConfig& cfg,
+                          chain::TraceMode trace = chain::TraceMode::kFull);
+  ~BootstrapWorld();
+  BootstrapWorld(BootstrapWorld&&) noexcept;
+  BootstrapWorld& operator=(BootstrapWorld&&) noexcept;
+
+  /// Resets the world and executes one schedule.
+  BootstrapResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xchain::core

@@ -2,9 +2,11 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "contracts/broker.hpp"
 #include "core/premiums.hpp"
+#include "crypto/hashkey.hpp"
 #include "crypto/secret.hpp"
 #include "sim/party.hpp"
 #include "sim/scheduler.hpp"
@@ -43,6 +45,10 @@ struct Setup {
   BrokerChainContract* coin = nullptr;
   std::vector<crypto::Secret> secrets;  ///< per party (all lead)
   std::vector<HostedArc> arcs;          ///< all four arcs
+  crypto::SigningCache* sign_cache = nullptr;
+  /// Lexicographically-first shortest path per (from, to), precomputed so
+  /// runs skip the simple-path enumeration.
+  std::map<std::pair<PartyId, PartyId>, graph::Path> shortest;
   Tick hashkey_base = 0;
 
   std::vector<HostedArc> incoming(PartyId v) const {
@@ -66,7 +72,8 @@ class BrokerParty : public sim::Party {
  public:
   BrokerParty(PartyId id, std::string name, const Setup& s,
               sim::DeviationPlan plan)
-      : sim::Party(id, std::move(name)), s_(s), plan_(plan) {}
+      : sim::Party(id, std::move(name)), s_(s), plan_(plan),
+        relayed_(3, 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
     if (plan_.allows(0)) simple_premiums(chains, now);
@@ -97,10 +104,11 @@ class BrokerParty : public sim::Party {
     did_redemption_ = true;
     for (const HostedArc& a : s_.incoming(id())) {
       for (PartyId leader = 0; leader < 3; ++leader) {
-        const graph::Path q = shortest_path(id(), leader);
-        const auto sig = crypto::sign_premium_path(keys(), leader, q);
-        submit(chains, *a.contract, "redemption premium",
-               [c = a.contract, w = a.which, leader, q,
+        const graph::Path& q = s_.shortest.at({id(), leader});
+        const crypto::Signature& sig =
+            s_.sign_cache->premium_path_sig(keys(), id(), leader, q);
+        submit(chains, a.contract->chain_id(), "redemption premium",
+               [c = a.contract, w = a.which, leader, &q,
                 sig](chain::TxContext& ctx) {
                  c->deposit_redemption_premium(ctx, w, leader, q, sig);
                });
@@ -111,8 +119,8 @@ class BrokerParty : public sim::Party {
   void release_own_key(chain::MultiChain& chains, Tick now) {
     if (released_ || now < s_.hashkey_base || !ready_to_release(now)) return;
     released_ = true;
-    const crypto::Hashkey key =
-        crypto::make_leader_hashkey(s_.secrets[id()].value(), id(), keys());
+    const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+        id(), s_.secrets[id()].value(), id(), keys());
     present_on_incoming(chains, id(), key);
   }
 
@@ -127,47 +135,33 @@ class BrokerParty : public sim::Party {
             seen.path.end()) {
           continue;
         }
-        relayed_[leader] = true;
-        present_on_incoming(chains, leader,
-                            crypto::extend_hashkey(seen, id(), keys()));
+        relayed_[leader] = 1;
+        present_on_incoming(
+            chains, leader,
+            s_.sign_cache->extended_hashkey(leader, seen, id(), keys()));
         break;
       }
     }
   }
 
+  /// `key` lives in the world's SigningCache (stable across the run), so
+  /// the closures capture it by reference.
   void present_on_incoming(chain::MultiChain& chains, PartyId leader,
                            const crypto::Hashkey& key) {
     for (const HostedArc& a : s_.incoming(id())) {
-      submit(chains, *a.contract, "present hashkey",
+      submit(chains, a.contract->chain_id(), "present hashkey",
              [c = a.contract, w = a.which, leader,
-              key](chain::TxContext& ctx) {
+              &key](chain::TxContext& ctx) {
                c->present_hashkey(ctx, w, leader, key);
              });
     }
-  }
-
-  graph::Path shortest_path(PartyId from, PartyId to) const {
-    if (from == to) return {from};
-    const auto paths = s_.g.simple_paths(from, to);
-    const graph::Path* best = &paths.front();
-    for (const auto& p : paths) {
-      if (p.size() < best->size()) best = &p;
-    }
-    return *best;
-  }
-
-  void submit(chain::MultiChain& chains, const BrokerChainContract& target,
-              const std::string& what,
-              std::function<void(chain::TxContext&)> fn) {
-    chains.at(target.chain_id())
-        .submit({id(), name() + ": " + what, std::move(fn)});
   }
 
   const Setup& s_;
   sim::DeviationPlan plan_;
   bool did_redemption_ = false;
   bool released_ = false;
-  std::map<PartyId, bool> relayed_;
+  std::vector<char> relayed_;  ///< per leader
 };
 
 /// Alice: trading premiums, the two trades, releases k_A after both.
@@ -184,9 +178,8 @@ class AliceBroker : public BrokerParty {
     }
     did_trading_premiums_ = true;
     for (BrokerChainContract* c : {s_.ticket, s_.coin}) {
-      submit(chains, *c, "trading premium", [c](chain::TxContext& ctx) {
-        c->deposit_trading_premium(ctx);
-      });
+      submit(chains, c->chain_id(), "trading premium",
+             [c](chain::TxContext& ctx) { c->deposit_trading_premium(ctx); });
     }
   }
 
@@ -196,13 +189,13 @@ class AliceBroker : public BrokerParty {
     if (!traded_tickets_ && s_.ticket->escrowed() &&
         s_.ticket->premium_activated(Which::kTradingArc)) {
       traded_tickets_ = true;
-      submit(chains, *s_.ticket, "trade tickets (A1)",
+      submit(chains, s_.ticket->chain_id(), "trade tickets (A1)",
              [c = s_.ticket](chain::TxContext& ctx) { c->trade(ctx); });
     }
     if (!traded_coins_ && s_.coin->escrowed() &&
         s_.coin->premium_activated(Which::kTradingArc)) {
       traded_coins_ = true;
-      submit(chains, *s_.coin, "trade coins (A2)",
+      submit(chains, s_.coin->chain_id(), "trade coins (A2)",
              [c = s_.coin](chain::TxContext& ctx) { c->trade(ctx); });
     }
   }
@@ -236,15 +229,16 @@ class SellerBroker : public BrokerParty {
   void simple_premiums(chain::MultiChain& chains, Tick) override {
     if (did_escrow_premium_) return;
     did_escrow_premium_ = true;
-    submit(chains, *own_, "escrow premium", [c = own_](chain::TxContext& ctx) {
-      c->deposit_escrow_premium(ctx);
-    });
+    submit(chains, own_->chain_id(), "escrow premium",
+           [c = own_](chain::TxContext& ctx) {
+             c->deposit_escrow_premium(ctx);
+           });
   }
 
   void principal_moves(chain::MultiChain& chains, Tick) override {
     if (did_escrow_ || !own_->premium_activated(Which::kEscrowArc)) return;
     did_escrow_ = true;
-    submit(chains, *own_, "escrow principal",
+    submit(chains, own_->chain_id(), "escrow principal",
            [c = own_](chain::TxContext& ctx) { c->escrow(ctx); });
   }
 
@@ -272,28 +266,55 @@ Tick lockup_of(const BrokerChainContract& c) {
 
 }  // namespace
 
-BrokerResult run_broker_deal(const BrokerConfig& cfg, sim::DeviationPlan alice,
-                             sim::DeviationPlan bob,
-                             sim::DeviationPlan carol) {
-  const Tick d = cfg.delta;
+struct BrokerWorld::Impl {
+  BrokerConfig cfg;
   Setup s;
-  s.g = broker_digraph();
-
   chain::MultiChain chains;
-  chain::Blockchain& ticket_chain = chains.add_chain("ticketchain");
-  chain::Blockchain& coin_chain = chains.add_chain("coinchain");
+  crypto::SigningCache sign_cache;
+  std::unique_ptr<PayoffTracker> tracker;
+  Tick horizon = 0;
+};
+
+BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& w = *impl_;
+  w.cfg = cfg;
+  const Tick d = cfg.delta;
+  Setup& s = w.s;
+  s.g = broker_digraph();
+  s.sign_cache = &w.sign_cache;
+
+  w.chains.set_trace(trace);
+  chain::Blockchain& ticket_chain = w.chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = w.chains.add_chain("coinchain");
 
   crypto::Rng rng("broker-deal");
   std::vector<crypto::PublicKey> pub_keys;
   const char* names[3] = {"alice", "bob", "carol"};
   for (int i = 0; i < 3; ++i) {
     s.secrets.push_back(crypto::Secret::random(rng));
-    pub_keys.push_back(crypto::keygen(names[i]).pub);
+    pub_keys.push_back(crypto::keygen_cached(names[i]).pub);
   }
   std::vector<BrokerChainContract::Hashlock> hashlocks;
   for (int i = 0; i < 3; ++i) {
     hashlocks.push_back(
         {static_cast<PartyId>(i), s.secrets[i].hashlock()});
+  }
+
+  // Lexicographically-first shortest paths, fixed by the digraph.
+  for (PartyId from = 0; from < 3; ++from) {
+    for (PartyId to = 0; to < 3; ++to) {
+      if (from == to) {
+        s.shortest[{from, to}] = graph::Path{from};
+        continue;
+      }
+      const auto paths = s.g.simple_paths(from, to);
+      const graph::Path* best = &paths.front();
+      for (const auto& p : paths) {
+        if (p.size() < best->size()) best = &p;
+      }
+      s.shortest[{from, to}] = *best;
+    }
   }
 
   // §8.2 premium amounts from the r = 1 broker formula.
@@ -362,28 +383,48 @@ BrokerResult run_broker_deal(const BrokerConfig& cfg, sim::DeviationPlan alice,
                                        coin_chain.native(), kCoinBudget);
   }
 
-  PayoffTracker tracker(chains, 3);
+  w.horizon = s.hashkey_base + (s.g.diameter() + 3 + 1) * d + 2;
+  w.chains.checkpoint();
+  w.tracker = std::make_unique<PayoffTracker>(w.chains, 3);
+}
+
+BrokerWorld::~BrokerWorld() = default;
+BrokerWorld::BrokerWorld(BrokerWorld&&) noexcept = default;
+BrokerWorld& BrokerWorld::operator=(BrokerWorld&&) noexcept = default;
+
+BrokerResult BrokerWorld::run(sim::DeviationPlan alice, sim::DeviationPlan bob,
+                              sim::DeviationPlan carol) {
+  Impl& w = *impl_;
+  Setup& s = w.s;
+  w.chains.reset();
+
   AliceBroker a(kAlice, "alice", s, alice);
   SellerBroker b(kBob, "bob", s, bob, s.ticket, s.coin);
   SellerBroker c(kCarol, "carol", s, carol, s.coin, s.ticket);
-  sim::Scheduler sched(chains);
+  sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
   sched.add_party(c);
-  sched.run_until(s.hashkey_base + (s.g.diameter() + 3 + 1) * d + 2);
+  sched.run_until(w.horizon);
 
   BrokerResult out;
   out.completed = s.ticket->bucket_redeemed(Which::kEscrowArc) &&
                   s.ticket->bucket_redeemed(Which::kTradingArc) &&
                   s.coin->bucket_redeemed(Which::kEscrowArc) &&
                   s.coin->bucket_redeemed(Which::kTradingArc);
-  out.alice = tracker.delta(chains, kAlice);
-  out.bob = tracker.delta(chains, kBob);
-  out.carol = tracker.delta(chains, kCarol);
+  out.alice = w.tracker->delta(w.chains, kAlice);
+  out.bob = w.tracker->delta(w.chains, kBob);
+  out.carol = w.tracker->delta(w.chains, kCarol);
   out.bob_lockup = lockup_of(*s.ticket);
   out.carol_lockup = lockup_of(*s.coin);
-  out.events = chains.all_events();
+  out.events = w.chains.all_events();
   return out;
+}
+
+BrokerResult run_broker_deal(const BrokerConfig& cfg, sim::DeviationPlan alice,
+                             sim::DeviationPlan bob,
+                             sim::DeviationPlan carol) {
+  return BrokerWorld(cfg).run(alice, bob, carol);
 }
 
 }  // namespace xchain::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
@@ -44,5 +46,27 @@ inline constexpr int kBrokerActions = 4;
 BrokerResult run_broker_deal(const BrokerConfig& cfg,
                              sim::DeviationPlan alice, sim::DeviationPlan bob,
                              sim::DeviationPlan carol);
+
+/// Reusable world for the brokered sale: both chains, both contracts,
+/// premium tables, secrets, and signature caches built once; every run()
+/// rolls back to the post-setup checkpoint and replays one schedule.
+/// run_broker_deal delegates to a fresh world; sweep workers keep one per
+/// adapter clone.
+class BrokerWorld {
+ public:
+  explicit BrokerWorld(const BrokerConfig& cfg,
+                       chain::TraceMode trace = chain::TraceMode::kFull);
+  ~BrokerWorld();
+  BrokerWorld(BrokerWorld&&) noexcept;
+  BrokerWorld& operator=(BrokerWorld&&) noexcept;
+
+  /// Resets the world and executes one schedule.
+  BrokerResult run(sim::DeviationPlan alice, sim::DeviationPlan bob,
+                   sim::DeviationPlan carol);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xchain::core

@@ -6,6 +6,7 @@
 
 #include "contracts/arc_contract.hpp"
 #include "core/premiums.hpp"
+#include "crypto/hashkey.hpp"
 #include "crypto/secret.hpp"
 #include "sim/party.hpp"
 #include "sim/scheduler.hpp"
@@ -25,6 +26,9 @@ struct Setup {
   std::vector<Vertex> leaders;
   std::vector<crypto::Secret> secrets;  ///< per leader index
   std::map<std::pair<Vertex, Vertex>, MultiPartyArcContract*> arcs;
+  /// Signature/hashkey memo shared by all parties of this world: signing is
+  /// deterministic, so reused worlds pay each signature once.
+  crypto::SigningCache* sign_cache = nullptr;
   // Phase start ticks (phase k spans [start[k], start[k+1])).
   Tick t2 = 0;  ///< redemption premium phase
   Tick t3 = 0;  ///< asset escrow phase (base phase one)
@@ -50,7 +54,11 @@ struct Setup {
 class SwapParty : public sim::Party {
  public:
   SwapParty(PartyId id, const Setup& s, sim::DeviationPlan plan)
-      : sim::Party(id, "party-" + std::to_string(id)), s_(s), plan_(plan) {}
+      : sim::Party(id, "party-" + std::to_string(id)),
+        s_(s),
+        plan_(plan),
+        premium_seen_(s.leaders.size(), 0),
+        hashkey_done_(s.leaders.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
     const bool hedged = s_.cfg->hedged;
@@ -88,11 +96,8 @@ class SwapParty : public sim::Party {
     did_escrow_premiums_ = true;
     for (Vertex w : g().out_neighbors(id())) {
       MultiPartyArcContract& c = s_.at(id(), w);
-      chains.at(c.chain_id())
-          .submit({id(), name() + ": escrow premium",
-                   [&c](chain::TxContext& ctx) {
-                     c.deposit_escrow_premium(ctx);
-                   }});
+      submit(chains, c.chain_id(), "escrow premium",
+             [&c](chain::TxContext& ctx) { c.deposit_escrow_premium(ctx); });
     }
   }
 
@@ -113,7 +118,7 @@ class SwapParty : public sim::Party {
       for (Vertex w : g().out_neighbors(id())) {
         const MultiPartyArcContract& c = s_.at(id(), w);
         if (!c.redemption_premium_deposited(i)) continue;
-        premium_seen_[i] = true;
+        premium_seen_[i] = 1;
         // The deposit's (public) path starts at w; prepend this vertex:
         // "if v || q is a path, then deposits premium R_i(v || q, u) on
         // every incoming arc".
@@ -131,12 +136,12 @@ class SwapParty : public sim::Party {
                                     const graph::Path& path) {
     for (Vertex u : g().in_neighbors(id())) {
       MultiPartyArcContract& c = s_.at(u, id());
-      const auto sig = crypto::sign_premium_path(keys(), i, path);
-      chains.at(c.chain_id())
-          .submit({id(), name() + ": redemption premium",
-                   [&c, i, path, sig](chain::TxContext& ctx) {
-                     c.deposit_redemption_premium(ctx, i, path, sig);
-                   }});
+      const crypto::Signature& sig =
+          s_.sign_cache->premium_path_sig(keys(), id(), i, path);
+      submit(chains, c.chain_id(), "redemption premium",
+             [&c, i, path, sig](chain::TxContext& ctx) {
+               c.deposit_redemption_premium(ctx, i, path, sig);
+             });
     }
   }
 
@@ -156,9 +161,8 @@ class SwapParty : public sim::Party {
       // (Lemma 3: "the leader v escrows assets on the outgoing arcs whose
       // escrow premiums are activated").
       if (s_.cfg->hedged && !c.escrow_premium_activated()) continue;
-      chains.at(c.chain_id())
-          .submit({id(), name() + ": escrow asset",
-                   [&c](chain::TxContext& ctx) { c.escrow_asset(ctx); }});
+      submit(chains, c.chain_id(), "escrow asset",
+             [&c](chain::TxContext& ctx) { c.escrow_asset(ctx); });
     }
   }
 
@@ -183,8 +187,9 @@ class SwapParty : public sim::Party {
       }
       if (all_in || escrowed_none) {
         released_own_key_ = true;
-        const crypto::Hashkey key = crypto::make_leader_hashkey(
-            s_.secrets[own].value(), id(), keys());
+        const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+            static_cast<std::size_t>(own), s_.secrets[own].value(), id(),
+            keys());
         present_on_incoming(chains, static_cast<std::size_t>(own), key);
       }
     }
@@ -199,9 +204,9 @@ class SwapParty : public sim::Party {
             seen.path.end()) {
           continue;
         }
-        hashkey_done_[i] = true;
-        present_on_incoming(chains, i, crypto::extend_hashkey(seen, id(),
-                                                              keys()));
+        hashkey_done_[i] = 1;
+        present_on_incoming(
+            chains, i, s_.sign_cache->extended_hashkey(i, seen, id(), keys()));
         break;
       }
     }
@@ -209,13 +214,14 @@ class SwapParty : public sim::Party {
 
   void present_on_incoming(chain::MultiChain& chains, std::size_t i,
                            const crypto::Hashkey& key) {
+    // `key` lives in the world's SigningCache (stable for the world's
+    // lifetime), so the closures capture it by reference.
     for (Vertex u : g().in_neighbors(id())) {
       MultiPartyArcContract& c = s_.at(u, id());
-      chains.at(c.chain_id())
-          .submit({id(), name() + ": present hashkey",
-                   [&c, i, key](chain::TxContext& ctx) {
-                     c.present_hashkey(ctx, i, key);
-                   }});
+      submit(chains, c.chain_id(), "present hashkey",
+             [&c, i, &key](chain::TxContext& ctx) {
+               c.present_hashkey(ctx, i, key);
+             });
     }
   }
 
@@ -225,26 +231,34 @@ class SwapParty : public sim::Party {
   bool started_own_premiums_ = false;
   bool did_escrow_assets_ = false;
   bool released_own_key_ = false;
-  std::map<std::size_t, bool> premium_seen_;
-  std::map<std::size_t, bool> hashkey_done_;
+  std::vector<char> premium_seen_;   ///< per leader index
+  std::vector<char> hashkey_done_;   ///< per leader index
 };
 
 }  // namespace
 
-MultiPartyResult run_multi_party_swap(
-    const MultiPartyConfig& cfg, const std::vector<sim::DeviationPlan>& plans) {
-  const Digraph& g = cfg.g;
+struct MultiPartyWorld::Impl {
+  MultiPartyConfig cfg;
+  Setup s;
+  chain::MultiChain chains;
+  crypto::SigningCache sign_cache;
+  std::unique_ptr<PayoffTracker> tracker;
+};
+
+MultiPartyWorld::MultiPartyWorld(const MultiPartyConfig& cfg,
+                                 chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = cfg;
+  const Digraph& g = impl_->cfg.g;
   const std::size_t n = g.size();
   if (n < 2 || !g.strongly_connected()) {
     throw std::invalid_argument("multi-party swap: need a strongly "
                                 "connected digraph on >= 2 vertices");
   }
-  if (plans.size() != n) {
-    throw std::invalid_argument("multi-party swap: one plan per party");
-  }
 
-  Setup s;
-  s.cfg = &cfg;
+  Setup& s = impl_->s;
+  s.cfg = &impl_->cfg;
+  s.sign_cache = &impl_->sign_cache;
   s.leaders =
       cfg.leaders.empty() ? g.minimum_feedback_vertex_set() : cfg.leaders;
   if (!g.is_feedback_vertex_set(s.leaders)) {
@@ -266,11 +280,12 @@ MultiPartyResult run_multi_party_swap(
   s.horizon = s.t4 + static_cast<Tick>(diam + n) * d + 2;
 
   // One chain per party; party i's token lives on chain i.
-  chain::MultiChain chains;
+  chain::MultiChain& chains = impl_->chains;
+  chains.set_trace(trace);
   std::vector<crypto::PublicKey> keys;
   for (Vertex v = 0; v < n; ++v) {
     chains.add_chain("chain-" + std::to_string(v));
-    keys.push_back(crypto::keygen("party-" + std::to_string(v)).pub);
+    keys.push_back(crypto::keygen_cached("party-" + std::to_string(v)).pub);
   }
 
   crypto::Rng rng("multi-party-swap");
@@ -319,14 +334,32 @@ MultiPartyResult run_multi_party_swap(
     }
   }
 
-  PayoffTracker tracker(chains, n);
+  chains.checkpoint();
+  impl_->tracker = std::make_unique<PayoffTracker>(chains, n);
+}
+
+MultiPartyWorld::~MultiPartyWorld() = default;
+MultiPartyWorld::MultiPartyWorld(MultiPartyWorld&&) noexcept = default;
+MultiPartyWorld& MultiPartyWorld::operator=(MultiPartyWorld&&) noexcept =
+    default;
+
+MultiPartyResult MultiPartyWorld::run(
+    const std::vector<sim::DeviationPlan>& plans) {
+  Impl& w = *impl_;
+  const Digraph& g = w.cfg.g;
+  const std::size_t n = g.size();
+  if (plans.size() != n) {
+    throw std::invalid_argument("multi-party swap: one plan per party");
+  }
+  w.chains.reset();
+
   std::vector<std::unique_ptr<SwapParty>> parties;
-  sim::Scheduler sched(chains);
+  sim::Scheduler sched(w.chains);
   for (Vertex v = 0; v < n; ++v) {
-    parties.push_back(std::make_unique<SwapParty>(v, s, plans[v]));
+    parties.push_back(std::make_unique<SwapParty>(v, w.s, plans[v]));
     sched.add_party(*parties.back());
   }
-  sched.run_until(s.horizon);
+  sched.run_until(w.s.horizon);
 
   MultiPartyResult out;
   out.all_redeemed = true;
@@ -335,17 +368,22 @@ MultiPartyResult run_multi_party_swap(
   out.assets_refunded.assign(n, 0);
   out.assets_received.assign(n, 0);
   for (const Arc& arc : g.arcs()) {
-    const MultiPartyArcContract& c = s.at(arc.from, arc.to);
+    const MultiPartyArcContract& c = w.s.at(arc.from, arc.to);
     out.all_redeemed &= c.redeemed();
     out.assets_escrowed[arc.from] += c.escrowed() ? 1 : 0;
     out.assets_refunded[arc.from] += c.refunded() ? 1 : 0;
     out.assets_received[arc.to] += c.redeemed() ? 1 : 0;
   }
   for (Vertex v = 0; v < n; ++v) {
-    out.payoffs.push_back(tracker.delta(chains, v));
+    out.payoffs.push_back(w.tracker->delta(w.chains, v));
   }
-  out.events = chains.all_events();
+  out.events = w.chains.all_events();
   return out;
+}
+
+MultiPartyResult run_multi_party_swap(
+    const MultiPartyConfig& cfg, const std::vector<sim::DeviationPlan>& plans) {
+  return MultiPartyWorld(cfg).run(plans);
 }
 
 }  // namespace xchain::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -51,5 +52,27 @@ inline constexpr int kMultiPartyBaseActions = 2;
 MultiPartyResult run_multi_party_swap(
     const MultiPartyConfig& cfg,
     const std::vector<sim::DeviationPlan>& plans);
+
+/// Reusable world for the multi-party swap: one chain per party, all arc
+/// contracts, endowments, leader secrets, and signature caches built once;
+/// every run() rolls back to the post-setup checkpoint and replays one
+/// deviation schedule. run_multi_party_swap delegates to a fresh world;
+/// sweep workers keep one per adapter clone. Throws std::invalid_argument
+/// on malformed configs, exactly like the free function.
+class MultiPartyWorld {
+ public:
+  explicit MultiPartyWorld(const MultiPartyConfig& cfg,
+                           chain::TraceMode trace = chain::TraceMode::kFull);
+  ~MultiPartyWorld();
+  MultiPartyWorld(MultiPartyWorld&&) noexcept;
+  MultiPartyWorld& operator=(MultiPartyWorld&&) noexcept;
+
+  /// Resets the world and executes one schedule (one plan per party).
+  MultiPartyResult run(const std::vector<sim::DeviationPlan>& plans);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xchain::core

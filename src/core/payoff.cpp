@@ -31,33 +31,48 @@ PayoffTracker::PayoffTracker(const chain::MultiChain& chains,
     : party_count_(party_count) {
   initial_.reserve(party_count_);
   for (PartyId p = 0; p < party_count_; ++p) {
-    initial_.push_back(holdings_of(chains, p));
+    initial_.push_back(snapshot_of(chains, p));
   }
 }
 
-Holdings PayoffTracker::holdings_of(const chain::MultiChain& chains,
-                                    PartyId party) const {
-  Holdings h;
-  const chain::Address addr = chain::Address::party(party);
-  for (ChainId c = 0; c < chains.count(); ++c) {
-    for (const auto& [who, sym, amount] : chains.at(c).ledger().holdings()) {
-      if (who == addr) h[sym] += amount;
+void PayoffTracker::accumulate(Snapshot& into, SymbolId sym, Amount amount) {
+  // Linear scan: a party holds a handful of symbols at most, and the flat
+  // vector beats any node container at that size.
+  for (auto& [s, a] : into) {
+    if (s == sym) {
+      a += amount;
+      return;
     }
   }
-  return h;
+  into.emplace_back(sym, amount);
+}
+
+PayoffTracker::Snapshot PayoffTracker::snapshot_of(
+    const chain::MultiChain& chains, PartyId party) const {
+  Snapshot snap;
+  const chain::Address addr = chain::Address::party(party);
+  for (ChainId c = 0; c < chains.count(); ++c) {
+    chains.at(c).ledger().for_each_holding(
+        addr, [&](SymbolId sym, Amount amount) {
+          accumulate(snap, sym, amount);
+        });
+  }
+  return snap;
 }
 
 PayoffDelta PayoffTracker::delta(const chain::MultiChain& chains,
                                  PartyId party) const {
   PayoffDelta d;
-  const Holdings now = holdings_of(chains, party);
-  const Holdings& before = initial_.at(party);
-  for (const auto& [sym, amt] : now) d.by_symbol[sym] += amt;
-  for (const auto& [sym, amt] : before) d.by_symbol[sym] -= amt;
-  std::erase_if(d.by_symbol, [](const auto& kv) { return kv.second == 0; });
-  for (const auto& [sym, amt] : d.by_symbol) {
+  Snapshot diff = snapshot_of(chains, party);
+  for (const auto& [sym, amt] : initial_.at(party)) {
+    accumulate(diff, sym, -amt);
+  }
+  for (const auto& [sym, amt] : diff) {
+    if (amt == 0) continue;
+    const std::string& name = SymbolTable::name(sym);
+    d.by_symbol[name] += amt;
     d.value_delta += amt;
-    if (is_native_coin(sym)) d.coin_delta += amt;
+    if (is_native_coin(name)) d.coin_delta += amt;
   }
   return d;
 }

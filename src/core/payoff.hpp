@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -28,7 +29,9 @@ struct PayoffDelta {
 };
 
 /// Captures party balances across chains so deltas can be computed after a
-/// run.
+/// run. Snapshots are interned-symbol flat vectors read straight off the
+/// dense ledgers — no string traffic until a delta materializes its
+/// by_symbol map (and then only for symbols that actually changed).
 class PayoffTracker {
  public:
   /// Snapshots balances of parties [0, party_count) over all chains.
@@ -39,10 +42,14 @@ class PayoffTracker {
   PayoffDelta delta(const chain::MultiChain& chains, PartyId party) const;
 
  private:
-  Holdings holdings_of(const chain::MultiChain& chains, PartyId party) const;
+  /// One party's balances at the snapshot, summed across chains.
+  using Snapshot = std::vector<std::pair<SymbolId, Amount>>;
+
+  static void accumulate(Snapshot& into, SymbolId sym, Amount amount);
+  Snapshot snapshot_of(const chain::MultiChain& chains, PartyId party) const;
 
   std::size_t party_count_;
-  std::vector<Holdings> initial_;
+  std::vector<Snapshot> initial_;
 };
 
 }  // namespace xchain::core

@@ -251,11 +251,22 @@ TwoPartyResult run_base_two_party(const TwoPartyConfig& cfg,
   return r;
 }
 
-TwoPartyResult run_hedged_two_party(const TwoPartyConfig& cfg,
-                                    sim::DeviationPlan alice,
-                                    sim::DeviationPlan bob) {
-  const Tick d = cfg.delta;
+struct TwoPartyWorld::Impl {
+  TwoPartyConfig cfg;
   chain::MultiChain chains;
+  contracts::HedgedSwapContract* apricot_c = nullptr;
+  contracts::HedgedSwapContract* banana_c = nullptr;
+  crypto::Secret secret;
+  std::unique_ptr<PayoffTracker> tracker;
+};
+
+TwoPartyWorld::TwoPartyWorld(const TwoPartyConfig& cfg,
+                             chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = cfg;
+  const Tick d = cfg.delta;
+  chain::MultiChain& chains = impl_->chains;
+  chains.set_trace(trace);
   chain::Blockchain& apricot = chains.add_chain("apricot");
   chain::Blockchain& banana = chains.add_chain("banana");
 
@@ -272,44 +283,65 @@ TwoPartyResult run_hedged_two_party(const TwoPartyConfig& cfg,
                                   apricot.native(), cfg.premium_b);
 
   crypto::Rng rng("two-party-hedged");
-  const crypto::Secret secret = crypto::Secret::random(rng);
+  impl_->secret = crypto::Secret::random(rng);
 
   // §5.2 schedule: premiums at Delta / 2*Delta, principals at 3*Delta /
   // 4*Delta, redemptions at t_A = 5*Delta (banana) and t_B = 6*Delta
   // (apricot).
-  auto& apricot_c = apricot.deploy<contracts::HedgedSwapContract>(
+  impl_->apricot_c = &apricot.deploy<contracts::HedgedSwapContract>(
       contracts::HedgedSwapContract::Params{
           /*principal_owner=*/kAlice, /*premium_payer=*/kBob, "apricot",
-          cfg.alice_tokens, cfg.premium_b, secret.hashlock(),
+          cfg.alice_tokens, cfg.premium_b, impl_->secret.hashlock(),
           /*premium_deadline=*/2 * d, /*escrow_deadline=*/3 * d,
           /*redemption_deadline=*/6 * d});
-  auto& banana_c = banana.deploy<contracts::HedgedSwapContract>(
+  impl_->banana_c = &banana.deploy<contracts::HedgedSwapContract>(
       contracts::HedgedSwapContract::Params{
           /*principal_owner=*/kBob, /*premium_payer=*/kAlice, "banana",
-          cfg.bob_tokens, cfg.premium_a + cfg.premium_b, secret.hashlock(),
+          cfg.bob_tokens, cfg.premium_a + cfg.premium_b,
+          impl_->secret.hashlock(),
           /*premium_deadline=*/d, /*escrow_deadline=*/4 * d,
           /*redemption_deadline=*/5 * d});
 
-  PayoffTracker tracker(chains, 2);
-  HedgedAlice a(alice, apricot_c, banana_c, secret);
+  chains.checkpoint();
+  impl_->tracker = std::make_unique<PayoffTracker>(chains, 2);
+}
+
+TwoPartyWorld::~TwoPartyWorld() = default;
+TwoPartyWorld::TwoPartyWorld(TwoPartyWorld&&) noexcept = default;
+TwoPartyWorld& TwoPartyWorld::operator=(TwoPartyWorld&&) noexcept = default;
+
+TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
+                                  sim::DeviationPlan bob) {
+  Impl& w = *impl_;
+  w.chains.reset();
+  contracts::HedgedSwapContract& apricot_c = *w.apricot_c;
+  contracts::HedgedSwapContract& banana_c = *w.banana_c;
+
+  HedgedAlice a(alice, apricot_c, banana_c, w.secret);
   HedgedBob b(bob, apricot_c, banana_c);
-  sim::Scheduler sched(chains);
+  sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
-  sched.run_until(6 * d + 2);
+  sched.run_until(6 * w.cfg.delta + 2);
 
   TwoPartyResult r;
   r.swapped = apricot_c.redeemed() && banana_c.redeemed();
-  r.alice = tracker.delta(chains, kAlice);
-  r.bob = tracker.delta(chains, kBob);
+  r.alice = w.tracker->delta(w.chains, kAlice);
+  r.bob = w.tracker->delta(w.chains, kBob);
   r.alice_lockup = lockup_of(apricot_c.escrowed_at(),
                              apricot_c.principal_resolved_at(),
                              apricot_c.principal_refunded());
   r.bob_lockup = lockup_of(banana_c.escrowed_at(),
                            banana_c.principal_resolved_at(),
                            banana_c.principal_refunded());
-  r.events = chains.all_events();
+  r.events = w.chains.all_events();
   return r;
+}
+
+TwoPartyResult run_hedged_two_party(const TwoPartyConfig& cfg,
+                                    sim::DeviationPlan alice,
+                                    sim::DeviationPlan bob) {
+  return TwoPartyWorld(cfg).run(alice, bob);
 }
 
 }  // namespace xchain::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "chain/blockchain.hpp"
@@ -59,5 +60,27 @@ TwoPartyResult run_hedged_two_party(const TwoPartyConfig& cfg,
 /// Number of deviation-relevant actions per role (for model checking).
 inline constexpr int kBaseTwoPartyActions = 2;
 inline constexpr int kHedgedTwoPartyActions = 3;
+
+/// Reusable world for the hedged two-party swap: chains, contracts, and
+/// endowments are built once; every run() rolls the world back to that
+/// checkpoint and replays a schedule on it. A world constructed per call is
+/// exactly run_hedged_two_party (the free function delegates here); sweep
+/// workers instead keep one world per adapter clone and run thousands of
+/// schedules on it, skipping per-schedule chain construction entirely.
+class TwoPartyWorld {
+ public:
+  explicit TwoPartyWorld(const TwoPartyConfig& cfg,
+                         chain::TraceMode trace = chain::TraceMode::kFull);
+  ~TwoPartyWorld();
+  TwoPartyWorld(TwoPartyWorld&&) noexcept;
+  TwoPartyWorld& operator=(TwoPartyWorld&&) noexcept;
+
+  /// Resets the world and executes one schedule.
+  TwoPartyResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace xchain::core

@@ -1,5 +1,10 @@
 #include "crypto/schnorr.hpp"
 
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
 #include "crypto/sha256.hpp"
 
 namespace xchain::crypto {
@@ -87,6 +92,41 @@ KeyPair keygen(std::string_view seed) {
   h.update(seed);
   const std::uint64_t x = 1 + digest_to_scalar(h.finish(), gp.q - 1);
   return KeyPair{PrivateKey{x}, PublicKey{powmod(gp.g, x, gp.p)}};
+}
+
+namespace {
+
+/// Transparent hashing so cache hits are allocation-free (sweep workers
+/// rebuild parties per schedule and look keys up by string_view).
+struct SeedHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct SeedEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace
+
+const KeyPair& keygen_cached(std::string_view seed) {
+  // Hits take a shared lock and never allocate; the map is node-based, so
+  // returned references stay valid across rehashes.
+  static std::shared_mutex mu;
+  static std::unordered_map<std::string, KeyPair, SeedHash, SeedEq> cache;
+  {
+    std::shared_lock lock(mu);
+    const auto it = cache.find(seed);
+    if (it != cache.end()) return it->second;
+  }
+  std::unique_lock lock(mu);
+  const auto it = cache.find(seed);  // raced inserts resolve here
+  if (it != cache.end()) return it->second;
+  return cache.emplace(std::string(seed), keygen(seed)).first->second;
 }
 
 Signature sign(const PrivateKey& key, const PublicKey& pub,

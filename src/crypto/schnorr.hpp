@@ -68,6 +68,12 @@ struct KeyPair {
 /// Derives a key pair deterministically from a seed label, e.g. "alice".
 KeyPair keygen(std::string_view seed);
 
+/// Memoized keygen: identical result, but each seed's modular
+/// exponentiation runs once per process. Protocol actors are rebuilt per
+/// sweep schedule, so their key derivation sits on the hot path.
+/// Thread-safe; the reference stays valid for the process lifetime.
+const KeyPair& keygen_cached(std::string_view seed);
+
 /// Signs `message` with deterministic (derandomized) nonce.
 Signature sign(const PrivateKey& key, const PublicKey& pub,
                const Bytes& message);

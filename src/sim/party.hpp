@@ -1,6 +1,9 @@
 #pragma once
 
+#include <functional>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
@@ -11,10 +14,15 @@ namespace xchain::sim {
 /// An active protocol participant. Parties are the only *active* entities
 /// in the model (paper §3.1): once per tick they observe public chain state
 /// and submit transactions; contracts do the rest.
+///
+/// Parties are rebuilt per sweep schedule (their deviation plan changes),
+/// so construction sits on the sweep hot path: key pairs come from the
+/// process-wide keygen cache, and the submit() helper below builds trace
+/// notes only on chains that actually record them.
 class Party {
  public:
   Party(PartyId id, std::string name)
-      : id_(id), name_(std::move(name)), keys_(crypto::keygen(name_)) {}
+      : id_(id), name_(std::move(name)), keys_(crypto::keygen_cached(name_)) {}
   virtual ~Party() = default;
 
   Party(const Party&) = delete;
@@ -29,10 +37,38 @@ class Party {
   /// Transactions submitted here are applied in this tick's blocks.
   virtual void step(chain::MultiChain& chains, Tick now) = 0;
 
+ protected:
+  /// Submits `effect` to `chain` signed by this party. The trace note
+  /// ("<name>: <what>") is only materialized when the chain traces —
+  /// sweep runs at TraceMode::kOff never touch the strings.
+  void submit(chain::MultiChain& chains, ChainId chain, const char* what,
+              std::function<void(chain::TxContext&)> effect) const {
+    chain::Blockchain& bc = chains.at(chain);
+    chain::Transaction tx;
+    tx.sender = id_;
+    if (bc.tracing()) tx.note = name_ + ": " + what;
+    tx.effect = std::move(effect);
+    bc.submit(std::move(tx));
+  }
+
+  /// Same, for labels that are themselves costly to build: `label` (any
+  /// callable returning a string) only runs on traced chains.
+  template <class LabelFn,
+            class = std::enable_if_t<std::is_invocable_v<LabelFn&>>>
+  void submit(chain::MultiChain& chains, ChainId chain, LabelFn&& label,
+              std::function<void(chain::TxContext&)> effect) const {
+    chain::Blockchain& bc = chains.at(chain);
+    chain::Transaction tx;
+    tx.sender = id_;
+    if (bc.tracing()) tx.note = name_ + ": " + label();
+    tx.effect = std::move(effect);
+    bc.submit(std::move(tx));
+  }
+
  private:
   PartyId id_;
   std::string name_;
-  crypto::KeyPair keys_;
+  const crypto::KeyPair& keys_;
 };
 
 }  // namespace xchain::sim

@@ -36,33 +36,45 @@ class ScheduleSpace {
   /// Raw combination count, before any max_deviators filtering.
   std::size_t raw_size() const { return raw_size_; }
 
-  /// Decodes raw index `index` into `out`. Returns false (leaving `out`
-  /// untouched) when the combination exceeds the deviator budget.
-  bool make(std::size_t index, int max_deviators, Schedule& out) const {
+  /// Decodes raw index `index` into `out`, reusing out's plan storage.
+  /// Returns false (leaving `out` unspecified) when the combination
+  /// exceeds the deviator budget. Labels are built separately (and only
+  /// when needed — per schedule they would dominate the decode cost) via
+  /// fill_label().
+  bool make(std::size_t index, int max_deviators, Schedule& out,
+            bool with_label) const {
     const int variant = static_cast<int>(index / combos_per_variant_);
     std::size_t rest = index % combos_per_variant_;
     int deviators = adapter_.variant_conforming(variant) ? 0 : 1;
-    std::vector<DeviationPlan> plans;
-    plans.reserve(spaces_.size());
+    out.plans.clear();
+    out.plans.reserve(spaces_.size());
     for (const auto& space : spaces_) {
       const DeviationPlan& plan = space[rest % space.size()];
       rest /= space.size();
       if (!plan.is_conforming()) ++deviators;
-      plans.push_back(plan);
+      out.plans.push_back(plan);
     }
     if (max_deviators >= 0 && deviators > max_deviators) return false;
 
     out.variant = variant;
-    out.label = adapter_.name() + "[" + adapter_.variant_label(variant);
-    for (std::size_t p = 0; p < plans.size(); ++p) {
+    if (with_label) {
+      fill_label(out);
+    } else {
+      out.label.clear();
+    }
+    return true;
+  }
+
+  /// Builds the human-readable label for a decoded schedule.
+  void fill_label(Schedule& out) const {
+    out.label = adapter_.name() + "[" + adapter_.variant_label(out.variant);
+    for (std::size_t p = 0; p < out.plans.size(); ++p) {
       // Appended in two steps: `const char* + std::string&&` trips the
       // GCC-12 -Wrestrict false positive (PR 105651) under -Werror.
       out.label += p == 0 ? '|' : ',';
-      out.label += plans[p].str();
+      out.label += out.plans[p].str();
     }
     out.label += "]";
-    out.plans = std::move(plans);
-    return true;
   }
 
  private:
@@ -85,9 +97,19 @@ void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
                  ShardResult& out) {
   Schedule s;
   for (std::size_t i = begin; i < end; ++i) {
-    if (!space.make(i, max_deviators, s)) continue;
+    // Decode without the label: on a reused world the label strings would
+    // be a large fraction of the per-schedule cost, and the audit only
+    // needs them on (rare) violations — fill them in after the fact.
+    if (!space.make(i, max_deviators, s, /*with_label=*/false)) continue;
     const std::vector<PartyOutcome> outcomes = adapter.run(s);
+    const std::size_t before = out.violations.size();
     out.conforming_audited += audit_schedule(s.label, outcomes, out.violations);
+    if (out.violations.size() != before) {
+      space.fill_label(s);
+      for (std::size_t v = before; v < out.violations.size(); ++v) {
+        out.violations[v].schedule = s.label;
+      }
+    }
     ++out.schedules_run;
   }
 }
@@ -110,7 +132,9 @@ std::vector<Schedule> ScenarioRunner::enumerate(int max_deviators) const {
   std::vector<Schedule> schedules;
   Schedule s;
   for (std::size_t i = 0; i < space.raw_size(); ++i) {
-    if (space.make(i, max_deviators, s)) schedules.push_back(std::move(s));
+    if (space.make(i, max_deviators, s, /*with_label=*/true)) {
+      schedules.push_back(std::move(s));
+    }
   }
   return schedules;
 }
@@ -203,7 +227,14 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
     throw std::invalid_argument("two-party schedule needs 2 plans");
   }
   const core::TwoPartyResult r =
-      core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
+      world_reuse()
+          ? world_
+                .ensure([this] {
+                  return std::make_unique<core::TwoPartyWorld>(
+                      cfg_, chain::TraceMode::kOff);
+                })
+                .run(s.plans[0], s.plans[1])
+          : core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
 
   PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = cfg_.premium_b;
@@ -218,7 +249,15 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
 
 std::vector<PartyOutcome> MultiPartySwapAdapter::run(
     const Schedule& s) const {
-  const core::MultiPartyResult r = core::run_multi_party_swap(cfg_, s.plans);
+  const core::MultiPartyResult r =
+      world_reuse()
+          ? world_
+                .ensure([this] {
+                  return std::make_unique<core::MultiPartyWorld>(
+                      cfg_, chain::TraceMode::kOff);
+                })
+                .run(s.plans)
+          : core::run_multi_party_swap(cfg_, s.plans);
 
   std::vector<PartyOutcome> outcomes;
   for (std::size_t v = 0; v < cfg_.g.size(); ++v) {
@@ -286,10 +325,16 @@ std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
     bidders.push_back(bidder_of(s.plans[i], sealed_));
   }
   const core::AuctioneerStrategy strat = auctioneer_of(s.variant);
-  const core::AuctionResult r = sealed_
-                                    ? core::run_sealed_auction(cfg_, strat,
-                                                               bidders)
-                                    : core::run_auction(cfg_, strat, bidders);
+  const core::AuctionResult r =
+      world_reuse()
+          ? world_
+                .ensure([this] {
+                  return std::make_unique<core::AuctionWorld>(
+                      cfg_, sealed_, chain::TraceMode::kOff);
+                })
+                .run(strat, bidders)
+          : (sealed_ ? core::run_sealed_auction(cfg_, strat, bidders)
+                     : core::run_auction(cfg_, strat, bidders));
 
   std::vector<PartyOutcome> outcomes;
   outcomes.push_back({"auctioneer",
@@ -325,7 +370,14 @@ std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
     throw std::invalid_argument("broker schedule needs 3 plans");
   }
   const core::BrokerResult r =
-      core::run_broker_deal(cfg_, s.plans[0], s.plans[1], s.plans[2]);
+      world_reuse()
+          ? world_
+                .ensure([this] {
+                  return std::make_unique<core::BrokerWorld>(
+                      cfg_, chain::TraceMode::kOff);
+                })
+                .run(s.plans[0], s.plans[1], s.plans[2])
+          : core::run_broker_deal(cfg_, s.plans[0], s.plans[1], s.plans[2]);
 
   // Alice never escrows a principal of her own (§8: she brokers other
   // people's assets), so her hedge floor is breaking even. Bob and Carol
@@ -366,7 +418,14 @@ std::vector<PartyOutcome> BootstrapSwapAdapter::run(const Schedule& s) const {
     throw std::invalid_argument("bootstrap schedule needs 2 plans");
   }
   const core::BootstrapResult r =
-      core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
+      world_reuse()
+          ? world_
+                .ensure([this] {
+                  return std::make_unique<core::BootstrapWorld>(
+                      cfg_, chain::TraceMode::kOff);
+                })
+                .run(s.plans[0], s.plans[1])
+          : core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
 
   PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = alice_floor_;

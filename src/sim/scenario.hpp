@@ -14,9 +14,11 @@
 // the auctioneer's seven declaration strategies). ScenarioRunner takes an
 // adapter, enumerates the cross product of per-party DeviationPlan
 // {conform, halt@0..halt@k-1} choices times the dishonesty variants, runs
-// every schedule through the engine (each run drives a fresh MultiChain via
-// Scheduler), and feeds each final state to payoff_audit, which flags any
-// schedule where a conforming party loses more than its earned premiums.
+// every schedule through the engine (by default each adapter resets one
+// reusable traceless world per schedule; set_world_reuse(false) rebuilds a
+// fresh traced MultiChain per run instead), and feeds each final state to
+// payoff_audit, which flags any schedule where a conforming party loses
+// more than its earned premiums.
 //
 // Sweeps are parallelizable: sweep(SweepOptions{.threads = N}) partitions
 // the enumerated schedule space into contiguous shards, runs the shards on
@@ -57,14 +59,24 @@ struct Schedule {
 };
 
 /// How ScenarioRunner talks to one protocol engine. run() must execute the
-/// schedule on fresh state (a new MultiChain advanced by Scheduler) so
-/// schedules never contaminate each other.
+/// schedule on clean state so schedules never contaminate each other — by
+/// default each adapter instance lazily builds ONE reusable, traceless
+/// world (chains + contracts + endowments) and rolls it back to its
+/// post-setup checkpoint per schedule, which is what makes deep sweeps
+/// cheap; set_world_reuse(false) switches run() to the legacy path that
+/// rebuilds a fresh, fully-traced world per schedule (the equivalence
+/// tests pin that both paths report identical results).
 class ProtocolAdapter {
  public:
   virtual ~ProtocolAdapter() = default;
 
   virtual std::string name() const = 0;
   virtual std::size_t party_count() const = 0;
+
+  /// Debug/equivalence knob: false makes every run() rebuild a fresh
+  /// fully-traced world per schedule instead of resetting a reused one.
+  void set_world_reuse(bool on) { world_reuse_ = on; }
+  bool world_reuse() const { return world_reuse_; }
 
   /// Number of deviation ordinals in party p's script; enumeration tries
   /// halt@0 .. halt@(count-1) plus conforming. (halt@count would repeat
@@ -82,12 +94,43 @@ class ProtocolAdapter {
 
   /// An independent adapter driving the same protocol with the same
   /// parameters. Parallel sweeps give every worker thread its own clone:
-  /// each run() builds stateful chains, and a future adapter is free to
-  /// cache per-run state on itself, so workers must never share one
-  /// instance.
+  /// adapters cache a reusable world (stateful chains) on themselves, so
+  /// workers must never share one instance. Cloning copies configuration
+  /// only — each clone builds its own world on first run().
   virtual std::unique_ptr<ProtocolAdapter> clone() const = 0;
 
   virtual std::vector<PartyOutcome> run(const Schedule& s) const = 0;
+
+ private:
+  bool world_reuse_ = true;
+};
+
+/// Lazily-built per-adapter world cache. Deliberately NOT copied by the
+/// copy/assign operations: every adapter clone builds its own world, so
+/// parallel workers never share chain state. `mutable` because the world
+/// is a cache the logically-const run() path fills and reuses.
+template <class W>
+class WorldCache {
+ public:
+  WorldCache() = default;
+  WorldCache(const WorldCache&) {}
+  WorldCache& operator=(const WorldCache&) {
+    w_.reset();
+    return *this;
+  }
+  WorldCache(WorldCache&&) noexcept = default;
+  WorldCache& operator=(WorldCache&&) noexcept = default;
+
+  /// The cached world, built by `make` (returning std::unique_ptr<W>) on
+  /// first use.
+  template <class Make>
+  W& ensure(Make&& make) const {
+    if (!w_) w_ = make();
+    return *w_;
+  }
+
+ private:
+  mutable std::unique_ptr<W> w_;
 };
 
 /// Result of sweeping one adapter's schedule space.
@@ -162,6 +205,7 @@ class TwoPartySwapAdapter final : public ProtocolAdapter {
 
  private:
   core::TwoPartyConfig cfg_;
+  WorldCache<core::TwoPartyWorld> world_;
 };
 
 /// Multi-party ARC swap on a digraph (§7). Bound (Lemma 6): a conforming
@@ -187,6 +231,7 @@ class MultiPartySwapAdapter final : public ProtocolAdapter {
 
  private:
   core::MultiPartyConfig cfg_;
+  WorldCache<core::MultiPartyWorld> world_;
 };
 
 /// Ticket auction (§9), open or sealed-bid. Party 0 is the auctioneer: her
@@ -218,6 +263,7 @@ class TicketAuctionAdapter final : public ProtocolAdapter {
  private:
   core::AuctionConfig cfg_;
   bool sealed_;
+  WorldCache<core::AuctionWorld> world_;
 };
 
 /// Three-party brokered sale (§8, after Herlihy–Liskov–Shrira): Alice
@@ -238,6 +284,7 @@ class BrokerDealAdapter final : public ProtocolAdapter {
 
  private:
   core::BrokerConfig cfg_;
+  WorldCache<core::BrokerWorld> world_;
 };
 
 /// Bootstrapped premium-ladder swap (§6, Figure 2), driven through the
@@ -269,6 +316,7 @@ class BootstrapSwapAdapter final : public ProtocolAdapter {
  private:
   core::BootstrapConfig cfg_;
   std::string name_;
+  WorldCache<core::BootstrapWorld> world_;
   Amount alice_floor_ = 0;  ///< apricot rung-1 premium (Bob's deposit)
   Amount bob_floor_ = 0;    ///< banana rung-1 minus apricot rung-1
 };

@@ -24,6 +24,14 @@ class Scheduler {
  public:
   explicit Scheduler(chain::MultiChain& chains) : chains_(chains) {}
 
+  /// Convenience: applies `trace` to every chain before driving them.
+  /// Sweep worlds pass TraceMode::kOff so runs stop recording events and
+  /// per-transaction note strings; tests and examples keep kFull.
+  Scheduler(chain::MultiChain& chains, chain::TraceMode trace)
+      : chains_(chains) {
+    chains_.set_trace(trace);
+  }
+
   /// Registers a party (non-owning; the protocol engine owns its actors).
   void add_party(Party& p) { parties_.push_back(&p); }
 

@@ -29,8 +29,7 @@
 #include <thread>
 #include <vector>
 
-#include "graph/digraph.hpp"
-#include "sim/reference_configs.hpp"
+#include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 
 // Build stamps injected by CMake (configure-time git HEAD; CI configures
@@ -49,39 +48,28 @@ using namespace xchain;
 
 namespace {
 
-core::MultiPartyConfig multi_party_config(graph::Digraph g) {
-  return sim::reference_multi_party_config(std::move(g));
-}
-
 struct NamedAdapter {
   std::string name;
   std::unique_ptr<sim::ProtocolAdapter> adapter;
 };
 
+// All reference configurations come from the protocol registry defaults —
+// the same numbers every test audits (pinned byte-identical to the legacy
+// structs in tests/registry_campaign_test.cpp), so the bench measures
+// exactly the schedule spaces the suite verifies.
 std::vector<NamedAdapter> make_adapters() {
+  const sim::ProtocolRegistry& reg = sim::ProtocolRegistry::global();
   std::vector<NamedAdapter> out;
-  out.push_back({"two_party", std::make_unique<sim::TwoPartySwapAdapter>(
-                                  sim::reference_two_party_config())});
-  out.push_back({"multi_party_fig3a",
-                 std::make_unique<sim::MultiPartySwapAdapter>(
-                     multi_party_config(graph::Digraph::figure3a()))});
-  out.push_back({"multi_party_cycle4",
-                 std::make_unique<sim::MultiPartySwapAdapter>(
-                     multi_party_config(graph::Digraph::cycle(4)))});
-  out.push_back({"auction_open",
-                 std::make_unique<sim::TicketAuctionAdapter>(
-                     sim::reference_auction_config(), /*sealed=*/false)});
-  out.push_back({"auction_sealed",
-                 std::make_unique<sim::TicketAuctionAdapter>(
-                     sim::reference_auction_config(), /*sealed=*/true)});
-  out.push_back({"broker", std::make_unique<sim::BrokerDealAdapter>(
-                               sim::reference_broker_config())});
-  out.push_back({"bootstrap_r2", std::make_unique<sim::BootstrapSwapAdapter>(
-                                     sim::reference_bootstrap_config())});
-  out.push_back({"crr_ladder",
-                 std::make_unique<sim::BootstrapSwapAdapter>(
-                     sim::make_crr_ladder_adapter(
-                         sim::reference_crr_ladder_config()))});
+  out.push_back({"two_party", reg.make("two-party")});
+  out.push_back({"multi_party_fig3a", reg.make("multi-party-fig3a")});
+  sim::ParamSet ring = reg.defaults("multi-party-ring");
+  ring.set("n", "4");
+  out.push_back({"multi_party_cycle4", reg.make("multi-party-ring", ring)});
+  out.push_back({"auction_open", reg.make("auction-open")});
+  out.push_back({"auction_sealed", reg.make("auction-sealed")});
+  out.push_back({"broker", reg.make("broker")});
+  out.push_back({"bootstrap_r2", reg.make("bootstrap")});
+  out.push_back({"crr_ladder", reg.make("crr-ladder")});
   return out;
 }
 

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CLI smoke test for xchain-sweep, wired into ctest (see CMakeLists.txt).
+#
+# Usage: xchain_sweep_smoke.sh /path/to/xchain-sweep /path/to/out.json
+#
+# Asserts that:
+#   * --list names every registered reference protocol;
+#   * a small two-party grid campaign (premium_a=1,2) exits 0;
+#   * the emitted JSON parses (python3 when available, grep fallback) and
+#     reports 2 configurations with 0 violations.
+set -euo pipefail
+
+bin="$1"
+json="$2"
+
+fail() { echo "xchain_sweep_smoke: FAIL: $*" >&2; exit 1; }
+
+# --list must name all reference protocols.
+list_out="$("$bin" --list)"
+for name in two-party multi-party-ring multi-party-fig3a auction-open \
+            auction-sealed broker bootstrap crr-ladder; do
+  grep -q "^  $name " <<<"$list_out" || fail "--list is missing '$name'"
+done
+
+# A tiny grid campaign must run clean and write JSON.
+rm -f "$json"
+"$bin" --protocol=two-party --grid premium_a=1,2 --threads=2 \
+  --json="$json" || fail "campaign exited $? (want 0)"
+[[ -s "$json" ]] || fail "no JSON written to $json"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["benchmark"] == "campaign", doc
+assert doc["configurations"] == 2, doc
+assert doc["violations"] == 0, doc
+assert len(doc["configs"]) == 2, doc
+assert all(c["violations"] == 0 for c in doc["configs"]), doc
+assert {c["params"] for c in doc["configs"]} == \
+    {"premium_a=1", "premium_a=2"}, doc
+EOF
+else
+  grep -q '"benchmark": "campaign"' "$json" || fail "JSON lacks benchmark"
+  grep -q '"configurations": 2' "$json" || fail "JSON lacks 2 configurations"
+  grep -q '"violations": 0' "$json" || fail "JSON lacks violations: 0"
+fi
+
+# Unknown protocols / params must fail with usage errors, not violations.
+"$bin" --protocol=no-such-protocol >/dev/null 2>&1 && \
+  fail "unknown protocol should exit non-zero"
+"$bin" --protocol=two-party --set no_such_param=1 >/dev/null 2>&1 && \
+  fail "unknown param should exit non-zero"
+
+echo "xchain_sweep_smoke: OK"

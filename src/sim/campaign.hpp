@@ -1,0 +1,121 @@
+#pragma once
+
+// Declarative sweep campaigns: many protocol configurations, one run.
+//
+// A CampaignSpec lists (protocol name, fixed overrides, parameter grid)
+// entries; Campaign::run() resolves every entry through a ProtocolRegistry,
+// expands each grid into its cross product of ParamSets (capped, with an
+// explicit truncation report), runs the full deviation-schedule sweep on
+// every resulting configuration, and aggregates a CampaignReport whose
+// per-configuration order is deterministic — entry order, then grid
+// row-major order — whatever the worker-thread count. This is the
+// substrate the `xchain-sweep` CLI, the CI campaign artifact, and future
+// fuzzing/scaling work all drive through: the paper's guarantee is
+// quantified over all protocol parameters, and a campaign is how a slice
+// of that quantifier gets audited in one command.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/param.hpp"
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::sim {
+
+/// One campaign line: a registered protocol, fixed parameter overrides
+/// (applied to every grid point), and a grid of swept axes (empty grid =
+/// the single overridden-defaults configuration).
+struct CampaignEntry {
+  std::string protocol;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  ParamGrid grid;
+};
+
+/// What to run: entries, sweep options shared by every configuration, and
+/// the per-entry grid-expansion cap.
+struct CampaignSpec {
+  std::vector<CampaignEntry> entries;
+  SweepOptions sweep;
+  std::size_t max_configs_per_entry = 4096;
+};
+
+/// One configuration's sweep outcome. `protocol` is the registry name;
+/// `params` the non-default assignments ("" = pure defaults); the nested
+/// SweepReport carries the adapter-level protocol label and violations.
+struct ConfigResult {
+  std::string protocol;
+  std::string params;
+  SweepReport report;
+
+  /// "name[params]: N schedules, ..." — one line, campaign-report form.
+  std::string line() const;
+};
+
+/// Aggregate of a whole campaign, in deterministic configuration order.
+struct CampaignReport {
+  std::vector<ConfigResult> configs;
+  /// Truncation notices from capped grids, one per affected entry ("" none).
+  std::vector<std::string> truncations;
+  /// Worker threads the campaign actually used.
+  unsigned workers = 1;
+
+  std::size_t configurations() const { return configs.size(); }
+  std::size_t total_schedules() const;
+  std::size_t total_conforming_audited() const;
+  std::size_t total_violations() const;
+  bool ok() const { return total_violations() == 0; }
+
+  /// One line per configuration plus a totals line (and any truncation
+  /// notices); violations are detailed under their configuration's line.
+  std::string str() const;
+};
+
+/// Build-provenance stamp for campaign JSON artifacts — the same fields
+/// BENCH_scenario_sweep.json carries, so per-commit CI artifacts from both
+/// pipelines are attributable the same way.
+struct CampaignStamp {
+  std::string git_commit = "unknown";
+  std::string build_type = "unknown";
+  std::string compiler = "unknown";
+};
+
+/// Serializes a report (plus stamp and hardware_threads) as JSON. Schema:
+///   { "benchmark": "campaign", "git_commit": ..., "build_type": ...,
+///     "compiler": ..., "hardware_threads": N, "configurations": N,
+///     "schedules_run": N, "conforming_audited": N, "violations": N,
+///     "truncations": ["..."],
+///     "configs": [ {"protocol": ..., "params": ..., "adapter": ...,
+///                   "schedules": N, "conforming_audited": N,
+///                   "violations": N, "violation_details": ["..."]} ] }
+std::string campaign_json(const CampaignReport& report,
+                          const CampaignStamp& stamp = {});
+
+/// Expands and runs one campaign. Configurations are distributed over
+/// `spec.sweep.threads` workers (0 = one per hardware thread), each worker
+/// sweeping whole configurations serially with its own registry-built
+/// adapter — worker threads are reused across configurations instead of
+/// being respawned per sweep. A single-configuration campaign degrades to
+/// one sharded sweep at the requested thread count. Either way the report
+/// is identical to the serial campaign's. Throws RegistryError/ParamError
+/// on an unknown protocol or malformed grid before any sweep runs, and
+/// std::invalid_argument on malformed SweepOptions.
+class Campaign {
+ public:
+  explicit Campaign(CampaignSpec spec,
+                    const ProtocolRegistry& registry =
+                        ProtocolRegistry::global())
+      : spec_(std::move(spec)), registry_(registry) {}
+  /// The registry must outlive the campaign (run() reads it); a temporary
+  /// would dangle, so rvalue registries are rejected at compile time.
+  Campaign(CampaignSpec, ProtocolRegistry&&) = delete;
+
+  CampaignReport run() const;
+
+ private:
+  CampaignSpec spec_;
+  const ProtocolRegistry& registry_;
+};
+
+}  // namespace xchain::sim

@@ -1,0 +1,294 @@
+#include "sim/registry.hpp"
+
+namespace xchain::sim {
+
+namespace {
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+/// Parses a "100,80" bid list (auction schemas keep the per-bidder bid
+/// vector as one string param so the bidder count itself is sweepable).
+std::vector<Amount> parse_bids(const std::string& csv) {
+  std::vector<Amount> out;
+  for (const std::string& v : split_csv("param bids", csv)) {
+    std::size_t pos = 0;
+    long long parsed = 0;
+    try {
+      parsed = std::stoll(v, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != v.size()) {
+      throw ParamError("param 'bids': '" + v +
+                       "' is not an integer (want e.g. bids=100,80)");
+    }
+    if (parsed < 0) {
+      throw ParamError("param 'bids': bids must be non-negative");
+    }
+    out.push_back(static_cast<Amount>(parsed));
+  }
+  return out;
+}
+
+// Shared scalar schema fragments. Bounds keep sweeps inside the regime the
+// engines are specified for (e.g. delta >= 1 ticks, ring sizes that keep
+// the exhaustive 5^n schedule space tractable).
+
+ParamSet two_party_schema() {
+  return ParamSet({
+      ParamSpec::amount("alice_tokens", 100, "A: apricot principal")
+          .at_least(1),
+      ParamSpec::amount("bob_tokens", 50, "B: banana principal").at_least(1),
+      ParamSpec::amount("premium_a", 2, "p_a: Alice's premium component")
+          .at_least(0),
+      ParamSpec::amount("premium_b", 1, "p_b: Bob's premium").at_least(0),
+      ParamSpec::integer("delta", 2, "synchrony bound in ticks").at_least(1),
+  });
+}
+
+std::vector<ParamSpec> multi_party_scalars() {
+  return {
+      ParamSpec::amount("asset_amount", 100, "units per swapped asset")
+          .at_least(1),
+      ParamSpec::amount("premium_unit", 1, "p: uniform premium per asset")
+          .at_least(0),
+      ParamSpec::integer("delta", 1, "synchrony bound in ticks").at_least(1),
+      ParamSpec::integer("hedged", 1, "1 = hedged (§7), 0 = base baseline")
+          .between(0, 1),
+  };
+}
+
+ParamSet auction_schema() {
+  return ParamSet({
+      ParamSpec::amount("ticket_count", 10, "tickets on sale").at_least(1),
+      ParamSpec::text("bids", "100,80",
+                      "per-bidder bids, comma-separated (sets bidder count)"),
+      ParamSpec::amount("premium_unit", 2, "p: auctioneer endows n*p")
+          .at_least(0),
+      ParamSpec::integer("delta", 2, "synchrony bound in ticks").at_least(1),
+      ParamSpec::amount("collateral", 150,
+                        "sealed only: uniform commitment collateral M")
+          .at_least(0),
+  });
+}
+
+ParamSet broker_schema() {
+  return ParamSet({
+      ParamSpec::amount("ticket_count", 10, "tickets Bob sells").at_least(1),
+      ParamSpec::amount("sale_price", 101, "Carol's coin escrow").at_least(1),
+      ParamSpec::amount("purchase_price", 100, "what Bob receives")
+          .at_least(1),
+      ParamSpec::amount("premium_unit", 1, "p: base premium").at_least(0),
+      ParamSpec::integer("delta", 1, "synchrony bound in ticks").at_least(1),
+  });
+}
+
+ParamSet bootstrap_schema() {
+  return ParamSet({
+      ParamSpec::amount("alice_tokens", 1'000'000, "A: apricot principal")
+          .at_least(1),
+      ParamSpec::amount("bob_tokens", 1'000'000, "B: banana principal")
+          .at_least(1),
+      ParamSpec::real("factor", 100.0, "P: premium = value / P").at_least(1),
+      ParamSpec::integer("rounds", 2, "r: bootstrap rounds").between(1, 16),
+      ParamSpec::integer("delta", 2, "synchrony bound in ticks").at_least(1),
+  });
+}
+
+ParamSet crr_ladder_schema() {
+  return ParamSet({
+      ParamSpec::amount("alice_tokens", 100'000, "A: apricot principal")
+          .at_least(1),
+      ParamSpec::amount("bob_tokens", 100'000, "B: banana principal")
+          .at_least(1),
+      ParamSpec::integer("delta", 2, "synchrony bound in ticks").at_least(1),
+      ParamSpec::real("volatility", 0.8, "annualized sigma").at_least(0),
+      ParamSpec::real("rate", 0.0, "risk-free rate").at_least(0),
+      ParamSpec::real("ticks_per_year", 1460, "tick granularity (6h default)")
+          .at_least(1),
+  });
+}
+
+ProtocolRegistry build_global() {
+  ProtocolRegistry r;
+  r.add({"two-party", "hedged two-party swap (§5.2, Figure 1)",
+         two_party_schema(), [](const ParamSet& p) {
+           return std::make_unique<TwoPartySwapAdapter>(
+               two_party_config_from(p));
+         }});
+  {
+    std::vector<ParamSpec> specs = {
+        ParamSpec::integer("n", 3, "ring size (parties on the cycle)")
+            .between(2, 10)};
+    for (ParamSpec& s : multi_party_scalars()) specs.push_back(std::move(s));
+    r.add({"multi-party-ring", "ARC multi-party swap on a directed n-cycle (§7)",
+           ParamSet(std::move(specs)), [](const ParamSet& p) {
+             return std::make_unique<MultiPartySwapAdapter>(
+                 multi_party_config_from(
+                     p, graph::Digraph::cycle(
+                            static_cast<std::size_t>(p.get_int("n")))));
+           }});
+  }
+  r.add({"multi-party-fig3a", "ARC multi-party swap on the Figure 3a digraph",
+         ParamSet(multi_party_scalars()), [](const ParamSet& p) {
+           return std::make_unique<MultiPartySwapAdapter>(
+               multi_party_config_from(p, graph::Digraph::figure3a()));
+         }});
+  r.add({"auction-open", "open-bid ticket auction (§9)", auction_schema(),
+         [](const ParamSet& p) {
+           return std::make_unique<TicketAuctionAdapter>(
+               auction_config_from(p), /*sealed=*/false);
+         }});
+  r.add({"auction-sealed", "sealed-bid ticket auction (§9, footnote 8)",
+         auction_schema(), [](const ParamSet& p) {
+           return std::make_unique<TicketAuctionAdapter>(
+               auction_config_from(p), /*sealed=*/true);
+         }});
+  r.add({"broker", "three-party brokered sale (§8)", broker_schema(),
+         [](const ParamSet& p) {
+           return std::make_unique<BrokerDealAdapter>(broker_config_from(p));
+         }});
+  r.add({"bootstrap", "bootstrapped premium-ladder swap (§6, Figure 2)",
+         bootstrap_schema(), [](const ParamSet& p) {
+           return std::make_unique<BootstrapSwapAdapter>(
+               bootstrap_config_from(p));
+         }});
+  r.add({"crr-ladder", "single-rung ladder with CRR-priced premiums (§4+§6)",
+         crr_ladder_schema(), [](const ParamSet& p) {
+           return std::make_unique<BootstrapSwapAdapter>(
+               make_crr_ladder_adapter(crr_principals_from(p),
+                                       crr_market_from(p)));
+         }});
+  return r;
+}
+
+}  // namespace
+
+const ProtocolRegistry& ProtocolRegistry::global() {
+  static const ProtocolRegistry registry = build_global();
+  return registry;
+}
+
+void ProtocolRegistry::add(ProtocolInfo info) {
+  if (contains(info.name)) {
+    throw RegistryError("protocol '" + info.name + "' already registered");
+  }
+  if (!info.factory) {
+    throw RegistryError("protocol '" + info.name + "' has no factory");
+  }
+  protocols_.push_back(std::move(info));
+}
+
+bool ProtocolRegistry::contains(const std::string& name) const {
+  for (const ProtocolInfo& p : protocols_) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+const ProtocolInfo& ProtocolRegistry::info(const std::string& name) const {
+  for (const ProtocolInfo& p : protocols_) {
+    if (p.name == name) return p;
+  }
+  throw RegistryError("unknown protocol '" + name + "' (registered: " +
+                      join(names()) + ")");
+}
+
+ParamSet ProtocolRegistry::defaults(const std::string& name) const {
+  return info(name).defaults;
+}
+
+std::unique_ptr<ProtocolAdapter> ProtocolRegistry::make(
+    const std::string& name, const ParamSet& params) const {
+  return info(name).factory(params);
+}
+
+std::unique_ptr<ProtocolAdapter> ProtocolRegistry::make(
+    const std::string& name) const {
+  const ProtocolInfo& p = info(name);
+  return p.factory(p.defaults);
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(protocols_.size());
+  for (const ProtocolInfo& p : protocols_) out.push_back(p.name);
+  return out;
+}
+
+core::TwoPartyConfig two_party_config_from(const ParamSet& p) {
+  core::TwoPartyConfig cfg;
+  cfg.alice_tokens = p.get_amount("alice_tokens");
+  cfg.bob_tokens = p.get_amount("bob_tokens");
+  cfg.premium_a = p.get_amount("premium_a");
+  cfg.premium_b = p.get_amount("premium_b");
+  cfg.delta = p.get_int("delta");
+  return cfg;
+}
+
+core::MultiPartyConfig multi_party_config_from(const ParamSet& p,
+                                               graph::Digraph g) {
+  core::MultiPartyConfig cfg;
+  cfg.g = std::move(g);
+  cfg.asset_amount = p.get_amount("asset_amount");
+  cfg.premium_unit = p.get_amount("premium_unit");
+  cfg.delta = p.get_int("delta");
+  cfg.hedged = p.get_int("hedged") != 0;
+  return cfg;
+}
+
+core::AuctionConfig auction_config_from(const ParamSet& p) {
+  core::AuctionConfig cfg;
+  cfg.ticket_count = p.get_amount("ticket_count");
+  cfg.bids = parse_bids(p.get_string("bids"));
+  cfg.premium_unit = p.get_amount("premium_unit");
+  cfg.delta = p.get_int("delta");
+  cfg.collateral = p.get_amount("collateral");
+  return cfg;
+}
+
+core::BrokerConfig broker_config_from(const ParamSet& p) {
+  core::BrokerConfig cfg;
+  cfg.ticket_count = p.get_amount("ticket_count");
+  cfg.sale_price = p.get_amount("sale_price");
+  cfg.purchase_price = p.get_amount("purchase_price");
+  cfg.premium_unit = p.get_amount("premium_unit");
+  cfg.delta = p.get_int("delta");
+  return cfg;
+}
+
+core::BootstrapConfig bootstrap_config_from(const ParamSet& p) {
+  core::BootstrapConfig cfg;
+  cfg.alice_tokens = p.get_amount("alice_tokens");
+  cfg.bob_tokens = p.get_amount("bob_tokens");
+  cfg.factor = p.get_double("factor");
+  cfg.rounds = static_cast<int>(p.get_int("rounds"));
+  cfg.delta = p.get_int("delta");
+  return cfg;
+}
+
+core::BootstrapConfig crr_principals_from(const ParamSet& p) {
+  core::BootstrapConfig cfg;
+  cfg.alice_tokens = p.get_amount("alice_tokens");
+  cfg.bob_tokens = p.get_amount("bob_tokens");
+  cfg.rounds = 1;
+  cfg.delta = p.get_int("delta");
+  return cfg;
+}
+
+CrrMarket crr_market_from(const ParamSet& p) {
+  CrrMarket m;
+  m.volatility = p.get_double("volatility");
+  m.rate = p.get_double("rate");
+  m.ticks_per_year = p.get_double("ticks_per_year");
+  return m;
+}
+
+}  // namespace xchain::sim

@@ -116,15 +116,26 @@ void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
 
 }  // namespace
 
+std::string SweepReport::line() const {
+  return protocol + ": " + std::to_string(schedules_run) + " schedules, " +
+         std::to_string(conforming_audited) + " conforming-party audits, " +
+         std::to_string(violations.size()) + " violations";
+}
+
 std::string SweepReport::str() const {
-  std::string s = protocol + ": " + std::to_string(schedules_run) +
-                  " schedules, " + std::to_string(conforming_audited) +
-                  " conforming-party audits, " +
-                  std::to_string(violations.size()) + " violations";
+  std::string s = line();
   for (const Violation& v : violations) {
     s += "\n  " + v.str();
   }
   return s;
+}
+
+void validate_sweep_options(const SweepOptions& opts) {
+  if (opts.max_deviators < -1) {
+    throw std::invalid_argument(
+        "SweepOptions.max_deviators must be >= -1 (-1 = unbounded), got " +
+        std::to_string(opts.max_deviators));
+  }
 }
 
 std::vector<Schedule> ScenarioRunner::enumerate(int max_deviators) const {
@@ -144,6 +155,7 @@ SweepReport ScenarioRunner::sweep(int max_deviators) const {
 }
 
 SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
+  validate_sweep_options(opts);
   SweepReport report;
   report.protocol = adapter_.name();
 

@@ -31,8 +31,12 @@
 // multi-party ARC swap (§7), ticket auction open + sealed (§9), the
 // three-party brokered sale (§8), the bootstrapped premium-ladder swap
 // (§6), and the CRR-priced ladder (§4 + §6) — live at the bottom of this
-// header. Future fuzzing / scaling PRs should drive new engines through
-// the same interface.
+// header, but new engines should NOT be hand-wired to these classes:
+// register a named factory in sim/registry.hpp instead. The registry maps
+// stable protocol names to ParamSet-driven adapter factories, and the
+// campaign layer (sim/campaign.hpp, the `xchain-sweep` CLI, CI) sweeps
+// whole configuration grids through it with zero recompilation — that is
+// the entry point future fuzzing / scaling PRs should drive.
 
 #include <cstddef>
 #include <memory>
@@ -145,6 +149,11 @@ struct SweepReport {
   unsigned workers = 1;
 
   bool ok() const { return violations.empty(); }
+
+  /// One-line summary ("<protocol>: N schedules, ... V violations") — the
+  /// per-protocol form campaign reports aggregate.
+  std::string line() const;
+  /// line() plus one indented line per violation.
   std::string str() const;
 };
 
@@ -158,6 +167,11 @@ struct SweepOptions {
   /// is bit-identical whatever the count.
   unsigned threads = 1;
 };
+
+/// Rejects malformed options (max_deviators below -1) with
+/// std::invalid_argument instead of letting them skip every schedule
+/// silently. Called by ScenarioRunner::sweep and Campaign::run.
+void validate_sweep_options(const SweepOptions& opts);
 
 /// Enumerates and audits deviation schedules for one protocol.
 class ScenarioRunner {

@@ -10,30 +10,28 @@
 #include <memory>
 #include <vector>
 
-#include "graph/digraph.hpp"
-#include "sim/reference_configs.hpp"
+#include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 
 namespace xchain::sim {
 namespace {
 
+// The reference configurations, fetched through the protocol registry (the
+// defaults are pinned byte-identical to the historical structs in
+// tests/registry_campaign_test.cpp).
 std::vector<std::unique_ptr<ProtocolAdapter>> reference_adapters() {
+  const ProtocolRegistry& reg = ProtocolRegistry::global();
   std::vector<std::unique_ptr<ProtocolAdapter>> out;
-  out.push_back(
-      std::make_unique<TwoPartySwapAdapter>(reference_two_party_config()));
-  out.push_back(
-      std::make_unique<MultiPartySwapAdapter>(reference_multi_party_config()));
-  out.push_back(std::make_unique<MultiPartySwapAdapter>(
-      reference_multi_party_config(graph::Digraph::cycle(4))));
-  out.push_back(std::make_unique<TicketAuctionAdapter>(
-      reference_auction_config(), /*sealed=*/false));
-  out.push_back(std::make_unique<TicketAuctionAdapter>(
-      reference_auction_config(), /*sealed=*/true));
-  out.push_back(std::make_unique<BrokerDealAdapter>(reference_broker_config()));
-  out.push_back(
-      std::make_unique<BootstrapSwapAdapter>(reference_bootstrap_config()));
-  out.push_back(std::make_unique<BootstrapSwapAdapter>(
-      make_crr_ladder_adapter(reference_crr_ladder_config())));
+  out.push_back(reg.make("two-party"));
+  out.push_back(reg.make("multi-party-fig3a"));
+  ParamSet ring = reg.defaults("multi-party-ring");
+  ring.set("n", "4");
+  out.push_back(reg.make("multi-party-ring", ring));
+  out.push_back(reg.make("auction-open"));
+  out.push_back(reg.make("auction-sealed"));
+  out.push_back(reg.make("broker"));
+  out.push_back(reg.make("bootstrap"));
+  out.push_back(reg.make("crr-ladder"));
   return out;
 }
 
@@ -67,8 +65,8 @@ TEST(ParallelSweep, MatchesSerialOnEveryReferenceAdapter) {
 }
 
 TEST(ParallelSweep, MaxDeviatorsRespected) {
-  MultiPartySwapAdapter adapter(reference_multi_party_config());
-  ScenarioRunner runner(adapter);
+  const auto adapter = ProtocolRegistry::global().make("multi-party-fig3a");
+  ScenarioRunner runner(*adapter);
   const SweepReport serial = runner.sweep(1);
   const SweepReport parallel = runner.sweep({1, 4});
   expect_identical(serial, parallel);
@@ -76,14 +74,15 @@ TEST(ParallelSweep, MaxDeviatorsRespected) {
 }
 
 TEST(ParallelSweep, ZeroMeansHardwareConcurrency) {
-  TwoPartySwapAdapter adapter(reference_two_party_config());
-  ScenarioRunner runner(adapter);
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
   expect_identical(runner.sweep(), runner.sweep({-1, 0}));
 }
 
 TEST(ParallelSweep, MoreThreadsThanSchedules) {
-  TwoPartySwapAdapter adapter(reference_two_party_config());  // 16 schedules
-  ScenarioRunner runner(adapter);
+  // two-party: 16 schedules.
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
   expect_identical(runner.sweep(), runner.sweep({-1, 64}));
 }
 

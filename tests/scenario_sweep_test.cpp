@@ -1,31 +1,34 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <string>
 
 #include "core/two_party.hpp"
 #include "graph/digraph.hpp"
 #include "sim/plan_space.hpp"
 #include "sim/reference_configs.hpp"
+#include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 
 namespace xchain::sim {
 namespace {
 
-core::TwoPartyConfig two_party_config() { return reference_two_party_config(); }
-
-core::MultiPartyConfig figure3a_config() {
-  return reference_multi_party_config();
+// Adapters come from the protocol registry; the few tests that drive the
+// run_* free functions directly still fetch the matching config structs
+// through reference_configs.hpp (itself a shim over the same registry
+// defaults), so both paths always agree on the numbers.
+std::unique_ptr<ProtocolAdapter> make_ref(const std::string& name) {
+  return ProtocolRegistry::global().make(name);
 }
-
-core::AuctionConfig auction_config() { return reference_auction_config(); }
 
 // ---------------------------------------------------------------------------
 // Enumeration shape
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioEnumeration, TwoPartyCrossProduct) {
-  TwoPartySwapAdapter adapter(two_party_config());
-  ScenarioRunner runner(adapter);
+  const auto adapter = make_ref("two-party");
+  ScenarioRunner runner(*adapter);
   // {conform, halt@0..2} per party: 4^2 distinct schedules.
   const auto schedules = runner.enumerate();
   EXPECT_EQ(schedules.size(), 16u);
@@ -36,8 +39,8 @@ TEST(ScenarioEnumeration, TwoPartyCrossProduct) {
 }
 
 TEST(ScenarioEnumeration, MaxDeviatorsBoundsTheSweep) {
-  MultiPartySwapAdapter adapter(figure3a_config());
-  ScenarioRunner runner(adapter);
+  const auto adapter = make_ref("multi-party-fig3a");
+  ScenarioRunner runner(*adapter);
   // Full cross product: (4 halt points + conform)^3.
   EXPECT_EQ(runner.enumerate().size(), 125u);
   // Single deviator: 1 all-conform + 3 parties * 4 halt points.
@@ -46,8 +49,8 @@ TEST(ScenarioEnumeration, MaxDeviatorsBoundsTheSweep) {
 }
 
 TEST(ScenarioEnumeration, AuctionVariantsMultiply) {
-  TicketAuctionAdapter adapter(auction_config(), /*sealed=*/false);
-  ScenarioRunner runner(adapter);
+  const auto adapter = make_ref("auction-open");
+  ScenarioRunner runner(*adapter);
   // 7 auctioneer strategies x {conform, halt@0, halt@1}^2 bidders.
   EXPECT_EQ(runner.enumerate().size(), 63u);
   // A dishonest variant counts as the deviator: with max_deviators=1 only
@@ -61,8 +64,8 @@ TEST(ScenarioEnumeration, AuctionVariantsMultiply) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioSweep, TwoPartyHedgedBoundHoldsOnAllSchedules) {
-  TwoPartySwapAdapter adapter(two_party_config());
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("two-party");
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 16u);
   EXPECT_GT(report.conforming_audited, 0u);
   EXPECT_TRUE(report.ok()) << report.str();
@@ -71,32 +74,33 @@ TEST(ScenarioSweep, TwoPartyHedgedBoundHoldsOnAllSchedules) {
 TEST(ScenarioSweep, Figure3aHedgedBoundHoldsOnAllSchedules) {
   // Exhaustive: every party may halt at every phase simultaneously —
   // 125 schedules, far beyond the single/paired-deviator lemma sweeps.
-  MultiPartySwapAdapter adapter(figure3a_config());
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("multi-party-fig3a");
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 125u);
   EXPECT_TRUE(report.ok()) << report.str();
 }
 
 TEST(ScenarioSweep, CycleFourHedgedBoundHolds) {
-  core::MultiPartyConfig cfg = figure3a_config();
-  cfg.g = graph::Digraph::cycle(4);
-  MultiPartySwapAdapter adapter(cfg);
+  ParamSet ring = ProtocolRegistry::global().defaults("multi-party-ring");
+  ring.set("n", "4");
+  const auto adapter = ProtocolRegistry::global().make("multi-party-ring",
+                                                       ring);
   // 5^4 = 625 schedules; keep runtime sane with the full product anyway.
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 625u);
   EXPECT_TRUE(report.ok()) << report.str();
 }
 
 TEST(ScenarioSweep, OpenAuctionBoundHoldsOnAllSchedules) {
-  TicketAuctionAdapter adapter(auction_config(), /*sealed=*/false);
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("auction-open");
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 63u);
   EXPECT_TRUE(report.ok()) << report.str();
 }
 
 TEST(ScenarioSweep, SealedAuctionBoundHoldsOnAllSchedules) {
-  TicketAuctionAdapter adapter(auction_config(), /*sealed=*/true);
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("auction-sealed");
+  const auto report = ScenarioRunner(*adapter).sweep();
   // 7 strategies x {conform, halt@0..2}^2 bidders.
   EXPECT_EQ(report.schedules_run, 112u);
   EXPECT_TRUE(report.ok()) << report.str();
@@ -105,8 +109,8 @@ TEST(ScenarioSweep, SealedAuctionBoundHoldsOnAllSchedules) {
 TEST(ScenarioSweep, BrokerHedgedBoundHoldsOnAllSchedules) {
   // Exhaustive over all three parties' halt points — 5^3 schedules, far
   // beyond the single-deviator §8.2 walkthroughs in broker_test.cpp.
-  BrokerDealAdapter adapter(reference_broker_config());
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("broker");
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 125u);
   EXPECT_EQ(report.conforming_audited, 75u);
   EXPECT_TRUE(report.ok()) << report.str();
@@ -115,8 +119,8 @@ TEST(ScenarioSweep, BrokerHedgedBoundHoldsOnAllSchedules) {
 TEST(ScenarioSweep, BootstrapLadderBoundHoldsOnAllSchedules) {
   // r = 2 rounds: {conform, halt@0..3}^2 = 25 schedules through the
   // LadderContract pair.
-  BootstrapSwapAdapter adapter(reference_bootstrap_config());
-  const auto report = ScenarioRunner(adapter).sweep();
+  const auto adapter = make_ref("bootstrap");
+  const auto report = ScenarioRunner(*adapter).sweep();
   EXPECT_EQ(report.schedules_run, 25u);
   EXPECT_TRUE(report.ok()) << report.str();
 }
@@ -139,10 +143,13 @@ TEST(ScenarioSweep, CrrLadderBoundHoldsOnAllSchedules) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioSweep, UnhedgedBrokerViolatesTheHedgedFloor) {
-  core::BrokerConfig cfg = reference_broker_config();
-  cfg.premium_unit = 0;  // §8.2 machinery present, but premiums are zero
-  BrokerDealAdapter adapter(cfg);
-  ScenarioRunner runner(adapter);
+  // §8.2 machinery present, but premiums are zero — expressed as a registry
+  // parameter override, the same way a campaign would sweep it.
+  ParamSet params = ProtocolRegistry::global().defaults("broker");
+  params.set("premium_unit", "0");
+  const core::BrokerConfig cfg = broker_config_from(params);
+  const auto adapter = ProtocolRegistry::global().make("broker", params);
+  ScenarioRunner runner(*adapter);
 
   // With p = 0 the adapter's own floor degrades to break-even, so its
   // sweep stays clean...
@@ -196,27 +203,15 @@ TEST(ScenarioSweep, UnhedgedBaseSwapViolatesTheLadderFloor) {
 // schedule space has real breadth.
 // ---------------------------------------------------------------------------
 
-TEST(ScenarioSweep, AllSevenProtocolEnginesSweptCleanly) {
-  TwoPartySwapAdapter two_party(reference_two_party_config());
-  MultiPartySwapAdapter arc(reference_multi_party_config());
-  TicketAuctionAdapter open_auction(reference_auction_config(),
-                                    /*sealed=*/false);
-  TicketAuctionAdapter sealed_auction(reference_auction_config(),
-                                      /*sealed=*/true);
-  BrokerDealAdapter broker(reference_broker_config());
-  const BootstrapSwapAdapter crr_ladder =
-      make_crr_ladder_adapter(reference_crr_ladder_config());
-  BootstrapSwapAdapter bootstrap(reference_bootstrap_config());
-
-  const ProtocolAdapter* engines[] = {
-      &two_party, &arc,        &open_auction, &sealed_auction,
-      &broker,    &crr_ladder, &bootstrap,
-  };
+TEST(ScenarioSweep, AllRegisteredProtocolEnginesSweptCleanly) {
+  // Every protocol the registry knows — the seven reference families plus
+  // any future registration — sweeps its default configuration clean.
   std::size_t total = 0;
-  for (const ProtocolAdapter* engine : engines) {
+  for (const std::string& name : ProtocolRegistry::global().names()) {
+    const auto engine = ProtocolRegistry::global().make(name);
     const auto report = ScenarioRunner(*engine).sweep();
     EXPECT_TRUE(report.ok()) << report.str();
-    EXPECT_GT(report.conforming_audited, 0u) << engine->name();
+    EXPECT_GT(report.conforming_audited, 0u) << name;
     total += report.schedules_run;
   }
   EXPECT_GE(total, 350u);
@@ -224,16 +219,10 @@ TEST(ScenarioSweep, AllSevenProtocolEnginesSweptCleanly) {
 
 TEST(ScenarioSweep, AtLeastAHundredSchedulesAcrossThreeProtocols) {
   // The acceptance criterion of the sweep engine, asserted end-to-end.
-  TwoPartySwapAdapter two_party(two_party_config());
-  MultiPartySwapAdapter multi_party(figure3a_config());
-  TicketAuctionAdapter auction(auction_config(), /*sealed=*/false);
-
   std::size_t total = 0;
-  for (const ProtocolAdapter* a :
-       {static_cast<const ProtocolAdapter*>(&two_party),
-        static_cast<const ProtocolAdapter*>(&multi_party),
-        static_cast<const ProtocolAdapter*>(&auction)}) {
-    const auto report = ScenarioRunner(*a).sweep();
+  for (const char* name : {"two-party", "multi-party-fig3a", "auction-open"}) {
+    const auto adapter = make_ref(name);
+    const auto report = ScenarioRunner(*adapter).sweep();
     EXPECT_TRUE(report.ok()) << report.str();
     total += report.schedules_run;
   }
@@ -316,10 +305,15 @@ TEST(PayoffAudit, ConservationCheckCatchesStrandedCoins) {
 // with zero compensation. The sweep proves the audit has teeth on a real
 // protocol, not just on synthetic outcomes.
 TEST(ScenarioSweep, BaseProtocolLockupIsVisibleInSweep) {
-  core::MultiPartyConfig cfg = figure3a_config();
-  cfg.hedged = false;
-  MultiPartySwapAdapter adapter(cfg);
-  ScenarioRunner runner(adapter);
+  // The unhedged baseline as a registry override (`hedged=0`), the same
+  // assignment a campaign grid would use.
+  ParamSet params = ProtocolRegistry::global().defaults("multi-party-fig3a");
+  params.set("hedged", "0");
+  const core::MultiPartyConfig cfg =
+      multi_party_config_from(params, graph::Digraph::figure3a());
+  const auto adapter =
+      ProtocolRegistry::global().make("multi-party-fig3a", params);
+  ScenarioRunner runner(*adapter);
 
   // The base adapter's floor is 0 (no premiums exist to earn), so the
   // audit passes vacuously...

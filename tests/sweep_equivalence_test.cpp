@@ -10,30 +10,29 @@
 #include <memory>
 #include <vector>
 
-#include "graph/digraph.hpp"
-#include "sim/reference_configs.hpp"
+#include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 
 namespace xchain::sim {
 namespace {
 
+// The reference configurations, fetched through the protocol registry —
+// the same defaults the campaign layer and the CLI sweep (and that
+// tests/registry_campaign_test.cpp pins byte-identical to the historical
+// hard-coded structs).
 std::vector<std::unique_ptr<ProtocolAdapter>> reference_adapters() {
+  const ProtocolRegistry& reg = ProtocolRegistry::global();
   std::vector<std::unique_ptr<ProtocolAdapter>> out;
-  out.push_back(
-      std::make_unique<TwoPartySwapAdapter>(reference_two_party_config()));
-  out.push_back(
-      std::make_unique<MultiPartySwapAdapter>(reference_multi_party_config()));
-  out.push_back(std::make_unique<MultiPartySwapAdapter>(
-      reference_multi_party_config(graph::Digraph::cycle(4))));
-  out.push_back(std::make_unique<TicketAuctionAdapter>(
-      reference_auction_config(), /*sealed=*/false));
-  out.push_back(std::make_unique<TicketAuctionAdapter>(
-      reference_auction_config(), /*sealed=*/true));
-  out.push_back(std::make_unique<BrokerDealAdapter>(reference_broker_config()));
-  out.push_back(
-      std::make_unique<BootstrapSwapAdapter>(reference_bootstrap_config()));
-  out.push_back(std::make_unique<BootstrapSwapAdapter>(
-      make_crr_ladder_adapter(reference_crr_ladder_config())));
+  out.push_back(reg.make("two-party"));
+  out.push_back(reg.make("multi-party-fig3a"));
+  ParamSet ring = reg.defaults("multi-party-ring");
+  ring.set("n", "4");
+  out.push_back(reg.make("multi-party-ring", ring));
+  out.push_back(reg.make("auction-open"));
+  out.push_back(reg.make("auction-sealed"));
+  out.push_back(reg.make("broker"));
+  out.push_back(reg.make("bootstrap"));
+  out.push_back(reg.make("crr-ladder"));
   return out;
 }
 

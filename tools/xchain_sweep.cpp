@@ -1,0 +1,244 @@
+// xchain-sweep: drive deviation-schedule sweep campaigns from the command
+// line, with zero recompilation.
+//
+//   xchain-sweep --list
+//   xchain-sweep --protocol=NAME [--set k=v]... [--grid k=a,b,c]...
+//                [--protocol=NAME2 ...]
+//                [--max-deviators=K] [--threads=N] [--max-configs=N]
+//                [--json=PATH] [--quiet]
+//
+// Each --protocol starts a campaign entry; subsequent --set (fixed
+// override) and --grid (swept axis, cross product across axes) flags apply
+// to the most recent one. Every grid point runs the full adversarial
+// deviation sweep (sim/scenario.hpp) and is audited against the paper's
+// hedging bound. Exit status: 0 = all configurations clean, 1 = at least
+// one hedging-bound violation, 2 = usage / parameter error.
+//
+// Example:
+//   xchain-sweep --protocol=multi-party-ring --grid n=3,4,5
+//                --grid premium_unit=1,2 --threads=0 --json=out.json
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "sim/campaign.hpp"
+#include "sim/param.hpp"
+#include "sim/registry.hpp"
+
+// Build stamps injected by CMake (same provenance fields as the bench
+// artifacts, so campaign JSONs are attributable per commit too).
+#ifndef XCHAIN_GIT_COMMIT
+#define XCHAIN_GIT_COMMIT "unknown"
+#endif
+#ifndef XCHAIN_BUILD_TYPE
+#define XCHAIN_BUILD_TYPE "unknown"
+#endif
+#ifndef XCHAIN_COMPILER
+#define XCHAIN_COMPILER "unknown"
+#endif
+
+namespace {
+
+using namespace xchain;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: xchain-sweep --list\n"
+      "       xchain-sweep --protocol=NAME [--set k=v]... [--grid "
+      "k=a,b,c]...\n"
+      "                    [--protocol=NAME2 ...] [--max-deviators=K]\n"
+      "                    [--threads=N] [--max-configs=N] [--json=PATH] "
+      "[--quiet]\n"
+      "\n"
+      "Runs the exhaustive deviation-schedule sweep (hedging-bound audit)\n"
+      "over every configuration in the cross product of each protocol's\n"
+      "--grid axes. --set fixes a parameter for all of an entry's points;\n"
+      "--grid k=a,b,c sweeps one axis. --threads=N shards the work over N\n"
+      "workers (0 = one per hardware thread; the report is identical\n"
+      "whatever the count). --max-deviators=K skips schedules with more\n"
+      "than K deviating parties (-1 = unbounded). --json=PATH writes the\n"
+      "campaign report as JSON. Exit: 0 clean, 1 violations, 2 bad usage.\n");
+}
+
+void print_list() {
+  const sim::ProtocolRegistry& reg = sim::ProtocolRegistry::global();
+  std::printf("registered protocols:\n");
+  for (const sim::ProtocolInfo& p : reg.protocols()) {
+    std::printf("  %-18s %s\n", p.name.c_str(), p.description.c_str());
+    for (const sim::ParamSpec& spec : p.defaults.specs()) {
+      const std::string bounds = spec.bounds_str();
+      std::printf("      %-16s %-7s default=%-10s %s%s%s\n", spec.key.c_str(),
+                  param_type_name(spec.type).c_str(),
+                  spec.default_str().c_str(), spec.description.c_str(),
+                  bounds.empty() ? "" : "  ", bounds.c_str());
+    }
+  }
+}
+
+/// Splits --set/--grid payload "k=v" at the first '='.
+bool split_kv(const std::string& arg, std::string& key, std::string& value) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  key = arg.substr(0, eq);
+  value = arg.substr(eq + 1);
+  return true;
+}
+
+/// Parses a flag integer into [lo, hi]; overflow and trailing junk fail
+/// like any other bad value (no silent truncation to a different meaning).
+bool parse_long(const std::string& s, long long lo, long long hi,
+                long long& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0' && errno != ERANGE && out >= lo &&
+         out <= hi;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::CampaignSpec spec;
+  std::string json_path;
+  bool quiet = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) {
+      return arg.substr(std::strlen(flag));
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--protocol=", 0) == 0) {
+      spec.entries.push_back({value_of("--protocol="), {}, {}});
+    } else if (arg == "--set" || arg.rfind("--set=", 0) == 0 ||
+               arg == "--grid" || arg.rfind("--grid=", 0) == 0) {
+      // --set k=v / --set=k=v / --grid k=a,b,c / --grid=k=a,b,c
+      const bool is_grid = arg.rfind("--grid", 0) == 0;
+      const char* flag = is_grid ? "--grid" : "--set";
+      std::string payload = value_of(flag);
+      if (!payload.empty() && payload[0] == '=') payload.erase(0, 1);
+      if (payload.empty()) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "xchain-sweep: %s needs k=v\n", flag);
+          return 2;
+        }
+        payload = argv[++i];
+      }
+      std::string key, value;
+      if (!split_kv(payload, key, value)) {
+        std::fprintf(stderr, "xchain-sweep: malformed %s '%s' (want k=v)\n",
+                     flag, payload.c_str());
+        return 2;
+      }
+      if (spec.entries.empty()) {
+        std::fprintf(stderr,
+                     "xchain-sweep: %s before any --protocol=NAME\n", flag);
+        return 2;
+      }
+      try {
+        if (is_grid) {
+          spec.entries.back().grid.add_axis_csv(key, value);
+        } else {
+          spec.entries.back().overrides.emplace_back(key, value);
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "xchain-sweep: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg.rfind("--max-deviators=", 0) == 0) {
+      long long v = 0;
+      if (!parse_long(value_of("--max-deviators="), -1, INT_MAX, v)) {
+        std::fprintf(stderr,
+                     "xchain-sweep: invalid %s (want --max-deviators=K, "
+                     "K >= -1)\n",
+                     arg.c_str());
+        return 2;
+      }
+      spec.sweep.max_deviators = static_cast<int>(v);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      long long v = 0;
+      if (!parse_long(value_of("--threads="), 0, UINT_MAX, v)) {
+        std::fprintf(stderr,
+                     "xchain-sweep: invalid %s (want --threads=N, N >= 0)\n",
+                     arg.c_str());
+        return 2;
+      }
+      spec.sweep.threads = static_cast<unsigned>(v);
+    } else if (arg.rfind("--max-configs=", 0) == 0) {
+      long long v = 0;
+      if (!parse_long(value_of("--max-configs="), 1, INT_MAX, v)) {
+        std::fprintf(stderr,
+                     "xchain-sweep: invalid %s (want --max-configs=N, "
+                     "N >= 1)\n",
+                     arg.c_str());
+        return 2;
+      }
+      spec.max_configs_per_entry = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = value_of("--json=");
+      if (json_path.empty()) {
+        std::fprintf(stderr, "xchain-sweep: invalid --json= (want PATH)\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "xchain-sweep: unknown flag '%s'\n", arg.c_str());
+      print_usage(stderr);
+      return 2;
+    }
+  }
+
+  if (list) {
+    print_list();
+    if (spec.entries.empty()) return 0;
+  }
+  if (spec.entries.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+
+  sim::CampaignReport report;
+  try {
+    report = sim::Campaign(std::move(spec)).run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xchain-sweep: %s\n", e.what());
+    return 2;
+  }
+
+  if (!quiet) {
+    std::printf("%s\n", report.str().c_str());
+  }
+
+  if (!json_path.empty()) {
+    const sim::CampaignStamp stamp{XCHAIN_GIT_COMMIT, XCHAIN_BUILD_TYPE,
+                                   XCHAIN_COMPILER};
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "xchain-sweep: cannot open %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    const std::string json = sim::campaign_json(report, stamp);
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    if (std::fclose(f) != 0 || written != json.size()) {
+      std::fprintf(stderr, "xchain-sweep: short write to %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    if (!quiet) std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return report.ok() ? 0 : 1;
+}

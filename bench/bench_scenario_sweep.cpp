@@ -79,7 +79,7 @@ void BM_Sweep(benchmark::State& state, const sim::ProtocolAdapter& adapter) {
   std::size_t schedules = 0;
   unsigned workers = 1;
   for (auto _ : state) {
-    auto report = runner.sweep({/*max_deviators=*/-1, threads});
+    auto report = runner.sweep({/*max_deviators=*/-1, threads, {}});
     benchmark::DoNotOptimize(report);
     schedules += report.schedules_run;
     workers = report.workers;
@@ -106,7 +106,7 @@ double measure_total_rate(const std::vector<NamedAdapter>& adapters,
   for (int r = 0; r < reps; ++r) {
     for (const auto& [name, adapter] : adapters) {
       const auto report =
-          sim::ScenarioRunner(*adapter).sweep({/*max_deviators=*/-1, threads});
+          sim::ScenarioRunner(*adapter).sweep({/*max_deviators=*/-1, threads, {}});
       schedules += report.schedules_run;
     }
   }
@@ -190,6 +190,31 @@ void write_json(const std::vector<NamedAdapter>& adapters,
   }
   std::fprintf(f, "  ],\n  \"speedup_at_max_threads\": %.2f,\n",
                top_rate / base_rate);
+
+  // The enlarged timing-griefing space (--strategies=late-delays in the
+  // CLI): serial schedules/s over every adapter's capped late-delay space.
+  // A separate key — the regression gate reads total_schedules_per_second
+  // (halt-only) and must stay comparable against older baselines.
+  {
+    sim::SweepOptions opts;
+    opts.strategies.kind = sim::StrategySpace::Kind::kLateDelays;
+    std::size_t schedules = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& [name, adapter] : adapters) {
+      schedules += sim::ScenarioRunner(*adapter).sweep(opts).schedules_run;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(f,
+                 "  \"late_delays\": {\"schedules\": %zu, "
+                 "\"schedules_per_second\": %.1f},\n",
+                 schedules, static_cast<double>(schedules) / secs);
+    std::printf("late-delay strategy space: %zu schedules at %.1f/s serial\n",
+                schedules, static_cast<double>(schedules) / secs);
+  }
+
   std::fprintf(f, "  \"total_schedules_per_second\": %.1f\n}\n", serial_rate);
   std::fclose(f);
   std::printf("wrote %s (%.1f schedules/s serial, %.2fx at %u threads)\n",
@@ -239,7 +264,7 @@ int main(int argc, char** argv) {
   std::printf("=== scenario sweep: exhaustive deviation-schedule audit ===\n");
   for (const auto& [name, adapter] : adapters) {
     const auto report = sim::ScenarioRunner(*adapter)
-                            .sweep({/*max_deviators=*/-1, thread_axis.back()});
+                            .sweep({/*max_deviators=*/-1, thread_axis.back(), {}});
     std::printf("%-20s %4zu schedules, %4zu conforming audits, %zu "
                 "violations\n",
                 name.c_str(), report.schedules_run,

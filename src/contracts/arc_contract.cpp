@@ -52,7 +52,25 @@ void MultiPartyArcContract::deposit_redemption_premium(
   if (leader_index >= rp_.size()) return;
   RedemptionPremium& slot = rp_[leader_index];
   if (ctx.sender() != recipient_of_arc() || slot.deposited_at) return;
-  if (ctx.now() > p_.redemption_premium_deadline) {
+  // Per-path-length deadline (the §7.1 rule, mirroring the hashkey
+  // timeouts): a deposit whose path has |q| hops is timely until
+  // premium_base + |q| * Delta. This keeps the backward premium flow
+  // all-or-nothing per leader: a hop that arrives late is rejected HERE,
+  // before it can extend activation past the window — otherwise a deviant
+  // party delaying the flow could leave downstream arcs activated while
+  // upstream arcs are not, putting conforming parties' escrow premiums at
+  // risk for escrows they rightly never make. The flat phase deadline
+  // stays as the overall horizon (|q| <= n makes it redundant for real
+  // paths, but deposits must never outlive phase 2). premium_base == 0
+  // means "flat deadline only" — directly-constructed contracts (tests)
+  // keep the documented redemption_premium_deadline, exactly like the
+  // asset_escrow_deadline fallback below.
+  const Tick path_limit =
+      p_.premium_base > 0
+          ? p_.premium_base + static_cast<Tick>(q.size()) * p_.delta
+          : p_.redemption_premium_deadline;
+  if (ctx.now() > p_.redemption_premium_deadline ||
+      ctx.now() > path_limit) {
     if (ctx.tracing()) {
       ctx.emit(id(), "redemption_premium_rejected", "too late");
     }
@@ -102,7 +120,10 @@ void MultiPartyArcContract::deposit_redemption_premium(
 
 void MultiPartyArcContract::escrow_asset(chain::TxContext& ctx) {
   if (ctx.sender() != sender_of_arc() || escrowed_at_) return;
-  if (ctx.now() > p_.escrow_deadline) {
+  const Tick asset_deadline = p_.asset_escrow_deadline > 0
+                                  ? p_.asset_escrow_deadline
+                                  : p_.escrow_deadline;
+  if (ctx.now() > asset_deadline || ctx.now() > p_.escrow_deadline) {
     if (ctx.tracing()) ctx.emit(id(), "escrow_rejected", "too late");
     return;
   }

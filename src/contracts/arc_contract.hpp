@@ -56,8 +56,22 @@ class MultiPartyArcContract : public chain::Contract {
     std::vector<Hashlock> hashlocks;
     std::vector<crypto::PublicKey> party_keys;  ///< indexed by PartyId
     Tick delta = 1;
+    /// Start of premium phase 2: a redemption premium with path |q| is
+    /// timely until premium_base + |q| * delta (§7.1). 0 means "flat
+    /// redemption_premium_deadline only" (direct constructions).
+    Tick premium_base = 0;
     Tick redemption_premium_deadline = 0;  ///< end of premium phase 2
     Tick escrow_deadline = 0;              ///< end of base phase 1
+    /// Per-arc asset-escrow deadline: base-phase-one start + (depth of the
+    /// escrowing party in the leader-rooted escrow cascade + 1) * delta.
+    /// The paper's phase-one schedule has the party at cascade depth k
+    /// escrow at step k — giving every arc the SAME flat deadline would
+    /// let a party escrow so late that the parties downstream of it run
+    /// out of phase, forfeiting activated escrow premiums they could
+    /// never have kept (their own escrow enablement lands past the flat
+    /// deadline). 0 means "fall back to escrow_deadline" (tests that
+    /// construct arcs directly keep the old flat behaviour).
+    Tick asset_escrow_deadline = 0;
     Tick hashkey_base = 0;                 ///< start of base phase 2
   };
 

@@ -65,7 +65,22 @@ void BrokerChainContract::deposit_redemption_premium(
   RedemptionSlot& slot = slots_of(arc)[leader_index];
   const graph::Arc& a = arc_of(arc);
   if (ctx.sender() != a.to || slot.deposited_at) return;
-  if (ctx.now() > p_.redemption_premium_deadline) return;
+  // Per-path-length deadline (§7.1, as in the multi-party arc contract): a
+  // late hop is rejected before it can extend activation past its window,
+  // so a deviant party delaying the backward flow can never leave the
+  // premium lattice asymmetrically activated. premium_base == 0 falls
+  // back to the flat deadline (directly-constructed contracts).
+  const Tick path_limit =
+      p_.premium_base > 0
+          ? p_.premium_base + static_cast<Tick>(q.size()) * p_.delta
+          : p_.redemption_premium_deadline;
+  if (ctx.now() > p_.redemption_premium_deadline ||
+      ctx.now() > path_limit) {
+    if (ctx.tracing()) {
+      ctx.emit(id(), "redemption_premium_rejected", "too late");
+    }
+    return;
+  }
   if (!p_.g.is_path(q) || q.front() != a.to ||
       q.back() != p_.hashlocks[leader_index].leader) {
     if (ctx.tracing()) {

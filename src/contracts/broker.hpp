@@ -60,6 +60,11 @@ class BrokerChainContract : public chain::Contract {
     Tick delta = 1;
     Tick escrow_premium_deadline = 0;
     Tick trading_premium_deadline = 0;
+    /// Start of the redemption-premium relay phase: a deposit whose path
+    /// has |q| hops is timely until premium_base + |q| * delta (the §7.1
+    /// per-path rule — keeps the backward flow all-or-nothing per
+    /// leader). 0 means "flat redemption_premium_deadline only".
+    Tick premium_base = 0;
     Tick redemption_premium_deadline = 0;
     Tick escrow_deadline = 0;
     Tick trading_deadline = 0;
@@ -113,6 +118,12 @@ class BrokerChainContract : public chain::Contract {
   }
   Amount redemption_premium_amount(Which arc, std::size_t leader) const {
     return slot(arc, leader).amount;
+  }
+  /// The (public) path a deposited redemption premium carried — what a
+  /// relaying party extends during the backward flow.
+  const graph::Path& redemption_premium_path(Which arc,
+                                             std::size_t leader) const {
+    return slot(arc, leader).path;
   }
 
   bool hashlock_open(Which arc, std::size_t leader) const {

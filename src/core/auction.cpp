@@ -119,24 +119,25 @@ class Auctioneer : public sim::Party {
 
 class Bidder : public sim::Party {
  public:
-  Bidder(PartyId id, const Setup& s, BidderStrategy strategy, Amount bid)
-      : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
-        strategy_(strategy), bid_(bid), forwarded_(s.secrets.size(), 0) {}
+  Bidder(PartyId id, const Setup& s, sim::DeviationPlan plan, Amount bid)
+      : sim::Party(id, "bidder-" + std::to_string(id), plan), s_(s),
+        bid_(bid), forwarded_(s.secrets.size(), 0) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
-    if (strategy_ == BidderStrategy::kNoBid) return;
-    // Bid once the auctioneer's setup (tickets + premium) is visible.
+  void step(chain::MultiChain& chains, Tick now) override {
+    // Ordinal 0: bid once the auctioneer's setup (tickets + premium) is
+    // visible.
     if (!did_bid_ && s_.ticket->escrowed() && s_.coin->premium_endowed() &&
         bid_ > 0) {
       did_bid_ = true;
-      submit(chains, s_.coin_chain, "place bid",
-             [c = s_.coin, amount = bid_](chain::TxContext& ctx) {
-               c->place_bid(ctx, amount);
-             });
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        submit(ch, s_.coin_chain, "place bid",
+               [c = s_.coin, amount = bid_](chain::TxContext& ctx) {
+                 c->place_bid(ctx, amount);
+               });
+      });
     }
-    if (strategy_ == BidderStrategy::kNoForward) return;
-    // Challenge phase (Lemma 7): a hashkey on one contract but not the
-    // other gets extended and forwarded.
+    // Ordinal 1, challenge phase (Lemma 7): a hashkey on one contract but
+    // not the other gets extended and forwarded.
     for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
       if (forwarded_[i]) continue;
       const bool on_coin = s_.coin->hashkey_received(i);
@@ -150,25 +151,29 @@ class Bidder : public sim::Party {
         continue;
       }
       forwarded_[i] = 1;
+      // The extended key lives in the world's SigningCache, so a delayed
+      // submission captures a stable reference.
       const crypto::Hashkey& extended =
           s_.sign_cache->extended_hashkey(i, seen, id(), keys());
-      if (on_coin) {
-        submit(chains, s_.ticket_chain, "forward hashkey",
-               [c = s_.ticket, i, &extended](chain::TxContext& ctx) {
-                 c->present_hashkey(ctx, i, extended);
-               });
-      } else {
-        submit(chains, s_.coin_chain, "forward hashkey",
-               [c = s_.coin, i, &extended](chain::TxContext& ctx) {
-                 c->present_hashkey(ctx, i, extended);
-               });
-      }
+      act(chains, now, 1,
+          [this, i, on_coin, &extended](chain::MultiChain& ch) {
+            if (on_coin) {
+              submit(ch, s_.ticket_chain, "forward hashkey",
+                     [c = s_.ticket, i, &extended](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, extended);
+                     });
+            } else {
+              submit(ch, s_.coin_chain, "forward hashkey",
+                     [c = s_.coin, i, &extended](chain::TxContext& ctx) {
+                       c->present_hashkey(ctx, i, extended);
+                     });
+            }
+          });
     }
   }
 
  private:
   const Setup& s_;
-  BidderStrategy strategy_;
   Amount bid_;
   bool did_bid_ = false;
   std::vector<char> forwarded_;
@@ -256,34 +261,40 @@ class SealedAuctioneer : public sim::Party {
 
 class SealedBidder : public sim::Party {
  public:
-  SealedBidder(PartyId id, const SealedSetup& s, BidderStrategy strategy,
+  SealedBidder(PartyId id, const SealedSetup& s, sim::DeviationPlan plan,
                Amount bid)
-      : sim::Party(id, "bidder-" + std::to_string(id)), s_(s),
-        strategy_(strategy), bid_(bid),
+      : sim::Party(id, "bidder-" + std::to_string(id), plan), s_(s),
+        bid_(bid),
         nonce_(crypto::Secret::from_label("nonce-" + name()).value()),
         forwarded_(s.secrets.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
-    if (strategy_ == BidderStrategy::kNoBid || bid_ <= 0) return;
+    // A budget-less bidder has no protocol role at all (historical
+    // sealed-variant behaviour: it neither commits nor forwards).
+    if (bid_ <= 0) return;
+    // Ordinal 0: commit once the auctioneer's setup is visible.
     if (!committed_ && s_.ticket->escrowed() && s_.coin->premium_endowed()) {
       committed_ = true;
-      const auto digest =
-          contracts::SealedCoinAuctionContract::commitment_of(bid_, nonce_);
-      submit(chains, s_.coin_chain, "commit bid",
-             [c = s_.coin, digest](chain::TxContext& ctx) {
-               c->commit_bid(ctx, digest);
-             });
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        const auto digest =
+            contracts::SealedCoinAuctionContract::commitment_of(bid_, nonce_);
+        submit(ch, s_.coin_chain, "commit bid",
+               [c = s_.coin, digest](chain::TxContext& ctx) {
+                 c->commit_bid(ctx, digest);
+               });
+      });
     }
-    if (strategy_ == BidderStrategy::kCommitNoReveal) return;
-    // Reveal once the commit phase has closed.
+    // Ordinal 1: reveal once the commit phase has closed.
     if (!revealed_ && committed_ &&
         now > s_.coin->params().terms.bid_deadline) {
       revealed_ = true;
-      submit(chains, s_.coin_chain, "reveal bid",
-             [c = s_.coin, b = bid_, nn = nonce_](
-                 chain::TxContext& ctx) { c->reveal_bid(ctx, b, nn); });
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        submit(ch, s_.coin_chain, "reveal bid",
+               [c = s_.coin, b = bid_, nn = nonce_](
+                   chain::TxContext& ctx) { c->reveal_bid(ctx, b, nn); });
+      });
     }
-    if (strategy_ == BidderStrategy::kNoForward) return;
+    // Ordinal 2: challenge-phase forwarding.
     for (std::size_t i = 0; i < s_.secrets.size(); ++i) {
       if (forwarded_[i]) continue;
       const bool on_coin = s_.coin->hashkey_received(i);
@@ -299,23 +310,24 @@ class SealedBidder : public sim::Party {
       forwarded_[i] = 1;
       const crypto::Hashkey& ext =
           s_.sign_cache->extended_hashkey(i, seen, id(), keys());
-      if (on_coin) {
-        submit(chains, s_.ticket_chain, "forward",
-               [c = s_.ticket, i, &ext](chain::TxContext& ctx) {
-                 c->present_hashkey(ctx, i, ext);
-               });
-      } else {
-        submit(chains, s_.coin_chain, "forward",
-               [c = s_.coin, i, &ext](chain::TxContext& ctx) {
-                 c->present_hashkey(ctx, i, ext);
-               });
-      }
+      act(chains, now, 2, [this, i, on_coin, &ext](chain::MultiChain& ch) {
+        if (on_coin) {
+          submit(ch, s_.ticket_chain, "forward",
+                 [c = s_.ticket, i, &ext](chain::TxContext& ctx) {
+                   c->present_hashkey(ctx, i, ext);
+                 });
+        } else {
+          submit(ch, s_.coin_chain, "forward",
+                 [c = s_.coin, i, &ext](chain::TxContext& ctx) {
+                   c->present_hashkey(ctx, i, ext);
+                 });
+        }
+      });
     }
   }
 
  private:
   const SealedSetup& s_;
-  BidderStrategy strategy_;
   Amount bid_;
   crypto::Bytes nonce_;
   bool committed_ = false;
@@ -368,7 +380,16 @@ AuctionWorld::AuctionWorld(const AuctionConfig& cfg, bool sealed,
     SealedSetup& s = w.ss;
     s.ticket_chain = ticket_chain.id();
     s.coin_chain = coin_chain.id();
-    s.declaration_start = 2 * d;  // commit + reveal phases precede it
+    // Declare only once the reveals are FINAL: the reveal deadline is
+    // inclusive (a reveal submitted at 2Δ still lands in block 2Δ), so the
+    // earliest tick the declaration can be based on complete information is
+    // 2Δ + 1. Declaring at 2Δ — as the eager schedule used to — silently
+    // relied on every bidder revealing early; a timely-but-last-moment
+    // reveal would arrive after an honest declaration and settle the coin
+    // contract for a different winner, costing the HONEST auctioneer her
+    // premium endowment. The |q|·Δ hashkey timeouts (counted from the
+    // contract's declaration_start = 2Δ) still accommodate the shift.
+    s.declaration_start = 2 * d + 1;
     s.reveal_deadline = 2 * d;
     s.secrets = std::move(secrets);
     s.sign_cache = &w.sign_cache;
@@ -398,7 +419,11 @@ AuctionWorld::AuctionWorld(const AuctionConfig& cfg, bool sealed,
     Setup& s = w.s;
     s.ticket_chain = ticket_chain.id();
     s.coin_chain = coin_chain.id();
-    s.declaration_start = d;
+    // Declare only once the bids are FINAL (inclusive bid deadline Δ + one
+    // tick of visibility — see the sealed variant's comment; at Δ = 1 this
+    // matches the old effective behaviour, where the auctioneer found no
+    // visible bid at tick Δ and declared at Δ + 1 anyway).
+    s.declaration_start = d + 1;
     s.secrets = std::move(secrets);
     s.sign_cache = &w.sign_cache;
 
@@ -431,15 +456,27 @@ AuctionWorld::~AuctionWorld() = default;
 AuctionWorld::AuctionWorld(AuctionWorld&&) noexcept = default;
 AuctionWorld& AuctionWorld::operator=(AuctionWorld&&) noexcept = default;
 
-AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
-                                const std::vector<BidderStrategy>& bidders) {
+sim::DeviationPlan bidder_plan_of(BidderStrategy strategy, bool sealed) {
+  switch (strategy) {
+    case BidderStrategy::kConform: return sim::DeviationPlan::conforming();
+    case BidderStrategy::kNoBid: return sim::DeviationPlan::halt_after(0);
+    case BidderStrategy::kCommitNoReveal:
+      return sim::DeviationPlan::halt_after(1);
+    default:  // kNoForward: everything but the challenge-phase duty
+      return sim::DeviationPlan::halt_after(sealed ? 2 : 1);
+  }
+}
+
+AuctionResult AuctionWorld::run(
+    AuctioneerStrategy alice,
+    const std::vector<sim::DeviationPlan>& bidder_plans) {
   Impl& w = *impl_;
   const std::size_t n = w.cfg.bids.size();
-  if (bidders.size() != n) {
+  if (bidder_plans.size() != n) {
     throw std::invalid_argument(w.sealed
-                                    ? "run_sealed_auction: one strategy per "
+                                    ? "run_sealed_auction: one plan per "
                                       "bidder"
-                                    : "run_auction: one strategy per bidder");
+                                    : "run_auction: one plan per bidder");
   }
   const Tick d = w.cfg.delta;
   w.chains.reset();
@@ -452,7 +489,8 @@ AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
     sched.add_party(a);
     for (std::size_t i = 0; i < n; ++i) {
       bs.push_back(std::make_unique<SealedBidder>(
-          static_cast<PartyId>(i + 1), w.ss, bidders[i], w.cfg.bids[i]));
+          static_cast<PartyId>(i + 1), w.ss, bidder_plans[i],
+          w.cfg.bids[i]));
       sched.add_party(*bs.back());
     }
     sched.run_until(6 * d + 2);
@@ -464,7 +502,7 @@ AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
     sched.add_party(a);
     for (std::size_t i = 0; i < n; ++i) {
       bs.push_back(std::make_unique<Bidder>(static_cast<PartyId>(i + 1), w.s,
-                                            bidders[i], w.cfg.bids[i]));
+                                            bidder_plans[i], w.cfg.bids[i]));
       sched.add_party(*bs.back());
     }
     sched.run_until(5 * d + 2);
@@ -479,6 +517,16 @@ AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
   }
   out.events = w.chains.all_events();
   return out;
+}
+
+AuctionResult AuctionWorld::run(AuctioneerStrategy alice,
+                                const std::vector<BidderStrategy>& bidders) {
+  std::vector<sim::DeviationPlan> plans;
+  plans.reserve(bidders.size());
+  for (const BidderStrategy s : bidders) {
+    plans.push_back(bidder_plan_of(s, impl_->sealed));
+  }
+  return run(alice, plans);
 }
 
 AuctionResult run_sealed_auction(const AuctionConfig& cfg,

@@ -6,6 +6,7 @@
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
+#include "sim/deviation.hpp"
 
 namespace xchain::core {
 
@@ -22,13 +23,20 @@ enum class AuctioneerStrategy {
   kSplit,         ///< winner's key on the coin chain, loser's on tickets
 };
 
-/// A bidder's behaviour.
+/// A bidder's behaviour, as a named shorthand. Bidders execute
+/// sim::DeviationPlans over their scheduled-action ordinals (open: 0 = bid,
+/// 1 = forward; sealed: 0 = commit, 1 = reveal, 2 = forward) — these enums
+/// are the halt-style plans by legacy name, kept for tests and the model
+/// checker; bidder_plan_of() maps them onto plans.
 enum class BidderStrategy {
   kConform,         ///< bid, and forward one-sided hashkeys in the challenge
   kNoBid,           ///< sit out (arguably a favour, §9.2)
   kNoForward,       ///< bid, but shirk the challenge-phase forwarding duty
   kCommitNoReveal,  ///< sealed variant only: commit, never open the bid
 };
+
+/// The halt-style DeviationPlan a legacy BidderStrategy names.
+sim::DeviationPlan bidder_plan_of(BidderStrategy strategy, bool sealed);
 
 struct AuctionConfig {
   Amount ticket_count = 10;
@@ -80,7 +88,15 @@ class AuctionWorld {
   AuctionWorld(AuctionWorld&&) noexcept;
   AuctionWorld& operator=(AuctionWorld&&) noexcept;
 
-  /// Resets the world and executes one strategy combination.
+  /// Resets the world and executes one schedule: the auctioneer's
+  /// declaration strategy plus one deviation plan per bidder (delays land
+  /// their submissions at the shifted tick; the contracts' inclusive
+  /// deadlines decide whether a late bid/reveal/forward still counts).
+  AuctionResult run(AuctioneerStrategy alice,
+                    const std::vector<sim::DeviationPlan>& bidder_plans);
+
+  /// Legacy strategy-enum form: maps each BidderStrategy onto its
+  /// halt-style plan via bidder_plan_of().
   AuctionResult run(AuctioneerStrategy alice,
                     const std::vector<BidderStrategy>& bidders);
 

@@ -56,25 +56,24 @@ class LadderParty : public sim::Party {
               const std::vector<GlobalAction>& schedule,
               contracts::LadderContract& apricot,
               contracts::LadderContract& banana, crypto::Secret secret)
-      : sim::Party(id, std::move(name)),
-        plan_(plan),
+      : sim::Party(id, std::move(name), plan),
         schedule_(schedule),
         apricot_(apricot),
         banana_(banana),
         secret_(std::move(secret)),
         submitted_(schedule.size(), 0) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
+  void step(chain::MultiChain& chains, Tick now) override {
     for (std::size_t g = 0; g < schedule_.size(); ++g) {
-      const GlobalAction& act = schedule_[g];
-      if (done(act)) continue;
+      const GlobalAction& action = schedule_[g];
+      if (done(action)) continue;
       // The first pending action: ours to perform, or wait for its owner.
-      if (act.actor == id() && !submitted_[g]) {
-        const int ordinal = own_ordinal(g);
-        if (plan_.allows(ordinal)) {
-          submitted_[g] = 1;
-          submit_action(chains, act);
-        }
+      if (action.actor == id() && !submitted_[g]) {
+        submitted_[g] = 1;
+        act(chains, now, own_ordinal(g),
+            [this, &action](chain::MultiChain& ch) {
+              submit_action(ch, action);
+            });
       }
       return;
     }
@@ -122,7 +121,6 @@ class LadderParty : public sim::Party {
     }
   }
 
-  sim::DeviationPlan plan_;
   const std::vector<GlobalAction>& schedule_;
   contracts::LadderContract& apricot_;
   contracts::LadderContract& banana_;

@@ -46,9 +46,6 @@ struct Setup {
   std::vector<crypto::Secret> secrets;  ///< per party (all lead)
   std::vector<HostedArc> arcs;          ///< all four arcs
   crypto::SigningCache* sign_cache = nullptr;
-  /// Lexicographically-first shortest path per (from, to), precomputed so
-  /// runs skip the simple-path enumeration.
-  std::map<std::pair<PartyId, PartyId>, graph::Path> shortest;
   Tick hashkey_base = 0;
 
   std::vector<HostedArc> incoming(PartyId v) const {
@@ -72,17 +69,14 @@ class BrokerParty : public sim::Party {
  public:
   BrokerParty(PartyId id, std::string name, const Setup& s,
               sim::DeviationPlan plan)
-      : sim::Party(id, std::move(name)), s_(s), plan_(plan),
-        relayed_(3, 0) {}
+      : sim::Party(id, std::move(name), plan), s_(s), relayed_(3, 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
-    if (plan_.allows(0)) simple_premiums(chains, now);
-    if (plan_.allows(1)) redemption_premiums(chains, now);
-    if (plan_.allows(2)) principal_moves(chains, now);
-    if (plan_.allows(3)) {
-      release_own_key(chains, now);
-      relay_keys(chains, now);
-    }
+    simple_premiums(chains, now);
+    redemption_premiums(chains, now);
+    principal_moves(chains, now);
+    release_own_key(chains, now);
+    relay_keys(chains, now);
   }
 
  protected:
@@ -97,34 +91,66 @@ class BrokerParty : public sim::Party {
            s_.coin->trading_premium_deposited();
   }
 
-  /// Deposits redemption premiums for every leader on every incoming arc,
-  /// using the (lexicographically first) shortest path to each leader.
-  void redemption_premiums(chain::MultiChain& chains, Tick) {
-    if (did_redemption_ || !all_simple_premiums_deposited()) return;
-    did_redemption_ = true;
-    for (const HostedArc& a : s_.incoming(id())) {
-      for (PartyId leader = 0; leader < 3; ++leader) {
-        const graph::Path& q = s_.shortest.at({id(), leader});
-        const crypto::Signature& sig =
-            s_.sign_cache->premium_path_sig(keys(), id(), leader, q);
-        submit(chains, a.contract->chain_id(), "redemption premium",
-               [c = a.contract, w = a.which, leader, &q,
-                sig](chain::TxContext& ctx) {
-                 c->deposit_redemption_premium(ctx, w, leader, q, sig);
-               });
+  /// Redemption premiums follow the §7.1 backward relay flow, exactly as
+  /// in the multi-party engine: every party (all three lead) starts its
+  /// own premium on its incoming arcs once the simple premiums are in, and
+  /// relays the first sighting of another leader's premium from an
+  /// outgoing arc onto its incoming arcs with the path extended by itself.
+  /// (An earlier version deposited all premiums in one burst over
+  /// precomputed shortest paths; the relay discipline is what guarantees a
+  /// party is never exposed for a premium its downstream never matched —
+  /// the late-delay/selective-drop sweeps falsified the burst shortcut.)
+  void redemption_premiums(chain::MultiChain& chains, Tick now) {
+    if (!all_simple_premiums_deposited()) return;
+    if (!did_own_premium_) {
+      did_own_premium_ = true;
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        deposit_premium_on_incoming(ch, id(), graph::Path{id()});
+      });
+    }
+    for (PartyId leader = 0; leader < 3; ++leader) {
+      if (leader == id() || premium_relayed_[leader]) continue;
+      for (const HostedArc& a : s_.outgoing(id())) {
+        if (!a.contract->redemption_premium_deposited(a.which, leader)) {
+          continue;
+        }
+        premium_relayed_[leader] = 1;
+        const graph::Path vq = graph::concat(
+            id(), a.contract->redemption_premium_path(a.which, leader));
+        if (s_.g.is_path(vq)) {
+          act(chains, now, 1, [this, leader, vq](chain::MultiChain& ch) {
+            deposit_premium_on_incoming(ch, leader, vq);
+          });
+        }
+        break;
       }
+    }
+  }
+
+  void deposit_premium_on_incoming(chain::MultiChain& chains, PartyId leader,
+                                   const graph::Path& q) {
+    for (const HostedArc& a : s_.incoming(id())) {
+      const crypto::Signature& sig =
+          s_.sign_cache->premium_path_sig(keys(), id(), leader, q);
+      submit(chains, a.contract->chain_id(), "redemption premium",
+             [c = a.contract, w = a.which, leader, q,
+              sig](chain::TxContext& ctx) {
+               c->deposit_redemption_premium(ctx, w, leader, q, sig);
+             });
     }
   }
 
   void release_own_key(chain::MultiChain& chains, Tick now) {
     if (released_ || now < s_.hashkey_base || !ready_to_release(now)) return;
     released_ = true;
-    const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
-        id(), s_.secrets[id()].value(), id(), keys());
-    present_on_incoming(chains, id(), key);
+    act(chains, now, 3, [this](chain::MultiChain& ch) {
+      const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+          id(), s_.secrets[id()].value(), id(), keys());
+      present_on_incoming(ch, id(), key);
+    });
   }
 
-  void relay_keys(chain::MultiChain& chains, Tick) {
+  void relay_keys(chain::MultiChain& chains, Tick now) {
     for (PartyId leader = 0; leader < 3; ++leader) {
       if (relayed_[leader]) continue;
       for (const HostedArc& a : s_.outgoing(id())) {
@@ -136,9 +162,13 @@ class BrokerParty : public sim::Party {
           continue;
         }
         relayed_[leader] = 1;
-        present_on_incoming(
-            chains, leader,
-            s_.sign_cache->extended_hashkey(leader, seen, id(), keys()));
+        // The extended key lives in the world's SigningCache, so the
+        // (possibly delayed) submission captures a stable reference.
+        const crypto::Hashkey& ext =
+            s_.sign_cache->extended_hashkey(leader, seen, id(), keys());
+        act(chains, now, 3, [this, leader, &ext](chain::MultiChain& ch) {
+          present_on_incoming(ch, leader, ext);
+        });
         break;
       }
     }
@@ -158,10 +188,10 @@ class BrokerParty : public sim::Party {
   }
 
   const Setup& s_;
-  sim::DeviationPlan plan_;
-  bool did_redemption_ = false;
+  bool did_own_premium_ = false;
   bool released_ = false;
-  std::vector<char> relayed_;  ///< per leader
+  std::vector<char> premium_relayed_ = std::vector<char>(3, 0);  ///< per leader
+  std::vector<char> relayed_;  ///< per leader (hashkeys)
 };
 
 /// Alice: trading premiums, the two trades, releases k_A after both.
@@ -170,33 +200,39 @@ class AliceBroker : public BrokerParty {
   using BrokerParty::BrokerParty;
 
  private:
-  void simple_premiums(chain::MultiChain& chains, Tick) override {
+  void simple_premiums(chain::MultiChain& chains, Tick now) override {
     if (did_trading_premiums_) return;
     if (!s_.ticket->escrow_premium_deposited() ||
         !s_.coin->escrow_premium_deposited()) {
       return;
     }
     did_trading_premiums_ = true;
-    for (BrokerChainContract* c : {s_.ticket, s_.coin}) {
-      submit(chains, c->chain_id(), "trading premium",
-             [c](chain::TxContext& ctx) { c->deposit_trading_premium(ctx); });
-    }
+    act(chains, now, 0, [this](chain::MultiChain& ch) {
+      for (BrokerChainContract* c : {s_.ticket, s_.coin}) {
+        submit(ch, c->chain_id(), "trading premium",
+               [c](chain::TxContext& ctx) { c->deposit_trading_premium(ctx); });
+      }
+    });
   }
 
   // A1 depends on B1; A2 depends on C1 (Figure 4b) — each trade also needs
   // its own arc's activation so the trading premium protection is live.
-  void principal_moves(chain::MultiChain& chains, Tick) override {
+  void principal_moves(chain::MultiChain& chains, Tick now) override {
     if (!traded_tickets_ && s_.ticket->escrowed() &&
         s_.ticket->premium_activated(Which::kTradingArc)) {
       traded_tickets_ = true;
-      submit(chains, s_.ticket->chain_id(), "trade tickets (A1)",
-             [c = s_.ticket](chain::TxContext& ctx) { c->trade(ctx); });
+      act(chains, now, 2, [this](chain::MultiChain& ch) {
+        submit(ch, s_.ticket->chain_id(), "trade tickets (A1)",
+               [c = s_.ticket](chain::TxContext& ctx) { c->trade(ctx); });
+      });
     }
     if (!traded_coins_ && s_.coin->escrowed() &&
         s_.coin->premium_activated(Which::kTradingArc)) {
       traded_coins_ = true;
-      submit(chains, s_.coin->chain_id(), "trade coins (A2)",
-             [c = s_.coin](chain::TxContext& ctx) { c->trade(ctx); });
+      act(chains, now, 2, [this](chain::MultiChain& ch) {
+        submit(ch, s_.coin->chain_id(), "trade coins (A2)",
+               [c = s_.coin](chain::TxContext& ctx) { c->trade(ctx); });
+      });
     }
   }
 
@@ -226,20 +262,24 @@ class SellerBroker : public BrokerParty {
         paid_on_(paid_on) {}
 
  private:
-  void simple_premiums(chain::MultiChain& chains, Tick) override {
+  void simple_premiums(chain::MultiChain& chains, Tick now) override {
     if (did_escrow_premium_) return;
     did_escrow_premium_ = true;
-    submit(chains, own_->chain_id(), "escrow premium",
-           [c = own_](chain::TxContext& ctx) {
-             c->deposit_escrow_premium(ctx);
-           });
+    act(chains, now, 0, [this](chain::MultiChain& ch) {
+      submit(ch, own_->chain_id(), "escrow premium",
+             [c = own_](chain::TxContext& ctx) {
+               c->deposit_escrow_premium(ctx);
+             });
+    });
   }
 
-  void principal_moves(chain::MultiChain& chains, Tick) override {
+  void principal_moves(chain::MultiChain& chains, Tick now) override {
     if (did_escrow_ || !own_->premium_activated(Which::kEscrowArc)) return;
     did_escrow_ = true;
-    submit(chains, own_->chain_id(), "escrow principal",
-           [c = own_](chain::TxContext& ctx) { c->escrow(ctx); });
+    act(chains, now, 2, [this](chain::MultiChain& ch) {
+      submit(ch, own_->chain_id(), "escrow principal",
+             [c = own_](chain::TxContext& ctx) { c->escrow(ctx); });
+    });
   }
 
   // B2 / C2: release once the asset owed to this party sits in the trading
@@ -301,22 +341,6 @@ BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
         {static_cast<PartyId>(i), s.secrets[i].hashlock()});
   }
 
-  // Lexicographically-first shortest paths, fixed by the digraph.
-  for (PartyId from = 0; from < 3; ++from) {
-    for (PartyId to = 0; to < 3; ++to) {
-      if (from == to) {
-        s.shortest[{from, to}] = graph::Path{from};
-        continue;
-      }
-      const auto paths = s.g.simple_paths(from, to);
-      const graph::Path* best = &paths.front();
-      for (const auto& p : paths) {
-        if (p.size() < best->size()) best = &p;
-      }
-      s.shortest[{from, to}] = *best;
-    }
-  }
-
   // §8.2 premium amounts from the r = 1 broker formula.
   const auto phases = broker_premiums(
       s.g, {{kBob, kAlice}, {kCarol, kAlice}},
@@ -326,7 +350,14 @@ BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
   const Amount t_ac = phases[1].at({kAlice, kCarol});
   const Amount t_ab = phases[1].at({kAlice, kBob});
 
-  s.hashkey_base = 5 * d;
+  // Schedule (inclusive deadlines, Δ per observation hop): escrow premiums
+  // land by Δ, trading premiums by 2Δ; the redemption premiums then flow
+  // backward from each leader with the §7.1 per-path budget — a deposit
+  // with |q| hops by 2Δ + |q|·Δ, the longest broker path being |q| = 3.
+  // Principals escrow once their arc's activation is visible (by 5Δ),
+  // Alice trades once escrow + trading activation are visible (by 6Δ), and
+  // the hashkey phase starts after the trading deadline.
+  s.hashkey_base = 6 * d;
   auto common = [&](BrokerChainContract::Params& p) {
     p.g = s.g;
     p.premium_unit = cfg.premium_unit;
@@ -335,9 +366,10 @@ BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
     p.delta = d;
     p.escrow_premium_deadline = d;
     p.trading_premium_deadline = 2 * d;
-    p.redemption_premium_deadline = 3 * d;
-    p.escrow_deadline = 4 * d;
-    p.trading_deadline = 5 * d;
+    p.premium_base = 2 * d;
+    p.redemption_premium_deadline = 5 * d;
+    p.escrow_deadline = 5 * d;
+    p.trading_deadline = 6 * d;
     p.hashkey_base = s.hashkey_base;
   };
 

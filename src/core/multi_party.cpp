@@ -54,28 +54,27 @@ struct Setup {
 class SwapParty : public sim::Party {
  public:
   SwapParty(PartyId id, const Setup& s, sim::DeviationPlan plan)
-      : sim::Party(id, "party-" + std::to_string(id)),
+      : sim::Party(id, "party-" + std::to_string(id), plan),
         s_(s),
-        plan_(plan),
         premium_seen_(s.leaders.size(), 0),
         hashkey_done_(s.leaders.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
     const bool hedged = s_.cfg->hedged;
     if (hedged) {
-      if (plan_.allows(0)) phase1_escrow_premiums(chains, now);
-      if (now >= s_.t2 && plan_.allows(1)) {
-        phase2_redemption_premiums(chains, now);
-      }
+      // Phase 1 runs in [0, t2) ONLY: a conforming party whose incoming
+      // escrow premiums arrive after the phase closed (an upstream party
+      // acted late) truncates instead of depositing — §7's truncation
+      // rule. Depositing late would leave its arc activatable while the
+      // backward premium flow no longer fits before t3, putting a
+      // conforming party's escrow premium at risk for an escrow it will
+      // rightly never make. Eager and timely-delayed runs always decide
+      // before t2, so this gate only fires against late deviators.
+      if (now < s_.t2) phase1_escrow_premiums(chains, now);
+      if (now >= s_.t2) phase2_redemption_premiums(chains, now);
     }
-    const int escrow_ordinal = hedged ? 2 : 0;
-    const int hashkey_ordinal = hedged ? 3 : 1;
-    if (now >= s_.t3 && plan_.allows(escrow_ordinal)) {
-      phase3_escrow_assets(chains, now);
-    }
-    if (now >= s_.t4 && plan_.allows(hashkey_ordinal)) {
-      phase4_hashkeys(chains, now);
-    }
+    if (now >= s_.t3) phase3_escrow_assets(chains, now);
+    if (now >= s_.t4) phase4_hashkeys(chains, now);
   }
 
  private:
@@ -88,28 +87,39 @@ class SwapParty : public sim::Party {
     return true;
   }
 
+  // Ordinals of this party's scheduled actions (base runs only the last
+  // two phases).
+  int premium_relay_ordinal() const { return 1; }
+  int escrow_ordinal() const { return s_.cfg->hedged ? 2 : 0; }
+  int hashkey_ordinal() const { return s_.cfg->hedged ? 3 : 1; }
+
   // Phase 1: leaders deposit outgoing escrow premiums immediately;
   // followers once every incoming escrow premium is present.
-  void phase1_escrow_premiums(chain::MultiChain& chains, Tick) {
+  void phase1_escrow_premiums(chain::MultiChain& chains, Tick now) {
     if (did_escrow_premiums_) return;
     if (!s_.is_leader(id()) && !all_incoming_escrow_premiums()) return;
     did_escrow_premiums_ = true;
-    for (Vertex w : g().out_neighbors(id())) {
-      MultiPartyArcContract& c = s_.at(id(), w);
-      submit(chains, c.chain_id(), "escrow premium",
-             [&c](chain::TxContext& ctx) { c.deposit_escrow_premium(ctx); });
-    }
+    act(chains, now, 0, [this](chain::MultiChain& ch) {
+      for (Vertex w : g().out_neighbors(id())) {
+        MultiPartyArcContract& c = s_.at(id(), w);
+        submit(ch, c.chain_id(), "escrow premium",
+               [&c](chain::TxContext& ctx) { c.deposit_escrow_premium(ctx); });
+      }
+    });
   }
 
   // Phase 2: a leader whose phase 1 succeeded starts the backward flow for
   // its own hashkey (path (L) on every incoming arc); every party relays
   // the first premium for hashkey i seen on an outgoing arc.
-  void phase2_redemption_premiums(chain::MultiChain& chains, Tick) {
+  void phase2_redemption_premiums(chain::MultiChain& chains, Tick now) {
     const int own = s_.leader_index_of(id());
     if (own >= 0 && !started_own_premiums_ && all_incoming_escrow_premiums()) {
       started_own_premiums_ = true;
-      deposit_premiums_on_incoming(chains, static_cast<std::size_t>(own),
-                                   graph::Path{id()});
+      act(chains, now, premium_relay_ordinal(),
+          [this, own](chain::MultiChain& ch) {
+            deposit_premiums_on_incoming(ch, static_cast<std::size_t>(own),
+                                         graph::Path{id()});
+          });
     }
     for (std::size_t i = 0; i < s_.leaders.size(); ++i) {
       if (premium_seen_[i]) continue;
@@ -125,7 +135,10 @@ class SwapParty : public sim::Party {
         const graph::Path vq =
             graph::concat(id(), c.redemption_premium_path(i));
         if (g().is_path(vq)) {
-          deposit_premiums_on_incoming(chains, i, vq);
+          act(chains, now, premium_relay_ordinal(),
+              [this, i, vq](chain::MultiChain& ch) {
+                deposit_premiums_on_incoming(ch, i, vq);
+              });
         }
         break;
       }
@@ -147,7 +160,7 @@ class SwapParty : public sim::Party {
 
   // Phase 3 (base phase one): leaders escrow on activated outgoing arcs;
   // followers wait for all incoming assets first.
-  void phase3_escrow_assets(chain::MultiChain& chains, Tick) {
+  void phase3_escrow_assets(chain::MultiChain& chains, Tick now) {
     if (did_escrow_assets_) return;
     if (!s_.is_leader(id())) {
       for (Vertex u : g().in_neighbors(id())) {
@@ -155,15 +168,17 @@ class SwapParty : public sim::Party {
       }
     }
     did_escrow_assets_ = true;
-    for (Vertex w : g().out_neighbors(id())) {
-      MultiPartyArcContract& c = s_.at(id(), w);
-      // Hedged runs escrow only where the premium protection is active
-      // (Lemma 3: "the leader v escrows assets on the outgoing arcs whose
-      // escrow premiums are activated").
-      if (s_.cfg->hedged && !c.escrow_premium_activated()) continue;
-      submit(chains, c.chain_id(), "escrow asset",
-             [&c](chain::TxContext& ctx) { c.escrow_asset(ctx); });
-    }
+    act(chains, now, escrow_ordinal(), [this](chain::MultiChain& ch) {
+      for (Vertex w : g().out_neighbors(id())) {
+        MultiPartyArcContract& c = s_.at(id(), w);
+        // Hedged runs escrow only where the premium protection is active
+        // (Lemma 3: "the leader v escrows assets on the outgoing arcs whose
+        // escrow premiums are activated").
+        if (s_.cfg->hedged && !c.escrow_premium_activated()) continue;
+        submit(ch, c.chain_id(), "escrow asset",
+               [&c](chain::TxContext& ctx) { c.escrow_asset(ctx); });
+      }
+    });
   }
 
   // Phase 4 (base phase two): leaders whose incoming arcs all carry assets
@@ -187,10 +202,13 @@ class SwapParty : public sim::Party {
       }
       if (all_in || escrowed_none) {
         released_own_key_ = true;
-        const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
-            static_cast<std::size_t>(own), s_.secrets[own].value(), id(),
-            keys());
-        present_on_incoming(chains, static_cast<std::size_t>(own), key);
+        act(chains, now, hashkey_ordinal(),
+            [this, own](chain::MultiChain& ch) {
+              const crypto::Hashkey& key = s_.sign_cache->leader_hashkey(
+                  static_cast<std::size_t>(own), s_.secrets[own].value(),
+                  id(), keys());
+              present_on_incoming(ch, static_cast<std::size_t>(own), key);
+            });
       }
     }
     for (std::size_t i = 0; i < s_.leaders.size(); ++i) {
@@ -205,8 +223,14 @@ class SwapParty : public sim::Party {
           continue;
         }
         hashkey_done_[i] = 1;
-        present_on_incoming(
-            chains, i, s_.sign_cache->extended_hashkey(i, seen, id(), keys()));
+        // The extended key lives in the world's SigningCache, so the
+        // (possibly delayed) submission captures a stable reference.
+        const crypto::Hashkey& ext =
+            s_.sign_cache->extended_hashkey(i, seen, id(), keys());
+        act(chains, now, hashkey_ordinal(),
+            [this, i, &ext](chain::MultiChain& ch) {
+              present_on_incoming(ch, i, ext);
+            });
         break;
       }
     }
@@ -226,7 +250,6 @@ class SwapParty : public sim::Party {
   }
 
   const Setup& s_;
-  sim::DeviationPlan plan_;
   bool did_escrow_premiums_ = false;
   bool started_own_premiums_ = false;
   bool did_escrow_assets_ = false;
@@ -301,6 +324,23 @@ MultiPartyWorld::MultiPartyWorld(const MultiPartyConfig& cfg,
       cfg.hedged ? escrow_premiums(g, s.leaders, cfg.premium_unit)
                  : ArcPremiums{};
 
+  // Escrow-cascade depth per party: leaders escrow at base-phase-one step
+  // 0, a follower one step after the last of its in-neighbours (it waits
+  // for every incoming asset). Well-founded because the leaders form a
+  // feedback vertex set — the follower-only subgraph is acyclic — so a
+  // fixpoint is reached within n sweeps.
+  std::vector<Tick> depth(n, 0);
+  for (std::size_t sweep_i = 0; sweep_i < n; ++sweep_i) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (s.is_leader(v)) continue;
+      Tick longest = 0;
+      for (Vertex u : g.in_neighbors(v)) {
+        longest = std::max(longest, depth[u]);
+      }
+      depth[v] = longest + 1;
+    }
+  }
+
   for (const Arc& arc : g.arcs()) {
     chain::Blockchain& bc = chains.at(arc.from);
     MultiPartyArcContract::Params p;
@@ -313,8 +353,10 @@ MultiPartyWorld::MultiPartyWorld(const MultiPartyConfig& cfg,
     p.hashlocks = hashlocks;
     p.party_keys = keys;
     p.delta = d;
+    p.premium_base = s.t2;
     p.redemption_premium_deadline = s.t3;
     p.escrow_deadline = s.t4;
+    p.asset_escrow_deadline = s.t3 + (depth[arc.from] + 1) * d;
     p.hashkey_base = s.t4;
     s.arcs[{arc.from, arc.to}] = &bc.deploy<MultiPartyArcContract>(p);
   }

@@ -29,33 +29,33 @@ class BaseAlice : public sim::Party {
  public:
   BaseAlice(sim::DeviationPlan plan, contracts::HtlcContract& mine,
             contracts::HtlcContract& bobs, crypto::Secret secret)
-      : sim::Party(kAlice, "alice"),
-        plan_(plan),
+      : sim::Party(kAlice, "alice", plan),
         mine_(mine),
         bobs_(bobs),
         secret_(std::move(secret)) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
+  void step(chain::MultiChain& chains, Tick now) override {
     // Action 0: escrow the principal at protocol start.
-    if (!did_escrow_ && plan_.allows(0)) {
+    if (!did_escrow_) {
       did_escrow_ = true;
-      chains.at(mine_.chain_id())
-          .submit({kAlice, "alice: escrow principal",
-                   [this](chain::TxContext& ctx) { mine_.fund(ctx); }});
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        submit(ch, mine_.chain_id(), "escrow principal",
+               [this](chain::TxContext& ctx) { mine_.fund(ctx); });
+      });
     }
     // Action 1: once Bob's escrow appears, redeem it (revealing s).
-    if (!did_redeem_ && bobs_.funded() && plan_.allows(1)) {
+    if (!did_redeem_ && bobs_.funded()) {
       did_redeem_ = true;
-      chains.at(bobs_.chain_id())
-          .submit({kAlice, "alice: redeem bob's escrow",
-                   [this](chain::TxContext& ctx) {
-                     bobs_.redeem(ctx, secret_.value());
-                   }});
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        submit(ch, bobs_.chain_id(), "redeem bob's escrow",
+               [this](chain::TxContext& ctx) {
+                 bobs_.redeem(ctx, secret_.value());
+               });
+      });
     }
   }
 
  private:
-  sim::DeviationPlan plan_;
   contracts::HtlcContract& mine_;
   contracts::HtlcContract& bobs_;
   crypto::Secret secret_;
@@ -67,29 +67,30 @@ class BaseBob : public sim::Party {
  public:
   BaseBob(sim::DeviationPlan plan, contracts::HtlcContract& mine,
           contracts::HtlcContract& alices)
-      : sim::Party(kBob, "bob"), plan_(plan), mine_(mine), alices_(alices) {}
+      : sim::Party(kBob, "bob", plan), mine_(mine), alices_(alices) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
+  void step(chain::MultiChain& chains, Tick now) override {
     // Action 0: escrow once Alice's escrow is visible.
-    if (!did_escrow_ && alices_.funded() && plan_.allows(0)) {
+    if (!did_escrow_ && alices_.funded()) {
       did_escrow_ = true;
-      chains.at(mine_.chain_id())
-          .submit({kBob, "bob: escrow principal",
-                   [this](chain::TxContext& ctx) { mine_.fund(ctx); }});
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        submit(ch, mine_.chain_id(), "escrow principal",
+               [this](chain::TxContext& ctx) { mine_.fund(ctx); });
+      });
     }
     // Action 1: once s is public (Alice redeemed), redeem Alice's escrow.
-    if (!did_redeem_ && mine_.revealed_preimage() && plan_.allows(1)) {
+    if (!did_redeem_ && mine_.revealed_preimage()) {
       did_redeem_ = true;
-      chains.at(alices_.chain_id())
-          .submit({kBob, "bob: redeem alice's escrow",
-                   [this](chain::TxContext& ctx) {
-                     alices_.redeem(ctx, *mine_.revealed_preimage());
-                   }});
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        submit(ch, alices_.chain_id(), "redeem alice's escrow",
+               [this](chain::TxContext& ctx) {
+                 alices_.redeem(ctx, *mine_.revealed_preimage());
+               });
+      });
     }
   }
 
  private:
-  sim::DeviationPlan plan_;
   contracts::HtlcContract& mine_;
   contracts::HtlcContract& alices_;
   bool did_escrow_ = false;
@@ -104,46 +105,45 @@ class HedgedAlice : public sim::Party {
  public:
   HedgedAlice(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
               contracts::HedgedSwapContract& banana, crypto::Secret secret)
-      : sim::Party(kAlice, "alice"),
-        plan_(plan),
+      : sim::Party(kAlice, "alice", plan),
         apricot_(apricot),
         banana_(banana),
         secret_(std::move(secret)) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
+  void step(chain::MultiChain& chains, Tick now) override {
     // Action 0: deposit premium p_a + p_b on the banana contract at start.
-    if (!did_premium_ && plan_.allows(0)) {
+    if (!did_premium_) {
       did_premium_ = true;
-      chains.at(banana_.chain_id())
-          .submit({kAlice, "alice: deposit premium",
-                   [this](chain::TxContext& ctx) {
-                     banana_.deposit_premium(ctx);
-                   }});
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        submit(ch, banana_.chain_id(), "deposit premium",
+               [this](chain::TxContext& ctx) { banana_.deposit_premium(ctx); });
+      });
     }
     // Action 1: once Bob's premium is on the apricot contract, escrow the
     // principal there. (If Bob's premium never appears, a compliant Alice
     // truncates: she never escrows.)
-    if (!did_escrow_ && apricot_.premium_deposited() && plan_.allows(1)) {
+    if (!did_escrow_ && apricot_.premium_deposited()) {
       did_escrow_ = true;
-      chains.at(apricot_.chain_id())
-          .submit({kAlice, "alice: escrow principal",
-                   [this](chain::TxContext& ctx) {
-                     apricot_.escrow_principal(ctx);
-                   }});
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        submit(ch, apricot_.chain_id(), "escrow principal",
+               [this](chain::TxContext& ctx) {
+                 apricot_.escrow_principal(ctx);
+               });
+      });
     }
     // Action 2: once Bob's principal is escrowed, redeem it (revealing s).
-    if (!did_redeem_ && banana_.escrowed() && plan_.allows(2)) {
+    if (!did_redeem_ && banana_.escrowed()) {
       did_redeem_ = true;
-      chains.at(banana_.chain_id())
-          .submit({kAlice, "alice: redeem bob's escrow",
-                   [this](chain::TxContext& ctx) {
-                     banana_.redeem(ctx, secret_.value());
-                   }});
+      act(chains, now, 2, [this](chain::MultiChain& ch) {
+        submit(ch, banana_.chain_id(), "redeem bob's escrow",
+               [this](chain::TxContext& ctx) {
+                 banana_.redeem(ctx, secret_.value());
+               });
+      });
     }
   }
 
  private:
-  sim::DeviationPlan plan_;
   contracts::HedgedSwapContract& apricot_;
   contracts::HedgedSwapContract& banana_;
   crypto::Secret secret_;
@@ -156,44 +156,45 @@ class HedgedBob : public sim::Party {
  public:
   HedgedBob(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
             contracts::HedgedSwapContract& banana)
-      : sim::Party(kBob, "bob"),
-        plan_(plan),
+      : sim::Party(kBob, "bob", plan),
         apricot_(apricot),
         banana_(banana) {}
 
-  void step(chain::MultiChain& chains, Tick) override {
+  void step(chain::MultiChain& chains, Tick now) override {
     // Action 0: deposit premium p_b on the apricot contract once Alice's
     // premium is visible on the banana contract.
-    if (!did_premium_ && banana_.premium_deposited() && plan_.allows(0)) {
+    if (!did_premium_ && banana_.premium_deposited()) {
       did_premium_ = true;
-      chains.at(apricot_.chain_id())
-          .submit({kBob, "bob: deposit premium",
-                   [this](chain::TxContext& ctx) {
-                     apricot_.deposit_premium(ctx);
-                   }});
+      act(chains, now, 0, [this](chain::MultiChain& ch) {
+        submit(ch, apricot_.chain_id(), "deposit premium",
+               [this](chain::TxContext& ctx) {
+                 apricot_.deposit_premium(ctx);
+               });
+      });
     }
     // Action 1: escrow once Alice's principal is escrowed.
-    if (!did_escrow_ && apricot_.escrowed() && plan_.allows(1)) {
+    if (!did_escrow_ && apricot_.escrowed()) {
       did_escrow_ = true;
-      chains.at(banana_.chain_id())
-          .submit({kBob, "bob: escrow principal",
-                   [this](chain::TxContext& ctx) {
-                     banana_.escrow_principal(ctx);
-                   }});
+      act(chains, now, 1, [this](chain::MultiChain& ch) {
+        submit(ch, banana_.chain_id(), "escrow principal",
+               [this](chain::TxContext& ctx) {
+                 banana_.escrow_principal(ctx);
+               });
+      });
     }
     // Action 2: once s is public, redeem Alice's escrow.
-    if (!did_redeem_ && banana_.revealed_preimage() && plan_.allows(2)) {
+    if (!did_redeem_ && banana_.revealed_preimage()) {
       did_redeem_ = true;
-      chains.at(apricot_.chain_id())
-          .submit({kBob, "bob: redeem alice's escrow",
-                   [this](chain::TxContext& ctx) {
-                     apricot_.redeem(ctx, *banana_.revealed_preimage());
-                   }});
+      act(chains, now, 2, [this](chain::MultiChain& ch) {
+        submit(ch, apricot_.chain_id(), "redeem alice's escrow",
+               [this](chain::TxContext& ctx) {
+                 apricot_.redeem(ctx, *banana_.revealed_preimage());
+               });
+      });
     }
   }
 
  private:
-  sim::DeviationPlan plan_;
   contracts::HedgedSwapContract& apricot_;
   contracts::HedgedSwapContract& banana_;
   bool did_premium_ = false;

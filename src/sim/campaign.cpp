@@ -49,6 +49,30 @@ std::string ConfigResult::line() const {
   return head + ": " + report.line();
 }
 
+std::string DryRunConfig::line() const {
+  std::string head = protocol;
+  if (!params.empty()) head += "[" + params + "]";
+  return head + ": " + std::to_string(schedules) + " schedules";
+}
+
+std::size_t DryRunReport::total_schedules() const {
+  std::size_t n = 0;
+  for (const DryRunConfig& c : configs) n += c.schedules;
+  return n;
+}
+
+std::string DryRunReport::str() const {
+  std::string out;
+  for (const std::string& t : truncations) {
+    if (!t.empty()) out += t + "\n";
+  }
+  for (const DryRunConfig& c : configs) out += c.line() + "\n";
+  out += "campaign (dry run): " + std::to_string(configs.size()) +
+         " configurations, " + std::to_string(total_schedules()) +
+         " schedules";
+  return out;
+}
+
 std::size_t CampaignReport::total_schedules() const {
   std::size_t n = 0;
   for (const ConfigResult& c : configs) n += c.report.schedules_run;
@@ -104,6 +128,8 @@ std::string campaign_json(const CampaignReport& report,
   out += "  \"compiler\": \"" + json_escape(stamp.compiler) + "\",\n";
   out += "  \"hardware_threads\": " +
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  out += "  \"strategies\": \"" + json_escape(report.strategies.name()) +
+         "\",\n";
   out += "  \"workers\": " + std::to_string(report.workers) + ",\n";
   out += "  \"configurations\": " + std::to_string(report.configurations()) +
          ",\n";
@@ -150,35 +176,85 @@ std::string campaign_json(const CampaignReport& report,
 #pragma GCC diagnostic pop
 #endif
 
+namespace {
+
+/// Phase 1 of run()/dry_run(): resolve + expand every entry up front, so
+/// an unknown protocol or malformed grid fails before the first schedule
+/// runs. Grid-truncation notices land in `truncations`.
+std::vector<PendingConfig> expand_entries(
+    const CampaignSpec& spec, const ProtocolRegistry& registry,
+    std::vector<std::string>& truncations) {
+  std::vector<PendingConfig> pending;
+  for (const CampaignEntry& entry : spec.entries) {
+    ParamSet defaults = registry.defaults(entry.protocol);
+    for (const auto& [key, value] : entry.overrides) {
+      defaults.set(key, value);
+    }
+    GridExpansion expansion =
+        entry.grid.expand(defaults, spec.max_configs_per_entry);
+    if (expansion.truncated()) {
+      truncations.push_back(entry.protocol + ": " +
+                            expansion.truncation_report());
+    }
+    for (ParamSet& point : expansion.points) {
+      PendingConfig cfg;
+      cfg.protocol = entry.protocol;
+      cfg.adapter = registry.make(entry.protocol, point);
+      cfg.params = std::move(point);
+      pending.push_back(std::move(cfg));
+    }
+  }
+  return pending;
+}
+
+/// Folds per-configuration strategy-space truncation notices into the
+/// campaign-level list (prefixed with the configuration), in report order.
+void collect_strategy_truncations(CampaignReport& report) {
+  for (const ConfigResult& c : report.configs) {
+    for (const std::string& t : c.report.truncations) {
+      std::string head = c.protocol;
+      if (!c.params.empty()) head += "[" + c.params + "]";
+      report.truncations.push_back(head + ": " + t);
+    }
+  }
+}
+
+}  // namespace
+
+DryRunReport Campaign::dry_run() const {
+  validate_sweep_options(spec_.sweep);
+  if (spec_.entries.empty()) {
+    throw ParamError("campaign spec has no entries");
+  }
+  DryRunReport report;
+  for (PendingConfig& cfg :
+       expand_entries(spec_, registry_, report.truncations)) {
+    DryRunConfig row;
+    row.protocol = cfg.protocol;
+    row.params = cfg.params.overrides_str();
+    std::vector<std::string> truncations;
+    row.schedules =
+        ScenarioRunner(*cfg.adapter).schedule_count(spec_.sweep, &truncations);
+    std::string head = row.protocol;
+    if (!row.params.empty()) head += "[" + row.params + "]";
+    for (const std::string& t : truncations) {
+      report.truncations.push_back(head + ": " + t);
+    }
+    report.configs.push_back(std::move(row));
+  }
+  return report;
+}
+
 CampaignReport Campaign::run() const {
   validate_sweep_options(spec_.sweep);
   if (spec_.entries.empty()) {
     throw ParamError("campaign spec has no entries");
   }
 
-  // Phase 1: resolve + expand every entry up front, so an unknown protocol
-  // or malformed grid fails before the first schedule runs.
   CampaignReport report;
-  std::vector<PendingConfig> pending;
-  for (const CampaignEntry& entry : spec_.entries) {
-    ParamSet defaults = registry_.defaults(entry.protocol);
-    for (const auto& [key, value] : entry.overrides) {
-      defaults.set(key, value);
-    }
-    GridExpansion expansion =
-        entry.grid.expand(defaults, spec_.max_configs_per_entry);
-    if (expansion.truncated()) {
-      report.truncations.push_back(entry.protocol + ": " +
-                                   expansion.truncation_report());
-    }
-    for (ParamSet& point : expansion.points) {
-      PendingConfig cfg;
-      cfg.protocol = entry.protocol;
-      cfg.adapter = registry_.make(entry.protocol, point);
-      cfg.params = std::move(point);
-      pending.push_back(std::move(cfg));
-    }
-  }
+  report.strategies = spec_.sweep.strategies;
+  std::vector<PendingConfig> pending =
+      expand_entries(spec_, registry_, report.truncations);
 
   report.configs.resize(pending.size());
 
@@ -202,6 +278,7 @@ CampaignReport Campaign::run() const {
   if (pending.size() == 1) {
     report.configs[0] = sweep_one(pending[0], spec_.sweep);
     report.workers = report.configs[0].report.workers;
+    collect_strategy_truncations(report);
     return report;
   }
 
@@ -214,11 +291,13 @@ CampaignReport Campaign::run() const {
       std::max(1u, threads / static_cast<unsigned>(pending.size()));
   threads = outer;
   report.workers = std::max(1u, threads);
-  const SweepOptions per_config{spec_.sweep.max_deviators, inner};
+  const SweepOptions per_config{spec_.sweep.max_deviators, inner,
+                                spec_.sweep.strategies};
   if (threads <= 1) {
     for (std::size_t i = 0; i < pending.size(); ++i) {
       report.configs[i] = sweep_one(pending[i], per_config);
     }
+    collect_strategy_truncations(report);
     return report;
   }
 
@@ -242,6 +321,7 @@ CampaignReport Campaign::run() const {
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  collect_strategy_truncations(report);
   return report;
 }
 

@@ -43,7 +43,8 @@ struct CampaignSpec {
 
 /// One configuration's sweep outcome. `protocol` is the registry name;
 /// `params` the non-default assignments ("" = pure defaults); the nested
-/// SweepReport carries the adapter-level protocol label and violations.
+/// SweepReport carries the adapter-level protocol label, violations, and
+/// any strategy-space truncation notices.
 struct ConfigResult {
   std::string protocol;
   std::string params;
@@ -53,11 +54,35 @@ struct ConfigResult {
   std::string line() const;
 };
 
+/// One configuration's dry-run row: how many schedules a sweep WOULD run.
+struct DryRunConfig {
+  std::string protocol;
+  std::string params;
+  std::size_t schedules = 0;
+
+  std::string line() const;
+};
+
+/// What `xchain-sweep --dry-run` prints: per-configuration schedule counts
+/// (plan-space size after the max-deviators filter) without running any.
+struct DryRunReport {
+  std::vector<DryRunConfig> configs;
+  /// Grid-expansion truncation notices, as in CampaignReport.
+  std::vector<std::string> truncations;
+
+  std::size_t total_schedules() const;
+  std::string str() const;
+};
+
 /// Aggregate of a whole campaign, in deterministic configuration order.
 struct CampaignReport {
   std::vector<ConfigResult> configs;
-  /// Truncation notices from capped grids, one per affected entry ("" none).
+  /// Truncation notices: capped grids (one per affected entry) plus any
+  /// strategy-space truncations, prefixed with their configuration.
   std::vector<std::string> truncations;
+  /// The adversary-strategy space every configuration was swept with —
+  /// recorded here so serializers can never mislabel a report's coverage.
+  StrategySpace strategies;
   /// Worker threads the campaign actually used.
   unsigned workers = 1;
 
@@ -83,12 +108,15 @@ struct CampaignStamp {
 
 /// Serializes a report (plus stamp and hardware_threads) as JSON. Schema:
 ///   { "benchmark": "campaign", "git_commit": ..., "build_type": ...,
-///     "compiler": ..., "hardware_threads": N, "configurations": N,
+///     "compiler": ..., "hardware_threads": N, "strategies": "halt-only" |
+///     "timely-delays" | "late-delays", "configurations": N,
 ///     "schedules_run": N, "conforming_audited": N, "violations": N,
 ///     "truncations": ["..."],
 ///     "configs": [ {"protocol": ..., "params": ..., "adapter": ...,
 ///                   "schedules": N, "conforming_audited": N,
 ///                   "violations": N, "violation_details": ["..."]} ] }
+/// `strategies` names the report's swept StrategySpace (delay menus and
+/// caps are documented in sim/strategy_space.hpp, `xchain-sweep --list`).
 std::string campaign_json(const CampaignReport& report,
                           const CampaignStamp& stamp = {});
 
@@ -112,6 +140,11 @@ class Campaign {
   Campaign(CampaignSpec, ProtocolRegistry&&) = delete;
 
   CampaignReport run() const;
+
+  /// Expands the spec and counts each configuration's schedules (the
+  /// plan-space size after the max-deviators filter) without running any —
+  /// the `--dry-run` path. Same validation/throwing behaviour as run().
+  DryRunReport dry_run() const;
 
  private:
   CampaignSpec spec_;

@@ -1,49 +1,182 @@
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
 
 namespace xchain::sim {
 
-/// A party's deviation plan.
+/// What a party does with one scheduled protocol action.
 ///
-/// Smart contracts enforce ordering, timing, and well-formedness (paper
-/// §3.2), so a Byzantine party's only generic move is to *stop* performing
-/// protocol actions at some point — the sore loser move. A plan records how
-/// many of its scheduled actions a party performs before walking away.
-/// Protocol-specific dishonesty that remains expressible (e.g. the
-/// auctioneer publishing the wrong winner's hashkey) is modelled by
-/// dedicated knobs on the relevant protocol engine.
+/// Smart contracts enforce ordering, amounts, and well-formedness (paper
+/// §3.2), so a Byzantine party's generic moves are *when* moves: perform an
+/// enabled action immediately, sit on it for a number of ticks (the
+/// timing-griefing lever the contracts' Δ-spaced deadlines exist for), or
+/// never perform it at all — the classic sore-loser walk-away.
+enum class ActionChoice : std::uint8_t { kPerform, kDelay, kDrop };
+
+/// Per-ordinal policy: Perform, Delay(delay ticks past enablement), Drop.
+struct ActionPolicy {
+  ActionChoice choice = ActionChoice::kPerform;
+  Tick delay = 0;  ///< meaningful only for kDelay (>= 1)
+
+  friend bool operator==(const ActionPolicy&, const ActionPolicy&) = default;
+};
+
+/// A party's complete deviation plan: one ActionPolicy per scheduled-action
+/// ordinal, plus an optional protocol-specific dishonesty *variant* tag.
+///
+/// The representation is sparse so the (dominant) halt-only plans stay
+/// allocation-free on the sweep hot path: a halt point (ordinals >= halt_
+/// are dropped — the classic suffix-of-Drops sore-loser move), a variant
+/// tag, and an ordinal-sorted list of explicit modifications (delays and
+/// non-suffix drops). Every unlisted ordinal below the halt point is
+/// Perform.
+///
+/// Variants fold protocol-specific dishonesty (e.g. the auctioneer's seven
+/// declaration strategies, §9) into the same enumerated plan space instead
+/// of a side knob on the schedule: variant 0 is honest, anything else marks
+/// the plan non-conforming and is interpreted by the owning adapter.
 class DeviationPlan {
  public:
-  /// Performs every action: a compliant party.
-  static DeviationPlan conforming() {
-    return DeviationPlan(std::numeric_limits<int>::max());
-  }
+  /// Performs every action immediately: the reference compliant party.
+  static DeviationPlan conforming() { return DeviationPlan(); }
 
   /// Performs actions with ordinal < k, then halts. halt_after(0) never
   /// acts at all.
-  static DeviationPlan halt_after(int k) { return DeviationPlan(k); }
-
-  /// True iff the action with this ordinal should be performed.
-  bool allows(int action_ordinal) const { return action_ordinal < limit_; }
-
-  bool is_conforming() const {
-    return limit_ == std::numeric_limits<int>::max();
+  static DeviationPlan halt_after(int k) {
+    DeviationPlan p;
+    p.halt_ = k;
+    return p;
   }
 
-  /// Number of actions performed before halting (INT_MAX if conforming).
-  int halt_point() const { return limit_; }
+  /// Copy of this plan with action `ordinal` delayed by `ticks` past its
+  /// enablement (ticks == 0 means Perform and leaves the plan unchanged).
+  DeviationPlan delayed(int ordinal, Tick ticks) const {
+    DeviationPlan p = *this;
+    if (ticks > 0) p.set_mod(ordinal, ticks);
+    return p;
+  }
 
+  /// Copy of this plan with action `ordinal` dropped (without touching
+  /// later ordinals — the non-suffix generalization of halting).
+  DeviationPlan dropped(int ordinal) const {
+    DeviationPlan p = *this;
+    p.set_mod(ordinal, kDropMark);
+    return p;
+  }
+
+  /// Copy of this plan tagged with a protocol-specific dishonesty variant
+  /// (0 = honest). Interpretation belongs to the owning protocol adapter.
+  DeviationPlan with_variant(int variant) const {
+    DeviationPlan p = *this;
+    p.variant_ = variant;
+    return p;
+  }
+
+  /// The policy applied to the action with ordinal `o`.
+  ActionPolicy policy(int o) const {
+    if (o >= halt_) return {ActionChoice::kDrop, 0};
+    for (const auto& [ordinal, delay] : mods_) {
+      if (ordinal == o) {
+        return delay == kDropMark ? ActionPolicy{ActionChoice::kDrop, 0}
+                                  : ActionPolicy{ActionChoice::kDelay, delay};
+      }
+      if (ordinal > o) break;  // mods_ is ordinal-sorted
+    }
+    return {ActionChoice::kPerform, 0};
+  }
+
+  /// True iff the action with this ordinal is (eventually) performed.
+  bool allows(int o) const { return policy(o).choice != ActionChoice::kDrop; }
+
+  /// The reference plan: every action performed immediately, honest
+  /// variant. This is what "deviator" counting is measured against.
+  bool is_conforming() const {
+    return halt_ == kNoHalt && variant_ == 0 && mods_.empty();
+  }
+
+  /// Paper-compliance under the synchrony bound `delta`: an honest-variant
+  /// plan that drops nothing and delays every action by less than delta is
+  /// still conforming — acting timely-but-last-moment is within the timing
+  /// model the contracts' deadlines are provisioned for (inclusive
+  /// deadlines spaced >= delta apart per scheduled step). Delays >= delta
+  /// step outside the model: such a party gambles on landing past a
+  /// deadline and must be treated as a (potential) sore loser.
+  bool conforms_within(Tick delta) const {
+    if (halt_ != kNoHalt || variant_ != 0) return false;
+    for (const auto& [ordinal, delay] : mods_) {
+      (void)ordinal;
+      if (delay == kDropMark || delay >= delta) return false;
+    }
+    return true;
+  }
+
+  /// True iff some action is delayed or dropped (halt or variant aside).
+  bool has_mods() const { return !mods_.empty(); }
+
+  int variant() const { return variant_; }
+
+  /// Number of actions performed before halting (INT_MAX if no halt
+  /// suffix). Meaningful for halt-style plans; delay/drop mods below the
+  /// halt point are not reflected here.
+  int halt_point() const { return halt_; }
+
+  /// Renders the full policy. "conform" and "halt@k" keep their historical
+  /// spellings; richer plans list their modifications in ordinal order —
+  /// "d<ordinal>+<ticks>" for a delay, "x<ordinal>" for a non-suffix drop —
+  /// joined with '.', with any halt suffix appended ("d1+2.halt@2") and a
+  /// non-zero variant prefixed as "v<variant>:".
   std::string str() const {
-    return is_conforming() ? "conform" : ("halt@" + std::to_string(limit_));
+    std::string body;
+    for (const auto& [ordinal, delay] : mods_) {
+      if (!body.empty()) body += '.';
+      if (delay == kDropMark) {
+        body += 'x';
+        body += std::to_string(ordinal);
+      } else {
+        body += 'd';
+        body += std::to_string(ordinal);
+        body += '+';
+        body += std::to_string(delay);
+      }
+    }
+    if (halt_ != kNoHalt) {
+      if (!body.empty()) body += '.';
+      body += "halt@" + std::to_string(halt_);
+    }
+    if (body.empty()) body = "conform";
+    if (variant_ != 0) body = "v" + std::to_string(variant_) + ":" + body;
+    return body;
   }
 
   friend bool operator==(const DeviationPlan&, const DeviationPlan&) = default;
 
  private:
-  explicit DeviationPlan(int limit) : limit_(limit) {}
-  int limit_;
+  static constexpr int kNoHalt = std::numeric_limits<int>::max();
+  static constexpr Tick kDropMark = -1;
+
+  void set_mod(int ordinal, Tick delay) {
+    const auto at = std::lower_bound(
+        mods_.begin(), mods_.end(), ordinal,
+        [](const auto& mod, int o) { return mod.first < o; });
+    if (at != mods_.end() && at->first == ordinal) {
+      at->second = delay;
+    } else {
+      mods_.insert(at, {ordinal, delay});
+    }
+  }
+
+  int halt_ = kNoHalt;
+  int variant_ = 0;
+  /// (ordinal, delay) with delay == kDropMark meaning Drop; ordinal-sorted,
+  /// only non-Perform entries below the halt point are stored.
+  std::vector<std::pair<int, Tick>> mods_;
 };
 
 }  // namespace xchain::sim

@@ -4,10 +4,12 @@
 #include <string>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "crypto/schnorr.hpp"
+#include "sim/deviation.hpp"
 
 namespace xchain::sim {
 
@@ -15,14 +17,28 @@ namespace xchain::sim {
 /// in the model (paper §3.1): once per tick they observe public chain state
 /// and submit transactions; contracts do the rest.
 ///
+/// Every party carries a DeviationPlan. Engine code marks each scheduled
+/// action's decision point with act(): the plan then performs the action
+/// immediately, queues it `delay` ticks into the future (the Scheduler
+/// flushes the queue, via tick(), before the party's next step()), or
+/// drops it — so halting, timely lateness, and past-deadline
+/// timing-griefing all flow through one per-ordinal mechanism instead of
+/// per-engine strategy enums.
+///
 /// Parties are rebuilt per sweep schedule (their deviation plan changes),
 /// so construction sits on the sweep hot path: key pairs come from the
-/// process-wide keygen cache, and the submit() helper below builds trace
-/// notes only on chains that actually record them.
+/// process-wide keygen cache, the submit() helper below builds trace notes
+/// only on chains that actually record them, and the conforming fast path
+/// of act() adds no allocation over a direct submit.
 class Party {
  public:
   Party(PartyId id, std::string name)
       : id_(id), name_(std::move(name)), keys_(crypto::keygen_cached(name_)) {}
+  Party(PartyId id, std::string name, DeviationPlan plan)
+      : id_(id),
+        name_(std::move(name)),
+        keys_(crypto::keygen_cached(name_)),
+        plan_(std::move(plan)) {}
   virtual ~Party() = default;
 
   Party(const Party&) = delete;
@@ -31,13 +47,42 @@ class Party {
   PartyId id() const { return id_; }
   const std::string& name() const { return name_; }
   const crypto::KeyPair& keys() const { return keys_; }
+  const DeviationPlan& plan() const { return plan_; }
   chain::Address address() const { return chain::Address::party(id_); }
+
+  /// One scheduler tick: delayed actions that have come due are submitted
+  /// first (in the order they were decided), then the party observes and
+  /// acts. Called by the Scheduler; engines override step(), not this.
+  void tick(chain::MultiChain& chains, Tick now) {
+    if (!pending_.empty()) flush_due(chains, now);
+    step(chains, now);
+  }
 
   /// Observe-and-act hook, called once per tick before block production.
   /// Transactions submitted here are applied in this tick's blocks.
   virtual void step(chain::MultiChain& chains, Tick now) = 0;
 
  protected:
+  /// Decision point for the scheduled action `ordinal`, to be reached when
+  /// (and only when) the action's guard first holds. Applies the party's
+  /// plan: Perform runs `perform(chains)` immediately, Delay(d) queues it
+  /// for tick now + d, Drop discards it. Returns false only for Drop, so
+  /// callers can distinguish "will happen" from "never will"; either way
+  /// the decision is made exactly once — callers flip their did-flags
+  /// regardless of the result.
+  template <class Fn, class = std::enable_if_t<
+                          std::is_invocable_v<Fn&, chain::MultiChain&>>>
+  bool act(chain::MultiChain& chains, Tick now, int ordinal, Fn&& perform) {
+    const ActionPolicy pol = plan_.policy(ordinal);
+    if (pol.choice == ActionChoice::kDrop) return false;
+    if (pol.choice == ActionChoice::kDelay && pol.delay > 0) {
+      pending_.push_back({now + pol.delay, std::forward<Fn>(perform)});
+      return true;
+    }
+    perform(chains);
+    return true;
+  }
+
   /// Submits `effect` to `chain` signed by this party. The trace note
   /// ("<name>: <what>") is only materialized when the chain traces —
   /// sweep runs at TraceMode::kOff never touch the strings.
@@ -66,9 +111,31 @@ class Party {
   }
 
  private:
+  struct Pending {
+    Tick due;
+    std::function<void(chain::MultiChain&)> fn;
+  };
+
+  void flush_due(chain::MultiChain& chains, Tick now) {
+    // Due actions run in decision order; the queue is tiny (one entry per
+    // delayed ordinal of one party), so compaction beats cleverness.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].due <= now) {
+        pending_[i].fn(chains);
+      } else {
+        if (kept != i) pending_[kept] = std::move(pending_[i]);
+        ++kept;
+      }
+    }
+    pending_.resize(kept);
+  }
+
   PartyId id_;
   std::string name_;
   const crypto::KeyPair& keys_;
+  DeviationPlan plan_;
+  std::vector<Pending> pending_;
 };
 
 }  // namespace xchain::sim

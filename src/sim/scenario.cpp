@@ -8,33 +8,85 @@
 #include <thread>
 
 #include "core/crr.hpp"
-#include "sim/plan_space.hpp"
 
 namespace xchain::sim {
 
 namespace {
 
-/// Mixed-radix view of one adapter's raw schedule space (variant index
-/// outermost, party 0's plan least significant — exactly the order the
-/// serial enumeration has always visited). Random access by raw index lets
-/// parallel shards be plain index ranges, so no path ever materializes the
-/// cross product (it is exponential in the party count).
+/// Mixed-radix view of one adapter's raw schedule space (party 0's plan
+/// least significant — exactly the order the serial enumeration visits).
+/// Random access by raw index lets parallel shards be plain index ranges,
+/// so no path ever materializes the cross product (it is exponential in
+/// the party count).
+///
+/// Construction applies the strategy-space bounds: halt-only spaces are
+/// enumerated whole (back-compat, never truncated); delay spaces cap each
+/// party's plan list and then trim all lists to the largest uniform
+/// per-party size whose cross product fits the schedule budget, recording
+/// ParamGrid-style truncation notices. Per-party lists put the halt-only
+/// plans first, so halt coverage survives trimming longest.
 class ScheduleSpace {
  public:
-  explicit ScheduleSpace(const ProtocolAdapter& adapter) : adapter_(adapter) {
+  ScheduleSpace(const ProtocolAdapter& adapter, const StrategySpace& strategies)
+      : adapter_(adapter) {
     const std::size_t n = adapter.party_count();
+    std::vector<PartyPlanSpace> raw;
+    raw.reserve(n);
+    const std::size_t cap = strategies.halt_only()
+                                ? std::numeric_limits<std::size_t>::max()
+                                : strategies.max_plans_per_party;
     for (std::size_t p = 0; p < n; ++p) {
-      spaces_.push_back(
-          plan_space(adapter.action_count(static_cast<PartyId>(p))));
+      raw.push_back(
+          adapter.plan_space(static_cast<PartyId>(p), strategies, cap));
     }
-    combos_per_variant_ = 1;
-    for (const auto& space : spaces_) combos_per_variant_ *= space.size();
-    raw_size_ = combos_per_variant_ *
-                static_cast<std::size_t>(adapter.variant_count());
+
+    if (!strategies.halt_only()) {
+      const auto product_at = [&](std::size_t uniform) {
+        std::size_t prod = 1;
+        for (const PartyPlanSpace& r : raw) {
+          const std::size_t s =
+              std::max<std::size_t>(std::min(r.plans.size(), uniform), 1);
+          if (prod > strategies.max_schedules / s + 1) {
+            return std::numeric_limits<std::size_t>::max();
+          }
+          prod *= s;
+        }
+        return prod;
+      };
+      std::size_t uniform = 0;
+      for (const PartyPlanSpace& r : raw) {
+        uniform = std::max(uniform, r.plans.size());
+      }
+      while (uniform > 1 && product_at(uniform) > strategies.max_schedules) {
+        --uniform;
+      }
+      for (PartyPlanSpace& r : raw) {
+        if (r.plans.size() > uniform) r.plans.resize(uniform);
+      }
+      for (std::size_t p = 0; p < raw.size(); ++p) {
+        if (!raw[p].truncated()) continue;
+        truncations_.push_back(
+            adapter.name() + ": strategy space '" + strategies.name() +
+            "' truncated: party " + std::to_string(p) + " sweeping " +
+            std::to_string(raw[p].plans.size()) + " of " +
+            std::to_string(raw[p].full_size) + " plans (caps: " +
+            std::to_string(strategies.max_plans_per_party) +
+            " plans/party, " + std::to_string(strategies.max_schedules) +
+            " schedules)");
+      }
+    }
+
+    spaces_.reserve(raw.size());
+    for (PartyPlanSpace& r : raw) spaces_.push_back(std::move(r.plans));
+    raw_size_ = 1;
+    for (const auto& space : spaces_) raw_size_ *= space.size();
   }
 
   /// Raw combination count, before any max_deviators filtering.
   std::size_t raw_size() const { return raw_size_; }
+
+  /// Truncation notices from the strategy-space bounds ([] when whole).
+  const std::vector<std::string>& truncations() const { return truncations_; }
 
   /// Decodes raw index `index` into `out`, reusing out's plan storage.
   /// Returns false (leaving `out` unspecified) when the combination
@@ -43,9 +95,8 @@ class ScheduleSpace {
   /// fill_label().
   bool make(std::size_t index, int max_deviators, Schedule& out,
             bool with_label) const {
-    const int variant = static_cast<int>(index / combos_per_variant_);
-    std::size_t rest = index % combos_per_variant_;
-    int deviators = adapter_.variant_conforming(variant) ? 0 : 1;
+    std::size_t rest = index;
+    int deviators = 0;
     out.plans.clear();
     out.plans.reserve(spaces_.size());
     for (const auto& space : spaces_) {
@@ -56,7 +107,6 @@ class ScheduleSpace {
     }
     if (max_deviators >= 0 && deviators > max_deviators) return false;
 
-    out.variant = variant;
     if (with_label) {
       fill_label(out);
     } else {
@@ -67,12 +117,13 @@ class ScheduleSpace {
 
   /// Builds the human-readable label for a decoded schedule.
   void fill_label(Schedule& out) const {
-    out.label = adapter_.name() + "[" + adapter_.variant_label(out.variant);
+    out.label = adapter_.name();
     for (std::size_t p = 0; p < out.plans.size(); ++p) {
-      // Appended in two steps: `const char* + std::string&&` trips the
-      // GCC-12 -Wrestrict false positive (PR 105651) under -Werror.
-      out.label += p == 0 ? '|' : ',';
-      out.label += out.plans[p].str();
+      // Appended in steps: `const char* + std::string&&` trips the GCC-12
+      // -Wrestrict false positive (PR 105651) under -Werror.
+      out.label += p == 0 ? '[' : ',';
+      out.label +=
+          adapter_.plan_label(static_cast<PartyId>(p), out.plans[p]);
     }
     out.label += "]";
   }
@@ -80,7 +131,7 @@ class ScheduleSpace {
  private:
   const ProtocolAdapter& adapter_;
   std::vector<std::vector<DeviationPlan>> spaces_;
-  std::size_t combos_per_variant_ = 1;
+  std::vector<std::string> truncations_;
   std::size_t raw_size_ = 0;
 };
 
@@ -124,6 +175,9 @@ std::string SweepReport::line() const {
 
 std::string SweepReport::str() const {
   std::string s = line();
+  for (const std::string& t : truncations) {
+    s += "\n  " + t;
+  }
   for (const Violation& v : violations) {
     s += "\n  " + v.str();
   }
@@ -136,22 +190,52 @@ void validate_sweep_options(const SweepOptions& opts) {
         "SweepOptions.max_deviators must be >= -1 (-1 = unbounded), got " +
         std::to_string(opts.max_deviators));
   }
+  if (opts.strategies.max_plans_per_party == 0) {
+    throw std::invalid_argument(
+        "StrategySpace.max_plans_per_party must be >= 1");
+  }
+  if (opts.strategies.max_schedules == 0) {
+    throw std::invalid_argument("StrategySpace.max_schedules must be >= 1");
+  }
 }
 
 std::vector<Schedule> ScenarioRunner::enumerate(int max_deviators) const {
-  const ScheduleSpace space(adapter_);
+  return enumerate(SweepOptions{max_deviators, /*threads=*/1, {}});
+}
+
+std::vector<Schedule> ScenarioRunner::enumerate(
+    const SweepOptions& opts) const {
+  validate_sweep_options(opts);
+  const ScheduleSpace space(adapter_, opts.strategies);
   std::vector<Schedule> schedules;
   Schedule s;
   for (std::size_t i = 0; i < space.raw_size(); ++i) {
-    if (space.make(i, max_deviators, s, /*with_label=*/true)) {
+    if (space.make(i, opts.max_deviators, s, /*with_label=*/true)) {
       schedules.push_back(std::move(s));
     }
   }
   return schedules;
 }
 
+std::size_t ScenarioRunner::schedule_count(
+    const SweepOptions& opts, std::vector<std::string>* truncations) const {
+  validate_sweep_options(opts);
+  const ScheduleSpace space(adapter_, opts.strategies);
+  if (truncations) {
+    truncations->insert(truncations->end(), space.truncations().begin(),
+                        space.truncations().end());
+  }
+  if (opts.max_deviators < 0) return space.raw_size();
+  std::size_t count = 0;
+  Schedule s;
+  for (std::size_t i = 0; i < space.raw_size(); ++i) {
+    if (space.make(i, opts.max_deviators, s, /*with_label=*/false)) ++count;
+  }
+  return count;
+}
+
 SweepReport ScenarioRunner::sweep(int max_deviators) const {
-  return sweep(SweepOptions{max_deviators, /*threads=*/1});
+  return sweep(SweepOptions{max_deviators, /*threads=*/1, {}});
 }
 
 SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
@@ -159,7 +243,8 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
   SweepReport report;
   report.protocol = adapter_.name();
 
-  const ScheduleSpace space(adapter_);
+  const ScheduleSpace space(adapter_, opts.strategies);
+  report.truncations = space.truncations();
   unsigned threads = opts.threads != 0
                          ? opts.threads
                          : std::max(1u, std::thread::hardware_concurrency());
@@ -201,7 +286,7 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
         // A private engine per worker: chains built by run() are stateful,
         // and a future adapter may keep per-run scratch state on itself.
         const std::unique_ptr<ProtocolAdapter> engine = adapter_.clone();
-        const ScheduleSpace worker_space(*engine);
+        const ScheduleSpace worker_space(*engine, opts.strategies);
         for (std::size_t shard = next_shard.fetch_add(1);
              shard < shard_count; shard = next_shard.fetch_add(1)) {
           const std::size_t begin = shard * space.raw_size() / shard_count;
@@ -248,9 +333,10 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
                 .run(s.plans[0], s.plans[1])
           : core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
 
-  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
+  PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
+                     {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = cfg_.premium_b;
-  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  PartyOutcome bob{"bob", s.plans[1].conforms_within(cfg_.delta), r.bob, {}};
   if (r.bob_lockup > 0) bob.bound.min_coin_delta = cfg_.premium_a;
   return {std::move(alice), std::move(bob)};
 }
@@ -273,8 +359,8 @@ std::vector<PartyOutcome> MultiPartySwapAdapter::run(
 
   std::vector<PartyOutcome> outcomes;
   for (std::size_t v = 0; v < cfg_.g.size(); ++v) {
-    PartyOutcome o{"party-" + std::to_string(v), s.plans[v].is_conforming(),
-                   r.payoffs[v], {}};
+    PartyOutcome o{"party-" + std::to_string(v),
+                   s.plans[v].conforms_within(cfg_.delta), r.payoffs[v], {}};
     if (cfg_.hedged) {
       o.bound.min_coin_delta = cfg_.premium_unit * r.assets_refunded[v];
     }
@@ -301,22 +387,9 @@ core::AuctioneerStrategy auctioneer_of(int variant) {
   }
 }
 
-/// Maps a bidder's halt point onto its BidderStrategy. The bidder script
-/// is: bid/commit (0), [sealed: reveal (1)], forward one-sided keys (last).
-core::BidderStrategy bidder_of(const DeviationPlan& plan, bool sealed) {
-  if (plan.is_conforming()) return core::BidderStrategy::kConform;
-  switch (plan.halt_point()) {
-    case 0: return core::BidderStrategy::kNoBid;
-    case 1:
-      return sealed ? core::BidderStrategy::kCommitNoReveal
-                    : core::BidderStrategy::kNoForward;
-    default: return core::BidderStrategy::kNoForward;
-  }
-}
-
 }  // namespace
 
-std::string TicketAuctionAdapter::variant_label(int variant) const {
+std::string TicketAuctionAdapter::variant_label(int variant) {
   switch (variant) {
     case 0: return "honest";
     case 1: return "no-setup";
@@ -328,15 +401,36 @@ std::string TicketAuctionAdapter::variant_label(int variant) const {
   }
 }
 
+PartyPlanSpace TicketAuctionAdapter::plan_space(
+    PartyId p, const StrategySpace& strategies, std::size_t cap) const {
+  if (p != 0) return ProtocolAdapter::plan_space(p, strategies, cap);
+  // The auctioneer's behaviour space is her seven declaration strategies,
+  // variant-tagged onto otherwise-conforming plans (she has no halt/delay
+  // ordinals of her own: the contracts confine her to publishing or
+  // withholding hashkeys). Enumerated in the historical variant order.
+  PartyPlanSpace out;
+  out.full_size = 7;
+  for (int variant = 0; variant < 7 && out.plans.size() < cap; ++variant) {
+    out.plans.push_back(
+        DeviationPlan::conforming().with_variant(variant));
+  }
+  return out;
+}
+
+std::string TicketAuctionAdapter::plan_label(
+    PartyId p, const DeviationPlan& plan) const {
+  if (p == 0) return variant_label(plan.variant());
+  return plan.str();
+}
+
 std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
   if (s.plans.size() != party_count()) {
     throw std::invalid_argument("auction schedule plan count mismatch");
   }
-  std::vector<core::BidderStrategy> bidders;
-  for (std::size_t i = 1; i < s.plans.size(); ++i) {
-    bidders.push_back(bidder_of(s.plans[i], sealed_));
-  }
-  const core::AuctioneerStrategy strat = auctioneer_of(s.variant);
+  const std::vector<sim::DeviationPlan> bidder_plans(s.plans.begin() + 1,
+                                                     s.plans.end());
+  const int variant = s.plans[0].variant();
+  const core::AuctioneerStrategy strat = auctioneer_of(variant);
   const core::AuctionResult r =
       world_reuse()
           ? world_
@@ -344,23 +438,22 @@ std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
                   return std::make_unique<core::AuctionWorld>(
                       cfg_, sealed_, chain::TraceMode::kOff);
                 })
-                .run(strat, bidders)
-          : (sealed_ ? core::run_sealed_auction(cfg_, strat, bidders)
-                     : core::run_auction(cfg_, strat, bidders));
+                .run(strat, bidder_plans)
+          : core::AuctionWorld(cfg_, sealed_).run(strat, bidder_plans);
 
   std::vector<PartyOutcome> outcomes;
-  outcomes.push_back({"auctioneer",
-                      s.variant == 0 && s.plans[0].is_conforming(),
-                      r.auctioneer,
-                      {}});
-  for (std::size_t i = 0; i < bidders.size(); ++i) {
+  outcomes.push_back(
+      {"auctioneer", s.plans[0].conforms_within(cfg_.delta), r.auctioneer,
+       {}});
+  for (std::size_t i = 0; i < bidder_plans.size(); ++i) {
     PartyOutcome o{"bidder-" + std::to_string(i + 1),
-                   s.plans[i + 1].is_conforming(), r.bidders[i], {}};
+                   s.plans[i + 1].conforms_within(cfg_.delta), r.bidders[i],
+                   {}};
     const auto it = o.payoff.by_symbol.find("ticket");
     if (it != o.payoff.by_symbol.end() && it->second > 0) {
       o.bound.goods_received = true;
       o.bound.spend_allowance = cfg_.bids[i];  // never pay above the bid
-    } else if (o.conforming && s.variant != 0 &&
+    } else if (o.conforming && variant != 0 &&
                strat != core::AuctioneerStrategy::kNoSetup && !r.completed &&
                cfg_.bids[i] > 0) {
       // §9.2: a conforming bidder locked its bid (the auctioneer did set
@@ -396,10 +489,12 @@ std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
   // are sellers: a locked-and-refunded principal earns at least the base
   // premium p (§8.2's single-round formula compensates every lock-up with
   // at least one premium unit).
-  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
-  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
+                     {}};
+  PartyOutcome bob{"bob", s.plans[1].conforms_within(cfg_.delta), r.bob, {}};
   if (r.bob_lockup > 0) bob.bound.min_coin_delta = cfg_.premium_unit;
-  PartyOutcome carol{"carol", s.plans[2].is_conforming(), r.carol, {}};
+  PartyOutcome carol{"carol", s.plans[2].conforms_within(cfg_.delta), r.carol,
+                     {}};
   if (r.carol_lockup > 0) carol.bound.min_coin_delta = cfg_.premium_unit;
   return {std::move(alice), std::move(bob), std::move(carol)};
 }
@@ -439,9 +534,10 @@ std::vector<PartyOutcome> BootstrapSwapAdapter::run(const Schedule& s) const {
                 .run(s.plans[0], s.plans[1])
           : core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
 
-  PartyOutcome alice{"alice", s.plans[0].is_conforming(), r.alice, {}};
+  PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
+                     {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = alice_floor_;
-  PartyOutcome bob{"bob", s.plans[1].is_conforming(), r.bob, {}};
+  PartyOutcome bob{"bob", s.plans[1].conforms_within(cfg_.delta), r.bob, {}};
   if (r.bob_lockup > 0) bob.bound.min_coin_delta = bob_floor_;
   return {std::move(alice), std::move(bob)};
 }

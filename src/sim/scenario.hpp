@@ -5,15 +5,30 @@
 // The paper's central claim is quantitative: under *any* sore-loser
 // deviation, every conforming party ends no worse off than its premium
 // compensation (Definition 1 and the per-protocol lemmas). A handful of
-// hand-picked deviations cannot establish that — this module enumerates the
-// whole schedule space instead.
+// hand-picked deviations cannot establish that — this module enumerates
+// whole adversary-strategy spaces instead.
+//
+// A deviation schedule assigns every party a DeviationPlan: one ActionPolicy
+// — Perform, Delay(d ticks), or Drop — per scheduled-action ordinal, with
+// halting as the suffix-of-Drops special case and protocol-specific
+// dishonesty (e.g. the auctioneer's seven declaration strategies) folded in
+// as variant-tagged plans rather than side knobs. Which plans are
+// enumerated is a first-class sweep dimension, the StrategySpace
+// (sim/strategy_space.hpp): halt-only reproduces the historical schedule
+// space byte-identically; timely-delays adds last-moment-but-compliant
+// lateness (which must sweep clean — a timely-delayed party is still
+// conforming and keeps its hedged floor); late-delays adds delays at and
+// past the synchrony bound, whose submissions can land past contract
+// deadlines — the audit then treats the delayer as the sore loser and
+// checks that everyone else is premium-compensated. Enlarged spaces are
+// bounded (per-party plan cap + schedule budget) with ParamGrid-style loud
+// truncation reports.
 //
 // A ProtocolAdapter describes one protocol engine: how many parties it has,
-// how many deviation ordinals each party's script exposes, and which
-// protocol-specific dishonesty variants exist beyond generic halting (e.g.
-// the auctioneer's seven declaration strategies). ScenarioRunner takes an
-// adapter, enumerates the cross product of per-party DeviationPlan
-// {conform, halt@0..halt@k-1} choices times the dishonesty variants, runs
+// how many deviation ordinals each party's script exposes, its synchrony
+// bound Δ (from which delay menus derive), and — when the generic generator
+// doesn't fit — the party's plan space itself. ScenarioRunner takes an
+// adapter, enumerates the cross product of per-party plan spaces, runs
 // every schedule through the engine (by default each adapter resets one
 // reusable traceless world per schedule; set_world_reuse(false) rebuilds a
 // fresh traced MultiChain per run instead), and feeds each final state to
@@ -25,7 +40,7 @@
 // a worker pool (each worker drives its own adapter clone so per-run chain
 // state never crosses threads), and merges the per-shard results in shard
 // order — the merged report is identical, schedule for schedule, to the
-// serial sweep's.
+// serial sweep's, whatever the strategy space.
 //
 // Adapters for all the protocol families — two-party hedged swap (§5),
 // multi-party ARC swap (§7), ticket auction open + sealed (§9), the
@@ -35,10 +50,11 @@
 // register a named factory in sim/registry.hpp instead. The registry maps
 // stable protocol names to ParamSet-driven adapter factories, and the
 // campaign layer (sim/campaign.hpp, the `xchain-sweep` CLI, CI) sweeps
-// whole configuration grids through it with zero recompilation — that is
-// the entry point future fuzzing / scaling PRs should drive.
+// whole configuration × strategy grids through it with zero recompilation —
+// that is the entry point future fuzzing / scaling PRs should drive.
 
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,14 +67,14 @@
 #include "core/two_party.hpp"
 #include "sim/deviation.hpp"
 #include "sim/payoff_audit.hpp"
+#include "sim/strategy_space.hpp"
 
 namespace xchain::sim {
 
-/// One fully-specified adversarial schedule: a deviation plan per party
-/// plus a protocol-specific dishonesty variant index.
+/// One fully-specified adversarial schedule: a deviation plan per party.
+/// Protocol-specific dishonesty rides on the plans' variant tags.
 struct Schedule {
   std::vector<DeviationPlan> plans;
-  int variant = 0;
   std::string label;
 };
 
@@ -82,19 +98,32 @@ class ProtocolAdapter {
   void set_world_reuse(bool on) { world_reuse_ = on; }
   bool world_reuse() const { return world_reuse_; }
 
-  /// Number of deviation ordinals in party p's script; enumeration tries
-  /// halt@0 .. halt@(count-1) plus conforming. (halt@count would repeat
+  /// Number of deviation ordinals in party p's script; the generic plan
+  /// space tries halt@0 .. halt@(count-1) plus conforming, and delay/drop
+  /// combinations over the same ordinals. (halt@count would repeat
   /// conforming: the party performs its whole script.)
   virtual int action_count(PartyId p) const = 0;
 
-  /// Protocol-specific dishonesty variants (variant 0 must be "honest").
-  virtual int variant_count() const { return 1; }
-  virtual std::string variant_label(int variant) const {
-    return variant == 0 ? "honest" : "variant-" + std::to_string(variant);
+  /// The configured synchrony bound Δ in ticks — the unit strategy-space
+  /// delay menus are derived from ({Δ-1} timely, {Δ-1, Δ, 2Δ} late).
+  virtual Tick delta() const { return 1; }
+
+  /// Party p's enumerated plan space under `strategies`, at most `cap`
+  /// plans. Default: the generic generator over action_count(p) and
+  /// delta(). Adapters whose parties deviate through protocol-specific
+  /// variants (the auctioneer) override this to emit variant-tagged plans.
+  virtual PartyPlanSpace plan_space(
+      PartyId p, const StrategySpace& strategies,
+      std::size_t cap = std::numeric_limits<std::size_t>::max()) const {
+    return party_plan_space(action_count(p), delta(), strategies, cap);
   }
-  /// Whether the variant leaves every party's conformity to its plan alone
-  /// (false marks the variant's owner — by convention party 0 — deviant).
-  virtual bool variant_conforming(int variant) const { return variant == 0; }
+
+  /// How party p's plan renders inside a schedule label. Default: the
+  /// plan's own str(); adapters with variant plans give them names.
+  virtual std::string plan_label(PartyId p, const DeviationPlan& plan) const {
+    (void)p;
+    return plan.str();
+  }
 
   /// An independent adapter driving the same protocol with the same
   /// parameters. Parallel sweeps give every worker thread its own clone:
@@ -144,6 +173,11 @@ struct SweepReport {
   std::size_t conforming_audited = 0;
   std::vector<Violation> violations;
 
+  /// Strategy-space truncation notices (ParamGrid-style): non-empty iff
+  /// the enumerated space was capped below its full size. Halt-only
+  /// sweeps are never truncated.
+  std::vector<std::string> truncations;
+
   /// Worker threads actually used (small spaces clamp below the request:
   /// a worker only pays for itself over a batch of schedules).
   unsigned workers = 1;
@@ -151,26 +185,33 @@ struct SweepReport {
   bool ok() const { return violations.empty(); }
 
   /// One-line summary ("<protocol>: N schedules, ... V violations") — the
-  /// per-protocol form campaign reports aggregate.
+  /// per-protocol form campaign reports aggregate. Pinned in
+  /// tests/strategy_sweep_test.cpp; campaign/CLI output depends on it.
   std::string line() const;
-  /// line() plus one indented line per violation.
+  /// line() plus one indented line per violation and per truncation.
   std::string str() const;
 };
 
 /// How to run a sweep.
 struct SweepOptions {
   /// Schedules with more deviating parties are skipped (-1 = unbounded,
-  /// the full cross product). A dishonest variant counts as one deviator.
+  /// the full cross product). Any non-reference plan — halt, delay, drop,
+  /// or dishonest variant — counts its party as one deviator.
   int max_deviators = -1;
 
   /// Worker threads. 1 = serial; 0 = one per hardware thread. The result
   /// is bit-identical whatever the count.
   unsigned threads = 1;
+
+  /// Which adversary strategies to enumerate (and the bounds on the
+  /// enlarged spaces). Defaults to halt-only: byte-identical to the
+  /// historical sweeps.
+  StrategySpace strategies;
 };
 
-/// Rejects malformed options (max_deviators below -1) with
-/// std::invalid_argument instead of letting them skip every schedule
-/// silently. Called by ScenarioRunner::sweep and Campaign::run.
+/// Rejects malformed options (max_deviators below -1, zero strategy-space
+/// caps) with std::invalid_argument instead of letting them skip every
+/// schedule silently. Called by ScenarioRunner::sweep and Campaign::run.
 void validate_sweep_options(const SweepOptions& opts);
 
 /// Enumerates and audits deviation schedules for one protocol.
@@ -179,10 +220,22 @@ class ScenarioRunner {
   explicit ScenarioRunner(const ProtocolAdapter& adapter)
       : adapter_(adapter) {}
 
-  /// All schedules with at most `max_deviators` deviating parties
-  /// (-1 = unbounded, the full cross product). A dishonest variant counts
-  /// as one deviator.
+  /// All halt-only schedules with at most `max_deviators` deviating
+  /// parties (-1 = unbounded, the full cross product).
   std::vector<Schedule> enumerate(int max_deviators = -1) const;
+
+  /// All schedules of `opts`' strategy space within its deviator bound.
+  std::vector<Schedule> enumerate(const SweepOptions& opts) const;
+
+  /// How many schedules sweep(opts) would run, without running any — the
+  /// `xchain-sweep --dry-run` number (decodes the space, applies the
+  /// max_deviators filter, skips execution). When `truncations` is given,
+  /// the strategy-space truncation notices a real sweep would report are
+  /// appended to it — a dry run must be as loud about capping as the run
+  /// it previews.
+  std::size_t schedule_count(const SweepOptions& opts,
+                             std::vector<std::string>* truncations =
+                                 nullptr) const;
 
   /// Runs and audits every enumerated schedule serially.
   SweepReport sweep(int max_deviators = -1) const;
@@ -212,6 +265,7 @@ class TwoPartySwapAdapter final : public ProtocolAdapter {
   int action_count(PartyId) const override {
     return core::kHedgedTwoPartyActions;
   }
+  Tick delta() const override { return cfg_.delta; }
   std::unique_ptr<ProtocolAdapter> clone() const override {
     return std::make_unique<TwoPartySwapAdapter>(*this);
   }
@@ -238,6 +292,7 @@ class MultiPartySwapAdapter final : public ProtocolAdapter {
     return cfg_.hedged ? core::kMultiPartyHedgedActions
                        : core::kMultiPartyBaseActions;
   }
+  Tick delta() const override { return cfg_.delta; }
   std::unique_ptr<ProtocolAdapter> clone() const override {
     return std::make_unique<MultiPartySwapAdapter>(*this);
   }
@@ -248,12 +303,14 @@ class MultiPartySwapAdapter final : public ProtocolAdapter {
   WorldCache<core::MultiPartyWorld> world_;
 };
 
-/// Ticket auction (§9), open or sealed-bid. Party 0 is the auctioneer: her
-/// whole behaviour space is the AuctioneerStrategy enum, modelled as
-/// variants rather than halt points. Bidder halt ordinals map onto
-/// BidderStrategy (open: 0 = bid, 1 = forward; sealed: 0 = commit,
-/// 1 = reveal, 2 = forward). Bound (Lemma 8): a conforming bidder's coins
-/// move only against the tickets, and never by more than its bid.
+/// Ticket auction (§9), open or sealed-bid. Party 0 is the auctioneer: the
+/// smart contracts confine her to publishing (or withholding) hashkeys, so
+/// her whole behaviour space is the seven declaration strategies — folded
+/// into the plan space as variant-tagged plans (variant 0 = honest) rather
+/// than halt ordinals. Bidder ordinals: open 0 = bid, 1 = forward; sealed
+/// 0 = commit, 1 = reveal, 2 = forward. Bound (Lemma 8): a conforming
+/// bidder's coins move only against the tickets, and never by more than
+/// its bid.
 class TicketAuctionAdapter final : public ProtocolAdapter {
  public:
   TicketAuctionAdapter(core::AuctionConfig cfg, bool sealed)
@@ -267,8 +324,15 @@ class TicketAuctionAdapter final : public ProtocolAdapter {
     if (p == 0) return 0;  // the auctioneer deviates via variants only
     return sealed_ ? 3 : 2;
   }
-  int variant_count() const override { return 7; }
-  std::string variant_label(int variant) const override;
+  Tick delta() const override { return cfg_.delta; }
+  /// Party 0's space is the seven variant-tagged auctioneer plans; bidders
+  /// use the generic generator.
+  PartyPlanSpace plan_space(PartyId p, const StrategySpace& strategies,
+                            std::size_t cap) const override;
+  std::string plan_label(PartyId p,
+                         const DeviationPlan& plan) const override;
+  /// The auctioneer's declaration-strategy name for a variant tag.
+  static std::string variant_label(int variant);
   std::unique_ptr<ProtocolAdapter> clone() const override {
     return std::make_unique<TicketAuctionAdapter>(*this);
   }
@@ -291,6 +355,7 @@ class BrokerDealAdapter final : public ProtocolAdapter {
   std::string name() const override { return "hedged-broker"; }
   std::size_t party_count() const override { return 3; }
   int action_count(PartyId) const override { return core::kBrokerActions; }
+  Tick delta() const override { return cfg_.delta; }
   std::unique_ptr<ProtocolAdapter> clone() const override {
     return std::make_unique<BrokerDealAdapter>(*this);
   }
@@ -320,6 +385,7 @@ class BootstrapSwapAdapter final : public ProtocolAdapter {
   int action_count(PartyId) const override {
     return core::bootstrap_action_count(cfg_.rounds);
   }
+  Tick delta() const override { return cfg_.delta; }
   std::unique_ptr<ProtocolAdapter> clone() const override {
     return std::make_unique<BootstrapSwapAdapter>(*this);
   }

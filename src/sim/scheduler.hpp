@@ -11,15 +11,35 @@ namespace xchain::sim {
 /// Synchronous round scheduler (paper §3.1).
 ///
 /// Each tick t:
-///   1. every party observes state up to block t-1 and submits transactions
-///      (in party-id order; order within a tick never matters because
-///      submissions land in the same block);
+///   1. every party runs tick(): delayed actions that have come due are
+///      submitted first, then the party observes state up to block t-1 and
+///      submits new transactions (in party-id order; order within a tick
+///      never matters because submissions land in the same block);
 ///   2. every chain produces block t.
 ///
 /// A state change made in block t is therefore observed and reacted to by
 /// every party at tick t+1 — the propagation bound Delta is any number of
 /// ticks >= 1, and protocol schedules express their timeouts as multiples
 /// of it.
+///
+/// Timing contract (what the strategy-space delay menus lean on):
+///   - Contract deadlines are INCLUSIVE: a transaction submitted at tick t
+///     with deadline D is accepted iff t <= D (contracts reject with
+///     `now() > deadline`). The timeout sweep that refunds/awards expired
+///     escrows runs after transactions, so a deadline-tick submission
+///     still lands.
+///   - Protocol schedules space consecutive deadlines >= Delta apart, and
+///     a conforming party reacts one tick after the enabling block. A
+///     party that delays every action by at most Delta-1 ticks past its
+///     enablement therefore still meets every deadline ("timely" delays,
+///     StrategySpace::kTimelyDelays); a delay >= Delta can push a
+///     submission past its deadline, where the contract ignores it and the
+///     party is treated as a sore loser (kLateDelays).
+///   - A delayed action is DECIDED when its guard first holds and
+///     submitted when it comes due; contracts re-validate everything at
+///     execution time, so a submission whose window closed (or whose
+///     prerequisites changed) while it sat in the queue is rejected as a
+///     no-op, never UB.
 class Scheduler {
  public:
   explicit Scheduler(chain::MultiChain& chains) : chains_(chains) {}
@@ -39,7 +59,7 @@ class Scheduler {
   void run_until(Tick horizon) {
     for (; now_ < horizon; ++now_) {
       for (Party* p : parties_) {
-        p->step(chains_, now_);
+        p->tick(chains_, now_);
       }
       chains_.produce_all(now_);
     }

@@ -1,0 +1,207 @@
+#pragma once
+
+// Bounded adversary-strategy spaces for the scenario sweep.
+//
+// The paper's guarantee (Definition 1) quantifies over *any* sore-loser
+// deviation. Halting is only one axis of that space: a party can also act
+// *late* — timely-but-last-moment (still compliant: every contract deadline
+// is inclusive and provisioned with >= Δ of slack per scheduled step), or
+// just past a deadline (the timing-griefing move cross-chain MEV work
+// highlights). A StrategySpace names which per-ordinal action choices the
+// plan-space enumerator may combine:
+//
+//   halt-only      {Perform} plus the suffix-of-Drops halt plans — exactly
+//                  the historical schedule space, byte-identical reports.
+//   timely-delays  adds Delay(d) for d in {Δ-1} (empty when Δ == 1): the
+//                  largest delay still inside the synchrony bound. These
+//                  parties remain conforming and MUST sweep clean.
+//   late-delays    adds Delay(d) for d in {Δ-1, Δ, 2Δ}: delays >= Δ step
+//                  outside the timing model, so such plans are treated as
+//                  deviations — their delayed submissions may land past a
+//                  contract deadline, and the audit then expects the
+//                  counterparties to be premium-compensated, exactly as for
+//                  a halt.
+//
+// Delay menus are derived per protocol instance from its configured Δ
+// (ProtocolAdapter::delta()), so "one tick before the bound" means the same
+// thing whatever delta a campaign grid assigns. Enumerated spaces are
+// bounded like ParamGrid expansions: an explicit per-party plan cap plus a
+// per-sweep schedule budget, with truncation reported loudly in the sweep
+// report instead of silently posing as exhaustive.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/deviation.hpp"
+
+namespace xchain::sim {
+
+/// Which adversary strategies a sweep enumerates, plus the bounds that keep
+/// the enlarged spaces tractable.
+struct StrategySpace {
+  enum class Kind { kHaltOnly, kTimelyDelays, kLateDelays };
+
+  Kind kind = Kind::kHaltOnly;
+
+  /// Cap on one party's enumerated plan list (halt-only spaces are never
+  /// capped — back-compat). Truncation is reported in the sweep report.
+  std::size_t max_plans_per_party = 64;
+
+  /// Budget on the whole cross-product schedule space of one sweep. When
+  /// the per-party lists would multiply past this, they are trimmed to the
+  /// largest uniform per-party size that fits (halt plans sort first, so
+  /// halt coverage survives trimming longest). Reported as truncation.
+  std::size_t max_schedules = 20000;
+
+  bool halt_only() const { return kind == Kind::kHaltOnly; }
+
+  static const char* kind_name(Kind k) {
+    switch (k) {
+      case Kind::kHaltOnly: return "halt-only";
+      case Kind::kTimelyDelays: return "timely-delays";
+      default: return "late-delays";
+    }
+  }
+  std::string name() const { return kind_name(kind); }
+
+  /// Parses a `--strategies=` value ("halt-only" / "timely-delays" /
+  /// "late-delays"); nullopt on anything else.
+  static std::optional<StrategySpace> parse(const std::string& name) {
+    for (const Kind k : {Kind::kHaltOnly, Kind::kTimelyDelays,
+                         Kind::kLateDelays}) {
+      if (name == kind_name(k)) return StrategySpace{k};
+    }
+    return std::nullopt;
+  }
+
+  /// The per-ordinal delay menu for a protocol with synchrony bound
+  /// `delta`, in ticks: {Δ-1} for timely, {Δ-1, Δ, 2Δ} for late, zeros
+  /// removed (a 0-tick delay is Perform). Empty for halt-only — and for
+  /// timely-delays at Δ == 1, where no non-zero delay stays inside the
+  /// bound.
+  std::vector<Tick> delay_menu(Tick delta) const {
+    std::vector<Tick> menu;
+    if (kind == Kind::kHaltOnly) return menu;
+    if (delta > 1) menu.push_back(delta - 1);
+    if (kind == Kind::kLateDelays) {
+      menu.push_back(delta);
+      menu.push_back(2 * delta);
+    }
+    return menu;
+  }
+};
+
+/// One party's enumerated plan list plus the size the list would have had
+/// uncapped (saturating) — the ParamGrid-style loud-truncation pair.
+struct PartyPlanSpace {
+  std::vector<DeviationPlan> plans;
+  std::size_t full_size = 0;
+
+  bool truncated() const { return plans.size() < full_size; }
+};
+
+/// Generic per-party plan space for a role with `actions` scheduled-action
+/// ordinals under `space`, capped at `cap` plans. Enumeration order (which
+/// caps therefore trim from the back):
+///   1. conform, halt@0 .. halt@(actions-1)   — the historical list;
+///   2. single-modification plans: each ordinal delayed by each menu value
+///      (ordinal-major), then each non-suffix single drop;
+///   3. multi-modification combinations, odometer-style with ordinal 0 as
+///      the least significant digit over {Perform, Delay(menu...), Drop},
+///      skipping plans already emitted by 1-2 (pure halt patterns and
+///      single modifications).
+/// The uncapped size of this space is (|menu| + 2)^actions.
+inline PartyPlanSpace party_plan_space(
+    int actions, Tick delta, const StrategySpace& space,
+    std::size_t cap = std::numeric_limits<std::size_t>::max()) {
+  PartyPlanSpace out;
+  const std::vector<Tick> menu = space.delay_menu(delta);
+  const std::size_t choices = menu.size() + 2;  // Perform, delays..., Drop
+
+  // Uncapped size: halt-only spaces are 1 + actions; delay spaces are the
+  // full per-ordinal cross product (which the halt plans embed).
+  if (menu.empty()) {
+    out.full_size = 1 + static_cast<std::size_t>(actions);
+  } else {
+    out.full_size = 1;
+    for (int a = 0; a < actions; ++a) {
+      if (out.full_size >
+          std::numeric_limits<std::size_t>::max() / choices) {
+        out.full_size = std::numeric_limits<std::size_t>::max();
+        break;
+      }
+      out.full_size *= choices;
+    }
+  }
+
+  const auto push = [&](DeviationPlan plan) {
+    if (out.plans.size() >= cap) return false;
+    out.plans.push_back(std::move(plan));
+    return true;
+  };
+
+  // Layer 1: the historical halt-only list.
+  if (!push(DeviationPlan::conforming())) return out;
+  for (int k = 0; k < actions; ++k) {
+    if (!push(DeviationPlan::halt_after(k))) return out;
+  }
+  if (menu.empty() || actions == 0) return out;
+
+  // Layer 2: single modifications.
+  for (int o = 0; o < actions; ++o) {
+    for (const Tick d : menu) {
+      if (!push(DeviationPlan::conforming().delayed(o, d))) return out;
+    }
+  }
+  // A lone drop of the LAST ordinal replays halt@(actions-1); skip it.
+  for (int o = 0; o + 1 < actions; ++o) {
+    if (!push(DeviationPlan::conforming().dropped(o))) return out;
+  }
+
+  // Layer 3: multi-modification combinations. Digits per ordinal:
+  // 0 = Perform, 1..|menu| = Delay(menu[digit-1]), |menu|+1 = Drop.
+  std::vector<std::size_t> digit(static_cast<std::size_t>(actions), 0);
+  while (true) {
+    // Advance the odometer (ordinal 0 least significant).
+    std::size_t i = 0;
+    for (; i < digit.size(); ++i) {
+      if (++digit[i] < choices) break;
+      digit[i] = 0;
+    }
+    if (i == digit.size()) break;
+
+    int mods = 0;
+    for (const std::size_t dg : digit) mods += dg != 0;
+    if (mods < 2) continue;  // layer 2 (or conform) already emitted these
+
+    // Pure perform-prefix + drop-suffix patterns are the halt plans.
+    bool halt_style = true;
+    bool seen_drop = false;
+    for (const std::size_t dg : digit) {
+      if (dg == choices - 1) {
+        seen_drop = true;
+      } else if (dg != 0 || seen_drop) {
+        halt_style = false;
+        break;
+      }
+    }
+    if (halt_style) continue;
+
+    DeviationPlan plan = DeviationPlan::conforming();
+    for (int o = 0; o < actions; ++o) {
+      const std::size_t dg = digit[static_cast<std::size_t>(o)];
+      if (dg == 0) continue;
+      plan = dg == choices - 1
+                 ? plan.dropped(o)
+                 : plan.delayed(o, menu[dg - 1]);
+    }
+    if (!push(std::move(plan))) return out;
+  }
+  return out;
+}
+
+}  // namespace xchain::sim

@@ -56,10 +56,35 @@ TEST(ParallelSweep, MatchesSerialOnEveryReferenceAdapter) {
     ScenarioRunner runner(*adapter);
     const SweepReport serial = runner.sweep();
     for (const unsigned threads : {2u, 4u, 8u}) {
-      const SweepReport parallel = runner.sweep({-1, threads});
+      const SweepReport parallel = runner.sweep({-1, threads, {}});
       SCOPED_TRACE(adapter->name() + " @ " + std::to_string(threads) +
                    " threads");
       expect_identical(serial, parallel);
+    }
+  }
+}
+
+// The enlarged strategy spaces shard exactly like the halt-only space:
+// every worker derives the same capped plan lists from its adapter clone,
+// so the merged report — counts, truncation notices, violations — is
+// schedule-identical to the serial sweep's.
+TEST(ParallelSweep, MatchesSerialOnDelayStrategySpaces) {
+  for (const StrategySpace::Kind kind : {StrategySpace::Kind::kTimelyDelays,
+                                         StrategySpace::Kind::kLateDelays}) {
+    SweepOptions serial_opts;
+    serial_opts.strategies.kind = kind;
+    for (const auto& adapter : reference_adapters()) {
+      ScenarioRunner runner(*adapter);
+      const SweepReport serial = runner.sweep(serial_opts);
+      for (const unsigned threads : {2u, 8u}) {
+        SweepOptions opts = serial_opts;
+        opts.threads = threads;
+        const SweepReport parallel = runner.sweep(opts);
+        SCOPED_TRACE(adapter->name() + " / " + opts.strategies.name() +
+                     " @ " + std::to_string(threads) + " threads");
+        expect_identical(serial, parallel);
+        EXPECT_EQ(parallel.truncations, serial.truncations);
+      }
     }
   }
 }
@@ -68,7 +93,7 @@ TEST(ParallelSweep, MaxDeviatorsRespected) {
   const auto adapter = ProtocolRegistry::global().make("multi-party-fig3a");
   ScenarioRunner runner(*adapter);
   const SweepReport serial = runner.sweep(1);
-  const SweepReport parallel = runner.sweep({1, 4});
+  const SweepReport parallel = runner.sweep({1, 4, {}});
   expect_identical(serial, parallel);
   EXPECT_EQ(parallel.schedules_run, 13u);  // 1 all-conform + 3 * 4 halts
 }
@@ -76,14 +101,14 @@ TEST(ParallelSweep, MaxDeviatorsRespected) {
 TEST(ParallelSweep, ZeroMeansHardwareConcurrency) {
   const auto adapter = ProtocolRegistry::global().make("two-party");
   ScenarioRunner runner(*adapter);
-  expect_identical(runner.sweep(), runner.sweep({-1, 0}));
+  expect_identical(runner.sweep(), runner.sweep({-1, 0, {}}));
 }
 
 TEST(ParallelSweep, MoreThreadsThanSchedules) {
   // two-party: 16 schedules.
   const auto adapter = ProtocolRegistry::global().make("two-party");
   ScenarioRunner runner(*adapter);
-  expect_identical(runner.sweep(), runner.sweep({-1, 64}));
+  expect_identical(runner.sweep(), runner.sweep({-1, 64, {}}));
 }
 
 // ---------------------------------------------------------------------------
@@ -128,7 +153,7 @@ TEST(ParallelSweep, ViolationOrderingMatchesSerialExactly) {
   EXPECT_EQ(serial.violations.size(), 24u);
 
   for (const unsigned threads : {2u, 3u, 8u, 16u}) {
-    const SweepReport parallel = runner.sweep({-1, threads});
+    const SweepReport parallel = runner.sweep({-1, threads, {}});
     SCOPED_TRACE(threads);
     expect_identical(serial, parallel);
   }

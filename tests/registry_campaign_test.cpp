@@ -434,11 +434,11 @@ TEST(Campaign, ViolationsPropagateIntoReportAndExitStatusContract) {
 TEST(SweepOptionsValidation, MaxDeviatorsBelowMinusOneThrows) {
   const auto adapter = ProtocolRegistry::global().make("two-party");
   ScenarioRunner runner(*adapter);
-  EXPECT_THROW(runner.sweep({-2, 1}), std::invalid_argument);
-  EXPECT_THROW(runner.sweep({-100, 4}), std::invalid_argument);
+  EXPECT_THROW(runner.sweep({-2, 1, {}}), std::invalid_argument);
+  EXPECT_THROW(runner.sweep({-100, 4, {}}), std::invalid_argument);
   // The boundary values stay legal.
-  EXPECT_EQ(runner.sweep({-1, 1}).schedules_run, 16u);
-  EXPECT_EQ(runner.sweep({0, 1}).schedules_run, 1u);
+  EXPECT_EQ(runner.sweep({-1, 1, {}}).schedules_run, 16u);
+  EXPECT_EQ(runner.sweep({0, 1, {}}).schedules_run, 1u);
 }
 
 TEST(SweepOptionsValidation, CampaignRejectsMalformedOptionsUpFront) {

@@ -93,6 +93,57 @@ TEST(SweepEquivalence, SweepReportsIdenticalAcrossWorldModes) {
   }
 }
 
+// Delay schedules must behave identically on a reused (reset-per-run)
+// world and on a fresh traced world: pending delayed submissions live on
+// the per-run Party objects, never on the world, so a reset can never leak
+// a queued action into the next schedule. Pinned per schedule over the
+// timely space, and as whole reports over a bounded late space.
+TEST(SweepEquivalence, DelaySchedulesMatchAcrossWorldModesPerSchedule) {
+  SweepOptions opts;
+  opts.strategies.kind = StrategySpace::Kind::kTimelyDelays;
+  // Keep the per-schedule fresh-world pass affordable; the whole-report
+  // check below covers the larger spaces.
+  opts.strategies.max_schedules = 400;
+  for (const auto& adapter : reference_adapters()) {
+    const auto fresh_engine = adapter->clone();
+    fresh_engine->set_world_reuse(false);
+    const auto reused_engine = adapter->clone();  // default: reuse + kOff
+
+    for (const Schedule& s : ScenarioRunner(*adapter).enumerate(opts)) {
+      const auto fresh = fresh_engine->run(s);
+      const auto reused = reused_engine->run(s);
+      expect_same_outcomes(fresh, reused, s.label);
+      // Re-running the SAME delayed schedule on the reused world must be
+      // stable: reset() rolls chains back and the new Party objects carry
+      // fresh (empty) delay queues.
+      expect_same_outcomes(fresh, reused_engine->run(s),
+                           s.label + " (rerun)");
+    }
+  }
+}
+
+TEST(SweepEquivalence, LateDelayReportsIdenticalAcrossWorldModes) {
+  SweepOptions opts;
+  opts.strategies.kind = StrategySpace::Kind::kLateDelays;
+  opts.strategies.max_schedules = 1500;
+  for (const auto& adapter : reference_adapters()) {
+    const SweepReport reused = ScenarioRunner(*adapter).sweep(opts);
+
+    auto fresh_engine = adapter->clone();
+    fresh_engine->set_world_reuse(false);
+    const SweepReport fresh = ScenarioRunner(*fresh_engine).sweep(opts);
+
+    SCOPED_TRACE(adapter->name());
+    EXPECT_EQ(reused.protocol, fresh.protocol);
+    EXPECT_EQ(reused.schedules_run, fresh.schedules_run);
+    EXPECT_EQ(reused.conforming_audited, fresh.conforming_audited);
+    EXPECT_EQ(reused.violations.size(), fresh.violations.size());
+    EXPECT_EQ(reused.truncations, fresh.truncations);
+    EXPECT_TRUE(reused.ok()) << reused.str();
+    EXPECT_TRUE(fresh.ok()) << fresh.str();
+  }
+}
+
 // The world-reuse knob survives cloning in the state the clone's maker
 // set, and parallel sweeps (which clone per worker) stay identical to
 // serial whatever the mode.
@@ -100,7 +151,7 @@ TEST(SweepEquivalence, ParallelReusedSweepMatchesSerial) {
   for (const auto& adapter : reference_adapters()) {
     ScenarioRunner runner(*adapter);
     const SweepReport serial = runner.sweep();
-    const SweepReport parallel = runner.sweep({-1, 4});
+    const SweepReport parallel = runner.sweep({-1, 4, {}});
     SCOPED_TRACE(adapter->name());
     EXPECT_EQ(parallel.schedules_run, serial.schedules_run);
     EXPECT_EQ(parallel.conforming_audited, serial.conforming_audited);

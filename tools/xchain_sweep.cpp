@@ -4,15 +4,18 @@
 //   xchain-sweep --list
 //   xchain-sweep --protocol=NAME [--set k=v]... [--grid k=a,b,c]...
 //                [--protocol=NAME2 ...]
+//                [--strategies=halt-only|timely-delays|late-delays]
 //                [--max-deviators=K] [--threads=N] [--max-configs=N]
-//                [--json=PATH] [--quiet]
+//                [--max-schedules=N] [--json=PATH] [--quiet] [--dry-run]
 //
 // Each --protocol starts a campaign entry; subsequent --set (fixed
 // override) and --grid (swept axis, cross product across axes) flags apply
 // to the most recent one. Every grid point runs the full adversarial
-// deviation sweep (sim/scenario.hpp) and is audited against the paper's
-// hedging bound. Exit status: 0 = all configurations clean, 1 = at least
-// one hedging-bound violation, 2 = usage / parameter error.
+// deviation sweep (sim/scenario.hpp) over the selected strategy space and
+// is audited against the paper's hedging bound. --dry-run prints each
+// configuration's schedule count (plan-space size) without running any.
+// Exit status: 0 = all configurations clean, 1 = at least one
+// hedging-bound violation, 2 = usage / parameter error.
 //
 // Example:
 //   xchain-sweep --protocol=multi-party-ring --grid n=3,4,5
@@ -52,18 +55,29 @@ void print_usage(std::FILE* to) {
       "usage: xchain-sweep --list\n"
       "       xchain-sweep --protocol=NAME [--set k=v]... [--grid "
       "k=a,b,c]...\n"
-      "                    [--protocol=NAME2 ...] [--max-deviators=K]\n"
-      "                    [--threads=N] [--max-configs=N] [--json=PATH] "
-      "[--quiet]\n"
+      "                    [--protocol=NAME2 ...] "
+      "[--strategies=halt-only|timely-delays|late-delays]\n"
+      "                    [--max-deviators=K] [--threads=N] "
+      "[--max-configs=N]\n"
+      "                    [--max-schedules=N] [--json=PATH] [--quiet] "
+      "[--dry-run]\n"
       "\n"
       "Runs the exhaustive deviation-schedule sweep (hedging-bound audit)\n"
       "over every configuration in the cross product of each protocol's\n"
       "--grid axes. --set fixes a parameter for all of an entry's points;\n"
-      "--grid k=a,b,c sweeps one axis. --threads=N shards the work over N\n"
-      "workers (0 = one per hardware thread; the report is identical\n"
-      "whatever the count). --max-deviators=K skips schedules with more\n"
-      "than K deviating parties (-1 = unbounded). --json=PATH writes the\n"
-      "campaign report as JSON. Exit: 0 clean, 1 violations, 2 bad usage.\n");
+      "--grid k=a,b,c sweeps one axis. --strategies picks the adversary\n"
+      "space: halt-only (default; the classic walk-away schedules),\n"
+      "timely-delays (+ last-moment-but-compliant lateness, delay = D-1\n"
+      "ticks per action), late-delays (+ delays of D-1, D, and 2D ticks,\n"
+      "which can land actions past contract deadlines). Delay spaces are\n"
+      "bounded per configuration: at most 64 plans per party and\n"
+      "--max-schedules=N schedules (default 20000), truncation reported.\n"
+      "--threads=N shards the work over N workers (0 = one per hardware\n"
+      "thread; the report is identical whatever the count).\n"
+      "--max-deviators=K skips schedules with more than K deviating\n"
+      "parties (-1 = unbounded). --json=PATH writes the campaign report as\n"
+      "JSON. --dry-run prints per-configuration schedule counts without\n"
+      "running. Exit: 0 clean, 1 violations, 2 bad usage.\n");
 }
 
 void print_list() {
@@ -79,6 +93,19 @@ void print_list() {
                   bounds.empty() ? "" : "  ", bounds.c_str());
     }
   }
+  std::printf(
+      "strategy spaces (--strategies=..., delay menus in the protocol's "
+      "synchrony bound D = delta):\n"
+      "  halt-only          conform + every halt point per party "
+      "(default; never truncated)\n"
+      "  timely-delays      + per-action Delay(D-1): last-moment but "
+      "compliant, must sweep clean\n"
+      "  late-delays        + per-action Delay(D-1 | D | 2D) and "
+      "selective Drop: can miss deadlines\n"
+      "  bounds: <= 64 plans/party and <= --max-schedules (default "
+      "20000) schedules per configuration,\n"
+      "  trimmed uniformly with a truncation notice in the report "
+      "(halt plans are kept first).\n");
 }
 
 /// Splits --set/--grid payload "k=v" at the first '='.
@@ -108,6 +135,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool quiet = false;
   bool list = false;
+  bool dry_run = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +149,30 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg.rfind("--strategies=", 0) == 0) {
+      const auto parsed = sim::StrategySpace::parse(value_of("--strategies="));
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "xchain-sweep: invalid %s (want --strategies="
+                     "halt-only|timely-delays|late-delays)\n",
+                     arg.c_str());
+        return 2;
+      }
+      const std::size_t keep = spec.sweep.strategies.max_schedules;
+      spec.sweep.strategies = *parsed;
+      spec.sweep.strategies.max_schedules = keep;
+    } else if (arg.rfind("--max-schedules=", 0) == 0) {
+      long long v = 0;
+      if (!parse_long(value_of("--max-schedules="), 1, INT_MAX, v)) {
+        std::fprintf(stderr,
+                     "xchain-sweep: invalid %s (want --max-schedules=N, "
+                     "N >= 1)\n",
+                     arg.c_str());
+        return 2;
+      }
+      spec.sweep.strategies.max_schedules = static_cast<std::size_t>(v);
     } else if (arg.rfind("--protocol=", 0) == 0) {
       spec.entries.push_back({value_of("--protocol="), {}, {}});
     } else if (arg == "--set" || arg.rfind("--set=", 0) == 0 ||
@@ -207,6 +259,18 @@ int main(int argc, char** argv) {
   if (spec.entries.empty()) {
     print_usage(stderr);
     return 2;
+  }
+
+  if (dry_run) {
+    try {
+      const sim::DryRunReport preview =
+          sim::Campaign(std::move(spec)).dry_run();
+      if (!quiet) std::printf("%s\n", preview.str().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "xchain-sweep: %s\n", e.what());
+      return 2;
+    }
+    return 0;
   }
 
   sim::CampaignReport report;

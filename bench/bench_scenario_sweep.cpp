@@ -161,12 +161,17 @@ void write_json(const std::vector<NamedAdapter>& adapters,
             .count();
     total_schedules += schedules;
     total_seconds += secs;
+    // Tree-executor statistics are per-sweep deterministic: report the
+    // warm-up run's (brute sweeps show nodes_executed == schedules and
+    // zero dedup hits).
     std::fprintf(
         f,
         "    {\"name\": \"%s\", \"schedules\": %zu, "
-        "\"schedules_per_second\": %.1f, \"violations\": %zu}%s\n",
+        "\"schedules_per_second\": %.1f, \"violations\": %zu, "
+        "\"nodes_executed\": %zu, \"dedup_hits\": %zu}%s\n",
         adapters[i].name.c_str(), warm.schedules_run,
         static_cast<double>(schedules) / secs, violations,
+        warm.nodes_executed, warm.dedup_hits,
         i + 1 < adapters.size() ? "," : "");
   }
   const double serial_rate =
@@ -199,9 +204,16 @@ void write_json(const std::vector<NamedAdapter>& adapters,
     sim::SweepOptions opts;
     opts.strategies.kind = sim::StrategySpace::Kind::kLateDelays;
     std::size_t schedules = 0;
+    std::size_t nodes_executed = 0;
+    std::size_t covered = 0;
+    std::size_t dedup_hits = 0;
     const auto start = std::chrono::steady_clock::now();
     for (const auto& [name, adapter] : adapters) {
-      schedules += sim::ScenarioRunner(*adapter).sweep(opts).schedules_run;
+      const auto report = sim::ScenarioRunner(*adapter).sweep(opts);
+      schedules += report.schedules_run;
+      nodes_executed += report.nodes_executed;
+      covered += report.schedules_covered;
+      dedup_hits += report.dedup_hits;
     }
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -209,10 +221,15 @@ void write_json(const std::vector<NamedAdapter>& adapters,
             .count();
     std::fprintf(f,
                  "  \"late_delays\": {\"schedules\": %zu, "
-                 "\"schedules_per_second\": %.1f},\n",
-                 schedules, static_cast<double>(schedules) / secs);
-    std::printf("late-delay strategy space: %zu schedules at %.1f/s serial\n",
-                schedules, static_cast<double>(schedules) / secs);
+                 "\"schedules_per_second\": %.1f, \"nodes_executed\": %zu, "
+                 "\"schedules_covered\": %zu, \"dedup_hits\": %zu},\n",
+                 schedules, static_cast<double>(schedules) / secs,
+                 nodes_executed, covered, dedup_hits);
+    std::printf(
+        "late-delay strategy space: %zu schedules at %.1f/s serial "
+        "(%zu executed, %zu dedup hits)\n",
+        schedules, static_cast<double>(schedules) / secs, nodes_executed,
+        dedup_hits);
   }
 
   std::fprintf(f, "  \"total_schedules_per_second\": %.1f\n}\n", serial_rate);

@@ -7,14 +7,16 @@ Usage:
 
 Exits non-zero when the candidate's serial `total_schedules_per_second`
 regresses by more than --max-regression (default 20%) relative to the
-baseline. --report-only prints the same comparison but always exits 0 —
-CI uses it on shared 1-core runners, where absolute throughput is too
-noisy to gate on (the committed baseline was measured on a dedicated
-host; see bench/baselines/). The gate also degrades itself to
-report-only when the baseline and candidate disagree on
-`hardware_threads`: absolute throughput only gates meaningfully between
-like-for-like hosts, so the enforcement arms once a baseline measured on
-the CI runner class is committed.
+baseline, and likewise for the enlarged `late_delays` space when both
+artifacts carry that key (older baselines predate it). --report-only
+prints the same comparison but always exits 0 — CI uses it on shared
+1-core runners, where absolute throughput is too noisy to gate on (the
+committed baseline was measured on a dedicated host; see
+bench/baselines/). A `hardware_threads` mismatch between baseline and
+candidate is a hard FAILURE unless --report-only is passed: absolute
+throughput only compares meaningfully between like-for-like hosts, and a
+silent degrade here previously let every cross-host run self-disarm the
+gate — the caller must now say explicitly that it only wants the report.
 
 Per-protocol rates and the parallel scaling curve are reported for
 context but never gated: small schedule spaces amortize world setup over
@@ -86,14 +88,16 @@ def main():
             file=sys.stderr,
         )
     if base.get("hardware_threads") != cand.get("hardware_threads"):
-        print(
-            "bench_compare: WARNING: hardware_threads differs"
+        msg = (
+            "bench_compare: hardware_threads differs"
             f" ({base.get('hardware_threads', '?')} vs"
             f" {cand.get('hardware_threads', '?')}) — different host class,"
-            " degrading to report-only",
-            file=sys.stderr,
+            " rates are not comparable"
         )
-        args.report_only = True
+        if not args.report_only:
+            sys.exit(msg + " (pass --report-only to print the comparison"
+                     " anyway)")
+        print(msg + " [report-only]", file=sys.stderr)
 
     # Per-protocol context (never gated).
     base_protocols = {p["name"]: p for p in base.get("protocols", [])}
@@ -124,11 +128,42 @@ def main():
     )
 
     floor = 1.0 - args.max_regression
+    failures = []
     if ratio < floor:
-        msg = (
-            f"bench_compare: REGRESSION: total_schedules_per_second fell to"
-            f" {ratio:.2f}x of baseline (floor {floor:.2f}x)"
+        failures.append(
+            f"total_schedules_per_second fell to {ratio:.2f}x of baseline"
+            f" (floor {floor:.2f}x)"
         )
+
+    # The enlarged timing-griefing space, gated the same way when both
+    # artifacts carry it (older baselines predate the key). The executor
+    # statistics ride along for context: dedup_hits / nodes_executed shows
+    # how much of the space the tree executor served from shared prefixes.
+    if "late_delays" in base and "late_delays" in cand:
+        b, c = base["late_delays"], cand["late_delays"]
+        late_ratio = c["schedules_per_second"] / max(
+            b["schedules_per_second"], 1e-9
+        )
+        stats = ""
+        if "dedup_hits" in c:
+            stats = (
+                f"  [{c.get('nodes_executed', '?')} executed,"
+                f" {c.get('dedup_hits', '?')} dedup hits]"
+            )
+        print(
+            f"  {'late-delays (serial)':<22}"
+            f" {fmt_rate(b['schedules_per_second']):>14} ->"
+            f" {fmt_rate(c['schedules_per_second']):>14}"
+            f"  ({late_ratio:5.2f}x){stats}"
+        )
+        if late_ratio < floor:
+            failures.append(
+                f"late_delays schedules_per_second fell to {late_ratio:.2f}x"
+                f" of baseline (floor {floor:.2f}x)"
+            )
+
+    if failures:
+        msg = "bench_compare: REGRESSION: " + "; ".join(failures)
         if args.report_only:
             print(msg + " [report-only: not failing]")
             return

@@ -52,7 +52,11 @@ EOF
 else
   grep -q '"benchmark": "campaign"' "$json" || fail "JSON lacks benchmark"
   grep -q '"configurations": 2' "$json" || fail "JSON lacks 2 configurations"
-  grep -q '"violations": 0' "$json" || fail "JSON lacks violations: 0"
+  # Anchor to the top-level aggregate (two-space indent, trailing comma):
+  # an unanchored '"violations": 0' also matches any single clean entry in
+  # the per-config "configs" array, passing even when other configs report
+  # violations.
+  grep -q '^  "violations": 0,' "$json" || fail "JSON lacks violations: 0"
 fi
 
 # --dry-run prints plan-space sizes without running: the halt-only
@@ -75,7 +79,7 @@ rm -f "$json.late"
   fail "late-delays sweep exited $? (want 0)"
 grep -q '"strategies": "late-delays"' "$json.late" || \
   fail "JSON lacks the strategies stamp"
-grep -q '"violations": 0' "$json.late" || \
+grep -q '^  "violations": 0,' "$json.late" || \
   fail "late-delays sweep reported violations"
 rm -f "$json.late"
 

@@ -63,6 +63,41 @@ void Blockchain::reset() {
   for (auto& c : contracts_) c->reset();
 }
 
+void Blockchain::snap_push() {
+  // Tick-boundary-only, traceless-only: the mempool was consumed by block
+  // production and the event log never grows under TraceMode::kOff, so
+  // neither needs to be part of a snapshot.
+  if (!mempool_.empty() || tracing()) {
+    throw std::logic_error(
+        "Blockchain::snap_push: checkpoints stack only at tick boundaries "
+        "of traceless chains");
+  }
+  const std::size_t depth = ledger_.snap_depth();
+  ledger_.snap_push();
+  if (depth < snap_counters_.size()) {
+    snap_counters_[depth] = {height_, applied_tx_count_};
+  } else {
+    snap_counters_.emplace_back(height_, applied_tx_count_);
+  }
+  for (auto& c : contracts_) c->snapshot(SnapshotOp::kPush, depth);
+}
+
+void Blockchain::snap_rewind(std::size_t depth) {
+  ledger_.snap_rewind(depth);
+  height_ = snap_counters_.at(depth).first;
+  applied_tx_count_ = snap_counters_.at(depth).second;
+  mempool_.clear();
+  // kRestore leaves the stack at depth + 1, matching the ledger.
+  for (auto& c : contracts_) c->snapshot(SnapshotOp::kRestore, depth);
+}
+
+void Blockchain::state_hash(std::uint64_t& h) const {
+  ledger_.state_hash(h);
+  state_hash_mix(h, static_cast<std::uint64_t>(height_));
+  state_hash_mix(h, applied_tx_count_);
+  for (const auto& c : contracts_) c->state_hash(h);
+}
+
 Blockchain& MultiChain::add_chain(const std::string& name) {
   const ChainId id = static_cast<ChainId>(chains_.size());
   chains_.push_back(
@@ -86,6 +121,24 @@ void MultiChain::checkpoint() {
 
 void MultiChain::reset() {
   for (auto& c : chains_) c->reset();
+}
+
+void MultiChain::snap_push() {
+  for (auto& c : chains_) c->snap_push();
+}
+
+void MultiChain::snap_rewind(std::size_t depth) {
+  for (auto& c : chains_) c->snap_rewind(depth);
+}
+
+std::size_t MultiChain::snap_depth() const {
+  return chains_.empty() ? 0 : chains_.front()->snap_depth();
+}
+
+std::uint64_t MultiChain::state_hash() const {
+  std::uint64_t h = kStateHashSeed;
+  for (const auto& c : chains_) c->state_hash(h);
+  return h;
 }
 
 EventLog MultiChain::all_events() const {

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chain/address.hpp"
 #include "chain/event.hpp"
 #include "chain/ledger.hpp"
+#include "chain/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace xchain::chain {
@@ -103,6 +107,31 @@ class Contract {
   /// survive.
   virtual void reset() {}
 
+  /// Layered-checkpoint hook (the tree executor's tick-granular rewind,
+  /// Blockchain::snap_push/snap_rewind). Contract implementers: derive
+  /// from chain::SnapshotState<Self> instead of Contract directly and
+  /// list every mutable member in state_tie() — exactly the members
+  /// reset() clears. The default throws: a contract that supports only
+  /// reset() must fail loudly if deployed on a tree-swept world, never
+  /// silently carry state across branches.
+  virtual void snapshot(SnapshotOp op, std::size_t depth) {
+    (void)op;
+    (void)depth;
+    throw std::logic_error(
+        "Contract::snapshot: contract does not support checkpoint "
+        "stacking (derive from chain::SnapshotState and list mutable "
+        "members in state_tie())");
+  }
+
+  /// Mixes this contract's mutable state into the rewind integrity hash.
+  /// Provided by SnapshotState from the same state_tie().
+  virtual void state_hash(std::uint64_t& h) const { (void)h; }
+
+ protected:
+  /// SnapshotState hook for base-class mutable members (none here).
+  void snapshot_members(SnapshotOp, std::size_t) {}
+  void state_hash_members(std::uint64_t&) const {}
+
  private:
   friend class Blockchain;
   ContractId id_ = 0;
@@ -167,6 +196,20 @@ class Blockchain {
   /// event log, mempool, tx count, and every contract's state.
   void reset();
 
+  /// Layered checkpoint stack (tree executor). snap_push() snapshots the
+  /// live chain — ledger, height, tx count, every contract — as one more
+  /// depth; snap_rewind(d) restores depth d and truncates above it.
+  /// Callable only at a tick boundary on a traceless chain: the mempool
+  /// must be empty (block production consumed it) and the event log stays
+  /// empty under TraceMode::kOff, so neither is part of a snapshot.
+  void snap_push();
+  void snap_rewind(std::size_t depth);
+  std::size_t snap_depth() const { return ledger_.snap_depth(); }
+
+  /// Order-sensitive hash of the live chain state (ledger + height + tx
+  /// count + contracts) — the rewind integrity check.
+  void state_hash(std::uint64_t& h) const;
+
  private:
   friend class TxContext;
 
@@ -184,6 +227,9 @@ class Blockchain {
   std::vector<std::unique_ptr<Contract>> contracts_;
   EventLog events_;
   std::size_t applied_tx_count_ = 0;
+  /// snap_push() counters stack ({height, applied_tx_count} per depth);
+  /// the ledger and contracts keep their own synchronized stacks.
+  std::vector<std::pair<Tick, std::size_t>> snap_counters_;
 };
 
 /// The collection of independent chains in a simulation, advanced in
@@ -211,6 +257,16 @@ class MultiChain {
   /// before each subsequent run.
   void checkpoint();
   void reset();
+
+  /// Layered checkpoint stack over every chain (see Blockchain). The tree
+  /// executor pushes once per executed tick and rewinds on backtrack;
+  /// depths advance in lockstep across chains.
+  void snap_push();
+  void snap_rewind(std::size_t depth);
+  std::size_t snap_depth() const;
+
+  /// Order-sensitive hash over every chain's live state.
+  std::uint64_t state_hash() const;
 
   /// Concatenated event logs of all chains, sorted by (tick, chain).
   EventLog all_events() const;

@@ -1,6 +1,9 @@
 #include "chain/ledger.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "chain/snapshot.hpp"
 
 namespace xchain::chain {
 
@@ -11,10 +14,32 @@ const std::vector<Amount>* Ledger::row_of(const Address& who) const {
 }
 
 Amount* Ledger::cell(const Address& who, std::uint32_t col) {
-  Book& book = who.kind == Address::Kind::kParty ? party_ : contract_;
-  if (who.id >= book.size()) book.resize(who.id + 1);
+  const std::uint8_t which = who.kind == Address::Kind::kParty ? 0 : 1;
+  Book& book = which == 0 ? party_ : contract_;
+  // Every cell() caller writes through the returned pointer, so while the
+  // snapshot stack is live this is the one choke point that must log the
+  // previous value (and any structural growth) for snap_rewind().
+  const bool logging = snap_depth_ > 0;
+  if (who.id >= book.size()) {
+    if (logging) {
+      undo_.push_back({Undo::Kind::kBookSize, which, 0, 0,
+                       static_cast<Amount>(book.size())});
+    }
+    book.resize(who.id + 1);
+  }
   std::vector<Amount>& row = book[who.id];
-  if (col >= row.size()) row.resize(col + 1, 0);
+  if (col >= row.size()) {
+    if (logging) {
+      undo_.push_back({Undo::Kind::kRowSize, which,
+                       static_cast<std::uint32_t>(who.id), 0,
+                       static_cast<Amount>(row.size())});
+    }
+    row.resize(col + 1, 0);
+  }
+  if (logging) {
+    undo_.push_back({Undo::Kind::kCell, which,
+                     static_cast<std::uint32_t>(who.id), col, row[col]});
+  }
   return &row[col];
 }
 
@@ -84,14 +109,76 @@ std::vector<std::tuple<Address, Symbol, Amount>> Ledger::holdings() const {
 void Ledger::checkpoint() {
   saved_party_ = party_;
   saved_contract_ = contract_;
+  checkpointed_ = true;
 }
 
 void Ledger::restore() {
+  if (!checkpointed_) {
+    throw std::logic_error(
+        "Ledger::restore() without a prior checkpoint() — this would "
+        "silently empty the balance book");
+  }
   // Columns interned after the checkpoint keep their mapping (it is pure
   // naming); only balances roll back. Rows that grew since the checkpoint
   // shrink back, so restored state is exactly the checkpointed book.
   party_ = saved_party_;
   contract_ = saved_contract_;
+  // The layered stack's undo records describe the history this jump just
+  // discarded; applying them afterwards would corrupt the book, and a
+  // world alternating legacy runs with tree sweeps must not accumulate an
+  // ever-growing log. Invalidate the stack wholesale.
+  undo_.clear();
+  marks_.clear();
+  snap_depth_ = 0;
+}
+
+void Ledger::snap_push() {
+  if (snap_depth_ < marks_.size()) {
+    marks_[snap_depth_] = undo_.size();
+  } else {
+    marks_.push_back(undo_.size());
+  }
+  ++snap_depth_;
+}
+
+void Ledger::snap_rewind(std::size_t depth) {
+  // Play the log backwards to the watermark recorded when `depth` was
+  // pushed: a cell's final value is the oldest record in the undone range
+  // (its value at the start of tick `depth`), and size records shrink
+  // structures back in step. Books never shrink outside this function, so
+  // every record indexes in-bounds state when its turn comes.
+  const std::size_t mark = marks_.at(depth);
+  for (std::size_t i = undo_.size(); i-- > mark;) {
+    const Undo& u = undo_[i];
+    Book& book = u.book == 0 ? party_ : contract_;
+    switch (u.kind) {
+      case Undo::Kind::kCell:
+        book[u.row][u.col] = u.old;
+        break;
+      case Undo::Kind::kRowSize:
+        book[u.row].resize(static_cast<std::size_t>(u.old));
+        break;
+      case Undo::Kind::kBookSize:
+        book.resize(static_cast<std::size_t>(u.old));
+        break;
+    }
+  }
+  undo_.resize(mark);
+  snap_depth_ = depth + 1;
+}
+
+void Ledger::state_hash(std::uint64_t& h) const {
+  const auto scan = [&](const Book& book) {
+    state_hash_mix(h, book.size());
+    for (const auto& row : book) {
+      state_hash_mix(h, row.size());
+      for (const Amount a : row) {
+        state_hash_mix(h, static_cast<std::uint64_t>(a));
+      }
+    }
+  };
+  scan(party_);
+  scan(contract_);
 }
 
 }  // namespace xchain::chain

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "chain/address.hpp"
@@ -73,11 +75,36 @@ class Ledger {
   /// Captures the current balances as the checkpoint restore() returns to.
   void checkpoint();
 
-  /// Restores the balances captured by checkpoint() (empties the book if
-  /// checkpoint() was never called). Part of the arena-style world-reuse
-  /// path: sweep workers reset one world per schedule instead of
-  /// rebuilding chains from scratch.
+  /// Restores the balances captured by checkpoint(). Part of the
+  /// arena-style world-reuse path: sweep workers reset one world per
+  /// schedule instead of rebuilding chains from scratch. Calling restore()
+  /// without a prior checkpoint() throws std::logic_error — it used to
+  /// silently empty the balance book, a semantic hole that became live the
+  /// moment checkpoints stack (a missed baseline would quietly zero every
+  /// endowment instead of failing the sweep loudly). Jumping back to the
+  /// baseline also invalidates (clears) the layered snapshot stack: its
+  /// undo records describe history the restore just discarded, and a
+  /// world alternating legacy runs with tree sweeps must not accumulate
+  /// an ever-growing log.
   void restore();
+
+  /// Layered checkpoint stack, independent of the checkpoint()/restore()
+  /// baseline: the tree executor pushes one snapshot per executed tick and
+  /// rewinds to arbitrary depths on backtrack. Implemented as an undo log,
+  /// not copies: a push records a watermark (O(1)), mutations append their
+  /// previous value while the stack is live, and a rewind plays the log
+  /// backwards — so cost scales with the balances actually written, never
+  /// with the size of the book. (The copy-per-push predecessor was the
+  /// single largest line item of a tree sweep's executed runs.)
+  void snap_push();
+  /// Restores the balances snapshotted at `depth` (< snap_depth()) and
+  /// makes it the top: snap_depth() becomes depth + 1.
+  void snap_rewind(std::size_t depth);
+  std::size_t snap_depth() const { return snap_depth_; }
+
+  /// Order-sensitive 64-bit hash of every balance cell (the rewind
+  /// integrity check of the tree executor).
+  void state_hash(std::uint64_t& h) const;
 
  private:
   /// Rows indexed by party id / contract id respectively; cells indexed by
@@ -98,6 +125,25 @@ class Ledger {
 
   Book saved_party_;
   Book saved_contract_;
+  bool checkpointed_ = false;
+
+  /// One reversible mutation, recorded while the snapshot stack is live.
+  /// Books only grow during execution, so three kinds suffice: a cell's
+  /// previous value, a row's previous length, a book's previous row count.
+  struct Undo {
+    enum class Kind : std::uint8_t { kCell, kRowSize, kBookSize };
+    Kind kind;
+    std::uint8_t book;  ///< 0 = party_, 1 = contract_
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    Amount old = 0;  ///< previous cell value / previous size
+  };
+
+  std::vector<Undo> undo_;
+  /// undo_ watermark per snapshot depth; slots above the live depth keep
+  /// their capacity and are overwritten in place by later pushes.
+  std::vector<std::size_t> marks_;
+  std::size_t snap_depth_ = 0;
 
   static constexpr std::uint32_t kNoColumn = 0xffffffffu;
 };

@@ -39,7 +39,8 @@ namespace xchain::contracts {
 /// sore-loser behaviour.
 ///
 /// All deadlines are inclusive.
-class MultiPartyArcContract : public chain::Contract {
+class MultiPartyArcContract
+    : public chain::SnapshotState<MultiPartyArcContract> {
  public:
   struct Hashlock {
     PartyId leader = kNoParty;
@@ -167,6 +168,11 @@ class MultiPartyArcContract : public chain::Contract {
     std::optional<Tick> deposited_at;
     bool refunded = false;
     bool awarded = false;
+
+    void state_hash_into(std::uint64_t& h) const {
+      chain::state_hash_values(h, amount, path, deposited_at, refunded,
+                               awarded);
+    }
   };
 
   PartyId sender_of_arc() const { return p_.arc.from; }      // u
@@ -192,6 +198,15 @@ class MultiPartyArcContract : public chain::Contract {
   bool redeemed_ = false;
   bool refunded_ = false;
   std::vector<std::optional<crypto::Hashkey>> hashkeys_;
+
+  /// Every mutable member (exactly what reset() clears; the signature and
+  /// Equation-1 memos cache pure computation and are deliberately absent).
+  auto state_tie() {
+    return std::tie(ep_deposited_, ep_refunded_, ep_awarded_, rp_,
+                    escrowed_at_, asset_resolved_at_, redeemed_, refunded_,
+                    hashkeys_);
+  }
+  friend chain::SnapshotState<MultiPartyArcContract>;
 };
 
 }  // namespace xchain::contracts

@@ -44,7 +44,7 @@ bool auction_hashkey_valid(const AuctionTerms& terms, std::size_t i,
 /// Otherwise the auctioneer cheated or abandoned: every bid is refunded
 /// and every bidder who bid receives premium p; the remainder of the
 /// endowment returns to the auctioneer.
-class CoinAuctionContract : public chain::Contract {
+class CoinAuctionContract : public chain::SnapshotState<CoinAuctionContract> {
  public:
   struct Params {
     AuctionTerms terms;
@@ -94,12 +94,19 @@ class CoinAuctionContract : public chain::Contract {
   std::vector<std::optional<crypto::Hashkey>> keys_;
   bool settled_ = false;
   bool clean_ = false;
+
+  /// Every mutable member (exactly what reset() clears).
+  auto state_tie() {
+    return std::tie(premium_endowed_, bids_, keys_, settled_, clean_);
+  }
+  friend chain::SnapshotState<CoinAuctionContract>;
 };
 
 /// Ticket-chain auction contract: holds the tickets, collects hashkeys.
 /// Settlement: exactly one hashkey -> tickets to the matching bidder;
 /// zero or more than one -> tickets back to the auctioneer.
-class TicketAuctionContract : public chain::Contract {
+class TicketAuctionContract
+    : public chain::SnapshotState<TicketAuctionContract> {
  public:
   struct Params {
     AuctionTerms terms;
@@ -142,6 +149,12 @@ class TicketAuctionContract : public chain::Contract {
   std::vector<std::optional<crypto::Hashkey>> keys_;
   bool settled_ = false;
   std::optional<PartyId> awarded_to_;
+
+  /// Every mutable member (exactly what reset() clears).
+  auto state_tie() {
+    return std::tie(escrowed_, keys_, settled_, awarded_to_);
+  }
+  friend chain::SnapshotState<TicketAuctionContract>;
 };
 
 }  // namespace xchain::contracts

@@ -35,7 +35,7 @@ namespace xchain::contracts {
 /// hashkeys have been presented on that arc in time; at the final deadline
 /// un-redeemed buckets refund to the *original owner* X (trading-phase
 /// transfers are conditional).
-class BrokerChainContract : public chain::Contract {
+class BrokerChainContract : public chain::SnapshotState<BrokerChainContract> {
  public:
   /// Selects which of the contract's two arcs an operation refers to.
   enum class Which : std::uint8_t { kEscrowArc = 0, kTradingArc = 1 };
@@ -153,6 +153,10 @@ class BrokerChainContract : public chain::Contract {
     bool deposited = false;
     bool refunded = false;
     bool awarded = false;
+
+    void state_hash_into(std::uint64_t& h) const {
+      chain::state_hash_values(h, deposited, refunded, awarded);
+    }
   };
   struct RedemptionSlot {
     Amount amount = 0;
@@ -160,6 +164,11 @@ class BrokerChainContract : public chain::Contract {
     std::optional<Tick> deposited_at;
     bool refunded = false;
     bool awarded = false;
+
+    void state_hash_into(std::uint64_t& h) const {
+      chain::state_hash_values(h, amount, path, deposited_at, refunded,
+                               awarded);
+    }
   };
 
   const graph::Arc& arc_of(Which a) const {
@@ -205,6 +214,16 @@ class BrokerChainContract : public chain::Contract {
   bool escrow_redeemed_ = false;
   bool trading_redeemed_ = false;
   bool refunded_ = false;
+
+  /// Every mutable member (exactly what reset() clears; the signature and
+  /// Equation-1 memos cache pure computation and are deliberately absent).
+  auto state_tie() {
+    return std::tie(ep_, tp_, rp_escrow_, rp_trading_, keys_escrow_,
+                    keys_trading_, escrowed_at_, traded_at_, escrow_bucket_,
+                    trading_bucket_, escrow_redeemed_, trading_redeemed_,
+                    refunded_);
+  }
+  friend chain::SnapshotState<BrokerChainContract>;
 };
 
 }  // namespace xchain::contracts

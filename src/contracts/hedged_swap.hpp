@@ -29,7 +29,7 @@ namespace xchain::contracts {
 ///
 /// All deadlines are inclusive (timely iff block height <= deadline; the
 /// timeout sweep fires at height > deadline).
-class HedgedSwapContract : public chain::Contract {
+class HedgedSwapContract : public chain::SnapshotState<HedgedSwapContract> {
  public:
   struct Params {
     PartyId principal_owner = kNoParty;  ///< escrows the principal
@@ -109,6 +109,15 @@ class HedgedSwapContract : public chain::Contract {
   bool premium_refunded_ = false;
   bool premium_awarded_ = false;
   std::optional<crypto::Bytes> preimage_;
+
+  /// Every mutable member (exactly what reset() clears) — the checkpoint
+  /// stack and the rewind-integrity hash both derive from this list.
+  auto state_tie() {
+    return std::tie(premium_at_, escrowed_at_, principal_resolved_at_,
+                    premium_resolved_at_, redeemed_, principal_refunded_,
+                    premium_refunded_, premium_awarded_, preimage_);
+  }
+  friend chain::SnapshotState<HedgedSwapContract>;
 };
 
 }  // namespace xchain::contracts

@@ -21,7 +21,7 @@ namespace xchain::contracts {
 /// with height <= deadline; the timeout sweep fires at height > deadline.
 /// (Inclusive deadlines make the paper's schedule work at any Delta >= 1
 /// tick, since reacting to block t lands in block t+1.)
-class HtlcContract : public chain::Contract {
+class HtlcContract : public chain::SnapshotState<HtlcContract> {
  public:
   struct Params {
     PartyId funder = kNoParty;        ///< escrows the principal
@@ -74,6 +74,13 @@ class HtlcContract : public chain::Contract {
   bool redeemed_ = false;
   bool refunded_ = false;
   std::optional<crypto::Bytes> preimage_;
+
+  /// Every mutable member (exactly what reset() clears).
+  auto state_tie() {
+    return std::tie(funded_at_, resolved_at_, redeemed_, refunded_,
+                    preimage_);
+  }
+  friend chain::SnapshotState<HtlcContract>;
 };
 
 }  // namespace xchain::contracts

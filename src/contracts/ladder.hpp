@@ -44,7 +44,7 @@ namespace xchain::contracts {
 /// of §5.2 (verified against HedgedSwapContract in the tests).
 ///
 /// All deadlines are inclusive; sweeps fire the first block past them.
-class LadderContract : public chain::Contract {
+class LadderContract : public chain::SnapshotState<LadderContract> {
  public:
   /// Per-rung static configuration. Rung 0's amount is in
   /// `principal_symbol`; all other rungs are native-coin premiums.
@@ -120,6 +120,11 @@ class LadderContract : public chain::Contract {
     RungState state = RungState::kEmpty;
     std::optional<Tick> deposited_at;
     std::optional<Tick> resolved_at;
+
+    void state_hash_into(std::uint64_t& h) const {
+      // spec is immutable configuration; only the live fields hash.
+      chain::state_hash_values(h, state, deposited_at, resolved_at);
+    }
   };
 
   SymbolId symbol_of(std::size_t index, const chain::TxContext& ctx) const;
@@ -133,6 +138,10 @@ class LadderContract : public chain::Contract {
   std::vector<Rung> rungs_;
   bool dead_ = false;
   std::optional<crypto::Bytes> preimage_;
+
+  /// Every mutable member (exactly what reset() clears).
+  auto state_tie() { return std::tie(rungs_, dead_, preimage_); }
+  friend chain::SnapshotState<LadderContract>;
 };
 
 }  // namespace xchain::contracts

@@ -28,7 +28,8 @@ namespace xchain::contracts {
 /// is refunded at settlement (it cannot lock anyone else up, so §9.2's
 /// "bidders pay no premiums" reasoning still applies — withholding a
 /// reveal is like withholding a bid).
-class SealedCoinAuctionContract : public chain::Contract {
+class SealedCoinAuctionContract
+    : public chain::SnapshotState<SealedCoinAuctionContract> {
  public:
   struct Params {
     AuctionTerms terms;             ///< commit ends at terms.bid_deadline
@@ -88,6 +89,13 @@ class SealedCoinAuctionContract : public chain::Contract {
   std::vector<std::optional<crypto::Hashkey>> keys_;
   bool settled_ = false;
   bool clean_ = false;
+
+  /// Every mutable member (exactly what reset() clears).
+  auto state_tie() {
+    return std::tie(premium_endowed_, commitments_, revealed_, keys_,
+                    settled_, clean_);
+  }
+  friend chain::SnapshotState<SealedCoinAuctionContract>;
 };
 
 }  // namespace xchain::contracts

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 
 #include "contracts/auction.hpp"
 #include "contracts/sealed_auction.hpp"
@@ -30,12 +31,17 @@ struct Setup {
   Tick declaration_start = 0;
 };
 
-class Auctioneer : public sim::Party {
+class Auctioneer : public chain::SnapshotState<Auctioneer, sim::Party> {
  public:
   Auctioneer(const Setup& s, AuctioneerStrategy strategy,
              const std::vector<Amount>& bids)
-      : sim::Party(kAlice, "alice"), s_(s), strategy_(strategy),
-        bids_(bids) {}
+      : chain::SnapshotState<Auctioneer, sim::Party>(kAlice, "alice"), s_(s),
+        strategy_(strategy), bids_(bids) {}
+
+  /// Tree executor: the strategy is schedule configuration (part of the
+  /// trie's variant root), not run state — it is swapped per schedule and
+  /// deliberately absent from state_tie().
+  void set_strategy(AuctioneerStrategy strategy) { strategy_ = strategy; }
 
   void step(chain::MultiChain& chains, Tick now) override {
     if (strategy_ == AuctioneerStrategy::kNoSetup) return;
@@ -115,13 +121,17 @@ class Auctioneer : public sim::Party {
   std::vector<Amount> bids_;
   bool did_setup_ = false;
   bool declared_ = false;
+
+  auto state_tie() { return std::tie(did_setup_, declared_); }
+  friend chain::SnapshotState<Auctioneer, sim::Party>;
 };
 
-class Bidder : public sim::Party {
+class Bidder : public chain::SnapshotState<Bidder, sim::Party> {
  public:
   Bidder(PartyId id, const Setup& s, sim::DeviationPlan plan, Amount bid)
-      : sim::Party(id, "bidder-" + std::to_string(id), plan), s_(s),
-        bid_(bid), forwarded_(s.secrets.size(), 0) {}
+      : chain::SnapshotState<Bidder, sim::Party>(
+            id, "bidder-" + std::to_string(id), plan),
+        s_(s), bid_(bid), forwarded_(s.secrets.size(), 0) {}
 
   void step(chain::MultiChain& chains, Tick now) override {
     // Ordinal 0: bid once the auctioneer's setup (tickets + premium) is
@@ -177,6 +187,9 @@ class Bidder : public sim::Party {
   Amount bid_;
   bool did_bid_ = false;
   std::vector<char> forwarded_;
+
+  auto state_tie() { return std::tie(did_bid_, forwarded_); }
+  friend chain::SnapshotState<Bidder, sim::Party>;
 };
 
 // ---------------------------------------------------------------------------
@@ -194,10 +207,14 @@ struct SealedSetup {
   Tick reveal_deadline = 0;
 };
 
-class SealedAuctioneer : public sim::Party {
+class SealedAuctioneer
+    : public chain::SnapshotState<SealedAuctioneer, sim::Party> {
  public:
   SealedAuctioneer(const SealedSetup& s, AuctioneerStrategy strategy)
-      : sim::Party(kAlice, "alice"), s_(s), strategy_(strategy) {}
+      : chain::SnapshotState<SealedAuctioneer, sim::Party>(kAlice, "alice"),
+        s_(s), strategy_(strategy) {}
+
+  void set_strategy(AuctioneerStrategy strategy) { strategy_ = strategy; }
 
   void step(chain::MultiChain& chains, Tick now) override {
     if (strategy_ == AuctioneerStrategy::kNoSetup) return;
@@ -257,14 +274,18 @@ class SealedAuctioneer : public sim::Party {
   AuctioneerStrategy strategy_;
   bool did_setup_ = false;
   bool declared_ = false;
+
+  auto state_tie() { return std::tie(did_setup_, declared_); }
+  friend chain::SnapshotState<SealedAuctioneer, sim::Party>;
 };
 
-class SealedBidder : public sim::Party {
+class SealedBidder : public chain::SnapshotState<SealedBidder, sim::Party> {
  public:
   SealedBidder(PartyId id, const SealedSetup& s, sim::DeviationPlan plan,
                Amount bid)
-      : sim::Party(id, "bidder-" + std::to_string(id), plan), s_(s),
-        bid_(bid),
+      : chain::SnapshotState<SealedBidder, sim::Party>(
+            id, "bidder-" + std::to_string(id), plan),
+        s_(s), bid_(bid),
         nonce_(crypto::Secret::from_label("nonce-" + name()).value()),
         forwarded_(s.secrets.size(), 0) {}
 
@@ -333,6 +354,9 @@ class SealedBidder : public sim::Party {
   bool committed_ = false;
   bool revealed_ = false;
   std::vector<char> forwarded_;
+
+  auto state_tie() { return std::tie(committed_, revealed_, forwarded_); }
+  friend chain::SnapshotState<SealedBidder, sim::Party>;
 };
 
 }  // namespace
@@ -345,6 +369,12 @@ struct AuctionWorld::Impl {
   Setup s;         ///< open variant
   SealedSetup ss;  ///< sealed variant
   std::unique_ptr<PayoffTracker> tracker;
+  // Persistent tree-executor actors (one variant populated, per `sealed`).
+  std::unique_ptr<Auctioneer> tree_alice;
+  std::vector<std::unique_ptr<Bidder>> tree_bidders;
+  std::unique_ptr<SealedAuctioneer> tree_sealed_alice;
+  std::vector<std::unique_ptr<SealedBidder>> tree_sealed_bidders;
+  sim::TreeFrame frame;
 };
 
 AuctionWorld::AuctionWorld(const AuctionConfig& cfg, bool sealed,
@@ -481,7 +511,6 @@ AuctionResult AuctionWorld::run(
   const Tick d = w.cfg.delta;
   w.chains.reset();
 
-  AuctionResult out;
   sim::Scheduler sched(w.chains);
   if (w.sealed) {
     SealedAuctioneer a(w.ss, alice);
@@ -494,8 +523,6 @@ AuctionResult AuctionWorld::run(
       sched.add_party(*bs.back());
     }
     sched.run_until(6 * d + 2);
-    out.completed = w.ss.coin->completed_cleanly();
-    out.tickets_to = w.ss.ticket->awarded_to().value_or(kAlice);
   } else {
     Auctioneer a(w.s, alice, w.cfg.bids);
     std::vector<std::unique_ptr<Bidder>> bs;
@@ -506,10 +533,72 @@ AuctionResult AuctionWorld::run(
       sched.add_party(*bs.back());
     }
     sched.run_until(5 * d + 2);
+  }
+
+  return tree_collect();
+}
+
+sim::TreeFrame& AuctionWorld::tree_frame() {
+  Impl& w = *impl_;
+  if (w.frame.chains == nullptr) {
+    const std::size_t n = w.cfg.bids.size();
+    w.frame.chains = &w.chains;
+    if (w.sealed) {
+      w.tree_sealed_alice =
+          std::make_unique<SealedAuctioneer>(w.ss, AuctioneerStrategy::kHonest);
+      w.frame.actors.push_back(w.tree_sealed_alice.get());
+      for (std::size_t i = 0; i < n; ++i) {
+        w.tree_sealed_bidders.push_back(std::make_unique<SealedBidder>(
+            static_cast<PartyId>(i + 1), w.ss, sim::DeviationPlan::conforming(),
+            w.cfg.bids[i]));
+        w.frame.actors.push_back(w.tree_sealed_bidders.back().get());
+      }
+      w.frame.horizon = 6 * w.cfg.delta + 2;
+    } else {
+      w.tree_alice = std::make_unique<Auctioneer>(
+          w.s, AuctioneerStrategy::kHonest, w.cfg.bids);
+      w.frame.actors.push_back(w.tree_alice.get());
+      for (std::size_t i = 0; i < n; ++i) {
+        w.tree_bidders.push_back(std::make_unique<Bidder>(
+            static_cast<PartyId>(i + 1), w.s, sim::DeviationPlan::conforming(),
+            w.cfg.bids[i]));
+        w.frame.actors.push_back(w.tree_bidders.back().get());
+      }
+      w.frame.horizon = 5 * w.cfg.delta + 2;
+    }
+  }
+  return w.frame;
+}
+
+void AuctionWorld::tree_set_plans(
+    AuctioneerStrategy alice,
+    const std::vector<sim::DeviationPlan>& bidder_plans) {
+  Impl& w = *impl_;
+  if (w.sealed) {
+    w.tree_sealed_alice->set_strategy(alice);
+    for (std::size_t i = 0; i < w.tree_sealed_bidders.size(); ++i) {
+      w.tree_sealed_bidders[i]->set_plan(bidder_plans.at(i));
+    }
+  } else {
+    w.tree_alice->set_strategy(alice);
+    for (std::size_t i = 0; i < w.tree_bidders.size(); ++i) {
+      w.tree_bidders[i]->set_plan(bidder_plans.at(i));
+    }
+  }
+}
+
+AuctionResult AuctionWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  const std::size_t n = w.cfg.bids.size();
+
+  AuctionResult out;
+  if (w.sealed) {
+    out.completed = w.ss.coin->completed_cleanly();
+    out.tickets_to = w.ss.ticket->awarded_to().value_or(kAlice);
+  } else {
     out.completed = w.s.coin->completed_cleanly();
     out.tickets_to = w.s.ticket->awarded_to().value_or(kAlice);
   }
-
   out.auctioneer = w.tracker->delta(w.chains, kAlice);
   for (std::size_t i = 0; i < n; ++i) {
     out.bidders.push_back(

@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::core {
 
@@ -99,6 +100,14 @@ class AuctionWorld {
   /// halt-style plan via bidder_plan_of().
   AuctionResult run(AuctioneerStrategy alice,
                     const std::vector<BidderStrategy>& bidders);
+
+  /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
+  /// first call; the auctioneer's strategy is installed per schedule like
+  /// the bidders' plans.
+  sim::TreeFrame& tree_frame();
+  void tree_set_plans(AuctioneerStrategy alice,
+                      const std::vector<sim::DeviationPlan>& bidder_plans);
+  AuctionResult tree_collect() const;
 
  private:
   struct Impl;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "contracts/ladder.hpp"
@@ -50,13 +51,14 @@ std::vector<GlobalAction> make_schedule(int rounds) {
 /// A party following the global schedule: it waits until every earlier
 /// action is visible on-chain, then performs its own next action (if its
 /// deviation plan still allows).
-class LadderParty : public sim::Party {
+class LadderParty : public chain::SnapshotState<LadderParty, sim::Party> {
  public:
   LadderParty(PartyId id, std::string name, sim::DeviationPlan plan,
               const std::vector<GlobalAction>& schedule,
               contracts::LadderContract& apricot,
               contracts::LadderContract& banana, crypto::Secret secret)
-      : sim::Party(id, std::move(name), plan),
+      : chain::SnapshotState<LadderParty, sim::Party>(id, std::move(name),
+                                                      plan),
         schedule_(schedule),
         apricot_(apricot),
         banana_(banana),
@@ -126,6 +128,9 @@ class LadderParty : public sim::Party {
   contracts::LadderContract& banana_;
   crypto::Secret secret_;
   std::vector<char> submitted_;
+
+  auto state_tie() { return std::tie(submitted_); }
+  friend chain::SnapshotState<LadderParty, sim::Party>;
 };
 
 Tick premium_lockup_of(const contracts::LadderContract& c) {
@@ -184,6 +189,9 @@ struct BootstrapWorld::Impl {
   crypto::Secret secret;
   std::vector<GlobalAction> schedule;
   std::unique_ptr<PayoffTracker> tracker;
+  std::unique_ptr<LadderParty> tree_alice;
+  std::unique_ptr<LadderParty> tree_bob;
+  sim::TreeFrame frame;
 };
 
 BootstrapWorld::BootstrapWorld(const BootstrapConfig& cfg,
@@ -286,17 +294,45 @@ BootstrapResult BootstrapWorld::run(sim::DeviationPlan alice,
   const Tick d = w.cfg.delta;
   const int r = w.cfg.rounds;
   w.chains.reset();
-  contracts::LadderContract& apricot_ladder = *w.apricot_ladder;
-  contracts::LadderContract& banana_ladder = *w.banana_ladder;
 
-  LadderParty a(kAlice, "alice", alice, w.schedule, apricot_ladder,
-                banana_ladder, w.secret);
-  LadderParty b(kBob, "bob", bob, w.schedule, apricot_ladder, banana_ladder,
-                crypto::Secret{});
+  LadderParty a(kAlice, "alice", alice, w.schedule, *w.apricot_ladder,
+                *w.banana_ladder, w.secret);
+  LadderParty b(kBob, "bob", bob, w.schedule, *w.apricot_ladder,
+                *w.banana_ladder, crypto::Secret{});
   sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
   sched.run_until((2 * r + 4) * d + 2);
+
+  return tree_collect();
+}
+
+sim::TreeFrame& BootstrapWorld::tree_frame() {
+  Impl& w = *impl_;
+  if (!w.tree_alice) {
+    w.tree_alice = std::make_unique<LadderParty>(
+        kAlice, "alice", sim::DeviationPlan::conforming(), w.schedule,
+        *w.apricot_ladder, *w.banana_ladder, w.secret);
+    w.tree_bob = std::make_unique<LadderParty>(
+        kBob, "bob", sim::DeviationPlan::conforming(), w.schedule,
+        *w.apricot_ladder, *w.banana_ladder, crypto::Secret{});
+    w.frame.chains = &w.chains;
+    w.frame.actors = {w.tree_alice.get(), w.tree_bob.get()};
+    w.frame.horizon = (2 * w.cfg.rounds + 4) * w.cfg.delta + 2;
+  }
+  return w.frame;
+}
+
+void BootstrapWorld::tree_set_plans(
+    const std::vector<sim::DeviationPlan>& plans) {
+  impl_->tree_alice->set_plan(plans.at(0));
+  impl_->tree_bob->set_plan(plans.at(1));
+}
+
+BootstrapResult BootstrapWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  const contracts::LadderContract& apricot_ladder = *w.apricot_ladder;
+  const contracts::LadderContract& banana_ladder = *w.banana_ladder;
 
   BootstrapResult out;
   out.swapped = apricot_ladder.principal_redeemed() &&

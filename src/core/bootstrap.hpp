@@ -1,12 +1,14 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
 #include "core/premiums.hpp"
 #include "sim/deviation.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::core {
 
@@ -85,6 +87,12 @@ class BootstrapWorld {
 
   /// Resets the world and executes one schedule.
   BootstrapResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
+
+  /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
+  /// first call; plans index Alice, Bob in order.
+  sim::TreeFrame& tree_frame();
+  void tree_set_plans(const std::vector<sim::DeviationPlan>& plans);
+  BootstrapResult tree_collect() const;
 
  private:
   struct Impl;

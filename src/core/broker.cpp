@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <utility>
 
 #include "contracts/broker.hpp"
@@ -195,9 +196,11 @@ class BrokerParty : public sim::Party {
 };
 
 /// Alice: trading premiums, the two trades, releases k_A after both.
-class AliceBroker : public BrokerParty {
+/// The snapshot mixin sits on the most-derived class so state_tie() can
+/// cover both the shared BrokerParty flags (protected) and its own.
+class AliceBroker : public chain::SnapshotState<AliceBroker, BrokerParty> {
  public:
-  using BrokerParty::BrokerParty;
+  using chain::SnapshotState<AliceBroker, BrokerParty>::SnapshotState;
 
  private:
   void simple_premiums(chain::MultiChain& chains, Tick now) override {
@@ -247,17 +250,24 @@ class AliceBroker : public BrokerParty {
   bool did_trading_premiums_ = false;
   bool traded_tickets_ = false;
   bool traded_coins_ = false;
+
+  auto state_tie() {
+    return std::tie(did_own_premium_, released_, premium_relayed_, relayed_,
+                    did_trading_premiums_, traded_tickets_, traded_coins_);
+  }
+  friend chain::SnapshotState<AliceBroker, BrokerParty>;
 };
 
 /// Bob and Carol: escrow premium at start, escrow the principal once their
 /// arc is activated, release their key once the trade destined for them
 /// has happened.
-class SellerBroker : public BrokerParty {
+class SellerBroker : public chain::SnapshotState<SellerBroker, BrokerParty> {
  public:
   SellerBroker(PartyId id, std::string name, const Setup& s,
                sim::DeviationPlan plan, BrokerChainContract* own_chain,
                BrokerChainContract* paid_on)
-      : BrokerParty(id, std::move(name), s, plan),
+      : chain::SnapshotState<SellerBroker, BrokerParty>(id, std::move(name), s,
+                                                        plan),
         own_(own_chain),
         paid_on_(paid_on) {}
 
@@ -295,6 +305,12 @@ class SellerBroker : public BrokerParty {
   BrokerChainContract* paid_on_;  ///< chain whose trading arc pays them
   bool did_escrow_premium_ = false;
   bool did_escrow_ = false;
+
+  auto state_tie() {
+    return std::tie(did_own_premium_, released_, premium_relayed_, relayed_,
+                    did_escrow_premium_, did_escrow_);
+  }
+  friend chain::SnapshotState<SellerBroker, BrokerParty>;
 };
 
 Tick lockup_of(const BrokerChainContract& c) {
@@ -313,6 +329,10 @@ struct BrokerWorld::Impl {
   crypto::SigningCache sign_cache;
   std::unique_ptr<PayoffTracker> tracker;
   Tick horizon = 0;
+  std::unique_ptr<AliceBroker> tree_alice;
+  std::unique_ptr<SellerBroker> tree_bob;
+  std::unique_ptr<SellerBroker> tree_carol;
+  sim::TreeFrame frame;
 };
 
 BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
@@ -438,6 +458,39 @@ BrokerResult BrokerWorld::run(sim::DeviationPlan alice, sim::DeviationPlan bob,
   sched.add_party(b);
   sched.add_party(c);
   sched.run_until(w.horizon);
+
+  return tree_collect();
+}
+
+sim::TreeFrame& BrokerWorld::tree_frame() {
+  Impl& w = *impl_;
+  Setup& s = w.s;
+  if (!w.tree_alice) {
+    w.tree_alice = std::make_unique<AliceBroker>(
+        kAlice, "alice", s, sim::DeviationPlan::conforming());
+    w.tree_bob = std::make_unique<SellerBroker>(
+        kBob, "bob", s, sim::DeviationPlan::conforming(), s.ticket, s.coin);
+    w.tree_carol = std::make_unique<SellerBroker>(
+        kCarol, "carol", s, sim::DeviationPlan::conforming(), s.coin,
+        s.ticket);
+    w.frame.chains = &w.chains;
+    w.frame.actors = {w.tree_alice.get(), w.tree_bob.get(),
+                      w.tree_carol.get()};
+    w.frame.horizon = w.horizon;
+  }
+  return w.frame;
+}
+
+void BrokerWorld::tree_set_plans(
+    const std::vector<sim::DeviationPlan>& plans) {
+  impl_->tree_alice->set_plan(plans.at(0));
+  impl_->tree_bob->set_plan(plans.at(1));
+  impl_->tree_carol->set_plan(plans.at(2));
+}
+
+BrokerResult BrokerWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  const Setup& s = w.s;
 
   BrokerResult out;
   out.completed = s.ticket->bucket_redeemed(Which::kEscrowArc) &&

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::core {
 
@@ -63,6 +65,12 @@ class BrokerWorld {
   /// Resets the world and executes one schedule.
   BrokerResult run(sim::DeviationPlan alice, sim::DeviationPlan bob,
                    sim::DeviationPlan carol);
+
+  /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
+  /// first call; plans index Alice, Bob, Carol in order.
+  sim::TreeFrame& tree_frame();
+  void tree_set_plans(const std::vector<sim::DeviationPlan>& plans);
+  BrokerResult tree_collect() const;
 
  private:
   struct Impl;

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 
 #include "contracts/arc_contract.hpp"
 #include "core/premiums.hpp"
@@ -51,10 +52,11 @@ struct Setup {
 
 /// One swap participant, leader or follower, running the four phases with
 /// compliance conditions from §7 (and the truncations from Lemmas 2-5).
-class SwapParty : public sim::Party {
+class SwapParty : public chain::SnapshotState<SwapParty, sim::Party> {
  public:
   SwapParty(PartyId id, const Setup& s, sim::DeviationPlan plan)
-      : sim::Party(id, "party-" + std::to_string(id), plan),
+      : chain::SnapshotState<SwapParty, sim::Party>(
+            id, "party-" + std::to_string(id), plan),
         s_(s),
         premium_seen_(s.leaders.size(), 0),
         hashkey_done_(s.leaders.size(), 0) {}
@@ -256,6 +258,13 @@ class SwapParty : public sim::Party {
   bool released_own_key_ = false;
   std::vector<char> premium_seen_;   ///< per leader index
   std::vector<char> hashkey_done_;   ///< per leader index
+
+  auto state_tie() {
+    return std::tie(did_escrow_premiums_, started_own_premiums_,
+                    did_escrow_assets_, released_own_key_, premium_seen_,
+                    hashkey_done_);
+  }
+  friend chain::SnapshotState<SwapParty, sim::Party>;
 };
 
 }  // namespace
@@ -266,6 +275,8 @@ struct MultiPartyWorld::Impl {
   chain::MultiChain chains;
   crypto::SigningCache sign_cache;
   std::unique_ptr<PayoffTracker> tracker;
+  std::vector<std::unique_ptr<SwapParty>> tree_parties;
+  sim::TreeFrame frame;
 };
 
 MultiPartyWorld::MultiPartyWorld(const MultiPartyConfig& cfg,
@@ -402,6 +413,37 @@ MultiPartyResult MultiPartyWorld::run(
     sched.add_party(*parties.back());
   }
   sched.run_until(w.s.horizon);
+
+  return tree_collect();
+}
+
+sim::TreeFrame& MultiPartyWorld::tree_frame() {
+  Impl& w = *impl_;
+  if (w.tree_parties.empty()) {
+    const std::size_t n = w.cfg.g.size();
+    w.frame.chains = &w.chains;
+    for (Vertex v = 0; v < n; ++v) {
+      w.tree_parties.push_back(std::make_unique<SwapParty>(
+          v, w.s, sim::DeviationPlan::conforming()));
+      w.frame.actors.push_back(w.tree_parties.back().get());
+    }
+    w.frame.horizon = w.s.horizon;
+  }
+  return w.frame;
+}
+
+void MultiPartyWorld::tree_set_plans(
+    const std::vector<sim::DeviationPlan>& plans) {
+  Impl& w = *impl_;
+  for (std::size_t v = 0; v < w.tree_parties.size(); ++v) {
+    w.tree_parties[v]->set_plan(plans.at(v));
+  }
+}
+
+MultiPartyResult MultiPartyWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  const Digraph& g = w.cfg.g;
+  const std::size_t n = g.size();
 
   MultiPartyResult out;
   out.all_redeemed = true;

@@ -8,6 +8,7 @@
 #include "core/payoff.hpp"
 #include "graph/digraph.hpp"
 #include "sim/deviation.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::core {
 
@@ -69,6 +70,12 @@ class MultiPartyWorld {
 
   /// Resets the world and executes one schedule (one plan per party).
   MultiPartyResult run(const std::vector<sim::DeviationPlan>& plans);
+
+  /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
+  /// first call; the executor owns the tick loop.
+  sim::TreeFrame& tree_frame();
+  void tree_set_plans(const std::vector<sim::DeviationPlan>& plans);
+  MultiPartyResult tree_collect() const;
 
  private:
   struct Impl;

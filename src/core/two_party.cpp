@@ -1,6 +1,7 @@
 #include "core/two_party.hpp"
 
 #include <memory>
+#include <tuple>
 
 #include "contracts/hedged_swap.hpp"
 #include "contracts/htlc.hpp"
@@ -101,11 +102,11 @@ class BaseBob : public sim::Party {
 // Hedged protocol actors (§5.2, Figure 1).
 // ---------------------------------------------------------------------------
 
-class HedgedAlice : public sim::Party {
+class HedgedAlice : public chain::SnapshotState<HedgedAlice, sim::Party> {
  public:
   HedgedAlice(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
               contracts::HedgedSwapContract& banana, crypto::Secret secret)
-      : sim::Party(kAlice, "alice", plan),
+      : chain::SnapshotState<HedgedAlice, sim::Party>(kAlice, "alice", plan),
         apricot_(apricot),
         banana_(banana),
         secret_(std::move(secret)) {}
@@ -150,13 +151,16 @@ class HedgedAlice : public sim::Party {
   bool did_premium_ = false;
   bool did_escrow_ = false;
   bool did_redeem_ = false;
+
+  auto state_tie() { return std::tie(did_premium_, did_escrow_, did_redeem_); }
+  friend chain::SnapshotState<HedgedAlice, sim::Party>;
 };
 
-class HedgedBob : public sim::Party {
+class HedgedBob : public chain::SnapshotState<HedgedBob, sim::Party> {
  public:
   HedgedBob(sim::DeviationPlan plan, contracts::HedgedSwapContract& apricot,
             contracts::HedgedSwapContract& banana)
-      : sim::Party(kBob, "bob", plan),
+      : chain::SnapshotState<HedgedBob, sim::Party>(kBob, "bob", plan),
         apricot_(apricot),
         banana_(banana) {}
 
@@ -200,6 +204,9 @@ class HedgedBob : public sim::Party {
   bool did_premium_ = false;
   bool did_escrow_ = false;
   bool did_redeem_ = false;
+
+  auto state_tie() { return std::tie(did_premium_, did_escrow_, did_redeem_); }
+  friend chain::SnapshotState<HedgedBob, sim::Party>;
 };
 
 }  // namespace
@@ -259,6 +266,11 @@ struct TwoPartyWorld::Impl {
   contracts::HedgedSwapContract* banana_c = nullptr;
   crypto::Secret secret;
   std::unique_ptr<PayoffTracker> tracker;
+  // Persistent actors for the schedule-tree executor (nullptr until the
+  // first tree_frame() call; their mutable state rides the snapshot stack).
+  std::unique_ptr<HedgedAlice> tree_alice;
+  std::unique_ptr<HedgedBob> tree_bob;
+  sim::TreeFrame frame;
 };
 
 TwoPartyWorld::TwoPartyWorld(const TwoPartyConfig& cfg,
@@ -315,15 +327,41 @@ TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
                                   sim::DeviationPlan bob) {
   Impl& w = *impl_;
   w.chains.reset();
-  contracts::HedgedSwapContract& apricot_c = *w.apricot_c;
-  contracts::HedgedSwapContract& banana_c = *w.banana_c;
 
-  HedgedAlice a(alice, apricot_c, banana_c, w.secret);
-  HedgedBob b(bob, apricot_c, banana_c);
+  HedgedAlice a(alice, *w.apricot_c, *w.banana_c, w.secret);
+  HedgedBob b(bob, *w.apricot_c, *w.banana_c);
   sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
   sched.run_until(6 * w.cfg.delta + 2);
+
+  return tree_collect();
+}
+
+sim::TreeFrame& TwoPartyWorld::tree_frame() {
+  Impl& w = *impl_;
+  if (!w.tree_alice) {
+    w.tree_alice = std::make_unique<HedgedAlice>(
+        sim::DeviationPlan::conforming(), *w.apricot_c, *w.banana_c, w.secret);
+    w.tree_bob = std::make_unique<HedgedBob>(sim::DeviationPlan::conforming(),
+                                             *w.apricot_c, *w.banana_c);
+    w.frame.chains = &w.chains;
+    w.frame.actors = {w.tree_alice.get(), w.tree_bob.get()};
+    w.frame.horizon = 6 * w.cfg.delta + 2;
+  }
+  return w.frame;
+}
+
+void TwoPartyWorld::tree_set_plans(
+    const std::vector<sim::DeviationPlan>& plans) {
+  impl_->tree_alice->set_plan(plans.at(0));
+  impl_->tree_bob->set_plan(plans.at(1));
+}
+
+TwoPartyResult TwoPartyWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  const contracts::HedgedSwapContract& apricot_c = *w.apricot_c;
+  const contracts::HedgedSwapContract& banana_c = *w.banana_c;
 
   TwoPartyResult r;
   r.swapped = apricot_c.redeemed() && banana_c.redeemed();

@@ -2,11 +2,13 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::core {
 
@@ -77,6 +79,14 @@ class TwoPartyWorld {
 
   /// Resets the world and executes one schedule.
   TwoPartyResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
+
+  /// Tree-executor access (sim/tree.hpp): the first call builds the
+  /// world's persistent, snapshot-capable actors; the executor owns the
+  /// tick loop, plan installation goes through tree_set_plans() and
+  /// result assembly through tree_collect().
+  sim::TreeFrame& tree_frame();
+  void tree_set_plans(const std::vector<sim::DeviationPlan>& plans);
+  TwoPartyResult tree_collect() const;
 
  private:
   struct Impl;

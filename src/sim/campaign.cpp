@@ -91,6 +91,24 @@ std::size_t CampaignReport::total_violations() const {
   return n;
 }
 
+std::size_t CampaignReport::total_nodes_executed() const {
+  std::size_t n = 0;
+  for (const ConfigResult& c : configs) n += c.report.nodes_executed;
+  return n;
+}
+
+std::size_t CampaignReport::total_schedules_covered() const {
+  std::size_t n = 0;
+  for (const ConfigResult& c : configs) n += c.report.schedules_covered;
+  return n;
+}
+
+std::size_t CampaignReport::total_dedup_hits() const {
+  std::size_t n = 0;
+  for (const ConfigResult& c : configs) n += c.report.dedup_hits;
+  return n;
+}
+
 std::string CampaignReport::str() const {
   std::string out;
   for (const std::string& t : truncations) {
@@ -137,6 +155,12 @@ std::string campaign_json(const CampaignReport& report,
          ",\n";
   out += "  \"conforming_audited\": " +
          std::to_string(report.total_conforming_audited()) + ",\n";
+  out += "  \"nodes_executed\": " +
+         std::to_string(report.total_nodes_executed()) + ",\n";
+  out += "  \"schedules_covered\": " +
+         std::to_string(report.total_schedules_covered()) + ",\n";
+  out += "  \"dedup_hits\": " + std::to_string(report.total_dedup_hits()) +
+         ",\n";
   out +=
       "  \"violations\": " + std::to_string(report.total_violations()) + ",\n";
   out += "  \"truncations\": [";

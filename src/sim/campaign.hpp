@@ -90,6 +90,12 @@ struct CampaignReport {
   std::size_t total_schedules() const;
   std::size_t total_conforming_audited() const;
   std::size_t total_violations() const;
+  /// Executor statistics summed over every configuration (see SweepReport:
+  /// brute-force sweeps report nodes_executed == schedules and zero dedup
+  /// hits, tree sweeps report the shared-prefix savings).
+  std::size_t total_nodes_executed() const;
+  std::size_t total_schedules_covered() const;
+  std::size_t total_dedup_hits() const;
   bool ok() const { return total_violations() == 0; }
 
   /// One line per configuration plus a totals line (and any truncation
@@ -110,7 +116,8 @@ struct CampaignStamp {
 ///   { "benchmark": "campaign", "git_commit": ..., "build_type": ...,
 ///     "compiler": ..., "hardware_threads": N, "strategies": "halt-only" |
 ///     "timely-delays" | "late-delays", "configurations": N,
-///     "schedules_run": N, "conforming_audited": N, "violations": N,
+///     "schedules_run": N, "conforming_audited": N, "nodes_executed": N,
+///     "schedules_covered": N, "dedup_hits": N, "violations": N,
 ///     "truncations": ["..."],
 ///     "configs": [ {"protocol": ..., "params": ..., "adapter": ...,
 ///                   "schedules": N, "conforming_audited": N,

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -9,6 +11,7 @@
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
 #include "crypto/schnorr.hpp"
+#include "sim/consult.hpp"
 #include "sim/deviation.hpp"
 
 namespace xchain::sim {
@@ -62,6 +65,32 @@ class Party {
   /// Transactions submitted here are applied in this tick's blocks.
   virtual void step(chain::MultiChain& chains, Tick now) = 0;
 
+  /// Swaps in a new deviation plan (tree executor: persistent actors are
+  /// built once per world and re-planned per schedule).
+  void set_plan(DeviationPlan plan) { plan_ = std::move(plan); }
+
+  /// Points act() at the executor's consultation log (null — the default —
+  /// records nothing and costs one branch).
+  void set_consult_log(ConsultLog* log) { consults_ = log; }
+
+  /// Layered-checkpoint hook, mirroring chain::Contract::snapshot: actors
+  /// that participate in tree sweeps derive from
+  /// chain::SnapshotState<Self, Party> and list their mutable members in
+  /// state_tie() (the base's pending-action queue is handled here). The
+  /// default throws so a stateful actor class that never opted in fails
+  /// loudly instead of leaking state across branches.
+  virtual void snapshot(chain::SnapshotOp op, std::size_t depth) {
+    (void)op;
+    (void)depth;
+    throw std::logic_error(
+        "Party::snapshot: party does not support checkpoint stacking "
+        "(derive from chain::SnapshotState<Self, Party> and list mutable "
+        "members in state_tie())");
+  }
+
+  /// Mixes this party's mutable state into the rewind integrity hash.
+  virtual void state_hash(std::uint64_t& h) const { state_hash_members(h); }
+
  protected:
   /// Decision point for the scheduled action `ordinal`, to be reached when
   /// (and only when) the action's guard first holds. Applies the party's
@@ -74,6 +103,7 @@ class Party {
                           std::is_invocable_v<Fn&, chain::MultiChain&>>>
   bool act(chain::MultiChain& chains, Tick now, int ordinal, Fn&& perform) {
     const ActionPolicy pol = plan_.policy(ordinal);
+    if (consults_) consults_->record(id_, ordinal, pol, now);
     if (pol.choice == ActionChoice::kDrop) return false;
     if (pol.choice == ActionChoice::kDelay && pol.delay > 0) {
       pending_.push_back({now + pol.delay, std::forward<Fn>(perform)});
@@ -110,6 +140,21 @@ class Party {
     bc.submit(std::move(tx));
   }
 
+  /// SnapshotState hooks for the base's own mutable state: the pending
+  /// (delayed) action queue. The queued closures snapshot by value —
+  /// they capture plain data — and hash by due-tick (the closure bodies
+  /// are determined by the decision that queued them, which the due tick
+  /// and queue position pin down).
+  void snapshot_members(chain::SnapshotOp op, std::size_t depth) {
+    pending_stack_.apply(op, depth, std::tie(pending_));
+  }
+  void state_hash_members(std::uint64_t& h) const {
+    chain::state_hash_mix(h, pending_.size());
+    for (const Pending& p : pending_) {
+      chain::state_hash_mix(h, static_cast<std::uint64_t>(p.due));
+    }
+  }
+
  private:
   struct Pending {
     Tick due;
@@ -136,6 +181,8 @@ class Party {
   const crypto::KeyPair& keys_;
   DeviationPlan plan_;
   std::vector<Pending> pending_;
+  ConsultLog* consults_ = nullptr;
+  chain::TieStack<std::vector<Pending>> pending_stack_;
 };
 
 }  // namespace xchain::sim

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <iterator>
+#include <map>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "chain/snapshot.hpp"
 #include "core/crr.hpp"
+#include "sim/consult.hpp"
 
 namespace xchain::sim {
 
@@ -85,6 +90,12 @@ class ScheduleSpace {
   /// Raw combination count, before any max_deviators filtering.
   std::size_t raw_size() const { return raw_size_; }
 
+  /// The bounded per-party plan lists (index-decoded by make()); the tree
+  /// executor's depth-first exploration walks these directly.
+  const std::vector<std::vector<DeviationPlan>>& plan_lists() const {
+    return spaces_;
+  }
+
   /// Truncation notices from the strategy-space bounds ([] when whole).
   const std::vector<std::string>& truncations() const { return truncations_; }
 
@@ -97,13 +108,18 @@ class ScheduleSpace {
             bool with_label) const {
     std::size_t rest = index;
     int deviators = 0;
-    out.plans.clear();
-    out.plans.reserve(spaces_.size());
-    for (const auto& space : spaces_) {
+    // Copy-assign into existing plan slots. A clear()-and-push_back loop
+    // frees and reallocates every plan's modifier list on every decode;
+    // with the tree executor serving most schedules straight from the
+    // memo-trie, those per-decode allocations are a measurable slice of
+    // the whole sweep loop.
+    out.plans.resize(spaces_.size());
+    for (std::size_t p = 0; p < spaces_.size(); ++p) {
+      const auto& space = spaces_[p];
       const DeviationPlan& plan = space[rest % space.size()];
       rest /= space.size();
       if (!plan.is_conforming()) ++deviators;
-      out.plans.push_back(plan);
+      out.plans[p] = plan;
     }
     if (max_deviators >= 0 && deviators > max_deviators) return false;
 
@@ -164,6 +180,449 @@ void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
     ++out.schedules_run;
   }
 }
+
+/// Prefix-sharing schedule-tree executor (the serial sweep's default
+/// engine). One instance drives one adapter's TreeFrame through a whole
+/// sweep:
+///
+///   * every executed run logs the (party, ordinal) plan coordinates it
+///     actually consulted (ConsultLog, recorded inside Party::act);
+///   * finished runs are memoized in a trie keyed by (engine-variant
+///     vector, consulted decisions in consultation order) — a schedule
+///     whose trie walk reaches a leaf is, by determinism, guaranteed the
+///     cached outcomes without touching the world (a dedup hit);
+///   * a schedule that must execute is diffed against the last executed
+///     run's consult log: everything before the first divergent consult
+///     replays identically, so the executor rewinds the world (layered
+///     checkpoint stack, one slot per tick) to that tick and runs only the
+///     suffix.
+///
+/// Invariant: snapshot slot t holds the world state at the START of tick
+/// t, so snap_depth() == t+1 right after tick t's slot is pushed and
+/// rewinding to slot t resumes execution at tick t. Rewinds are
+/// integrity-checked against 64-bit world state hashes recorded on
+/// sampled *verification runs* (see kVerifyEvery), so a contract or actor
+/// whose state_tie() misses a mutable member aborts the sweep instead of
+/// corrupting it — at a per-tick cost paid on a fraction of runs rather
+/// than all of them.
+class TreeExecutor {
+ public:
+  TreeExecutor(const ProtocolAdapter& adapter, TreeFrame& frame)
+      : adapter_(adapter), frame_(frame) {
+    for (Party* p : frame_.actors) p->set_consult_log(&log_);
+    // The world may arrive dirty: a previous tree sweep leaves end-of-run
+    // state behind, with its snapshot stack intact. Slot 0 of a surviving
+    // stack is always the clean start-of-tick-0 baseline, so rewind to it.
+    // When there is no stack — a fresh world, or one whose stack a legacy
+    // run() invalidated (MultiChain::reset's restore() clears it, since
+    // the undo log cannot describe history across a baseline jump) — the
+    // post-setup reset() lands on the same baseline.
+    if (frame_.chains->snap_depth() > 0) {
+      rewind_to(0, /*integrity_check=*/false);
+    } else {
+      frame_.chains->reset();
+    }
+    // Slot 0 backs every full replay and is never overwritten once
+    // created, so its hash stays fresh for the whole sweep.
+    hashes_.assign(1, world_hash());
+    hashed_to_ = 1;
+  }
+
+  ~TreeExecutor() {
+    for (Party* p : frame_.actors) p->set_consult_log(nullptr);
+  }
+
+  TreeExecutor(const TreeExecutor&) = delete;
+  TreeExecutor& operator=(const TreeExecutor&) = delete;
+
+  std::size_t nodes_executed() const { return nodes_executed_; }
+
+  /// Produces the outcomes of the schedule with raw index `raw` (decoded
+  /// into `s` by the caller). Dedup hits are the common case and must
+  /// cost no allocations and no copies: conformance flags are patched in
+  /// place on the leaf's stored outcomes and a reference to them is
+  /// returned. After explore() the leaf comes from an O(1) table lookup;
+  /// otherwise (filtered sweeps) the memo-trie is walked and a miss
+  /// executes the (shared-prefix-skipping) run into `scratch`.
+  const std::vector<PartyOutcome>& run_one(std::size_t raw, const Schedule& s,
+                                           std::vector<PartyOutcome>& scratch) {
+    if (!leaf_of_.empty()) {
+      TrieNode* node = leaf_of_[raw];
+      patch_conformance(s, node->outcomes);
+      return node->outcomes;
+    }
+    key_.clear();
+    for (const DeviationPlan& p : s.plans) key_.push_back(p.variant());
+    TrieNode* node = &roots_[key_];
+    while (!node->leaf && node->party != kNoParty) {
+      const ActionPolicy pol = s.plans[node->party].policy(node->ordinal);
+      TrieNode* child = nullptr;
+      for (auto& e : node->edges) {
+        if (e.first == pol) {
+          child = e.second.get();
+          break;
+        }
+      }
+      if (!child) break;
+      node = child;
+    }
+    if (node->leaf) {
+      patch_conformance(s, node->outcomes);
+      return node->outcomes;
+    }
+
+    Tick resume = 0;
+    if (has_last_ && last_key_ == key_) resume = divergence_tick(s);
+    execute(s, resume);
+    ++nodes_executed_;
+    scratch = adapter_.tree_collect(s);
+    memoize(scratch);
+    return scratch;
+  }
+
+  /// Pre-populates the trie by a depth-first walk of the schedule tree:
+  /// every distinct consulted-decision path executes exactly once, and
+  /// each path resumes from its branch point (rewind to the branch tick,
+  /// run only the new suffix) — so total tick work is proportional to the
+  /// size of the TREE, not leaves x horizon. After exploration every
+  /// run_one() is a trie hit. Only sound for unfiltered sweeps: a
+  /// deviator budget couples parties globally (the count of deviating
+  /// plans), which per-branch candidate sets cannot express — filtered
+  /// sweeps use the lazy run_one() path instead.
+  void explore(const std::vector<std::vector<DeviationPlan>>& lists) {
+    lists_ = &lists;
+    const std::size_t n = lists.size();
+    // Raw-index strides matching ScheduleSpace::make's decode (party 0 is
+    // the fastest-varying digit). Every leaf learns the exact set of
+    // plan-index combinations it covers, so leaf_of_ maps each raw index
+    // straight to its leaf and run_one() never walks the trie again.
+    strides_.assign(n, 1);
+    std::size_t total = 1;
+    for (std::size_t p = 0; p < n; ++p) {
+      strides_[p] = total;
+      total *= lists[p].size();
+    }
+    leaf_of_.assign(total, nullptr);
+    // Engine-variant classes per party, in first-seen (= enumeration)
+    // order. Variants steer engines outside the consultation mechanism,
+    // so each cross-product choice of classes is its own tree.
+    std::vector<std::vector<std::pair<int, std::vector<int>>>> classes(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t i = 0; i < lists[p].size(); ++i) {
+        const int v = lists[p][i].variant();
+        auto it = std::find_if(classes[p].begin(), classes[p].end(),
+                               [v](const auto& c) { return c.first == v; });
+        if (it == classes[p].end()) {
+          classes[p].push_back({v, {}});
+          it = std::prev(classes[p].end());
+        }
+        it->second.push_back(static_cast<int>(i));
+      }
+    }
+    std::vector<std::size_t> pick(n, 0);
+    while (true) {
+      std::vector<std::vector<int>> cand(n);
+      for (std::size_t p = 0; p < n; ++p) {
+        cand[p] = classes[p][pick[p]].second;
+      }
+      dfs(cand, 0, -1);
+      std::size_t p = 0;
+      for (; p < n; ++p) {
+        if (++pick[p] < classes[p].size()) break;
+        pick[p] = 0;
+      }
+      if (p == n) break;
+    }
+    // The branch partition argument says the leaves' coverage sets tile
+    // the whole space; a hole here means a completeness bug, and serving
+    // it silently would mis-attribute outcomes.
+    for (const TrieNode* node : leaf_of_) {
+      if (node == nullptr) {
+        throw std::logic_error(
+            adapter_.name() +
+            ": tree exploration left part of the schedule space uncovered");
+      }
+    }
+  }
+
+ private:
+  /// One memo-trie node: the question "which policy does `party`'s plan
+  /// give ordinal `ordinal`?", one edge per answer seen so far. Leaves
+  /// carry the outcomes of the run that ended there. Roots live in a map
+  /// keyed by the schedule's variant vector: variants steer engines
+  /// outside the consultation mechanism (the auctioneer's declaration
+  /// strategy), so runs under different variants never share nodes.
+  struct TrieNode {
+    PartyId party = kNoParty;
+    int ordinal = -1;
+    bool leaf = false;
+    std::vector<PartyOutcome> outcomes;
+    std::vector<std::pair<ActionPolicy, std::unique_ptr<TrieNode>>> edges;
+  };
+
+  std::uint64_t world_hash() const {
+    std::uint64_t h = frame_.chains->state_hash();
+    for (const Party* p : frame_.actors) p->state_hash(h);
+    return h;
+  }
+
+  /// Hashing every pushed slot would cost a full world walk per executed
+  /// tick — more than the execution itself. Instead, every kVerifyEvery-th
+  /// executed run (and the first few, so broken snapshots fail in the
+  /// smallest reproducer) is a *verification run*: its pushes record the
+  /// world hash, and any later rewind into a still-fresh hashed slot
+  /// recomputes and compares. hashed_to_ tracks how many leading slots
+  /// hold fresh hashes (a hashless push over a slot stales it and
+  /// everything above).
+  static constexpr std::size_t kVerifyEvery = 32;
+
+  bool verifying() const {
+    return nodes_executed_ < 2 || nodes_executed_ % kVerifyEvery == 0;
+  }
+
+  void push_slot(Tick t, bool with_hash) {
+    const std::size_t d = static_cast<std::size_t>(t);
+    frame_.chains->snap_push();
+    for (Party* p : frame_.actors) {
+      p->snapshot(chain::SnapshotOp::kPush, d);
+    }
+    if (with_hash && hashed_to_ >= d) {
+      if (hashes_.size() <= d) hashes_.resize(d + 1);
+      hashes_[d] = world_hash();
+      hashed_to_ = d + 1;
+    } else if (hashed_to_ > d) {
+      hashed_to_ = d;
+    }
+  }
+
+  void rewind_to(Tick t, bool integrity_check) {
+    const std::size_t d = static_cast<std::size_t>(t);
+    frame_.chains->snap_rewind(d);
+    for (Party* p : frame_.actors) {
+      p->snapshot(chain::SnapshotOp::kRestore, d);
+    }
+    if (integrity_check && d < hashed_to_ && world_hash() != hashes_[d]) {
+      throw std::logic_error(
+          adapter_.name() + ": tree executor state hash mismatch after "
+          "rewind to tick " + std::to_string(t) +
+          " — a contract or actor snapshot misses a mutable member (its "
+          "state_tie() must list exactly the members reset() clears)");
+    }
+  }
+
+  /// One depth-first exploration step. `cand[p]` lists the indices (into
+  /// lists_[p]) of party p's plans compatible with the current path prefix;
+  /// each party's representative — the first candidate — executes from tick
+  /// `from` (the world holds the prefix state; positions <= from_pos of the
+  /// consult log are the prefix and belong to ancestor frames). The run is
+  /// memoized, then its NEW consult positions are walked deepest-first: at
+  /// each, the consulted party's still-viable candidates are partitioned by
+  /// their answer, and every class other than the taken one becomes a child
+  /// branch — rewind to the consult's tick, re-run with a representative of
+  /// the class, recurse. Deepest-first order keeps every rewind target
+  /// inside the shared prefix of the snapshot stack.
+  void dfs(const std::vector<std::vector<int>>& cand, Tick from,
+           std::ptrdiff_t from_pos) {
+    Schedule s;
+    s.plans.reserve(cand.size());
+    for (std::size_t p = 0; p < cand.size(); ++p) {
+      s.plans.push_back(
+          (*lists_)[p][static_cast<std::size_t>(cand[p].front())]);
+    }
+    key_.clear();
+    for (const DeviationPlan& pl : s.plans) key_.push_back(pl.variant());
+    execute(s, from);
+    ++nodes_executed_;
+    TrieNode* const leaf = memoize(adapter_.tree_collect(s));
+
+    // Branch exploration rewrites log_, so walk a copy of this run's path.
+    const std::vector<ConsultEntry> path = log_.entries();
+    // Viability filter: does plan `pl` of `party` agree with every answer
+    // the path consulted from that party before position `upto`?
+    const auto viable = [&](PartyId party, const DeviationPlan& pl,
+                            std::size_t upto) {
+      for (std::size_t j = 0; j < upto; ++j) {
+        if (path[j].party != party) continue;
+        if (pl.policy(path[j].ordinal) != path[j].pol) return false;
+      }
+      return true;
+    };
+
+    // This leaf serves exactly the cross-product of each party's
+    // candidates that agree with the complete path — record it so
+    // run_one() resolves raw indices with one table load. (Distinct
+    // leaves differ at their first divergent consulted answer, so the
+    // sets written here never collide.)
+    {
+      std::vector<std::vector<int>> covered(cand.size());
+      for (std::size_t p = 0; p < cand.size(); ++p) {
+        for (const int idx : cand[p]) {
+          if (viable(static_cast<PartyId>(p),
+                     (*lists_)[p][static_cast<std::size_t>(idx)],
+                     path.size())) {
+            covered[p].push_back(idx);
+          }
+        }
+      }
+      std::vector<std::size_t> at(cand.size(), 0);
+      while (true) {
+        std::size_t raw = 0;
+        for (std::size_t p = 0; p < cand.size(); ++p) {
+          raw += static_cast<std::size_t>(covered[p][at[p]]) * strides_[p];
+        }
+        leaf_of_[raw] = leaf;
+        std::size_t p = 0;
+        for (; p < cand.size(); ++p) {
+          if (++at[p] < covered[p].size()) break;
+          at[p] = 0;
+        }
+        if (p == cand.size()) break;
+      }
+    }
+    for (std::size_t i = path.size(); i-- > 0;) {
+      if (static_cast<std::ptrdiff_t>(i) <= from_pos) break;
+      const ConsultEntry& e = path[i];
+      const auto& plans = (*lists_)[e.party];
+      std::vector<int> pool;
+      for (const int idx : cand[e.party]) {
+        if (viable(e.party, plans[static_cast<std::size_t>(idx)], i)) {
+          pool.push_back(idx);
+        }
+      }
+      std::vector<ActionPolicy> seen{e.pol};
+      for (const int idx : pool) {
+        const ActionPolicy alt =
+            plans[static_cast<std::size_t>(idx)].policy(e.ordinal);
+        if (std::find(seen.begin(), seen.end(), alt) != seen.end()) continue;
+        seen.push_back(alt);
+        std::vector<std::vector<int>> nc(cand.size());
+        for (std::size_t q = 0; q < cand.size(); ++q) {
+          if (q == static_cast<std::size_t>(e.party)) {
+            for (const int pi : pool) {
+              if (plans[static_cast<std::size_t>(pi)].policy(e.ordinal) ==
+                  alt) {
+                nc[q].push_back(pi);
+              }
+            }
+          } else {
+            for (const int qi : cand[q]) {
+              if (viable(static_cast<PartyId>(q),
+                         (*lists_)[q][static_cast<std::size_t>(qi)], i)) {
+                nc[q].push_back(qi);
+              }
+            }
+          }
+        }
+        dfs(nc, e.tick, static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+
+  /// First tick at which `s` answers a consulted coordinate differently
+  /// from the last executed run — the resume point. No divergence cannot
+  /// happen on a trie miss (identical consulted answers would have reached
+  /// the leaf); replay in full if it somehow does.
+  Tick divergence_tick(const Schedule& s) const {
+    for (const ConsultEntry& e : log_.entries()) {
+      if (s.plans[e.party].policy(e.ordinal) != e.pol) return e.tick;
+    }
+    return 0;
+  }
+
+  void execute(const Schedule& s, Tick resume) {
+    if (frame_.chains->snap_depth() > static_cast<std::size_t>(resume)) {
+      rewind_to(resume, /*integrity_check=*/true);
+    }
+    adapter_.tree_set_plans(s);
+    if (resume == 0) {
+      log_.begin_run(frame_.actors.size());
+    } else {
+      // Entries before the resume tick stand: the restored state already
+      // reflects those decisions (and their queued delayed actions), and
+      // their answers agree with `s` by choice of the resume point.
+      log_.begin_resumed_run(resume);
+    }
+    const bool with_hash = verifying();
+    for (Tick t = resume; t < frame_.horizon; ++t) {
+      if (frame_.chains->snap_depth() <= static_cast<std::size_t>(t)) {
+        push_slot(t, with_hash);
+      }
+      for (Party* p : frame_.actors) p->tick(*frame_.chains, t);
+      frame_.chains->produce_all(t);
+    }
+    last_key_ = key_;
+    has_last_ = true;
+  }
+
+  /// Records the just-executed run in the trie (returning its leaf),
+  /// verifying determinism: runs sharing a decision prefix must consult
+  /// the same coordinate next.
+  TrieNode* memoize(const std::vector<PartyOutcome>& out) {
+    TrieNode* node = &roots_[key_];
+    for (const ConsultEntry& e : log_.entries()) {
+      if (node->leaf ||
+          (node->party != kNoParty &&
+           (node->party != e.party || node->ordinal != e.ordinal))) {
+        throw std::logic_error(
+            adapter_.name() +
+            ": tree executor consult sequence diverged between runs "
+            "sharing a decision prefix — engine is not deterministic in "
+            "its consulted plan coordinates");
+      }
+      node->party = e.party;
+      node->ordinal = e.ordinal;
+      TrieNode* child = nullptr;
+      for (auto& edge : node->edges) {
+        if (edge.first == e.pol) {
+          child = edge.second.get();
+          break;
+        }
+      }
+      if (!child) {
+        node->edges.emplace_back(e.pol, std::make_unique<TrieNode>());
+        child = node->edges.back().second.get();
+      }
+      node = child;
+    }
+    if (node->party != kNoParty || node->leaf) {
+      throw std::logic_error(
+          adapter_.name() +
+          ": tree executor run consulted a strict prefix of an earlier "
+          "run with equal answers — engine is not deterministic");
+    }
+    node->leaf = true;
+    node->outcomes = out;
+    return node;
+  }
+
+  /// Conformance flags depend on plan coordinates a run may never consult
+  /// (a halted party's later ordinals, say), so they are the one outcome
+  /// field that can differ between schedules sharing a leaf — recompute
+  /// them per schedule. Everything else is determined by the executed
+  /// path: adapters keep their HedgeBound terms path-determined (see
+  /// TicketAuctionAdapter::outcomes_from).
+  void patch_conformance(const Schedule& s,
+                         std::vector<PartyOutcome>& out) const {
+    const Tick delta = adapter_.delta();
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      out[p].conforming = s.plans[p].conforms_within(delta);
+    }
+  }
+
+  const ProtocolAdapter& adapter_;
+  TreeFrame& frame_;
+  ConsultLog log_;
+  std::map<std::vector<int>, TrieNode> roots_;
+  const std::vector<std::vector<DeviationPlan>>* lists_ = nullptr;
+  std::vector<TrieNode*> leaf_of_;  ///< raw index -> leaf, after explore()
+  std::vector<std::size_t> strides_;  ///< raw-index stride per party
+  std::vector<std::uint64_t> hashes_;  ///< world hash per snapshot slot
+  std::size_t hashed_to_ = 0;  ///< leading slots whose hashes are fresh
+  std::vector<int> key_;               ///< current schedule's variant vector
+  std::vector<int> last_key_;          ///< last executed run's variant vector
+  bool has_last_ = false;
+  std::size_t nodes_executed_ = 0;
+};
 
 }  // namespace
 
@@ -257,6 +716,54 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
       std::max<std::size_t>(space.raw_size() / kMinSchedulesPerWorker, 1)));
   report.workers = threads;
 
+  const bool tree_capable =
+      adapter_.world_reuse() && adapter_.tree_frame() != nullptr;
+  if (opts.executor == SweepExecutor::kTree && !tree_capable) {
+    throw std::invalid_argument(
+        "SweepOptions.executor = kTree, but adapter '" + adapter_.name() +
+        "' is not tree-capable (needs world reuse and tree hooks)");
+  }
+  const bool use_tree =
+      opts.executor == SweepExecutor::kTree ||
+      (opts.executor == SweepExecutor::kAuto && threads <= 1 && tree_capable);
+
+  if (use_tree) {
+    // The tree executor is inherently serial (one world, one snapshot
+    // stack); kTree overrides any thread request.
+    report.workers = 1;
+    TreeExecutor exec(adapter_, *adapter_.tree_frame());
+    // Unfiltered sweeps pre-populate the trie depth-first (each distinct
+    // decision path executes once, from its branch point); the schedule
+    // loop below then only audits trie hits. A deviator budget couples
+    // parties globally, so filtered sweeps skip exploration and let
+    // run_one() execute lazily instead.
+    if (opts.max_deviators < 0 && space.raw_size() > 0) {
+      exec.explore(space.plan_lists());
+    }
+    Schedule s;
+    std::vector<PartyOutcome> scratch;
+    for (std::size_t i = 0; i < space.raw_size(); ++i) {
+      if (!space.make(i, opts.max_deviators, s, /*with_label=*/false)) {
+        continue;
+      }
+      const std::vector<PartyOutcome>& outcomes = exec.run_one(i, s, scratch);
+      const std::size_t before = report.violations.size();
+      report.conforming_audited +=
+          audit_schedule(s.label, outcomes, report.violations);
+      if (report.violations.size() != before) {
+        space.fill_label(s);
+        for (std::size_t v = before; v < report.violations.size(); ++v) {
+          report.violations[v].schedule = s.label;
+        }
+      }
+      ++report.schedules_run;
+    }
+    report.nodes_executed = exec.nodes_executed();
+    report.dedup_hits = report.schedules_run - report.nodes_executed;
+    report.schedules_covered = report.schedules_run;
+    return report;
+  }
+
   if (threads <= 1) {
     ShardResult all;
     sweep_range(adapter_, space, opts.max_deviators, 0, space.raw_size(),
@@ -264,6 +771,8 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
     report.schedules_run = all.schedules_run;
     report.conforming_audited = all.conforming_audited;
     report.violations = std::move(all.violations);
+    report.nodes_executed = report.schedules_run;
+    report.schedules_covered = report.schedules_run;
     return report;
   }
 
@@ -312,6 +821,8 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
                              std::make_move_iterator(shard.violations.begin()),
                              std::make_move_iterator(shard.violations.end()));
   }
+  report.nodes_executed = report.schedules_run;
+  report.schedules_covered = report.schedules_run;
   return report;
 }
 
@@ -319,20 +830,14 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
 // Two-party swap
 // ---------------------------------------------------------------------------
 
-std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
-  if (s.plans.size() != 2) {
-    throw std::invalid_argument("two-party schedule needs 2 plans");
-  }
-  const core::TwoPartyResult r =
-      world_reuse()
-          ? world_
-                .ensure([this] {
-                  return std::make_unique<core::TwoPartyWorld>(
-                      cfg_, chain::TraceMode::kOff);
-                })
-                .run(s.plans[0], s.plans[1])
-          : core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
+core::TwoPartyWorld& TwoPartySwapAdapter::world() const {
+  return world_.ensure([this] {
+    return std::make_unique<core::TwoPartyWorld>(cfg_, chain::TraceMode::kOff);
+  });
+}
 
+std::vector<PartyOutcome> TwoPartySwapAdapter::outcomes_from(
+    const core::TwoPartyResult& r, const Schedule& s) const {
   PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
                      {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = cfg_.premium_b;
@@ -341,22 +846,44 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
   return {std::move(alice), std::move(bob)};
 }
 
+std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 2) {
+    throw std::invalid_argument("two-party schedule needs 2 plans");
+  }
+  const core::TwoPartyResult r =
+      world_reuse()
+          ? world().run(s.plans[0], s.plans[1])
+          : core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* TwoPartySwapAdapter::tree_frame() const {
+  if (!world_reuse()) return nullptr;
+  return &world().tree_frame();
+}
+
+void TwoPartySwapAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(s.plans);
+}
+
+std::vector<PartyOutcome> TwoPartySwapAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
+}
+
 // ---------------------------------------------------------------------------
 // Multi-party ARC swap
 // ---------------------------------------------------------------------------
 
-std::vector<PartyOutcome> MultiPartySwapAdapter::run(
-    const Schedule& s) const {
-  const core::MultiPartyResult r =
-      world_reuse()
-          ? world_
-                .ensure([this] {
-                  return std::make_unique<core::MultiPartyWorld>(
-                      cfg_, chain::TraceMode::kOff);
-                })
-                .run(s.plans)
-          : core::run_multi_party_swap(cfg_, s.plans);
+core::MultiPartyWorld& MultiPartySwapAdapter::world() const {
+  return world_.ensure([this] {
+    return std::make_unique<core::MultiPartyWorld>(cfg_,
+                                                   chain::TraceMode::kOff);
+  });
+}
 
+std::vector<PartyOutcome> MultiPartySwapAdapter::outcomes_from(
+    const core::MultiPartyResult& r, const Schedule& s) const {
   std::vector<PartyOutcome> outcomes;
   for (std::size_t v = 0; v < cfg_.g.size(); ++v) {
     PartyOutcome o{"party-" + std::to_string(v),
@@ -367,6 +894,28 @@ std::vector<PartyOutcome> MultiPartySwapAdapter::run(
     outcomes.push_back(std::move(o));
   }
   return outcomes;
+}
+
+std::vector<PartyOutcome> MultiPartySwapAdapter::run(
+    const Schedule& s) const {
+  const core::MultiPartyResult r =
+      world_reuse() ? world().run(s.plans)
+                    : core::run_multi_party_swap(cfg_, s.plans);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* MultiPartySwapAdapter::tree_frame() const {
+  if (!world_reuse()) return nullptr;
+  return &world().tree_frame();
+}
+
+void MultiPartySwapAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(s.plans);
+}
+
+std::vector<PartyOutcome> MultiPartySwapAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
 }
 
 // ---------------------------------------------------------------------------
@@ -423,29 +972,22 @@ std::string TicketAuctionAdapter::plan_label(
   return plan.str();
 }
 
-std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
-  if (s.plans.size() != party_count()) {
-    throw std::invalid_argument("auction schedule plan count mismatch");
-  }
-  const std::vector<sim::DeviationPlan> bidder_plans(s.plans.begin() + 1,
-                                                     s.plans.end());
+core::AuctionWorld& TicketAuctionAdapter::world() const {
+  return world_.ensure([this] {
+    return std::make_unique<core::AuctionWorld>(cfg_, sealed_,
+                                                chain::TraceMode::kOff);
+  });
+}
+
+std::vector<PartyOutcome> TicketAuctionAdapter::outcomes_from(
+    const core::AuctionResult& r, const Schedule& s) const {
   const int variant = s.plans[0].variant();
   const core::AuctioneerStrategy strat = auctioneer_of(variant);
-  const core::AuctionResult r =
-      world_reuse()
-          ? world_
-                .ensure([this] {
-                  return std::make_unique<core::AuctionWorld>(
-                      cfg_, sealed_, chain::TraceMode::kOff);
-                })
-                .run(strat, bidder_plans)
-          : core::AuctionWorld(cfg_, sealed_).run(strat, bidder_plans);
-
   std::vector<PartyOutcome> outcomes;
   outcomes.push_back(
       {"auctioneer", s.plans[0].conforms_within(cfg_.delta), r.auctioneer,
        {}});
-  for (std::size_t i = 0; i < bidder_plans.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < s.plans.size(); ++i) {
     PartyOutcome o{"bidder-" + std::to_string(i + 1),
                    s.plans[i + 1].conforms_within(cfg_.delta), r.bidders[i],
                    {}};
@@ -453,12 +995,17 @@ std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
     if (it != o.payoff.by_symbol.end() && it->second > 0) {
       o.bound.goods_received = true;
       o.bound.spend_allowance = cfg_.bids[i];  // never pay above the bid
-    } else if (o.conforming && variant != 0 &&
-               strat != core::AuctioneerStrategy::kNoSetup && !r.completed &&
-               cfg_.bids[i] > 0) {
-      // §9.2: a conforming bidder locked its bid (the auctioneer did set
-      // up, so bidding happened) and the deviant auctioneer killed the
-      // auction without shipping it tickets — it is owed the premium p.
+    } else if (variant != 0 && strat != core::AuctioneerStrategy::kNoSetup &&
+               !r.completed && cfg_.bids[i] > 0) {
+      // §9.2: a bidder locked its bid (the auctioneer did set up, so
+      // bidding happened) and the deviant auctioneer killed the auction
+      // without shipping it tickets — a conforming bidder is owed the
+      // premium p. The floor is attached whether or not the bidder itself
+      // conformed: the audit only reads conforming parties' bounds, and
+      // keeping every bound term path-determined (variant + run result +
+      // config, never the bidder's own plan) is what lets the tree
+      // executor serve cached outcomes to schedules differing only in
+      // never-consulted plan coordinates.
       o.bound.min_coin_delta = cfg_.premium_unit;
     }
     outcomes.push_back(std::move(o));
@@ -466,24 +1013,48 @@ std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
   return outcomes;
 }
 
+std::vector<PartyOutcome> TicketAuctionAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != party_count()) {
+    throw std::invalid_argument("auction schedule plan count mismatch");
+  }
+  const std::vector<sim::DeviationPlan> bidder_plans(s.plans.begin() + 1,
+                                                     s.plans.end());
+  const core::AuctioneerStrategy strat = auctioneer_of(s.plans[0].variant());
+  const core::AuctionResult r =
+      world_reuse() ? world().run(strat, bidder_plans)
+                    : core::AuctionWorld(cfg_, sealed_).run(strat,
+                                                            bidder_plans);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* TicketAuctionAdapter::tree_frame() const {
+  if (!world_reuse()) return nullptr;
+  return &world().tree_frame();
+}
+
+void TicketAuctionAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(
+      auctioneer_of(s.plans[0].variant()),
+      std::vector<sim::DeviationPlan>(s.plans.begin() + 1, s.plans.end()));
+}
+
+std::vector<PartyOutcome> TicketAuctionAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
+}
+
 // ---------------------------------------------------------------------------
 // Brokered sale
 // ---------------------------------------------------------------------------
 
-std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
-  if (s.plans.size() != 3) {
-    throw std::invalid_argument("broker schedule needs 3 plans");
-  }
-  const core::BrokerResult r =
-      world_reuse()
-          ? world_
-                .ensure([this] {
-                  return std::make_unique<core::BrokerWorld>(
-                      cfg_, chain::TraceMode::kOff);
-                })
-                .run(s.plans[0], s.plans[1], s.plans[2])
-          : core::run_broker_deal(cfg_, s.plans[0], s.plans[1], s.plans[2]);
+core::BrokerWorld& BrokerDealAdapter::world() const {
+  return world_.ensure([this] {
+    return std::make_unique<core::BrokerWorld>(cfg_, chain::TraceMode::kOff);
+  });
+}
 
+std::vector<PartyOutcome> BrokerDealAdapter::outcomes_from(
+    const core::BrokerResult& r, const Schedule& s) const {
   // Alice never escrows a principal of her own (§8: she brokers other
   // people's assets), so her hedge floor is breaking even. Bob and Carol
   // are sellers: a locked-and-refunded principal earns at least the base
@@ -497,6 +1068,31 @@ std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
                      {}};
   if (r.carol_lockup > 0) carol.bound.min_coin_delta = cfg_.premium_unit;
   return {std::move(alice), std::move(bob), std::move(carol)};
+}
+
+std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 3) {
+    throw std::invalid_argument("broker schedule needs 3 plans");
+  }
+  const core::BrokerResult r =
+      world_reuse()
+          ? world().run(s.plans[0], s.plans[1], s.plans[2])
+          : core::run_broker_deal(cfg_, s.plans[0], s.plans[1], s.plans[2]);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* BrokerDealAdapter::tree_frame() const {
+  if (!world_reuse()) return nullptr;
+  return &world().tree_frame();
+}
+
+void BrokerDealAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(s.plans);
+}
+
+std::vector<PartyOutcome> BrokerDealAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
 }
 
 // ---------------------------------------------------------------------------
@@ -520,26 +1116,45 @@ BootstrapSwapAdapter::BootstrapSwapAdapter(core::BootstrapConfig cfg,
   bob_floor_ = std::max<Amount>(amounts.banana[1] - amounts.apricot[1], 0);
 }
 
-std::vector<PartyOutcome> BootstrapSwapAdapter::run(const Schedule& s) const {
-  if (s.plans.size() != 2) {
-    throw std::invalid_argument("bootstrap schedule needs 2 plans");
-  }
-  const core::BootstrapResult r =
-      world_reuse()
-          ? world_
-                .ensure([this] {
-                  return std::make_unique<core::BootstrapWorld>(
-                      cfg_, chain::TraceMode::kOff);
-                })
-                .run(s.plans[0], s.plans[1])
-          : core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
+core::BootstrapWorld& BootstrapSwapAdapter::world() const {
+  return world_.ensure([this] {
+    return std::make_unique<core::BootstrapWorld>(cfg_,
+                                                  chain::TraceMode::kOff);
+  });
+}
 
+std::vector<PartyOutcome> BootstrapSwapAdapter::outcomes_from(
+    const core::BootstrapResult& r, const Schedule& s) const {
   PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
                      {}};
   if (r.alice_lockup > 0) alice.bound.min_coin_delta = alice_floor_;
   PartyOutcome bob{"bob", s.plans[1].conforms_within(cfg_.delta), r.bob, {}};
   if (r.bob_lockup > 0) bob.bound.min_coin_delta = bob_floor_;
   return {std::move(alice), std::move(bob)};
+}
+
+std::vector<PartyOutcome> BootstrapSwapAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != 2) {
+    throw std::invalid_argument("bootstrap schedule needs 2 plans");
+  }
+  const core::BootstrapResult r =
+      world_reuse() ? world().run(s.plans[0], s.plans[1])
+                    : core::run_bootstrap_swap(cfg_, s.plans[0], s.plans[1]);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* BootstrapSwapAdapter::tree_frame() const {
+  if (!world_reuse()) return nullptr;
+  return &world().tree_frame();
+}
+
+void BootstrapSwapAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(s.plans);
+}
+
+std::vector<PartyOutcome> BootstrapSwapAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
 }
 
 BootstrapSwapAdapter make_crr_ladder_adapter(core::BootstrapConfig cfg,

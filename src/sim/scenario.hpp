@@ -35,6 +35,28 @@
 // payoff_audit, which flags any schedule where a conforming party loses
 // more than its earned premiums.
 //
+// Serial sweeps default to the prefix-sharing *schedule-tree executor*
+// instead of replaying every schedule from tick 0. Each tree-capable
+// adapter keeps one set of persistent actors (sim/tree.hpp TreeFrame); the
+// executor snapshots the whole world — ledgers, contracts, actors — at
+// every tick boundary onto a layered checkpoint stack
+// (Blockchain::snap_push / snap_rewind, chain/snapshot.hpp), logs which
+// (party, ordinal) plan coordinates each run actually consulted
+// (sim/consult.hpp), and memoizes finished runs in a trie keyed by those
+// consulted decisions. A new schedule first walks the trie: reaching a
+// leaf means some already-executed schedule made identical consulted
+// decisions under the same engine variants, so by determinism the outcome
+// is the cached one (a dedup hit — only the conforming flags, which depend
+// on unconsulted plan coordinates, are recomputed). Otherwise the executor
+// diffs the schedule against the last executed run's consult log and
+// resumes from the first divergent tick via the snapshot stack, executing
+// only the un-shared suffix. Rewinds are integrity-checked by a 64-bit
+// state hash recorded at each push: a contract or actor whose state_tie()
+// misses a mutable member fails loudly instead of silently corrupting the
+// sweep. The tree report is identical, schedule for schedule, to the
+// brute-force replay's (pinned by tests/tree_equivalence_test.cpp);
+// SweepOptions.executor forces either engine.
+//
 // Sweeps are parallelizable: sweep(SweepOptions{.threads = N}) partitions
 // the enumerated schedule space into contiguous shards, runs the shards on
 // a worker pool (each worker drives its own adapter clone so per-run chain
@@ -56,6 +78,7 @@
 #include <cstddef>
 #include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -68,6 +91,7 @@
 #include "sim/deviation.hpp"
 #include "sim/payoff_audit.hpp"
 #include "sim/strategy_space.hpp"
+#include "sim/tree.hpp"
 
 namespace xchain::sim {
 
@@ -134,6 +158,27 @@ class ProtocolAdapter {
 
   virtual std::vector<PartyOutcome> run(const Schedule& s) const = 0;
 
+  /// --- Schedule-tree executor hooks ---------------------------------------
+  /// The reusable world's tree frame (persistent actors + chains + horizon),
+  /// built on first use, or nullptr when the adapter cannot be tree-swept
+  /// (no engine support, or world reuse disabled — the tree is meaningless
+  /// on throwaway worlds). When this returns non-null, tree_set_plans /
+  /// tree_collect must be implemented; they are const for the same reason
+  /// run() is (the world is a mutable cache on a logically-const adapter).
+  virtual TreeFrame* tree_frame() const { return nullptr; }
+  /// Installs one schedule's plans (and variant knobs, e.g. the
+  /// auctioneer's declaration strategy) on the frame's persistent actors.
+  virtual void tree_set_plans(const Schedule& s) const {
+    (void)s;
+    throw std::logic_error(name() + ": tree executor hooks not implemented");
+  }
+  /// Maps the world's current end-of-run state to per-party outcomes — the
+  /// tree analogue of run()'s result assembly, sharing its code.
+  virtual std::vector<PartyOutcome> tree_collect(const Schedule& s) const {
+    (void)s;
+    throw std::logic_error(name() + ": tree executor hooks not implemented");
+  }
+
  private:
   bool world_reuse_ = true;
 };
@@ -182,6 +227,23 @@ struct SweepReport {
   /// a worker only pays for itself over a batch of schedules).
   unsigned workers = 1;
 
+  /// --- Executor statistics -------------------------------------------------
+  /// Deliberately NOT part of line()/str(): those summary strings are
+  /// pinned by tests and aggregated verbatim by campaign reports. Benches
+  /// and campaign JSON export these fields instead.
+  ///
+  /// Schedules the executor actually ran on a world. Tree sweeps run one
+  /// per distinct consulted-decision path; brute sweeps run every
+  /// schedule, so nodes_executed == schedules_run there.
+  std::size_t nodes_executed = 0;
+  /// Schedules whose outcomes were produced and audited (executed plus
+  /// dedup-served) — always equal to schedules_run; reported separately so
+  /// JSON consumers need not know the identity.
+  std::size_t schedules_covered = 0;
+  /// Schedules served from a memo-trie leaf without touching the world
+  /// (== schedules_run - nodes_executed; 0 on the brute path).
+  std::size_t dedup_hits = 0;
+
   bool ok() const { return violations.empty(); }
 
   /// One-line summary ("<protocol>: N schedules, ... V violations") — the
@@ -190,6 +252,19 @@ struct SweepReport {
   std::string line() const;
   /// line() plus one indented line per violation and per truncation.
   std::string str() const;
+};
+
+/// Which engine executes a sweep's schedules.
+enum class SweepExecutor {
+  /// Serial sweeps of tree-capable adapters use the schedule-tree
+  /// executor; everything else (parallel shards, adapters without tree
+  /// support, world reuse off) brute-force replays every schedule.
+  kAuto,
+  /// Force the schedule-tree executor (always serial). Throws
+  /// std::invalid_argument when the adapter is not tree-capable.
+  kTree,
+  /// Force brute-force replay of every schedule.
+  kBrute,
 };
 
 /// How to run a sweep.
@@ -207,6 +282,11 @@ struct SweepOptions {
   /// enlarged spaces). Defaults to halt-only: byte-identical to the
   /// historical sweeps.
   StrategySpace strategies;
+
+  /// Execution engine. The report is identical whichever engine runs
+  /// (pinned by tests/tree_equivalence_test.cpp) — only the executor
+  /// statistics and the wall-clock differ.
+  SweepExecutor executor = SweepExecutor::kAuto;
 };
 
 /// Rejects malformed options (max_deviators below -1, zero strategy-space
@@ -270,8 +350,15 @@ class TwoPartySwapAdapter final : public ProtocolAdapter {
     return std::make_unique<TwoPartySwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
 
  private:
+  core::TwoPartyWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::TwoPartyResult& r,
+                                          const Schedule& s) const;
+
   core::TwoPartyConfig cfg_;
   WorldCache<core::TwoPartyWorld> world_;
 };
@@ -297,8 +384,15 @@ class MultiPartySwapAdapter final : public ProtocolAdapter {
     return std::make_unique<MultiPartySwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
 
  private:
+  core::MultiPartyWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::MultiPartyResult& r,
+                                          const Schedule& s) const;
+
   core::MultiPartyConfig cfg_;
   WorldCache<core::MultiPartyWorld> world_;
 };
@@ -337,8 +431,15 @@ class TicketAuctionAdapter final : public ProtocolAdapter {
     return std::make_unique<TicketAuctionAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
 
  private:
+  core::AuctionWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::AuctionResult& r,
+                                          const Schedule& s) const;
+
   core::AuctionConfig cfg_;
   bool sealed_;
   WorldCache<core::AuctionWorld> world_;
@@ -360,8 +461,15 @@ class BrokerDealAdapter final : public ProtocolAdapter {
     return std::make_unique<BrokerDealAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
 
  private:
+  core::BrokerWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::BrokerResult& r,
+                                          const Schedule& s) const;
+
   core::BrokerConfig cfg_;
   WorldCache<core::BrokerWorld> world_;
 };
@@ -390,10 +498,17 @@ class BootstrapSwapAdapter final : public ProtocolAdapter {
     return std::make_unique<BootstrapSwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
 
   const core::BootstrapConfig& config() const { return cfg_; }
 
  private:
+  core::BootstrapWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::BootstrapResult& r,
+                                          const Schedule& s) const;
+
   core::BootstrapConfig cfg_;
   std::string name_;
   WorldCache<core::BootstrapWorld> world_;

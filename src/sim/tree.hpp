@@ -1,0 +1,33 @@
+#pragma once
+
+// Tree-executor view of a reusable world.
+//
+// The schedule-tree executor (sim/scenario.cpp) does not replay every
+// schedule from tick 0: it keeps one set of *persistent* actors per
+// world, snapshots the whole world (chains + actors) at every tick
+// boundary via the layered checkpoint stack, and rewinds to the deepest
+// shared prefix when moving from one schedule to the next. TreeFrame is
+// the minimal surface an engine world must expose for that: the chain
+// substrate, the actors in scheduler order, and the run horizon. The
+// executor owns the tick loop; engines keep owning setup, plan
+// installation, and result assembly.
+
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+#include "sim/party.hpp"
+
+namespace xchain::sim {
+
+/// What the schedule-tree executor drives directly. Built once per world
+/// (the actors persist across runs — their mutable state rides the
+/// snapshot stack); `actors` is in scheduler add-order, `horizon` the
+/// exclusive end tick of a run.
+struct TreeFrame {
+  chain::MultiChain* chains = nullptr;
+  std::vector<Party*> actors;
+  Tick horizon = 0;
+};
+
+}  // namespace xchain::sim

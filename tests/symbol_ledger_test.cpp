@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -168,12 +169,14 @@ TEST(DenseLedger, CheckpointRestoreRollsBackExactly) {
   EXPECT_EQ(l.balance(Address::party(1), "cr-coin"), 50);
 }
 
-TEST(DenseLedger, RestoreWithoutCheckpointEmptiesTheBook) {
+TEST(DenseLedger, RestoreWithoutCheckpointThrows) {
+  // A restore with no baseline used to silently empty the balance book —
+  // a missed checkpoint() in a sweep world would zero every endowment and
+  // turn all payoffs into nonsense. It is a hard error now.
   Ledger l;
   l.mint(Address::party(0), "rc-token", 5);
-  l.restore();
-  EXPECT_EQ(l.balance(Address::party(0), "rc-token"), 0);
-  EXPECT_TRUE(l.holdings().empty());
+  EXPECT_THROW(l.restore(), std::logic_error);
+  EXPECT_EQ(l.balance(Address::party(0), "rc-token"), 5);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,125 @@
+// Exact accounting for strategy-space truncation: the per-party plan cap,
+// the whole-sweep schedule budget, and their interaction must trim to
+// pinned sizes and report pinned notices. The two-party swap at its
+// registry defaults (delta = 2, 3 action ordinals per party) makes the
+// arithmetic exact: the late-delays menu is {1, 2, 4}, so each party's
+// uncapped plan space is (3 + 2)^3 = 125 plans.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::sim {
+namespace {
+
+// The notice format pinned by these tests (built in scenario.cpp's
+// ScheduleSpace): adapter label ("hedged-two-party", not the registry
+// key), space name, per-party swept/full sizes, and BOTH configured caps
+// so a reader can tell which bound bit.
+std::string notice(std::size_t party, std::size_t swept, std::size_t full,
+                   std::size_t plan_cap, std::size_t schedule_budget) {
+  return "hedged-two-party: strategy space 'late-delays' truncated: party " +
+         std::to_string(party) + " sweeping " + std::to_string(swept) +
+         " of " + std::to_string(full) + " plans (caps: " +
+         std::to_string(plan_cap) + " plans/party, " +
+         std::to_string(schedule_budget) + " schedules)";
+}
+
+SweepOptions late_delays(std::size_t plan_cap, std::size_t schedule_budget) {
+  SweepOptions opts;
+  opts.strategies.kind = StrategySpace::Kind::kLateDelays;
+  opts.strategies.max_plans_per_party = plan_cap;
+  opts.strategies.max_schedules = schedule_budget;
+  return opts;
+}
+
+TEST(TruncationAccounting, PlanCapTrimsEachPartyList) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  const SweepReport report = runner.sweep(late_delays(10, 20000));
+  // 10 plans per party survive the cap; 10 * 10 = 100 fits the budget.
+  EXPECT_EQ(report.schedules_run, 100u);
+  const std::vector<std::string> want = {notice(0, 10, 125, 10, 20000),
+                                         notice(1, 10, 125, 10, 20000)};
+  EXPECT_EQ(report.truncations, want);
+}
+
+TEST(TruncationAccounting, ScheduleBudgetTrimsToLargestUniformFit) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  // Default 64-plan cap leaves 64 plans/party; a 100-schedule budget trims
+  // both lists to 10 (10^2 = 100 fits, 11^2 = 121 does not).
+  const SweepReport report = runner.sweep(late_delays(64, 100));
+  EXPECT_EQ(report.schedules_run, 100u);
+  const std::vector<std::string> want = {notice(0, 10, 125, 64, 100),
+                                         notice(1, 10, 125, 64, 100)};
+  EXPECT_EQ(report.truncations, want);
+}
+
+TEST(TruncationAccounting, CapAndBudgetInteract) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  // The 12-plan cap applies first (125 -> 12), then the budget trims the
+  // capped lists (12 -> 10). The notice names both caps and the ORIGINAL
+  // 125-plan space, so truncation severity is never understated.
+  const SweepReport report = runner.sweep(late_delays(12, 100));
+  EXPECT_EQ(report.schedules_run, 100u);
+  const std::vector<std::string> want = {notice(0, 10, 125, 12, 100),
+                                         notice(1, 10, 125, 12, 100)};
+  EXPECT_EQ(report.truncations, want);
+}
+
+TEST(TruncationAccounting, BudgetOfOneDegradesToConformingBaseline) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  // Uniform trimming floors at one plan per party, and each party's list
+  // puts the conforming plan first — so the single surviving schedule is
+  // the all-conform baseline, audited clean.
+  const SweepReport report = runner.sweep(late_delays(64, 1));
+  EXPECT_EQ(report.schedules_run, 1u);
+  EXPECT_EQ(report.conforming_audited, 2u);
+  EXPECT_TRUE(report.violations.empty());
+  const std::vector<std::string> want = {notice(0, 1, 125, 64, 1),
+                                         notice(1, 1, 125, 64, 1)};
+  EXPECT_EQ(report.truncations, want);
+}
+
+TEST(TruncationAccounting, ExactFitReportsNoTruncation) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  // Caps exactly as large as the space: 125 plans/party, 125^2 schedules.
+  const SweepReport report = runner.sweep(late_delays(125, 15625));
+  EXPECT_EQ(report.schedules_run, 15625u);
+  EXPECT_TRUE(report.truncations.empty());
+}
+
+TEST(TruncationAccounting, HaltOnlyIsNeverTruncated) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  // Back-compat: halt-only spaces ignore both caps (the historical 16
+  // two-party schedules sweep whole even under absurdly small bounds).
+  SweepOptions opts;
+  opts.strategies.max_plans_per_party = 2;
+  opts.strategies.max_schedules = 5;
+  const SweepReport report = runner.sweep(opts);
+  EXPECT_EQ(report.schedules_run, 16u);
+  EXPECT_TRUE(report.truncations.empty());
+}
+
+TEST(TruncationAccounting, DryRunCountMatchesSweepAndSharesNotices) {
+  const auto adapter = ProtocolRegistry::global().make("two-party");
+  ScenarioRunner runner(*adapter);
+  const SweepOptions opts = late_delays(12, 100);
+  std::vector<std::string> dry_truncations;
+  const std::size_t count = runner.schedule_count(opts, &dry_truncations);
+  const SweepReport report = runner.sweep(opts);
+  EXPECT_EQ(count, report.schedules_run);
+  EXPECT_EQ(dry_truncations, report.truncations);
+}
+
+}  // namespace
+}  // namespace xchain::sim

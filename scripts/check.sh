@@ -15,4 +15,12 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+# Bounded deterministic fuzz smoke: the planted-bug self-test plus a
+# fixed-seed pass over every registry protocol seeded with the committed
+# regression corpus. Small budget — this is the "still wired up" check;
+# the CI fuzz stage and nightly soak carry the real budgets.
+./build/xchain-fuzz --self-test --seed=1 --budget-runs=1000 --quiet
+./build/xchain-fuzz --seed=1 --budget-runs=500 --quiet \
+  --corpus=tests/fuzz_corpus
+
 echo "check.sh: all green"

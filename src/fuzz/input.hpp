@@ -1,0 +1,107 @@
+#pragma once
+
+// Fuzz-input representation: (protocol, parameter overrides, one
+// DeviationPlan per party), with a line-based text form that doubles as
+// the corpus-file and minimized-reproducer format.
+//
+// The text grammar is deliberately the same one DeviationPlan::str()
+// prints — "conform", "halt@k", "d<ordinal>+<ticks>", "x<ordinal>" joined
+// with '.', an optional "v<variant>:" prefix — so a reproducer reads
+// exactly like the schedule labels in sweep reports and round-trips
+// through parse()/str() byte-identically:
+//
+//   # sore-loser walk-away after escrow
+//   protocol two-party
+//   set delta=3
+//   plan 0 d2+6
+//   plan 1 halt@2
+//
+// Missing `plan` lines mean the party conforms; `set` lines are
+// schema-checked against the protocol's registered ParamSet before any
+// run. canonical_input() reduces an input to the unique normal form the
+// shrinker pins reproducers to: plans are re-encoded over the adapter's
+// real action counts (out-of-range modifications drop, zero-tick delays
+// become Perform, a maximal trailing run of Drops folds into the halt
+// point) and overrides that merely restate a default disappear.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/deviation.hpp"
+#include "sim/param.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::fuzz {
+
+/// Malformed fuzz-input text (bad plan grammar, unknown directive,
+/// missing protocol line). Parameter errors surface as sim::ParamError.
+class FuzzFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses the DeviationPlan::str() grammar. Throws FuzzFormatError on
+/// anything str() could not have printed (negative ordinals, zero delays,
+/// duplicate parts for one ordinal, trailing garbage).
+sim::DeviationPlan parse_plan(const std::string& text);
+
+/// Dense per-ordinal view of a plan over a known script length — the form
+/// mutation and shrinking operate on, since DeviationPlan itself has no
+/// API for *removing* a modification.
+std::vector<sim::ActionPolicy> decode_plan(const sim::DeviationPlan& plan,
+                                           int action_count);
+
+/// Rebuilds a DeviationPlan from a dense policy vector (plus variant) in
+/// canonical form: delays < 1 become Perform, a maximal trailing run of
+/// Drops becomes the halt point (never explicit x-mods), interior drops
+/// stay x-mods. encode_plan(decode_plan(p, n), v) is the canonical form
+/// of p over an n-action script.
+sim::DeviationPlan encode_plan(const std::vector<sim::ActionPolicy>& acts,
+                               int variant);
+
+/// Canonical form of `plan` over an `action_count`-long script.
+sim::DeviationPlan canonical_plan(const sim::DeviationPlan& plan,
+                                  int action_count);
+
+/// One fuzz input. `plans` is indexed by party and may be shorter than the
+/// protocol's party count (missing tail = conforming parties).
+struct FuzzInput {
+  std::string protocol;
+  /// (key, value) parameter overrides, in application order.
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::vector<sim::DeviationPlan> plans;
+
+  /// Parses the corpus-file text form. Throws FuzzFormatError on
+  /// malformed lines; parameter values are NOT schema-checked here (the
+  /// schema needs the registry — see params()).
+  static FuzzInput parse(const std::string& text);
+
+  /// The text form (round-trips through parse()).
+  std::string str() const;
+
+  /// Schema-checked ParamSet: `schema`'s defaults plus this input's
+  /// overrides. Throws sim::ParamError on unknown keys / bad values.
+  sim::ParamSet params(const sim::ParamSet& schema) const;
+
+  /// The plan for party p (conforming when absent).
+  const sim::DeviationPlan& plan_of(std::size_t p) const;
+};
+
+/// Canonical normal form against a concrete adapter + schema: plans are
+/// truncated/extended to party_count() and canonicalized over each
+/// party's action_count(); overrides are schema-validated, restated
+/// defaults dropped, survivors emitted in schema declaration order. Two
+/// semantically identical inputs canonicalize to the same str().
+FuzzInput canonical_input(const FuzzInput& in,
+                          const sim::ProtocolAdapter& adapter,
+                          const sim::ParamSet& schema);
+
+/// The runnable schedule for `in` on `adapter`: plans padded with
+/// conforming entries to party_count(), labelled in the sweep engine's
+/// "name[plan,plan,...]" convention with the overrides appended.
+sim::Schedule schedule_of(const FuzzInput& in,
+                          const sim::ProtocolAdapter& adapter,
+                          const std::string& overrides_label);
+
+}  // namespace xchain::fuzz

@@ -1,0 +1,44 @@
+#pragma once
+
+// Seeded mutation over fuzz inputs.
+//
+// Mutations operate on the dense per-ordinal decoding of each party's
+// DeviationPlan (decode_plan/encode_plan in fuzz/input.hpp), since the
+// sparse plan type has no API for removing a modification. The operator
+// menu covers the axes the tentpole names: flip a single ordinal's policy
+// between Perform/Delay/Drop, bump or shrink existing delays across the
+// Δ boundary, set or clear halt suffixes, splice ordinal ranges between
+// parties, cross over whole plans with another corpus entry, jitter
+// ParamSet values within their schema bounds (and a fuzz-side window that
+// keeps worlds tractable), and reset a party to conforming. All
+// randomness flows through the caller's Rng, so a (seed, corpus) pair
+// replays byte-identically.
+
+#include "fuzz/input.hpp"
+#include "fuzz/rng.hpp"
+#include "fuzz/target.hpp"
+
+namespace xchain::fuzz {
+
+/// Stateless mutation engine for one target's schema.
+class Mutator {
+ public:
+  explicit Mutator(const FuzzTarget& target) : target_(target) {}
+
+  /// A mutated copy of `parent`. `shape` must be `parent`'s Instance (its
+  /// action counts, Δ, and variant universes drive the plan operators);
+  /// `crossover` optionally donates plans. The result is NOT canonical —
+  /// callers canonicalize against the child's own instance, which also
+  /// clamps any ordinals a parameter change invalidated.
+  FuzzInput mutate(const FuzzInput& parent, const Instance& shape,
+                   const FuzzInput* crossover, Rng& rng) const;
+
+ private:
+  void mutate_once(FuzzInput& child, const Instance& shape,
+                   const FuzzInput* crossover, Rng& rng) const;
+  void mutate_param(FuzzInput& child, Rng& rng) const;
+
+  const FuzzTarget& target_;
+};
+
+}  // namespace xchain::fuzz

@@ -1,0 +1,65 @@
+#include "fuzz/selftest.hpp"
+
+namespace xchain::fuzz {
+
+namespace {
+
+constexpr Tick kTrapDelta = 2;
+
+/// See selftest.hpp: breaks iff party 1 drops ordinal 0 AND party 2 drops
+/// ordinal 1. Outcomes are computed straight from the plans — the "bug"
+/// lives in the payoff arithmetic, not in a chain engine — which keeps
+/// the self-test fast enough to shrink hundreds of times per second.
+class TrapAdapter final : public sim::ProtocolAdapter {
+ public:
+  std::string name() const override { return "fuzz-selftest-trap"; }
+  std::size_t party_count() const override { return 3; }
+  int action_count(PartyId) const override { return 2; }
+  Tick delta() const override { return kTrapDelta; }
+  std::unique_ptr<sim::ProtocolAdapter> clone() const override {
+    return std::make_unique<TrapAdapter>(*this);
+  }
+
+  std::vector<sim::PartyOutcome> run(const sim::Schedule& s) const override {
+    const bool trap =
+        s.plans[1].policy(0).choice == sim::ActionChoice::kDrop &&
+        s.plans[2].policy(1).choice == sim::ActionChoice::kDrop;
+    std::vector<sim::PartyOutcome> out(3);
+    static const char* kNames[] = {"victim", "accomplice-a", "accomplice-b"};
+    for (std::size_t p = 0; p < 3; ++p) {
+      out[p].name = kNames[p];
+      out[p].conforming = s.plans[p].conforms_within(kTrapDelta);
+      out[p].bound.min_coin_delta = 0;
+    }
+    if (trap) {
+      out[0].payoff.coin_delta = -5;  // the breach: conforming, floor 0
+      out[1].payoff.coin_delta = 5;   // zero-sum: conservation stays clean
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<sim::ProtocolAdapter> make_selftest_adapter() {
+  return std::make_unique<TrapAdapter>();
+}
+
+std::string selftest_name() { return "fuzz-selftest-trap"; }
+
+FuzzTarget selftest_target() {
+  FuzzTarget t;
+  t.name = selftest_name();
+  t.schema = sim::ParamSet();
+  t.factory = [](const sim::ParamSet&) { return make_selftest_adapter(); };
+  return t;
+}
+
+std::string selftest_canonical_reproducer() {
+  return
+      "protocol fuzz-selftest-trap\n"
+      "plan 1 x0\n"
+      "plan 2 halt@1\n";
+}
+
+}  // namespace xchain::fuzz

@@ -1,0 +1,43 @@
+#pragma once
+
+// Planted-bug self-test target for the fuzz harness.
+//
+// End-to-end proof that the loop can actually find and minimize: a
+// synthetic three-party protocol whose hedging bound breaks exactly when
+// TWO cooperating plan entries line up — party 1 drops its ordinal 0 AND
+// party 2 drops its ordinal 1 (neither alone trips it, so single-edit
+// spaces cannot reach the bug and the shrinker must keep both entries).
+// The victim, party 0, conforms and loses 5 coins against a floor of 0;
+// the coins land on party 1, keeping flows zero-sum so only the planted
+// breach — never the conservation check — fires.
+//
+// The adapter implements run() only (no tree hooks), which also keeps the
+// executor's outcome-digest fallback path exercised. The canonical
+// minimal reproducer is pinned here (and in tests): mutation path,
+// budget, and seed must not change what the shrinker converges to.
+
+#include <memory>
+#include <string>
+
+#include "fuzz/target.hpp"
+
+namespace xchain::fuzz {
+
+/// The planted violating adapter (3 parties, 2 ordinals each, Δ = 2).
+std::unique_ptr<sim::ProtocolAdapter> make_selftest_adapter();
+
+/// The self-test as a FuzzTarget (empty schema — no parameters).
+FuzzTarget selftest_target();
+
+/// The registry-style name of the self-test protocol.
+std::string selftest_name();
+
+/// The one canonical minimal reproducer the shrinker must emit:
+///   protocol fuzz-selftest-trap
+///   plan 1 x0
+///   plan 2 halt@1
+/// (party 1's drop is interior — ordinal 1 still performs — while party
+/// 2's is a trailing suffix, so canonicalization folds it to halt@1).
+std::string selftest_canonical_reproducer();
+
+}  // namespace xchain::fuzz

@@ -1,0 +1,153 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xchain::fuzz {
+
+namespace {
+
+/// Smaller delay values to try for a delay of `d`, most-minimal first:
+/// 1 tick, the last timely value Δ-1, and the boundary Δ itself.
+std::vector<Tick> delay_candidates(Tick d, Tick delta) {
+  std::vector<Tick> cands{1, delta - 1, delta};
+  cands.erase(std::remove_if(cands.begin(), cands.end(),
+                             [&](Tick c) { return c < 1 || c >= d; }),
+              cands.end());
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  return cands;
+}
+
+}  // namespace
+
+ShrinkResult shrink_input(const FuzzInput& found, InstancePool& pool) {
+  ShrinkResult res;
+  FuzzInput cur = pool.canonical(found);
+
+  const auto violates = [&](const FuzzInput& in) {
+    ++res.probes;
+    return pool.run(in).violating();
+  };
+  if (!violates(cur)) {
+    throw std::invalid_argument(
+        "shrink_input: input does not violate (" + cur.str() + ")");
+  }
+
+  // Accepts `cand` as the new current input iff it is a genuine change
+  // and the violation survives it.
+  const auto try_accept = [&](FuzzInput cand) {
+    cand = pool.canonical(cand);
+    if (cand.str() == cur.str()) return false;
+    if (!violates(cand)) return false;
+    cur = std::move(cand);
+    ++res.steps;
+    return true;
+  };
+
+  // Greedy fixpoint over a FIXED pass order — determinism is what lets
+  // tests pin the minimized form regardless of the mutation path that
+  // found the bug.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Pass 1: drop whole plans back to conforming.
+    for (std::size_t p = 0; p < cur.plans.size(); ++p) {
+      if (cur.plans[p].is_conforming()) continue;
+      FuzzInput cand = cur;
+      cand.plans[p] = sim::DeviationPlan::conforming();
+      changed |= try_accept(std::move(cand));
+    }
+
+    // Pass 2: dishonest variants back to honest (keeping timing mods).
+    for (std::size_t p = 0; p < cur.plans.size(); ++p) {
+      if (cur.plans[p].variant() == 0) continue;
+      FuzzInput cand = cur;
+      cand.plans[p] = cur.plans[p].with_variant(0);
+      changed |= try_accept(std::move(cand));
+    }
+
+    // Pass 3: individual modifications back to Perform.
+    for (std::size_t p = 0; p < cur.plans.size(); ++p) {
+      const Instance& inst = pool.instance_for(cur);
+      if (p >= inst.action_counts.size()) break;
+      const int actions = inst.action_counts[p];
+      for (int o = 0; o < actions; ++o) {
+        const sim::ActionPolicy pol = cur.plans[p].policy(o);
+        if (pol.choice == sim::ActionChoice::kPerform) continue;
+        std::vector<sim::ActionPolicy> acts = decode_plan(cur.plans[p], actions);
+        acts[static_cast<std::size_t>(o)] = {sim::ActionChoice::kPerform, 0};
+        FuzzInput cand = cur;
+        cand.plans[p] = encode_plan(acts, cur.plans[p].variant());
+        changed |= try_accept(std::move(cand));
+      }
+    }
+
+    // Pass 4: delays down toward (and below) the Δ-1 boundary, smallest
+    // surviving value first.
+    for (std::size_t p = 0; p < cur.plans.size(); ++p) {
+      const Instance& inst = pool.instance_for(cur);
+      if (p >= inst.action_counts.size()) break;
+      const int actions = inst.action_counts[p];
+      for (int o = 0; o < actions; ++o) {
+        const sim::ActionPolicy pol = cur.plans[p].policy(o);
+        if (pol.choice != sim::ActionChoice::kDelay) continue;
+        for (const Tick c : delay_candidates(pol.delay, inst.delta)) {
+          std::vector<sim::ActionPolicy> acts =
+              decode_plan(cur.plans[p], actions);
+          acts[static_cast<std::size_t>(o)] = {sim::ActionChoice::kDelay, c};
+          FuzzInput cand = cur;
+          cand.plans[p] = encode_plan(acts, cur.plans[p].variant());
+          if (try_accept(std::move(cand))) {
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Pass 5: parameter overrides back to their defaults (removal), else
+    // halved toward the default.
+    for (std::size_t i = 0; i < cur.overrides.size(); ++i) {
+      {
+        FuzzInput cand = cur;
+        cand.overrides.erase(cand.overrides.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        if (try_accept(std::move(cand))) {
+          changed = true;
+          --i;  // the list shifted left
+          continue;
+        }
+      }
+      // Walk a numeric value halfway toward its default; the outer
+      // fixpoint loop repeats the halving until it stops helping.
+      const auto& [key, value] = cur.overrides[i];
+      for (const sim::ParamSpec& spec : pool.target().schema.specs()) {
+        if (spec.key != key) continue;
+        if (spec.type == sim::ParamType::kInt ||
+            spec.type == sim::ParamType::kAmount) {
+          try {
+            const std::int64_t v = std::stoll(value);
+            const std::int64_t mid = v + (spec.int_default - v) / 2;
+            if (mid != v) {
+              FuzzInput cand = cur;
+              cand.overrides[i].second = std::to_string(mid);
+              changed |= try_accept(std::move(cand));
+            }
+          } catch (const std::exception&) {
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  RunOutcome out = pool.run(cur);
+  ++res.probes;
+  res.violation = out.violations.empty() ? "" : out.violations.front().str();
+  res.minimized = std::move(cur);
+  return res;
+}
+
+}  // namespace xchain::fuzz

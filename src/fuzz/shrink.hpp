@@ -1,0 +1,35 @@
+#pragma once
+
+// Delta-debugging minimizer for violating fuzz inputs.
+//
+// Given an input whose run breaches the hedging audit, shrink_input()
+// greedily reduces it while re-running the oracle ("does any violation
+// survive?") after every candidate edit, until a full pass changes
+// nothing. The pass order is fixed — whole plans to conforming, variants
+// to honest, individual modifications to Perform, delays down toward Δ-1,
+// parameter overrides back to defaults — so the minimizer is a
+// deterministic function of the violating input alone: however a (seeded)
+// mutation path found the bug, the same minimal reproducer comes out, and
+// tests pin that canonical form byte-for-byte.
+
+#include <cstddef>
+
+#include "fuzz/input.hpp"
+#include "fuzz/target.hpp"
+
+namespace xchain::fuzz {
+
+/// Outcome of minimizing one violating input.
+struct ShrinkResult {
+  FuzzInput minimized;          ///< canonical form
+  std::string violation;        ///< first surviving violation, str() form
+  std::size_t steps = 0;        ///< accepted reductions
+  std::size_t probes = 0;       ///< oracle executions spent
+};
+
+/// Minimizes `found` (which must violate when run through `pool`).
+/// Throws std::invalid_argument when it does not — a shrink request for a
+/// clean input is a harness bug, not a quiet no-op.
+ShrinkResult shrink_input(const FuzzInput& found, InstancePool& pool);
+
+}  // namespace xchain::fuzz

@@ -1,0 +1,69 @@
+#include "fuzz/target.hpp"
+
+#include <algorithm>
+
+#include "sim/strategy_space.hpp"
+
+namespace xchain::fuzz {
+
+FuzzTarget FuzzTarget::from_registry(const std::string& name,
+                                     const sim::ProtocolRegistry& registry) {
+  const sim::ProtocolInfo& info = registry.info(name);
+  FuzzTarget t;
+  t.name = info.name;
+  t.schema = info.defaults;
+  t.factory = info.factory;
+  return t;
+}
+
+Instance& InstancePool::instance_for(const FuzzInput& in) {
+  // Key by the schema-normalized override string so "delta=2" on a
+  // delta-2-default protocol shares the defaults instance.
+  const sim::ParamSet params = in.params(target_.schema);
+  const std::string key = params.overrides_str();
+  auto it = instances_.find(key);
+  if (it != instances_.end()) return *it->second;
+
+  auto inst = std::make_unique<Instance>();
+  inst->params = params;
+  inst->overrides_label = key;
+  inst->adapter = target_.factory(params);
+  inst->delta = inst->adapter->delta();
+  const std::size_t n = inst->adapter->party_count();
+  inst->action_counts.resize(n);
+  inst->variants.resize(n);
+  // Variant universes come from the adapter's own (halt-only, tiny-cap)
+  // plan space: parties whose deviations are protocol-specific variants
+  // enumerate them there, everyone else only ever emits variant 0.
+  sim::StrategySpace halt_only;
+  for (std::size_t p = 0; p < n; ++p) {
+    const PartyId pid = static_cast<PartyId>(p);
+    inst->action_counts[p] = inst->adapter->action_count(pid);
+    std::vector<int>& vs = inst->variants[p];
+    vs.push_back(0);
+    for (const sim::DeviationPlan& plan :
+         inst->adapter->plan_space(pid, halt_only, 64).plans) {
+      if (std::find(vs.begin(), vs.end(), plan.variant()) == vs.end()) {
+        vs.push_back(plan.variant());
+      }
+    }
+    std::sort(vs.begin(), vs.end());
+  }
+  inst->executor = std::make_unique<ScheduleExecutor>(*inst->adapter);
+  Instance& ref = *inst;
+  instances_.emplace(key, std::move(inst));
+  return ref;
+}
+
+FuzzInput InstancePool::canonical(const FuzzInput& in) {
+  Instance& inst = instance_for(in);
+  return canonical_input(in, *inst.adapter, target_.schema);
+}
+
+RunOutcome InstancePool::run(const FuzzInput& in) {
+  Instance& inst = instance_for(in);
+  return inst.executor->run(
+      schedule_of(in, *inst.adapter, inst.overrides_label));
+}
+
+}  // namespace xchain::fuzz

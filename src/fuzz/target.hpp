@@ -1,0 +1,87 @@
+#pragma once
+
+// Fuzz targets and the adapter-instance pool.
+//
+// A FuzzTarget is "something the fuzzer can run inputs against": a name,
+// a parameter schema (the registry's, or empty for synthetic adapters),
+// and a ParamSet -> adapter factory. Registry protocols and the planted
+// self-test adapter share this one surface, so the harness, the shrinker,
+// and the CLI never special-case either.
+//
+// Because a mutated input may override parameters, the adapter (and its
+// expensive reusable world) depends on the input's override set. The
+// InstancePool caches one Instance — adapter + ScheduleExecutor + the
+// shape facts mutation needs (action counts, Δ, variant universes) — per
+// distinct canonical override string. Plan-only mutation dominates fuzzing,
+// so almost every run hits the pooled default-parameter instance.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fuzz/executor.hpp"
+#include "fuzz/input.hpp"
+#include "sim/param.hpp"
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::fuzz {
+
+/// One fuzzable protocol. `schema` may be empty (no tunable parameters);
+/// `factory` must accept any ParamSet derived from `schema`.
+struct FuzzTarget {
+  std::string name;
+  sim::ParamSet schema;
+  std::function<std::unique_ptr<sim::ProtocolAdapter>(const sim::ParamSet&)>
+      factory;
+
+  /// The registry protocol `name` as a fuzz target. Throws
+  /// sim::RegistryError on an unknown name.
+  static FuzzTarget from_registry(
+      const std::string& name,
+      const sim::ProtocolRegistry& registry = sim::ProtocolRegistry::global());
+};
+
+/// One instantiated configuration of a target: the adapter, its executor,
+/// and the shape facts the mutator and canonicalizer need.
+struct Instance {
+  sim::ParamSet params;
+  std::string overrides_label;  ///< params.overrides_str()
+  std::unique_ptr<sim::ProtocolAdapter> adapter;
+  std::unique_ptr<ScheduleExecutor> executor;
+  Tick delta = 1;
+  std::vector<int> action_counts;  ///< per party
+  /// Distinct plan variants party p's plan space emits (always includes
+  /// 0). Parties that deviate via protocol-specific variants — the
+  /// auctioneer's seven declaration strategies — surface them here.
+  std::vector<std::vector<int>> variants;
+
+  std::size_t party_count() const { return action_counts.size(); }
+};
+
+/// Caches Instances per canonical override string. Throws sim::ParamError
+/// on inputs whose overrides fail the schema.
+class InstancePool {
+ public:
+  explicit InstancePool(const FuzzTarget& target) : target_(target) {}
+
+  /// The instance for `in`'s override set (building it on first use).
+  Instance& instance_for(const FuzzInput& in);
+
+  /// Canonicalizes `in` against its own instance.
+  FuzzInput canonical(const FuzzInput& in);
+
+  /// Builds `in`'s schedule and executes it on its instance.
+  RunOutcome run(const FuzzInput& in);
+
+  const FuzzTarget& target() const { return target_; }
+
+ private:
+  const FuzzTarget& target_;
+  std::map<std::string, std::unique_ptr<Instance>> instances_;
+};
+
+}  // namespace xchain::fuzz

@@ -151,7 +151,16 @@ class DeviationPlan {
       body += "halt@" + std::to_string(halt_);
     }
     if (body.empty()) body = "conform";
-    if (variant_ != 0) body = "v" + std::to_string(variant_) + ":" + body;
+    if (variant_ != 0) {
+      // Appends-only on purpose: the `"v" + ... + ":" + body` spelling
+      // trips GCC 12's bogus -Wrestrict on inlined operator+ chains
+      // (GCC PR 105651) in -Werror library builds.
+      std::string tagged = "v";
+      tagged += std::to_string(variant_);
+      tagged += ':';
+      tagged += body;
+      return tagged;
+    }
     return body;
   }
 

@@ -261,6 +261,17 @@ core::BrokerConfig broker_config_from(const ParamSet& p) {
   cfg.purchase_price = p.get_amount("purchase_price");
   cfg.premium_unit = p.get_amount("premium_unit");
   cfg.delta = p.get_int("delta");
+  // §8 precondition: the broker's spread is non-negative. With
+  // purchase_price > sale_price a fully conforming run leaves Alice below
+  // her break-even hedge floor by construction — a pricing choice, not a
+  // sore-loser attack — so reject the configuration up front (the fuzzer
+  // jitters parameters and must see this as invalid, not as a violation).
+  if (cfg.purchase_price > cfg.sale_price) {
+    throw ParamError("param 'purchase_price': " +
+                     std::to_string(cfg.purchase_price) +
+                     " exceeds sale_price " + std::to_string(cfg.sale_price) +
+                     " (the broker spread must be non-negative)");
+  }
   return cfg;
 }
 

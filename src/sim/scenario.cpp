@@ -1062,11 +1062,26 @@ std::vector<PartyOutcome> BrokerDealAdapter::outcomes_from(
   // at least one premium unit).
   PartyOutcome alice{"alice", s.plans[0].conforms_within(cfg_.delta), r.alice,
                      {}};
+  // A seller's lock-up earns the premium floor only when the sale failed
+  // for them: principal locked, refunded, AND the counter-asset never
+  // arrived. A deviator can strand the two chains half-done — e.g. Carol
+  // delaying her relays just past the ticket chain's path deadline while
+  // every coin-chain bucket still redeems — leaving Bob with both his
+  // refunded tickets and the full purchase price. He is then strictly
+  // better off than on completion, so no premium is owed (fuzz-found).
+  const auto was_paid = [](const core::PayoffDelta& d, const char* symbol) {
+    const auto it = d.by_symbol.find(symbol);
+    return it != d.by_symbol.end() && it->second > 0;
+  };
   PartyOutcome bob{"bob", s.plans[1].conforms_within(cfg_.delta), r.bob, {}};
-  if (r.bob_lockup > 0) bob.bound.min_coin_delta = cfg_.premium_unit;
+  if (r.bob_lockup > 0 && !was_paid(r.bob, "coin")) {
+    bob.bound.min_coin_delta = cfg_.premium_unit;
+  }
   PartyOutcome carol{"carol", s.plans[2].conforms_within(cfg_.delta), r.carol,
                      {}};
-  if (r.carol_lockup > 0) carol.bound.min_coin_delta = cfg_.premium_unit;
+  if (r.carol_lockup > 0 && !was_paid(r.carol, "ticket")) {
+    carol.bound.min_coin_delta = cfg_.premium_unit;
+  }
   return {std::move(alice), std::move(bob), std::move(carol)};
 }
 

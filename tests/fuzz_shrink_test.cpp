@@ -1,0 +1,100 @@
+// Delta-debugging shrinker: every found-form of the planted two-entry bug
+// must minimize to the one pinned canonical reproducer, whatever noise the
+// mutation path wrapped around it — and a bug that needs two cooperating
+// plan entries must keep exactly those two.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/selftest.hpp"
+#include "fuzz/shrink.hpp"
+#include "sim/registry.hpp"
+
+namespace xchain::fuzz {
+namespace {
+
+FuzzInput trap_input(const std::string& body) {
+  return FuzzInput::parse("protocol " + selftest_name() + "\n" + body);
+}
+
+class ShrinkTrap : public ::testing::Test {
+ protected:
+  FuzzTarget target_ = selftest_target();
+  InstancePool pool_{target_};
+};
+
+TEST_F(ShrinkTrap, MinimizesToThePinnedCanonicalForm) {
+  // The same planted bug dressed up the way different mutation paths
+  // would find it: in-model victim noise (the audit only covers the
+  // victim while they conform within Δ = 2), halts instead of drops,
+  // delays riding along on the accomplices.
+  const char* found_forms[] = {
+      "plan 1 x0\nplan 2 halt@1\n",            // already minimal
+      "plan 1 halt@0\nplan 2 halt@0\n",        // both halt everything
+      "plan 0 d1+1\nplan 1 halt@0\nplan 2 halt@1\n",  // victim noise
+      "plan 1 x0.d1+5\nplan 2 x1\n",           // delay riding along
+      "plan 0 d0+1\nplan 1 x0\nplan 2 x0.x1\n",
+      "plan 1 halt@0\nplan 2 x1\n",
+  };
+  for (const char* body : found_forms) {
+    const ShrinkResult r = shrink_input(trap_input(body), pool_);
+    EXPECT_EQ(r.minimized.str(), selftest_canonical_reproducer()) << body;
+    EXPECT_FALSE(r.violation.empty()) << body;
+  }
+}
+
+TEST_F(ShrinkTrap, KeepsBothCooperatingEntries) {
+  // Neither accomplice's drop alone trips the trap, so the minimizer must
+  // retain an entry for each even though its passes try to remove both.
+  const ShrinkResult r =
+      shrink_input(trap_input("plan 1 halt@0\nplan 2 halt@0\n"), pool_);
+  EXPECT_FALSE(r.minimized.plan_of(1).is_conforming());
+  EXPECT_FALSE(r.minimized.plan_of(2).is_conforming());
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.probes, r.steps);
+}
+
+TEST_F(ShrinkTrap, IsAFunctionOfTheInputAlone) {
+  // No PRNG anywhere in the shrinker: same input, same everything.
+  const FuzzInput in = trap_input("plan 0 d1+1\nplan 1 x0\nplan 2 halt@0\n");
+  const ShrinkResult a = shrink_input(in, pool_);
+  const ShrinkResult b = shrink_input(in, pool_);
+  EXPECT_EQ(a.minimized.str(), b.minimized.str());
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.probes, b.probes);
+}
+
+TEST_F(ShrinkTrap, RefusesCleanInputs) {
+  EXPECT_THROW(shrink_input(trap_input("plan 1 x0\n"), pool_),
+               std::invalid_argument);
+  EXPECT_THROW(shrink_input(trap_input(""), pool_), std::invalid_argument);
+}
+
+TEST(ShrinkOverrides, IrrelevantParameterOverridesAreRemoved) {
+  // The trap target dressed with a schema knob the bug ignores: the
+  // override-removal pass must strip it, leaving the same pinned form.
+  FuzzTarget t = selftest_target();
+  t.schema = sim::ParamSet({sim::ParamSpec::integer(
+      "knob", 5, "does nothing; here to be shrunk away")});
+  InstancePool pool(t);
+  const FuzzInput in = FuzzInput::parse(
+      "protocol " + selftest_name() +
+      "\nset knob=9\nplan 1 halt@0\nplan 2 halt@0\n");
+  const ShrinkResult r = shrink_input(in, pool);
+  EXPECT_EQ(r.minimized.str(), selftest_canonical_reproducer());
+  EXPECT_TRUE(r.minimized.overrides.empty());
+}
+
+TEST(ShrinkRegistry, RefusesCleanRegistryInputs) {
+  // two-party at defaults has no violating schedule (the sweeps and the
+  // fuzz soak both verify that), so a shrink request for any clean input
+  // is a harness bug the shrinker surfaces loudly.
+  FuzzTarget t = FuzzTarget::from_registry("two-party");
+  InstancePool pool(t);
+  const FuzzInput in = FuzzInput::parse(
+      "protocol two-party\nset premium_a=3\nplan 1 halt@1\n");
+  EXPECT_THROW(shrink_input(in, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xchain::fuzz

@@ -27,7 +27,62 @@ Blockchain::Blockchain(ChainId id, std::string name, Symbol native)
       native_(std::move(native)),
       native_id_(SymbolTable::intern(native_)) {}
 
-void Blockchain::submit(Transaction tx) { mempool_.push_back(std::move(tx)); }
+std::uint64_t Blockchain::submit(Transaction tx) {
+  if (halted_ || finalized_) {
+    // Append-only string building (GCC 12 -Wrestrict, PR 105651).
+    std::string what = "Blockchain::submit: chain '";
+    what += name_;
+    what += halted_ ? "' is halted" : "' has finalized its timeline";
+    what += " — no future block can include this transaction";
+    if (!tx.note.empty()) {
+      what += " (";
+      what += tx.note;
+      what += ')';
+    }
+    throw std::logic_error(what);
+  }
+  tx.seq = next_seq_++;
+  tx.fresh = true;
+  const std::uint64_t id = tx.seq;
+  if (tx.track) tx_status_.emplace_back(id, TxStatus::kPending);
+  mempool_.push_back(std::move(tx));
+  return id;
+}
+
+TxStatus Blockchain::tx_status(std::uint64_t id) const {
+  for (const auto& [tid, status] : tx_status_) {
+    if (tid == id) return status;
+  }
+  return TxStatus::kUnknown;
+}
+
+bool Blockchain::bump_fee(std::uint64_t id, Amount fee) {
+  for (Transaction& tx : mempool_) {
+    if (tx.track && tx.seq == id) {
+      if (fee > tx.fee) tx.fee = fee;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Blockchain::record_status(const Transaction& tx, TxStatus status) {
+  if (!tx.track) return;
+  for (auto& [tid, s] : tx_status_) {
+    if (tid == tx.seq) {
+      s = status;
+      return;
+    }
+  }
+  tx_status_.emplace_back(tx.seq, status);
+}
+
+void Blockchain::reset_fault_runtime() {
+  next_seq_ = 0;
+  tx_status_.clear();
+  halted_ = false;
+  finalized_ = false;
+}
 
 void Blockchain::register_contract(std::unique_ptr<Contract> c) {
   c->id_ = contracts_.size();
@@ -36,6 +91,10 @@ void Blockchain::register_contract(std::unique_ptr<Contract> c) {
 }
 
 void Blockchain::produce_block(Tick now) {
+  if (!faults_.empty()) {
+    produce_block_faulted(now);
+    return;
+  }
   height_ = now;
   // Apply queued transactions in submission order (contracts can rely on
   // arrival order, paper §3.2 footnote). The batch/mempool pair ping-pongs
@@ -46,8 +105,133 @@ void Blockchain::produce_block(Tick now) {
     TxContext ctx(*this, tx.sender, now);
     tx.effect(ctx);
     ++applied_tx_count_;
+    record_status(tx, TxStatus::kIncluded);
   }
   // Timeout sweep: contracts resolve expired timelocks.
+  TxContext sweep(*this, kNoParty, now);
+  for (auto& c : contracts_) {
+    c->on_block(sweep);
+  }
+}
+
+void Blockchain::produce_block_faulted(Tick now) {
+  if (faults_.outage_at(now)) {
+    // Full outage: no block at this tick. Height freezes, queued
+    // transactions park in the mempool, and — because the timeout sweep
+    // belongs to block production — timelocks do not fire either. Parties
+    // may keep submitting (unlike halt()): their transactions wait out
+    // the outage.
+    for (Transaction& tx : mempool_) tx.fresh = false;
+    return;
+  }
+  height_ = now;
+
+  // 1. Seeded submission drops hit fresh (submitted-since-last-block)
+  //    transactions only; carried-over entries already survived the hop.
+  if (faults_.drops_at(now)) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < mempool_.size(); ++i) {
+      Transaction& tx = mempool_[i];
+      if (tx.fresh && faults_.should_drop(id_, now, tx.seq)) {
+        record_status(tx, TxStatus::kDropped);
+      } else {
+        if (kept != i) mempool_[kept] = std::move(tx);
+        ++kept;
+      }
+    }
+    mempool_.resize(kept);
+  }
+
+  // 2. Synthetic congestion: spam competes for block space at its fee
+  //    but never carries over — squeezed blocks see fresh pressure each
+  //    tick, unselected spam evaporates below.
+  const std::size_t real_count = mempool_.size();
+  faults_.each_spam(now, [&](int count, Amount fee) {
+    for (int i = 0; i < count; ++i) {
+      Transaction spam;
+      spam.sender = kNoParty;
+      if (tracing()) spam.note = "fault: spam";
+      spam.effect = [](TxContext&) {};
+      spam.fee = fee;
+      spam.seq = next_seq_++;
+      mempool_.push_back(std::move(spam));
+    }
+  });
+
+  // 3. Fee-priority selection under the active capacity: the top `cap`
+  //    by (fee desc, submission order asc) — older submissions win fee
+  //    ties, which is what lets an escalating party overtake same-fee
+  //    spam — applied in submission order (arrival order within a block
+  //    is what contracts rely on, paper §3.2 footnote).
+  const int cap = faults_.cap_at(now);
+  std::vector<std::size_t> order(mempool_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (cap >= 0 && static_cast<std::size_t>(cap) < order.size()) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (mempool_[a].fee != mempool_[b].fee) {
+        return mempool_[a].fee > mempool_[b].fee;
+      }
+      return mempool_[a].seq < mempool_[b].seq;
+    });
+    order.resize(static_cast<std::size_t>(cap));
+    std::sort(order.begin(), order.end());
+  }
+  std::vector<bool> selected(mempool_.size(), false);
+  for (const std::size_t i : order) selected[i] = true;
+
+  batch_.clear();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < mempool_.size(); ++i) {
+    Transaction& tx = mempool_[i];
+    if (selected[i]) {
+      batch_.push_back(std::move(tx));
+    } else if (i < real_count) {
+      tx.fresh = false;
+      if (kept != i) mempool_[kept] = std::move(tx);
+      ++kept;
+    }
+    // Unselected spam (i >= real_count) evaporates.
+  }
+  mempool_.resize(kept);
+
+  // 4. Bounded mempool: carry-overs beyond the active mem limit are
+  //    evicted lowest priority first (fee asc, youngest submission
+  //    first), mirroring the selection order.
+  const int mem = faults_.mem_at(now);
+  if (mem >= 0 && mempool_.size() > static_cast<std::size_t>(mem)) {
+    std::vector<std::size_t> by_prio(mempool_.size());
+    for (std::size_t i = 0; i < by_prio.size(); ++i) by_prio[i] = i;
+    std::sort(by_prio.begin(), by_prio.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (mempool_[a].fee != mempool_[b].fee) {
+                  return mempool_[a].fee < mempool_[b].fee;
+                }
+                return mempool_[a].seq > mempool_[b].seq;
+              });
+    const std::size_t excess = mempool_.size() - static_cast<std::size_t>(mem);
+    std::vector<bool> evict(mempool_.size(), false);
+    for (std::size_t k = 0; k < excess; ++k) evict[by_prio[k]] = true;
+    std::size_t survivors = 0;
+    for (std::size_t i = 0; i < mempool_.size(); ++i) {
+      Transaction& tx = mempool_[i];
+      if (evict[i]) {
+        record_status(tx, TxStatus::kEvicted);
+      } else {
+        if (survivors != i) mempool_[survivors] = std::move(tx);
+        ++survivors;
+      }
+    }
+    mempool_.resize(survivors);
+  }
+
+  // 5. Apply the selected block, then the timeout sweep — identical to
+  //    the fast path from here on.
+  for (Transaction& tx : batch_) {
+    TxContext ctx(*this, tx.sender, now);
+    tx.effect(ctx);
+    ++applied_tx_count_;
+    record_status(tx, TxStatus::kIncluded);
+  }
   TxContext sweep(*this, kNoParty, now);
   for (auto& c : contracts_) {
     c->on_block(sweep);
@@ -60,6 +244,7 @@ void Blockchain::reset() {
   mempool_.clear();
   events_.clear();
   applied_tx_count_ = 0;
+  reset_fault_runtime();
   for (auto& c : contracts_) c->reset();
 }
 
@@ -87,6 +272,13 @@ void Blockchain::snap_rewind(std::size_t depth) {
   height_ = snap_counters_.at(depth).first;
   applied_tx_count_ = snap_counters_.at(depth).second;
   mempool_.clear();
+  // Fault runtime (submission ordinals, tracked statuses, halt flags) is
+  // per-run state: rewinding to a snapshot restarts the run from that
+  // point, and the fuzz executor's rewind-to-slot-0 relies on this being
+  // equivalent to reset() for replay determinism. Fault-active sweeps run
+  // on the brute executor (one rewind target at the clean state), so
+  // mid-run snapshot layering never coexists with a live fault runtime.
+  reset_fault_runtime();
   // kRestore leaves the stack at depth + 1, matching the ledger.
   for (auto& c : contracts_) c->snapshot(SnapshotOp::kRestore, depth);
 }
@@ -103,12 +295,26 @@ Blockchain& MultiChain::add_chain(const std::string& name) {
   chains_.push_back(
       std::make_unique<Blockchain>(id, name, name + "-coin"));
   chains_.back()->set_trace(trace_);
+  chains_.back()->set_faults(env_.faults.for_chain(name));
+  chains_.back()->set_resilience(env_.resilience);
   return *chains_.back();
 }
 
 void MultiChain::set_trace(TraceMode mode) {
   trace_ = mode;
   for (auto& c : chains_) c->set_trace(mode);
+}
+
+void MultiChain::set_environment(const ChainEnvironment& env) {
+  env_ = env;
+  for (auto& c : chains_) {
+    c->set_faults(env_.faults.for_chain(c->name()));
+    c->set_resilience(env_.resilience);
+  }
+}
+
+void MultiChain::finalize_all() {
+  for (auto& c : chains_) c->finalize();
 }
 
 void MultiChain::produce_all(Tick now) {

@@ -10,6 +10,7 @@
 
 #include "chain/address.hpp"
 #include "chain/event.hpp"
+#include "chain/fault.hpp"
 #include "chain/ledger.hpp"
 #include "chain/snapshot.hpp"
 #include "common/types.hpp"
@@ -73,6 +74,28 @@ struct Transaction {
   PartyId sender = kNoParty;
   std::string note;  ///< trace label, e.g. "alice: escrow principal"
   std::function<void(TxContext&)> effect;
+  /// Inclusion priority under a capacity squeeze (FaultPlan). Fees are
+  /// *virtual*: they order block selection but are never debited, so the
+  /// audit's conservation invariant is untouched. Higher wins; ties break
+  /// by submission order (older first).
+  Amount fee = 0;
+  /// Record an inclusion/drop/eviction status for this tx (resilient
+  /// parties set this so they can observe and react; anonymous protocol
+  /// traffic stays untracked and free).
+  bool track = false;
+  /// @{ Internal, assigned by Blockchain::submit — leave defaulted.
+  std::uint64_t seq = 0;  ///< chain-wide submission ordinal (per run)
+  bool fresh = true;      ///< submitted since the last produced block
+  /// @}
+};
+
+/// Lifecycle of a tracked transaction (Transaction::track).
+enum class TxStatus : std::uint8_t {
+  kUnknown,   ///< never tracked on this chain (or statuses were reset)
+  kPending,   ///< sitting in the mempool
+  kIncluded,  ///< applied in a produced block
+  kDropped,   ///< discarded by a seeded submission-drop fault
+  kEvicted,   ///< pushed out of a bounded mempool by higher-fee traffic
 };
 
 /// Base class for blockchain-resident programs (paper §3.1: passive,
@@ -127,6 +150,15 @@ class Contract {
   /// Provided by SnapshotState from the same state_tie().
   virtual void state_hash(std::uint64_t& h) const { (void)h; }
 
+  /// The contract's claimed deadline ladder, in scheduled-step order, for
+  /// Scheduler::validate_deadlines: consecutive entries (and the first
+  /// entry, measured from tick 0) must sit >= Delta apart, the spacing the
+  /// timing contract's "Delta-1 delays are always timely" guarantee rests
+  /// on. Contracts making no sequential-spacing claim (e.g. the base
+  /// §5.1 HTLC, whose coinciding timelocks are the paper's deliberate
+  /// vulnerability) return the default empty ladder.
+  virtual std::vector<Tick> deadline_schedule() const { return {}; }
+
  protected:
   /// SnapshotState hook for base-class mutable members (none here).
   void snapshot_members(SnapshotOp, std::size_t) {}
@@ -167,12 +199,50 @@ class Blockchain {
   /// Public event log.
   const EventLog& events() const { return events_; }
 
-  /// Queues a transaction for the next block.
-  void submit(Transaction tx);
+  /// Queues a transaction for the next block and returns its submission
+  /// id (the handle tx_status()/bump_fee() key on when tx.track is set).
+  /// Throws std::logic_error on a halted or finalized chain — submitting
+  /// past the end of the simulated timeline is a caller bug, never a
+  /// silent no-op.
+  std::uint64_t submit(Transaction tx);
+
+  /// Status of a tracked submission (TxStatus::kUnknown for untracked
+  /// ids or after reset()).
+  TxStatus tx_status(std::uint64_t id) const;
+
+  /// Raises a pending tracked transaction's fee to max(current, fee);
+  /// returns false when the tx is no longer in the mempool.
+  bool bump_fee(std::uint64_t id, Amount fee);
+
+  /// Permanently stops the chain: produce_block becomes invalid and
+  /// submit throws. Models an operator-level chain death (distinct from a
+  /// FaultPlan outage, which parties may keep submitting through).
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  /// Marks the simulated timeline complete: submit throws from here on.
+  /// Worlds call this after their final tick; reset() re-opens the chain.
+  void finalize() { finalized_ = true; }
+  bool finalized() const { return finalized_; }
+
+  /// Installs this chain's compiled fault clauses (empty = the reliable
+  /// fast path, byte-identical to the historical substrate).
+  void set_faults(ChainFaults faults) { faults_ = std::move(faults); }
+  const ChainFaults& faults() const { return faults_; }
+
+  /// The resubmission policy parties on this chain should follow (the
+  /// chain is just the carrier: MultiChain::set_environment fans the
+  /// world's policy out here so party code can read it per submission).
+  void set_resilience(const ResiliencePolicy& policy) { resilience_ = policy; }
+  const ResiliencePolicy& resilience() const { return resilience_; }
 
   /// Number of transactions applied over the chain's lifetime (zeroed by
   /// reset(), so reused worlds report per-run counts).
   std::size_t applied_tx_count() const { return applied_tx_count_; }
+
+  /// Deployed-contract introspection (Scheduler::validate_deadlines).
+  std::size_t contract_count() const { return contracts_.size(); }
+  const Contract& contract_at(std::size_t i) const { return *contracts_.at(i); }
 
   /// Deploys a contract; returns a stable reference. Deployment happens at
   /// protocol setup (parties pre-agree on contracts, paper §4); funding
@@ -215,6 +285,19 @@ class Blockchain {
 
   void register_contract(std::unique_ptr<Contract> c);
 
+  /// produce_block's general path: bounded capacity, spam injection,
+  /// seeded drops, fee-ordered selection, carry-over and eviction. Only
+  /// taken when this chain has fault clauses installed.
+  void produce_block_faulted(Tick now);
+
+  /// Records `status` for tx if it is tracked.
+  void record_status(const Transaction& tx, TxStatus status);
+
+  /// Re-opens the chain and forgets per-run fault runtime: submission
+  /// ordinals, tracked statuses, halt/finalize flags. Shared by reset()
+  /// and snap_rewind() (the fuzz executor's rewind-to-clean-state path).
+  void reset_fault_runtime();
+
   ChainId id_;
   std::string name_;
   Symbol native_;
@@ -230,6 +313,15 @@ class Blockchain {
   /// snap_push() counters stack ({height, applied_tx_count} per depth);
   /// the ledger and contracts keep their own synchronized stacks.
   std::vector<std::pair<Tick, std::size_t>> snap_counters_;
+  ChainFaults faults_;
+  ResiliencePolicy resilience_;
+  bool halted_ = false;
+  bool finalized_ = false;
+  std::uint64_t next_seq_ = 0;
+  /// (submission id, status) for tracked txs, submission order. Tracked
+  /// populations are tiny (one entry per resilient-party action), so
+  /// linear scans beat hashing and stay deterministic for free.
+  std::vector<std::pair<std::uint64_t, TxStatus>> tx_status_;
 };
 
 /// The collection of independent chains in a simulation, advanced in
@@ -248,6 +340,16 @@ class MultiChain {
   /// Trace mode applied to every chain, current and future.
   void set_trace(TraceMode mode);
   TraceMode trace() const { return trace_; }
+
+  /// Installs a chain environment — fault plan (matched per chain by
+  /// name / '*') and resilience policy — on every chain, current and
+  /// future. The default-constructed environment restores the reliable
+  /// substrate exactly.
+  void set_environment(const ChainEnvironment& env);
+  const ChainEnvironment& environment() const { return env_; }
+
+  /// Marks every chain's timeline complete (Blockchain::finalize).
+  void finalize_all();
 
   /// Produces the block at height `now` on every chain.
   void produce_all(Tick now);
@@ -274,6 +376,7 @@ class MultiChain {
  private:
   std::vector<std::unique_ptr<Blockchain>> chains_;
   TraceMode trace_ = TraceMode::kFull;
+  ChainEnvironment env_;
 };
 
 }  // namespace xchain::chain

@@ -67,6 +67,13 @@ class HedgedSwapContract : public chain::SnapshotState<HedgedSwapContract> {
   /// Restores the just-constructed state (world reuse).
   void reset() override;
 
+  /// The §5.2 deadline ladder in scheduled-step order — premium deposit,
+  /// principal escrow, redemption — for Scheduler::validate_deadlines'
+  /// ">= Delta per step" check.
+  std::vector<Tick> deadline_schedule() const override {
+    return {p_.premium_deadline, p_.escrow_deadline, p_.redemption_deadline};
+  }
+
   // -- Public state ---------------------------------------------------------
   const Params& params() const { return p_; }
   bool premium_deposited() const { return premium_at_.has_value(); }

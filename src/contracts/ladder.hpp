@@ -84,6 +84,19 @@ class LadderContract : public chain::SnapshotState<LadderContract> {
   /// Restores the just-constructed state (world reuse).
   void reset() override;
 
+  /// The scheduled-step deadline ladder: rung deposits run highest index
+  /// first (deposit deadlines are strictly decreasing in rung index), so
+  /// the step order is the reversed rung list, followed by redemption.
+  std::vector<Tick> deadline_schedule() const override {
+    std::vector<Tick> ladder;
+    ladder.reserve(p_.rungs.size() + 1);
+    for (std::size_t j = p_.rungs.size(); j-- > 0;) {
+      ladder.push_back(p_.rungs[j].deposit_deadline);
+    }
+    ladder.push_back(p_.redemption_deadline);
+    return ladder;
+  }
+
   // -- Public state ---------------------------------------------------------
   enum class RungState : std::uint8_t {
     kEmpty,      ///< not deposited

@@ -497,6 +497,10 @@ sim::DeviationPlan bidder_plan_of(BidderStrategy strategy, bool sealed) {
   }
 }
 
+void AuctionWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
 AuctionResult AuctionWorld::run(
     AuctioneerStrategy alice,
     const std::vector<sim::DeviationPlan>& bidder_plans) {
@@ -535,6 +539,7 @@ AuctionResult AuctionWorld::run(
     sched.run_until(5 * d + 2);
   }
 
+  w.chains.finalize_all();
   return tree_collect();
 }
 

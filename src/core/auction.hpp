@@ -96,6 +96,10 @@ class AuctionWorld {
   AuctionResult run(AuctioneerStrategy alice,
                     const std::vector<sim::DeviationPlan>& bidder_plans);
 
+  /// Installs a chain environment (fault plan + resilience policy); call
+  /// once after construction. See TwoPartyWorld::set_environment.
+  void set_environment(const chain::ChainEnvironment& env);
+
   /// Legacy strategy-enum form: maps each BidderStrategy onto its
   /// halt-style plan via bidder_plan_of().
   AuctionResult run(AuctioneerStrategy alice,

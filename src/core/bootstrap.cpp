@@ -288,6 +288,10 @@ BootstrapWorld::BootstrapWorld(BootstrapWorld&&) noexcept = default;
 BootstrapWorld& BootstrapWorld::operator=(BootstrapWorld&&) noexcept =
     default;
 
+void BootstrapWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
 BootstrapResult BootstrapWorld::run(sim::DeviationPlan alice,
                                     sim::DeviationPlan bob) {
   Impl& w = *impl_;
@@ -302,8 +306,15 @@ BootstrapResult BootstrapWorld::run(sim::DeviationPlan alice,
   sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
+#ifndef NDEBUG
+  // The §6 ladder interleaves the two chains' deposits Delta apart, so each
+  // single chain's consecutive deadlines sit 2*Delta apart; debug builds
+  // re-check that spacing on every run.
+  sched.validate_deadlines(d);
+#endif
   sched.run_until((2 * r + 4) * d + 2);
 
+  w.chains.finalize_all();
   return tree_collect();
 }
 

@@ -88,6 +88,10 @@ class BootstrapWorld {
   /// Resets the world and executes one schedule.
   BootstrapResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
 
+  /// Installs a chain environment (fault plan + resilience policy); call
+  /// once after construction. See TwoPartyWorld::set_environment.
+  void set_environment(const chain::ChainEnvironment& env);
+
   /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
   /// first call; plans index Alice, Bob in order.
   sim::TreeFrame& tree_frame();

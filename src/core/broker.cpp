@@ -444,6 +444,10 @@ BrokerWorld::~BrokerWorld() = default;
 BrokerWorld::BrokerWorld(BrokerWorld&&) noexcept = default;
 BrokerWorld& BrokerWorld::operator=(BrokerWorld&&) noexcept = default;
 
+void BrokerWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
 BrokerResult BrokerWorld::run(sim::DeviationPlan alice, sim::DeviationPlan bob,
                               sim::DeviationPlan carol) {
   Impl& w = *impl_;
@@ -459,6 +463,7 @@ BrokerResult BrokerWorld::run(sim::DeviationPlan alice, sim::DeviationPlan bob,
   sched.add_party(c);
   sched.run_until(w.horizon);
 
+  w.chains.finalize_all();
   return tree_collect();
 }
 

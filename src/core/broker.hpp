@@ -66,6 +66,10 @@ class BrokerWorld {
   BrokerResult run(sim::DeviationPlan alice, sim::DeviationPlan bob,
                    sim::DeviationPlan carol);
 
+  /// Installs a chain environment (fault plan + resilience policy); call
+  /// once after construction. See TwoPartyWorld::set_environment.
+  void set_environment(const chain::ChainEnvironment& env);
+
   /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
   /// first call; plans index Alice, Bob, Carol in order.
   sim::TreeFrame& tree_frame();

@@ -396,6 +396,10 @@ MultiPartyWorld::MultiPartyWorld(MultiPartyWorld&&) noexcept = default;
 MultiPartyWorld& MultiPartyWorld::operator=(MultiPartyWorld&&) noexcept =
     default;
 
+void MultiPartyWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
 MultiPartyResult MultiPartyWorld::run(
     const std::vector<sim::DeviationPlan>& plans) {
   Impl& w = *impl_;
@@ -414,6 +418,7 @@ MultiPartyResult MultiPartyWorld::run(
   }
   sched.run_until(w.s.horizon);
 
+  w.chains.finalize_all();
   return tree_collect();
 }
 

@@ -71,6 +71,10 @@ class MultiPartyWorld {
   /// Resets the world and executes one schedule (one plan per party).
   MultiPartyResult run(const std::vector<sim::DeviationPlan>& plans);
 
+  /// Installs a chain environment (fault plan + resilience policy); call
+  /// once after construction. See TwoPartyWorld::set_environment.
+  void set_environment(const chain::ChainEnvironment& env);
+
   /// Tree-executor access (sim/tree.hpp): persistent actors, built on the
   /// first call; the executor owns the tick loop.
   sim::TreeFrame& tree_frame();

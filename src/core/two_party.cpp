@@ -323,6 +323,10 @@ TwoPartyWorld::~TwoPartyWorld() = default;
 TwoPartyWorld::TwoPartyWorld(TwoPartyWorld&&) noexcept = default;
 TwoPartyWorld& TwoPartyWorld::operator=(TwoPartyWorld&&) noexcept = default;
 
+void TwoPartyWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
 TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
                                   sim::DeviationPlan bob) {
   Impl& w = *impl_;
@@ -333,8 +337,18 @@ TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
   sim::Scheduler sched(w.chains);
   sched.add_party(a);
   sched.add_party(b);
+#ifndef NDEBUG
+  // §5.2's deadlines must leave Delta between consecutive scheduled steps
+  // or the protocol's tolerance claims are vacuous; debug builds check the
+  // ladder on every run (release sweeps skip the redundant pass).
+  sched.validate_deadlines(w.cfg.delta);
+#endif
   sched.run_until(6 * w.cfg.delta + 2);
 
+  // The run is over: no further submissions are meaningful, and a party
+  // (or test) that tries anyway should fail loudly rather than mutate a
+  // world whose results were already collected.
+  w.chains.finalize_all();
   return tree_collect();
 }
 

@@ -80,6 +80,14 @@ class TwoPartyWorld {
   /// Resets the world and executes one schedule.
   TwoPartyResult run(sim::DeviationPlan alice, sim::DeviationPlan bob);
 
+  /// Installs a chain environment (fault plan + resilience policy) on the
+  /// world's chains. Call once, right after construction: fault state is
+  /// configuration, not snapshotted world state, so it survives the
+  /// per-run reset. Fault-active worlds must run through run() (the brute
+  /// executor); the tree executor's snapshot layering does not admit
+  /// carried-over mempools.
+  void set_environment(const chain::ChainEnvironment& env);
+
   /// Tree-executor access (sim/tree.hpp): the first call builds the
   /// world's persistent, snapshot-capable actors; the executor owns the
   /// tick loop, plan installation goes through tree_set_plans() and

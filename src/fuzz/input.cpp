@@ -190,6 +190,7 @@ sim::DeviationPlan canonical_plan(const sim::DeviationPlan& plan,
 FuzzInput FuzzInput::parse(const std::string& text) {
   FuzzInput in;
   std::vector<bool> have_plan;
+  bool have_resilience = false;
   std::size_t start = 0;
   std::size_t lineno = 0;
   while (start <= text.size()) {
@@ -242,9 +243,33 @@ FuzzInput FuzzInput::parse(const std::string& text) {
         }
         in.plans[p] = parse_plan(rest.substr(sp2 + 1));
         have_plan[p] = true;
+      } else if (word == "fault") {
+        const std::size_t sp2 = rest.find(' ');
+        if (sp2 == std::string::npos) {
+          fail("'fault' wants: fault <chain> <clause>");
+        }
+        try {
+          const chain::FaultPlan one = chain::FaultPlan::parse(
+              trimmed(rest.substr(0, sp2)) + ":" +
+              trimmed(rest.substr(sp2 + 1)));
+          in.faults.entries.insert(in.faults.entries.end(),
+                                   one.entries.begin(), one.entries.end());
+        } catch (const std::invalid_argument& e) {
+          fail(std::string("bad fault clause: ") + e.what());
+        }
+      } else if (word == "resilience") {
+        if (have_resilience) fail("duplicate 'resilience' line");
+        if (rest.empty()) fail("'resilience' wants a policy");
+        try {
+          in.resilience = chain::ResiliencePolicy::parse(rest);
+        } catch (const std::invalid_argument& e) {
+          fail(std::string("bad resilience policy: ") + e.what());
+        }
+        have_resilience = true;
       } else {
         fail("unknown directive '" + word +
-             "' (want protocol, set, plan, or a # comment)");
+             "' (want protocol, set, plan, fault, resilience, or a # "
+             "comment)");
       }
     }
     if (nl == std::string::npos) break;
@@ -260,6 +285,12 @@ std::string FuzzInput::str() const {
   std::string out = "protocol " + protocol + "\n";
   for (const auto& [key, value] : overrides) {
     out += "set " + key + "=" + value + "\n";
+  }
+  for (const auto& [chain_name, clause] : faults.entries) {
+    out += "fault " + chain_name + " " + clause.str() + "\n";
+  }
+  if (resilience.active()) {
+    out += "resilience " + resilience.str() + "\n";
   }
   for (std::size_t p = 0; p < plans.size(); ++p) {
     if (plans[p].is_conforming()) continue;
@@ -298,6 +329,11 @@ FuzzInput canonical_input(const FuzzInput& in,
     out.plans[p] = canonical_plan(in.plan_of(p),
                                   adapter.action_count(static_cast<PartyId>(p)));
   }
+  // Fault clauses and the resilience policy are already one-spelling-per-
+  // value (the parsers reject every alternative form), so they pass
+  // through unchanged.
+  out.faults = in.faults;
+  out.resilience = in.resilience;
   return out;
 }
 

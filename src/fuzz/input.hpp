@@ -23,11 +23,24 @@
 // real action counts (out-of-range modifications drop, zero-tick delays
 // become Perform, a maximal trailing run of Drops folds into the halt
 // point) and overrides that merely restate a default disappear.
+//
+// Two further directives drive the chain fault layer (chain/fault.hpp):
+//
+//   fault <chain> <clause>     -- e.g. fault banana squeeze@4-10,cap=1
+//   resilience <policy>        -- naive | rebroadcast | fee-escalate[:b,s,m]
+//
+// One `fault` line per clause (chain may be '*'); the clause grammar is
+// FaultPlan's, already one-spelling-per-clause, so these lines round-trip
+// like everything else. Violations that an injected fault causes (they
+// vanish on a faultless twin of the same schedule) are expected substrate
+// damage, not protocol bugs: InstancePool::run reclassifies them instead
+// of reporting a violating run.
 
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "chain/fault.hpp"
 #include "sim/deviation.hpp"
 #include "sim/param.hpp"
 #include "sim/scenario.hpp"
@@ -71,6 +84,15 @@ struct FuzzInput {
   /// (key, value) parameter overrides, in application order.
   std::vector<std::pair<std::string, std::string>> overrides;
   std::vector<sim::DeviationPlan> plans;
+  /// Injected chain faults (`fault` lines, one clause per line) and the
+  /// conforming parties' resilience policy (`resilience` line). Both
+  /// default to inactive — the historical reliable substrate.
+  chain::FaultPlan faults;
+  chain::ResiliencePolicy resilience;
+
+  /// The chain environment these fields describe (inactive when neither
+  /// was set).
+  chain::ChainEnvironment environment() const { return {faults, resilience}; }
 
   /// Parses the corpus-file text form. Throws FuzzFormatError on
   /// malformed lines; parameter values are NOT schema-checked here (the

@@ -62,7 +62,7 @@ FuzzInput Mutator::mutate(const FuzzInput& parent, const Instance& shape,
 void Mutator::mutate_once(FuzzInput& child, const Instance& shape,
                           const FuzzInput* crossover, Rng& rng) const {
   enum Op { kFlip, kBumpDelay, kHalt, kSplice, kVariant, kCross, kParam,
-            kReset };
+            kReset, kFault };
   const std::vector<std::size_t> parties = actionable(shape);
 
   // Weighted op menu, gated on applicability.
@@ -82,6 +82,7 @@ void Mutator::mutate_once(FuzzInput& child, const Instance& shape,
   if (any_variants) add(kVariant, 1);
   if (crossover != nullptr) add(kCross, 2);
   if (!target_.schema.specs().empty()) add(kParam, 2);
+  add(kFault, 2);
   if (menu.empty()) return;
 
   const std::vector<Tick> delays = delay_menu(shape.delta);
@@ -192,12 +193,75 @@ void Mutator::mutate_once(FuzzInput& child, const Instance& shape,
     case kParam:
       mutate_param(child, rng);
       break;
+    case kFault:
+      mutate_fault(child, shape, rng);
+      break;
     case kReset: {
       const std::size_t p = parties[rng.below(parties.size())];
       if (p < child.plans.size()) {
         child.plans[p] = sim::DeviationPlan::conforming();
       }
       break;
+    }
+  }
+}
+
+void Mutator::mutate_fault(FuzzInput& child, const Instance& shape,
+                           Rng& rng) const {
+  // All synthesized clauses target '*' so they apply on any chain roster;
+  // windows are drawn inside the typical horizon (a few Δ) and lengths
+  // straddle the tolerance boundary (outages both shorter and longer than
+  // Δ), so mutation explores both recoverable and guarantee-voiding
+  // substrates. Fault-only violations are reclassified by the pool, so
+  // the latter cost nothing but coverage.
+  using chain::FaultClause;
+  const Tick delta = std::max<Tick>(shape.delta, 1);
+  const std::size_t clause_count = child.faults.entries.size();
+  const std::uint64_t mode =
+      clause_count >= 4 ? 1 + rng.below(2) : rng.below(3);
+  if (mode == 0) {
+    FaultClause c;
+    c.from = static_cast<Tick>(rng.below(
+        static_cast<std::uint64_t>(6 * delta + 2)));
+    c.to = c.from + static_cast<Tick>(rng.below(
+                        static_cast<std::uint64_t>(2 * delta + 1)));
+    switch (rng.below(3)) {
+      case 0:
+        c.kind = FaultClause::Kind::kOutage;
+        break;
+      case 1:
+        c.kind = FaultClause::Kind::kSqueeze;
+        c.cap = static_cast<int>(rng.below(3));  // 0..2 txs per block
+        if (rng.chance(1, 2)) {
+          c.spam = 1 + static_cast<int>(rng.below(3));
+          c.spam_fee = static_cast<Amount>(rng.below(5));
+        }
+        if (rng.chance(1, 4)) c.mem = static_cast<int>(rng.below(4));
+        break;
+      default:
+        c.kind = FaultClause::Kind::kDrop;
+        c.permille = 1 + static_cast<int>(rng.below(1000));
+        if (rng.chance(1, 2)) c.seed = 1 + rng.below(7);
+        break;
+    }
+    child.faults.entries.emplace_back("*", c);
+  } else if (mode == 1 && clause_count > 0) {
+    child.faults.entries.erase(child.faults.entries.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   rng.below(clause_count)));
+  } else {
+    // Cycle the resilience policy: naive -> rebroadcast -> fee-escalate.
+    using chain::ResiliencePolicy;
+    switch (child.resilience.kind) {
+      case ResiliencePolicy::Kind::kNaive:
+        child.resilience.kind = ResiliencePolicy::Kind::kRebroadcast;
+        break;
+      case ResiliencePolicy::Kind::kRebroadcast:
+        child.resilience.kind = ResiliencePolicy::Kind::kFeeEscalate;
+        break;
+      case ResiliencePolicy::Kind::kFeeEscalate:
+        child.resilience = ResiliencePolicy{};
+        break;
     }
   }
 }

@@ -10,9 +10,10 @@
 // Δ boundary, set or clear halt suffixes, splice ordinal ranges between
 // parties, cross over whole plans with another corpus entry, jitter
 // ParamSet values within their schema bounds (and a fuzz-side window that
-// keeps worlds tractable), and reset a party to conforming. All
-// randomness flows through the caller's Rng, so a (seed, corpus) pair
-// replays byte-identically.
+// keeps worlds tractable), reset a party to conforming, and perturb the
+// chain environment (add/remove '*'-chain fault clauses, toggle the
+// resilience policy). All randomness flows through the caller's Rng, so a
+// (seed, corpus) pair replays byte-identically.
 
 #include "fuzz/input.hpp"
 #include "fuzz/rng.hpp"
@@ -37,6 +38,7 @@ class Mutator {
   void mutate_once(FuzzInput& child, const Instance& shape,
                    const FuzzInput* crossover, Rng& rng) const;
   void mutate_param(FuzzInput& child, Rng& rng) const;
+  void mutate_fault(FuzzInput& child, const Instance& shape, Rng& rng) const;
 
   const FuzzTarget& target_;
 };

@@ -52,6 +52,26 @@ ShrinkResult shrink_input(const FuzzInput& found, InstancePool& pool) {
   while (changed) {
     changed = false;
 
+    // Pass 0: strip the chain environment — fault clauses one at a time,
+    // then the resilience policy. A minimized reproducer only carries the
+    // substrate damage the violation actually needs (fault-ONLY
+    // violations never reach the shrinker: InstancePool::run already
+    // reclassifies them against the faultless twin).
+    for (std::size_t i = 0; i < cur.faults.entries.size(); ++i) {
+      FuzzInput cand = cur;
+      cand.faults.entries.erase(cand.faults.entries.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (try_accept(std::move(cand))) {
+        changed = true;
+        --i;  // the list shifted left
+      }
+    }
+    if (cur.resilience.active()) {
+      FuzzInput cand = cur;
+      cand.resilience = {};
+      changed |= try_accept(std::move(cand));
+    }
+
     // Pass 1: drop whole plans back to conforming.
     for (std::size_t p = 0; p < cur.plans.size(); ++p) {
       if (cur.plans[p].is_conforming()) continue;

@@ -5,9 +5,10 @@
 // Given an input whose run breaches the hedging audit, shrink_input()
 // greedily reduces it while re-running the oracle ("does any violation
 // survive?") after every candidate edit, until a full pass changes
-// nothing. The pass order is fixed — whole plans to conforming, variants
-// to honest, individual modifications to Perform, delays down toward Δ-1,
-// parameter overrides back to defaults — so the minimizer is a
+// nothing. The pass order is fixed — chain environment stripped, whole
+// plans to conforming, variants to honest, individual modifications to
+// Perform, delays down toward Δ-1, parameter overrides back to defaults
+// — so the minimizer is a
 // deterministic function of the violating input alone: however a (seeded)
 // mutation path found the bug, the same minimal reproducer comes out, and
 // tests pin that canonical form byte-for-byte.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fuzz/rng.hpp"
 #include "sim/strategy_space.hpp"
 
 namespace xchain::fuzz {
@@ -18,16 +19,24 @@ FuzzTarget FuzzTarget::from_registry(const std::string& name,
 
 Instance& InstancePool::instance_for(const FuzzInput& in) {
   // Key by the schema-normalized override string so "delta=2" on a
-  // delta-2-default protocol shares the defaults instance.
+  // delta-2-default protocol shares the defaults instance — plus the
+  // canonical environment text, since faults change the world itself.
   const sim::ParamSet params = in.params(target_.schema);
-  const std::string key = params.overrides_str();
+  const chain::ChainEnvironment env = in.environment();
+  std::string key = params.overrides_str();
+  if (env.active()) {
+    if (!key.empty()) key += ' ';
+    key += env.str();
+  }
   auto it = instances_.find(key);
   if (it != instances_.end()) return *it->second;
 
   auto inst = std::make_unique<Instance>();
   inst->params = params;
   inst->overrides_label = key;
+  inst->env = env;
   inst->adapter = target_.factory(params);
+  if (env.active()) inst->adapter->set_environment(env);
   inst->delta = inst->adapter->delta();
   const std::size_t n = inst->adapter->party_count();
   inst->action_counts.resize(n);
@@ -62,8 +71,42 @@ FuzzInput InstancePool::canonical(const FuzzInput& in) {
 
 RunOutcome InstancePool::run(const FuzzInput& in) {
   Instance& inst = instance_for(in);
-  return inst.executor->run(
+  RunOutcome out = inst.executor->run(
       schedule_of(in, *inst.adapter, inst.overrides_label));
+  if (!inst.env.active()) return out;
+  // A fault run whose consult path matches the bare run's must not
+  // collide with it in coverage space: the substrate behaved differently
+  // even if the parties consulted the same decisions.
+  sig_mix(out.signature, fnv1a(inst.overrides_label));
+  if (out.violations.empty()) return out;
+
+  // Fault attribution (the fuzz-side mirror of ScenarioRunner::sweep's
+  // pass): replay the same schedule on a faultless twin instance and keep
+  // only the violations that reproduce there — those are deviation bugs
+  // even on a reliable substrate. Fault-only violations are what the
+  // fault layer is DESIGNED to produce (e.g. a naive party starved by a
+  // squeeze), so reporting them as fuzz findings would bury real signal.
+  FuzzInput bare = in;
+  bare.faults = {};
+  bare.resilience = {};
+  Instance& twin = instance_for(bare);
+  const RunOutcome clean = twin.executor->run(
+      schedule_of(bare, *twin.adapter, twin.overrides_label));
+  std::vector<sim::Violation> kept;
+  for (sim::Violation& v : out.violations) {
+    bool on_twin = false;
+    for (const sim::Violation& tv : clean.violations) {
+      if (tv.party == v.party) {
+        on_twin = true;
+        break;
+      }
+    }
+    if (on_twin) {
+      kept.push_back(std::move(v));
+    }
+  }
+  out.violations = std::move(kept);
+  return out;
 }
 
 }  // namespace xchain::fuzz

@@ -49,7 +49,11 @@ struct FuzzTarget {
 /// and the shape facts the mutator and canonicalizer need.
 struct Instance {
   sim::ParamSet params;
-  std::string overrides_label;  ///< params.overrides_str()
+  std::string overrides_label;  ///< params.overrides_str() (+ environment)
+  /// The input's chain environment, installed on the adapter before its
+  /// world was built. Part of the cache key: the same overrides under
+  /// different fault plans are different worlds.
+  chain::ChainEnvironment env;
   std::unique_ptr<sim::ProtocolAdapter> adapter;
   std::unique_ptr<ScheduleExecutor> executor;
   Tick delta = 1;
@@ -74,7 +78,13 @@ class InstancePool {
   /// Canonicalizes `in` against its own instance.
   FuzzInput canonical(const FuzzInput& in);
 
-  /// Builds `in`'s schedule and executes it on its instance.
+  /// Builds `in`'s schedule and executes it on its instance. When `in`
+  /// injects faults and the run violates, each violation is re-checked on
+  /// a faultless twin instance (same overrides, no environment): a
+  /// violation that vanishes there was caused by the injected fault, not
+  /// the deviation schedule, and is dropped as expected substrate damage
+  /// (the within-envelope guarantees are pinned by dedicated tests, not
+  /// the fuzzer).
   RunOutcome run(const FuzzInput& in);
 
   const FuzzTarget& target() const { return target_; }

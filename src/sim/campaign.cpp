@@ -109,6 +109,12 @@ std::size_t CampaignReport::total_dedup_hits() const {
   return n;
 }
 
+std::size_t CampaignReport::total_fault_caused() const {
+  std::size_t n = 0;
+  for (const ConfigResult& c : configs) n += c.report.fault_caused;
+  return n;
+}
+
 std::string CampaignReport::str() const {
   std::string out;
   for (const std::string& t : truncations) {
@@ -148,6 +154,14 @@ std::string campaign_json(const CampaignReport& report,
          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   out += "  \"strategies\": \"" + json_escape(report.strategies.name()) +
          "\",\n";
+  if (report.environment.active()) {
+    out += "  \"faults\": \"" + json_escape(report.environment.faults.str()) +
+           "\",\n";
+    out += "  \"resilience\": \"" +
+           json_escape(report.environment.resilience.str()) + "\",\n";
+    out += "  \"fault_caused\": " +
+           std::to_string(report.total_fault_caused()) + ",\n";
+  }
   out += "  \"workers\": " + std::to_string(report.workers) + ",\n";
   out += "  \"configurations\": " + std::to_string(report.configurations()) +
          ",\n";
@@ -182,6 +196,9 @@ std::string campaign_json(const CampaignReport& report,
     out += "\"conforming_audited\": " +
            std::to_string(c.report.conforming_audited) + ", ";
     out += "\"violations\": " + std::to_string(c.report.violations.size());
+    if (report.environment.active()) {
+      out += ", \"fault_caused\": " + std::to_string(c.report.fault_caused);
+    }
     if (!c.report.violations.empty()) {
       out += ", \"violation_details\": [";
       for (std::size_t v = 0; v < c.report.violations.size(); ++v) {
@@ -224,6 +241,11 @@ std::vector<PendingConfig> expand_entries(
       PendingConfig cfg;
       cfg.protocol = entry.protocol;
       cfg.adapter = registry.make(entry.protocol, point);
+      // Install the campaign's chain environment before the first run:
+      // worker clones copy it, and their worlds build with it in place.
+      if (spec.environment.active()) {
+        cfg.adapter->set_environment(spec.environment);
+      }
       cfg.params = std::move(point);
       pending.push_back(std::move(cfg));
     }
@@ -277,6 +299,7 @@ CampaignReport Campaign::run() const {
 
   CampaignReport report;
   report.strategies = spec_.sweep.strategies;
+  report.environment = spec_.environment;
   std::vector<PendingConfig> pending =
       expand_entries(spec_, registry_, report.truncations);
 

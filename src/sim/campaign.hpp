@@ -39,6 +39,13 @@ struct CampaignSpec {
   std::vector<CampaignEntry> entries;
   SweepOptions sweep;
   std::size_t max_configs_per_entry = 4096;
+
+  /// Chain environment (fault plan + party resilience policy) installed on
+  /// every configuration's adapter before its sweep — the `--faults=` /
+  /// `--resilience=` axis. Inactive by default: campaigns without faults
+  /// produce byte-identical reports and JSON artifacts to builds that
+  /// predate the fault layer.
+  chain::ChainEnvironment environment;
 };
 
 /// One configuration's sweep outcome. `protocol` is the registry name;
@@ -83,6 +90,10 @@ struct CampaignReport {
   /// The adversary-strategy space every configuration was swept with —
   /// recorded here so serializers can never mislabel a report's coverage.
   StrategySpace strategies;
+  /// The chain environment every configuration ran under (inactive when
+  /// the campaign injected no faults); campaign_json only emits the fault
+  /// fields when active, keeping fault-free artifacts byte-identical.
+  chain::ChainEnvironment environment;
   /// Worker threads the campaign actually used.
   unsigned workers = 1;
 
@@ -96,6 +107,9 @@ struct CampaignReport {
   std::size_t total_nodes_executed() const;
   std::size_t total_schedules_covered() const;
   std::size_t total_dedup_hits() const;
+  /// Violations the attribution pass blamed on injected chain faults
+  /// (always 0 when the environment is inactive).
+  std::size_t total_fault_caused() const;
   bool ok() const { return total_violations() == 0; }
 
   /// One line per configuration plus a totals line (and any truncation
@@ -124,6 +138,11 @@ struct CampaignStamp {
 ///                   "violations": N, "violation_details": ["..."]} ] }
 /// `strategies` names the report's swept StrategySpace (delay menus and
 /// caps are documented in sim/strategy_space.hpp, `xchain-sweep --list`).
+/// When the campaign's chain environment is active the artifact addition-
+/// ally carries top-level "faults" / "resilience" strings, a top-level
+/// "fault_caused" total, and a per-config "fault_caused" count; all of
+/// them are omitted for fault-free campaigns so existing artifacts keep
+/// their exact bytes.
 std::string campaign_json(const CampaignReport& report,
                           const CampaignStamp& stamp = {});
 

@@ -53,10 +53,14 @@ class Party {
   const DeviationPlan& plan() const { return plan_; }
   chain::Address address() const { return chain::Address::party(id_); }
 
-  /// One scheduler tick: delayed actions that have come due are submitted
-  /// first (in the order they were decided), then the party observes and
-  /// acts. Called by the Scheduler; engines override step(), not this.
+  /// One scheduler tick: outstanding (submitted-but-unconfirmed)
+  /// transactions are serviced per the chain's ResiliencePolicy, delayed
+  /// actions that have come due are submitted next (in the order they
+  /// were decided), then the party observes and acts. Called by the
+  /// Scheduler; engines override step(), not this.
   void tick(chain::MultiChain& chains, Tick now) {
+    now_ = now;
+    if (!outstanding_.empty()) service_outstanding(chains, now);
     if (!pending_.empty()) flush_due(chains, now);
     step(chains, now);
   }
@@ -123,7 +127,7 @@ class Party {
     tx.sender = id_;
     if (bc.tracing()) tx.note = name_ + ": " + what;
     tx.effect = std::move(effect);
-    bc.submit(std::move(tx));
+    dispatch(bc, std::move(tx));
   }
 
   /// Same, for labels that are themselves costly to build: `label` (any
@@ -137,21 +141,30 @@ class Party {
     tx.sender = id_;
     if (bc.tracing()) tx.note = name_ + ": " + label();
     tx.effect = std::move(effect);
-    bc.submit(std::move(tx));
+    dispatch(bc, std::move(tx));
   }
 
   /// SnapshotState hooks for the base's own mutable state: the pending
-  /// (delayed) action queue. The queued closures snapshot by value —
-  /// they capture plain data — and hash by due-tick (the closure bodies
-  /// are determined by the decision that queued them, which the due tick
-  /// and queue position pin down).
+  /// (delayed) action queue and the outstanding (resilience-tracked)
+  /// submissions. The queued closures snapshot by value — they capture
+  /// plain data — and hash by due-tick (the closure bodies are determined
+  /// by the decision that queued them, which the due tick and queue
+  /// position pin down); outstanding entries hash by their scalar fields
+  /// for the same reason.
   void snapshot_members(chain::SnapshotOp op, std::size_t depth) {
     pending_stack_.apply(op, depth, std::tie(pending_));
+    outstanding_stack_.apply(op, depth, std::tie(outstanding_));
   }
   void state_hash_members(std::uint64_t& h) const {
     chain::state_hash_mix(h, pending_.size());
     for (const Pending& p : pending_) {
       chain::state_hash_mix(h, static_cast<std::uint64_t>(p.due));
+    }
+    chain::state_hash_mix(h, outstanding_.size());
+    for (const Outstanding& o : outstanding_) {
+      chain::state_hash_mix(h, o.id);
+      chain::state_hash_mix(h, static_cast<std::uint64_t>(o.chain));
+      chain::state_hash_mix(h, static_cast<std::uint64_t>(o.decided));
     }
   }
 
@@ -160,6 +173,78 @@ class Party {
     Tick due;
     std::function<void(chain::MultiChain&)> fn;
   };
+
+  /// One fire-and-watch submission (any active ResiliencePolicy): enough
+  /// to resubmit the identical payload if the chain drops or evicts it.
+  struct Outstanding {
+    std::uint64_t id = 0;  ///< current submission id on the chain
+    ChainId chain = 0;
+    Tick decided = 0;  ///< tick of the first submission (escalation base)
+    std::string note;
+    std::function<void(chain::TxContext&)> effect;
+  };
+
+  /// Hands a fully built transaction to the chain. Under an active
+  /// ResiliencePolicy the submission is tracked and remembered for
+  /// servicing; the naive policy is the historical fire-and-forget.
+  void dispatch(chain::Blockchain& bc, chain::Transaction tx) const {
+    const chain::ResiliencePolicy& pol = bc.resilience();
+    if (!pol.active()) {
+      bc.submit(std::move(tx));
+      return;
+    }
+    tx.track = true;
+    tx.fee = pol.fee_at(now_, now_);
+    Outstanding o;
+    o.chain = bc.id();
+    o.decided = now_;
+    o.note = tx.note;
+    o.effect = tx.effect;  // copy; the original moves into the mempool
+    o.id = bc.submit(std::move(tx));
+    outstanding_.push_back(std::move(o));
+  }
+
+  /// Reacts to the fate of tracked submissions: confirmed entries are
+  /// forgotten, dropped/evicted ones are resubmitted (at an escalated fee
+  /// under kFeeEscalate), and still-pending ones get their priority
+  /// bumped as the deadline nears. Runs before flush_due so a resubmission
+  /// decided this tick still lands in this tick's block.
+  void service_outstanding(chain::MultiChain& chains, Tick now) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < outstanding_.size(); ++i) {
+      Outstanding& o = outstanding_[i];
+      chain::Blockchain& bc = chains.at(o.chain);
+      const chain::ResiliencePolicy& pol = bc.resilience();
+      bool keep = true;
+      switch (bc.tx_status(o.id)) {
+        case chain::TxStatus::kIncluded:
+        case chain::TxStatus::kUnknown:
+          keep = false;  // confirmed (or statuses were reset: stale entry)
+          break;
+        case chain::TxStatus::kPending:
+          if (pol.kind == chain::ResiliencePolicy::Kind::kFeeEscalate) {
+            bc.bump_fee(o.id, pol.fee_at(o.decided, now));
+          }
+          break;
+        case chain::TxStatus::kDropped:
+        case chain::TxStatus::kEvicted: {
+          chain::Transaction tx;
+          tx.sender = id_;
+          tx.note = o.note;
+          tx.effect = o.effect;
+          tx.fee = pol.fee_at(o.decided, now);
+          tx.track = true;
+          o.id = bc.submit(std::move(tx));
+          break;
+        }
+      }
+      if (keep) {
+        if (kept != i) outstanding_[kept] = std::move(outstanding_[i]);
+        ++kept;
+      }
+    }
+    outstanding_.resize(kept);
+  }
 
   void flush_due(chain::MultiChain& chains, Tick now) {
     // Due actions run in decision order; the queue is tiny (one entry per
@@ -183,6 +268,13 @@ class Party {
   std::vector<Pending> pending_;
   ConsultLog* consults_ = nullptr;
   chain::TieStack<std::vector<Pending>> pending_stack_;
+  /// Tick being executed — set by tick() so the const submit() helpers
+  /// can stamp decision times; 0 covers setup-phase submissions.
+  Tick now_ = 0;
+  /// Mutable because submissions happen inside const engine helpers; the
+  /// tracked set is logically bookkeeping about an already-made decision.
+  mutable std::vector<Outstanding> outstanding_;
+  chain::TieStack<std::vector<Outstanding>> outstanding_stack_;
 };
 
 }  // namespace xchain::sim

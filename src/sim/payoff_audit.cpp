@@ -3,9 +3,21 @@
 namespace xchain::sim {
 
 std::string Violation::str() const {
-  return schedule + ": " + party + " ended at " + std::to_string(coin_delta) +
-         " coins, floor " + std::to_string(required_min) +
-         (detail.empty() ? "" : (" (" + detail + ")"));
+  // Append-only string building (GCC 12 -Wrestrict, PR 105651).
+  std::string out = schedule;
+  out += ": ";
+  out += party;
+  out += " ended at ";
+  out += std::to_string(coin_delta);
+  out += " coins, floor ";
+  out += std::to_string(required_min);
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ')';
+  }
+  if (fault_caused) out += " [chain-fault]";
+  return out;
 }
 
 std::size_t audit_schedule(const std::string& schedule_label,

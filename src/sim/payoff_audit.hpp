@@ -41,6 +41,15 @@ struct Violation {
   Amount required_min = 0;  ///< the floor that was breached
   std::string detail;
 
+  /// True when the loss is attributed to the injected chain faults rather
+  /// than any party's deviation: the same schedule re-audits clean on a
+  /// faultless twin world (ScenarioRunner::sweep's attribution pass).
+  /// Within the fault plan's tolerance envelope this still breaches the
+  /// paper's guarantee — the substrate stayed inside the slack the
+  /// deadlines are provisioned for — so fault-caused violations keep
+  /// failing sweeps; the flag tells the reader which knob to blame.
+  bool fault_caused = false;
+
   std::string str() const;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <exception>
 #include <iterator>
+#include <limits>
 #include <map>
 #include <stdexcept>
 #include <thread>
@@ -157,6 +158,9 @@ struct ShardResult {
   std::size_t schedules_run = 0;
   std::size_t conforming_audited = 0;
   std::vector<Violation> violations;
+  /// Raw schedule-space index per violation (aligned with `violations`) —
+  /// what the fault-attribution pass re-runs on the faultless twin.
+  std::vector<std::size_t> violation_raw;
 };
 
 void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
@@ -175,9 +179,48 @@ void sweep_range(const ProtocolAdapter& adapter, const ScheduleSpace& space,
       space.fill_label(s);
       for (std::size_t v = before; v < out.violations.size(); ++v) {
         out.violations[v].schedule = s.label;
+        out.violation_raw.push_back(i);
       }
     }
     ++out.schedules_run;
+  }
+}
+
+/// Fault-attribution pass: every violating schedule re-runs on a
+/// *faultless twin* — a clone of the adapter with the environment removed
+/// (same config, fresh reliable world). A violation whose party audits
+/// clean on the twin was caused by the injected chain faults, not by any
+/// deviation, and is flagged fault_caused (it still fails the sweep; see
+/// Violation::fault_caused). Violations are rare, so the twin's extra
+/// runs are noise next to the sweep itself.
+void attribute_faults(const ProtocolAdapter& adapter,
+                      const ScheduleSpace& space,
+                      const std::vector<std::size_t>& violation_raw,
+                      SweepReport& report) {
+  if (report.violations.empty()) return;
+  const std::unique_ptr<ProtocolAdapter> twin = adapter.clone();
+  twin->set_environment({});
+  Schedule s;
+  std::vector<Violation> twin_violations;
+  std::size_t last_raw = std::numeric_limits<std::size_t>::max();
+  for (std::size_t v = 0; v < report.violations.size(); ++v) {
+    const std::size_t raw = violation_raw.at(v);
+    if (raw != last_raw) {
+      twin_violations.clear();
+      space.make(raw, /*max_deviators=*/-1, s, /*with_label=*/false);
+      audit_schedule(s.label, twin->run(s), twin_violations);
+      last_raw = raw;
+    }
+    Violation& violation = report.violations[v];
+    bool on_twin = false;
+    for (const Violation& tv : twin_violations) {
+      if (tv.party == violation.party) {
+        on_twin = true;
+        break;
+      }
+    }
+    violation.fault_caused = !on_twin;
+    if (violation.fault_caused) ++report.fault_caused;
   }
 }
 
@@ -716,8 +759,27 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
       std::max<std::size_t>(space.raw_size() / kMinSchedulesPerWorker, 1)));
   report.workers = threads;
 
-  const bool tree_capable =
-      adapter_.world_reuse() && adapter_.tree_frame() != nullptr;
+  // An active chain environment forces the brute executor: faults carry
+  // mempool contents across blocks, and the tree executor's layered
+  // snapshots require an empty mempool at every branch point. It also
+  // requires world reuse — the legacy fresh-world run paths build their
+  // chains outside the adapter's environment hook and would silently
+  // sweep a reliable world.
+  const bool env_active = adapter_.environment().active();
+  if (env_active && !adapter_.world_reuse()) {
+    throw std::invalid_argument(
+        "a chain environment (faults/resilience) needs world reuse, but "
+        "adapter '" +
+        adapter_.name() + "' has world reuse disabled");
+  }
+  if (env_active && opts.executor == SweepExecutor::kTree) {
+    throw std::invalid_argument(
+        "SweepOptions.executor = kTree, but adapter '" + adapter_.name() +
+        "' has an active chain environment (fault-injected sweeps run on "
+        "the brute executor)");
+  }
+  const bool tree_capable = !env_active && adapter_.world_reuse() &&
+                            adapter_.tree_frame() != nullptr;
   if (opts.executor == SweepExecutor::kTree && !tree_capable) {
     throw std::invalid_argument(
         "SweepOptions.executor = kTree, but adapter '" + adapter_.name() +
@@ -773,6 +835,9 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
     report.violations = std::move(all.violations);
     report.nodes_executed = report.schedules_run;
     report.schedules_covered = report.schedules_run;
+    if (env_active) {
+      attribute_faults(adapter_, space, all.violation_raw, report);
+    }
     return report;
   }
 
@@ -814,15 +879,24 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
     if (e) std::rethrow_exception(e);
   }
 
+  std::vector<std::size_t> violation_raw;
   for (ShardResult& shard : shards) {
     report.schedules_run += shard.schedules_run;
     report.conforming_audited += shard.conforming_audited;
     report.violations.insert(report.violations.end(),
                              std::make_move_iterator(shard.violations.begin()),
                              std::make_move_iterator(shard.violations.end()));
+    violation_raw.insert(violation_raw.end(), shard.violation_raw.begin(),
+                         shard.violation_raw.end());
   }
   report.nodes_executed = report.schedules_run;
   report.schedules_covered = report.schedules_run;
+  if (env_active) {
+    // The twin runs serially on the caller's adapter clone: violations are
+    // rare, and a deterministic single-threaded pass keeps the report
+    // byte-identical whatever the worker count.
+    attribute_faults(adapter_, space, violation_raw, report);
+  }
   return report;
 }
 
@@ -832,7 +906,10 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
 
 core::TwoPartyWorld& TwoPartySwapAdapter::world() const {
   return world_.ensure([this] {
-    return std::make_unique<core::TwoPartyWorld>(cfg_, chain::TraceMode::kOff);
+    auto w =
+        std::make_unique<core::TwoPartyWorld>(cfg_, chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
   });
 }
 
@@ -877,8 +954,10 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::tree_collect(
 
 core::MultiPartyWorld& MultiPartySwapAdapter::world() const {
   return world_.ensure([this] {
-    return std::make_unique<core::MultiPartyWorld>(cfg_,
-                                                   chain::TraceMode::kOff);
+    auto w =
+        std::make_unique<core::MultiPartyWorld>(cfg_, chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
   });
 }
 
@@ -974,8 +1053,10 @@ std::string TicketAuctionAdapter::plan_label(
 
 core::AuctionWorld& TicketAuctionAdapter::world() const {
   return world_.ensure([this] {
-    return std::make_unique<core::AuctionWorld>(cfg_, sealed_,
-                                                chain::TraceMode::kOff);
+    auto w = std::make_unique<core::AuctionWorld>(cfg_, sealed_,
+                                                  chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
   });
 }
 
@@ -1049,7 +1130,9 @@ std::vector<PartyOutcome> TicketAuctionAdapter::tree_collect(
 
 core::BrokerWorld& BrokerDealAdapter::world() const {
   return world_.ensure([this] {
-    return std::make_unique<core::BrokerWorld>(cfg_, chain::TraceMode::kOff);
+    auto w = std::make_unique<core::BrokerWorld>(cfg_, chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
   });
 }
 
@@ -1133,8 +1216,10 @@ BootstrapSwapAdapter::BootstrapSwapAdapter(core::BootstrapConfig cfg,
 
 core::BootstrapWorld& BootstrapSwapAdapter::world() const {
   return world_.ensure([this] {
-    return std::make_unique<core::BootstrapWorld>(cfg_,
-                                                  chain::TraceMode::kOff);
+    auto w =
+        std::make_unique<core::BootstrapWorld>(cfg_, chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
   });
 }
 

@@ -82,6 +82,7 @@
 #include <string>
 #include <vector>
 
+#include "chain/fault.hpp"
 #include "common/types.hpp"
 #include "core/auction.hpp"
 #include "core/bootstrap.hpp"
@@ -121,6 +122,18 @@ class ProtocolAdapter {
   /// fully-traced world per schedule instead of resetting a reused one.
   void set_world_reuse(bool on) { world_reuse_ = on; }
   bool world_reuse() const { return world_reuse_; }
+
+  /// Chain-side execution environment (chain/fault.hpp): the fault plan
+  /// injected into this adapter's chains and the resilience policy its
+  /// parties follow. Installed on the world when it is (re)built, so set
+  /// it before the first run; the default inactive environment keeps the
+  /// substrate byte-identical to the historical reliable one. Active
+  /// environments are brute-executor only — carried-over mempool entries
+  /// break the tree executor's tick-boundary snapshot invariant — and
+  /// clone() copies the environment, so parallel shards inject
+  /// identically.
+  void set_environment(chain::ChainEnvironment env) { env_ = std::move(env); }
+  const chain::ChainEnvironment& environment() const { return env_; }
 
   /// Number of deviation ordinals in party p's script; the generic plan
   /// space tries halt@0 .. halt@(count-1) plus conforming, and delay/drop
@@ -181,6 +194,7 @@ class ProtocolAdapter {
 
  private:
   bool world_reuse_ = true;
+  chain::ChainEnvironment env_;
 };
 
 /// Lazily-built per-adapter world cache. Deliberately NOT copied by the
@@ -243,6 +257,13 @@ struct SweepReport {
   /// Schedules served from a memo-trie leaf without touching the world
   /// (== schedules_run - nodes_executed; 0 on the brute path).
   std::size_t dedup_hits = 0;
+
+  /// Violations attributed to the injected chain faults rather than any
+  /// party's deviation (Violation::fault_caused — the schedule re-audits
+  /// clean on a faultless twin world). Like the executor statistics this
+  /// is NOT part of line()/str()'s pinned summary; campaign JSON exports
+  /// it when an environment is active.
+  std::size_t fault_caused = 0;
 
   bool ok() const { return violations.empty(); }
 

@@ -65,6 +65,49 @@ class Scheduler {
     }
   }
 
+  /// Checks every deployed contract's claimed deadline ladder
+  /// (chain::Contract::deadline_schedule) against the timing contract
+  /// above: deadlines must be spaced >= `delta` per scheduled step, the
+  /// first one measured from tick 0. Throws std::logic_error naming the
+  /// chain, contract, step, and offending pair — a protocol whose
+  /// deadlines are packed tighter than Delta silently voids the
+  /// "Delta-1 delays are always timely" guarantee every timely-delay
+  /// sweep and fault-tolerance envelope leans on, so debug builds of the
+  /// hedged worlds call this right after deployment.
+  void validate_deadlines(Tick delta) const {
+    for (ChainId c = 0; c < static_cast<ChainId>(chains_.count()); ++c) {
+      const chain::Blockchain& bc = chains_.at(c);
+      for (std::size_t i = 0; i < bc.contract_count(); ++i) {
+        const std::vector<Tick> ladder =
+            bc.contract_at(i).deadline_schedule();
+        Tick prev = 0;
+        for (std::size_t step = 0; step < ladder.size(); ++step) {
+          if (ladder[step] - prev < delta) {
+            // Append-only string building (GCC 12 -Wrestrict, PR 105651).
+            std::string what =
+                "Scheduler::validate_deadlines: contract ";
+            what += std::to_string(i);
+            what += " on chain '";
+            what += bc.name();
+            what += "' places deadline ";
+            what += std::to_string(ladder[step]);
+            what += " (step ";
+            what += std::to_string(step);
+            what += ") only ";
+            what += std::to_string(ladder[step] - prev);
+            what += " ticks after ";
+            what += step == 0 ? "the protocol start" : "its predecessor";
+            what += "; the inclusive-deadline timing contract requires >= ";
+            what += std::to_string(delta);
+            what += " (Delta) per scheduled step";
+            throw std::logic_error(what);
+          }
+          prev = ladder[step];
+        }
+      }
+    }
+  }
+
   /// The next tick to execute.
   Tick now() const { return now_; }
 

@@ -143,6 +143,65 @@ TEST(CanonicalInput, DropsRestatedDefaultsAndNormalizesPlans) {
             "protocol two-party\nset premium_b=3\nplan 1 halt@1\n");
 }
 
+TEST(FuzzInput, FaultAndResilienceDirectivesRoundTrip) {
+  const std::string text =
+      "protocol two-party\n"
+      "fault banana squeeze@4-10,cap=1,spam=2,fee=3\n"
+      "fault * outage@5-5\n"
+      "resilience fee-escalate\n"
+      "plan 0 halt@1\n";
+  const FuzzInput in = FuzzInput::parse(text);
+  ASSERT_EQ(in.faults.entries.size(), 2u);
+  EXPECT_EQ(in.faults.entries[0].first, "banana");
+  EXPECT_EQ(in.faults.entries[1].first, "*");
+  EXPECT_EQ(in.resilience.kind, chain::ResiliencePolicy::Kind::kFeeEscalate);
+  EXPECT_TRUE(in.environment().active());
+  EXPECT_EQ(in.str(), text);
+}
+
+TEST(FuzzInput, NaiveResilienceIsTheSilentDefault) {
+  // "resilience naive" parses but prints nothing: the inactive policy has
+  // exactly one spelling — absence — like every other default.
+  const FuzzInput in =
+      FuzzInput::parse("protocol two-party\nresilience naive\n");
+  EXPECT_FALSE(in.environment().active());
+  EXPECT_EQ(in.str(), "protocol two-party\n");
+}
+
+TEST(FuzzInput, FaultDirectiveErrors) {
+  EXPECT_THROW(FuzzInput::parse("protocol a\nfault banana\n"),
+               FuzzFormatError);  // clause missing
+  EXPECT_THROW(FuzzInput::parse("protocol a\nfault banana frob@1-2\n"),
+               FuzzFormatError);  // unknown clause kind
+  EXPECT_THROW(
+      FuzzInput::parse("protocol a\nfault b squeeze@1-2,cap=1,spam=0,fee=1\n"),
+      FuzzFormatError);  // non-canonical spelling
+  EXPECT_THROW(FuzzInput::parse("protocol a\nresilience burst\n"),
+               FuzzFormatError);
+  EXPECT_THROW(FuzzInput::parse("protocol a\nresilience naive\n"
+                                "resilience rebroadcast\n"),
+               FuzzFormatError);  // at most one resilience line
+}
+
+TEST(CanonicalInput, EnvironmentPassesThroughUnchanged) {
+  const auto& reg = sim::ProtocolRegistry::global();
+  const sim::ParamSet schema = reg.defaults("two-party");
+  const auto adapter = reg.make("two-party");
+  const FuzzInput in = FuzzInput::parse(
+      "protocol two-party\n"
+      "fault banana drop@0-3,p=250,seed=2\n"
+      "resilience rebroadcast\n"
+      "plan 1 x1.x2\n");
+  const FuzzInput canon = canonical_input(in, *adapter, schema);
+  EXPECT_EQ(canon.faults, in.faults);
+  EXPECT_EQ(canon.resilience, in.resilience);
+  EXPECT_EQ(canon.str(),
+            "protocol two-party\n"
+            "fault banana drop@0-3,p=250,seed=2\n"
+            "resilience rebroadcast\n"
+            "plan 1 halt@1\n");
+}
+
 TEST(ScheduleOf, PadsPlansAndLabelsLikeSweepReports) {
   const auto& reg = sim::ProtocolRegistry::global();
   const auto adapter = reg.make("broker");

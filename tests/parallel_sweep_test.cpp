@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "chain/fault.hpp"
 #include "sim/registry.hpp"
 #include "sim/scenario.hpp"
 
@@ -109,6 +110,42 @@ TEST(ParallelSweep, MoreThreadsThanSchedules) {
   const auto adapter = ProtocolRegistry::global().make("two-party");
   ScenarioRunner runner(*adapter);
   expect_identical(runner.sweep(), runner.sweep({-1, 64, {}}));
+}
+
+// A fault-injecting sweep must shard exactly like the reliable one: clause
+// windows, the stateless drop hash, and the faultless-twin attribution
+// pass are all pure functions of (schedule, tick), never of worker
+// interleaving — so the merged report, fault_caused flags included, is
+// identical whatever the thread count.
+TEST(ParallelSweep, FaultEnvironmentShardsDeterministically) {
+  const ProtocolRegistry& reg = ProtocolRegistry::global();
+  const chain::ChainEnvironment envs[] = {
+      {chain::FaultPlan::parse("banana:squeeze@4-10,cap=1,spam=2,fee=3"), {}},
+      {chain::FaultPlan::parse("*:outage@5-5;apricot:drop@0-9,p=400,seed=3"),
+       chain::ResiliencePolicy::parse("rebroadcast")},
+      {chain::FaultPlan::parse("banana:squeeze@4-10,cap=1,spam=2,fee=3"),
+       chain::ResiliencePolicy::parse("fee-escalate")},
+  };
+  for (const auto& env : envs) {
+    for (const std::string proto : {"two-party", "multi-party-fig3a"}) {
+      const auto adapter = reg.make(proto);
+      adapter->set_environment(env);
+      ScenarioRunner runner(*adapter);
+      const SweepReport serial = runner.sweep();
+      for (const unsigned threads : {2u, 4u}) {
+        const SweepReport parallel = runner.sweep({-1, threads, {}});
+        SCOPED_TRACE(proto + " / " + env.str() + " @ " +
+                     std::to_string(threads) + " threads");
+        expect_identical(serial, parallel);
+        EXPECT_EQ(parallel.fault_caused, serial.fault_caused);
+        for (std::size_t i = 0; i < serial.violations.size(); ++i) {
+          EXPECT_EQ(parallel.violations[i].fault_caused,
+                    serial.violations[i].fault_caused)
+              << "attribution flag diverged at violation " << i;
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,319 @@
+#include "core/bridge.hpp"
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "contracts/bridge.hpp"
+#include "sim/party.hpp"
+#include "sim/scheduler.hpp"
+
+namespace xchain::core {
+
+namespace {
+
+constexpr PartyId kUser = 0;
+
+// ---------------------------------------------------------------------------
+// Actors. Ordinal layout depends on the configuration:
+//   user    (transfer, hedged):   0 create claim, 1 premium, 2 commit
+//   user    (transfer, baseline): 0 create claim, 1 commit
+//   user    (acct-create, hedged):   0 premium, 1 commit
+//   user    (acct-create, baseline): 0 commit
+//   witness (hedged):   0 bond, 1 attest, 2 settle report
+//   witness (baseline): 0 attest, 1 settle report
+// ---------------------------------------------------------------------------
+
+class BridgeUser : public chain::SnapshotState<BridgeUser, sim::Party> {
+ public:
+  BridgeUser(const BridgeConfig& cfg, sim::DeviationPlan plan,
+             contracts::BridgeDoorContract& door,
+             contracts::BridgeClaimContract& claim)
+      : chain::SnapshotState<BridgeUser, sim::Party>(kUser, "user",
+                                                     std::move(plan)),
+        cfg_(cfg),
+        door_(door),
+        claim_(claim) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    int ord = 0;
+    if (cfg_.variant == BridgeVariant::kTransfer) {
+      // Create the claim id on the issuing chain (funding the witness
+      // reward pool) at protocol start.
+      if (!did_create_) {
+        did_create_ = true;
+        act(chains, now, ord, [this](chain::MultiChain& ch) {
+          submit(ch, claim_.chain_id(), "create claim",
+                 [this](chain::TxContext& ctx) { claim_.create(ctx); });
+        });
+      }
+      ++ord;
+    }
+    if (cfg_.hedged()) {
+      // Deposit the premium on the door at protocol start.
+      if (!did_premium_) {
+        did_premium_ = true;
+        act(chains, now, ord, [this](chain::MultiChain& ch) {
+          submit(ch, door_.chain_id(), "deposit premium",
+                 [this](chain::TxContext& ctx) {
+                   door_.deposit_premium(ctx);
+                 });
+        });
+      }
+      ++ord;
+    }
+    // Commit the principal once the witnesses are on the hook: a bond
+    // quorum in hedged mode, the created claim otherwise. (A compliant
+    // user truncates if the quorum never forms.)
+    const bool ready =
+        cfg_.hedged() ? door_.bonds_posted() >= cfg_.quorum
+                      : (cfg_.variant != BridgeVariant::kTransfer ||
+                         claim_.created());
+    if (!did_commit_ && ready) {
+      did_commit_ = true;
+      act(chains, now, ord, [this](chain::MultiChain& ch) {
+        submit(ch, door_.chain_id(), "commit principal",
+               [this](chain::TxContext& ctx) { door_.commit(ctx); });
+      });
+    }
+  }
+
+ private:
+  const BridgeConfig cfg_;
+  contracts::BridgeDoorContract& door_;
+  contracts::BridgeClaimContract& claim_;
+  bool did_create_ = false;
+  bool did_premium_ = false;
+  bool did_commit_ = false;
+
+  auto state_tie() { return std::tie(did_create_, did_premium_, did_commit_); }
+  friend chain::SnapshotState<BridgeUser, sim::Party>;
+};
+
+class BridgeWitness : public chain::SnapshotState<BridgeWitness, sim::Party> {
+ public:
+  BridgeWitness(const BridgeConfig& cfg, PartyId id, sim::DeviationPlan plan,
+                contracts::BridgeDoorContract& door,
+                contracts::BridgeClaimContract& claim)
+      : chain::SnapshotState<BridgeWitness, sim::Party>(
+            id, "witness-" + std::to_string(id), std::move(plan)),
+        cfg_(cfg),
+        door_(door),
+        claim_(claim) {}
+
+  void step(chain::MultiChain& chains, Tick now) override {
+    int ord = 0;
+    if (cfg_.hedged()) {
+      // Bond on the door once the user's premium (and, for transfers,
+      // the claim id) is visible — the witness's own escrow at stake.
+      const bool bond_ready = door_.premium_deposited() &&
+                              (cfg_.variant != BridgeVariant::kTransfer ||
+                               claim_.created());
+      if (!did_bond_ && bond_ready) {
+        did_bond_ = true;
+        act(chains, now, ord, [this](chain::MultiChain& ch) {
+          submit(ch, door_.chain_id(), "post bond",
+                 [this](chain::TxContext& ctx) { door_.post_bond(ctx); });
+        });
+      }
+      ++ord;
+    }
+    // Attest on the issuing chain once the source-chain commit is final.
+    if (!did_attest_ && door_.committed()) {
+      did_attest_ = true;
+      act(chains, now, ord, [this](chain::MultiChain& ch) {
+        submit(ch, claim_.chain_id(), "attest commit",
+               [this](chain::TxContext& ctx) { claim_.attest(ctx); });
+      });
+    }
+    ++ord;
+    // Report the issuing-chain outcome back to the door once it is known.
+    // The report's content is read off the claim contract at execution
+    // time — honest by construction, deviations only retime or drop it.
+    // A witness that has an attestation in flight waits for it to land
+    // before reporting: reporting early would carry a mask that excludes
+    // its own vote, and each witness reports exactly once.
+    const bool own_attest_final = !did_attest_ || claim_.attested(id());
+    if (!did_settle_ && door_.committed() && claim_.outcome_known() &&
+        own_attest_final) {
+      did_settle_ = true;
+      act(chains, now, ord, [this](chain::MultiChain& ch) {
+        submit(ch, door_.chain_id(), "report settle",
+               [this](chain::TxContext& ctx) {
+                 door_.report_settle(ctx, claim_.resolved(),
+                                     claim_.attester_mask());
+               });
+      });
+    }
+  }
+
+ private:
+  const BridgeConfig cfg_;
+  contracts::BridgeDoorContract& door_;
+  contracts::BridgeClaimContract& claim_;
+  bool did_bond_ = false;
+  bool did_attest_ = false;
+  bool did_settle_ = false;
+
+  auto state_tie() { return std::tie(did_bond_, did_attest_, did_settle_); }
+  friend chain::SnapshotState<BridgeWitness, sim::Party>;
+};
+
+}  // namespace
+
+struct BridgeWorld::Impl {
+  BridgeConfig cfg;
+  chain::MultiChain chains;
+  contracts::BridgeDoorContract* door = nullptr;
+  contracts::BridgeClaimContract* claim = nullptr;
+  std::unique_ptr<PayoffTracker> tracker;
+  // Persistent actors for the schedule-tree executor (transfer variant;
+  // nullptr until the first tree_frame() call).
+  std::unique_ptr<BridgeUser> tree_user;
+  std::vector<std::unique_ptr<BridgeWitness>> tree_witnesses;
+  sim::TreeFrame frame;
+};
+
+BridgeWorld::BridgeWorld(const BridgeConfig& cfg, chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->cfg = cfg;
+  const Tick d = cfg.delta;
+  const bool acct = cfg.variant == BridgeVariant::kAccountCreate;
+  chain::MultiChain& chains = impl_->chains;
+  chains.set_trace(trace);
+  chain::Blockchain& locking = chains.add_chain("locking");
+  chain::Blockchain& issuing = chains.add_chain("issuing");
+
+  // The user's principal — the asset being bridged — lives on the locking
+  // chain; its wrapped counterpart is pre-minted to the claim contract.
+  locking.ledger_for_setup().mint(chain::Address::party(kUser), "bridged",
+                                  cfg.transfer_amount);
+  // Native-coin endowments: the user's premium (and, for account-create,
+  // the reward pool) on the locking chain; one bond per witness; for a
+  // transfer the reward pool is the user's issuing-chain stake.
+  const Amount user_locking =
+      (cfg.hedged() ? cfg.premium_unit : 0) + (acct ? cfg.reward_pool() : 0);
+  if (user_locking > 0) {
+    locking.ledger_for_setup().mint(chain::Address::party(kUser),
+                                    locking.native(), user_locking);
+  }
+  if (cfg.hedged()) {
+    for (PartyId w = 1; w <= static_cast<PartyId>(cfg.n_witnesses); ++w) {
+      locking.ledger_for_setup().mint(chain::Address::party(w),
+                                      locking.native(), cfg.bond_amount());
+    }
+  }
+  if (!acct) {
+    issuing.ledger_for_setup().mint(chain::Address::party(kUser),
+                                    issuing.native(), cfg.reward_pool());
+  }
+
+  // Deadline ladder, spaced >= Delta per scheduled step: premium at D,
+  // bonds at 2D, commit at 3D, attestations at 4D on the issuing chain,
+  // and the settle window at 6D — wide enough for the failure path's
+  // reports (claim timeout lands at 4D+1, is observed at 4D+2, and a
+  // timely-delayed report still submits by 5D+1 <= 6D).
+  impl_->door = &locking.deploy<contracts::BridgeDoorContract>(
+      contracts::BridgeDoorContract::Params{
+          kUser, cfg.n_witnesses, cfg.quorum, cfg.hedged(),
+          /*rewards_at_door=*/acct, "bridged", cfg.transfer_amount,
+          cfg.premium_unit, cfg.bond_amount(),
+          /*reward_amount=*/acct ? cfg.witness_reward : 0,
+          /*premium_deadline=*/d, /*bond_deadline=*/2 * d,
+          /*commit_deadline=*/3 * d, /*settle_deadline=*/6 * d});
+  impl_->claim = &issuing.deploy<contracts::BridgeClaimContract>(
+      contracts::BridgeClaimContract::Params{
+          kUser, cfg.n_witnesses, cfg.quorum, /*user_creates=*/!acct,
+          "wrapped", cfg.transfer_amount,
+          /*reward_amount=*/acct ? 0 : cfg.witness_reward,
+          /*create_deadline=*/d, /*attest_deadline=*/4 * d});
+  issuing.ledger_for_setup().mint(impl_->claim->address(), "wrapped",
+                                  cfg.transfer_amount);
+
+  chains.checkpoint();
+  impl_->tracker = std::make_unique<PayoffTracker>(chains, cfg.party_count());
+}
+
+BridgeWorld::~BridgeWorld() = default;
+BridgeWorld::BridgeWorld(BridgeWorld&&) noexcept = default;
+BridgeWorld& BridgeWorld::operator=(BridgeWorld&&) noexcept = default;
+
+void BridgeWorld::set_environment(const chain::ChainEnvironment& env) {
+  impl_->chains.set_environment(env);
+}
+
+BridgeResult BridgeWorld::run(const std::vector<sim::DeviationPlan>& plans) {
+  Impl& w = *impl_;
+  w.chains.reset();
+
+  BridgeUser user(w.cfg, plans.at(0), *w.door, *w.claim);
+  std::vector<std::unique_ptr<BridgeWitness>> witnesses;
+  sim::Scheduler sched(w.chains);
+  sched.add_party(user);
+  for (PartyId i = 1; i <= static_cast<PartyId>(w.cfg.n_witnesses); ++i) {
+    witnesses.push_back(std::make_unique<BridgeWitness>(
+        w.cfg, i, plans.at(static_cast<std::size_t>(i)), *w.door, *w.claim));
+    sched.add_party(*witnesses.back());
+  }
+#ifndef NDEBUG
+  // The ladder must leave Delta between consecutive scheduled steps or
+  // the protocol's tolerance claims are vacuous; debug builds check it on
+  // every run.
+  sched.validate_deadlines(w.cfg.delta);
+#endif
+  sched.run_until(6 * w.cfg.delta + 2);
+
+  w.chains.finalize_all();
+  return tree_collect();
+}
+
+sim::TreeFrame& BridgeWorld::tree_frame() {
+  Impl& w = *impl_;
+  if (!w.tree_user) {
+    w.tree_user = std::make_unique<BridgeUser>(
+        w.cfg, sim::DeviationPlan::conforming(), *w.door, *w.claim);
+    w.frame.chains = &w.chains;
+    w.frame.actors = {w.tree_user.get()};
+    for (PartyId i = 1; i <= static_cast<PartyId>(w.cfg.n_witnesses); ++i) {
+      w.tree_witnesses.push_back(std::make_unique<BridgeWitness>(
+          w.cfg, i, sim::DeviationPlan::conforming(), *w.door, *w.claim));
+      w.frame.actors.push_back(w.tree_witnesses.back().get());
+    }
+    w.frame.horizon = 6 * w.cfg.delta + 2;
+  }
+  return w.frame;
+}
+
+void BridgeWorld::tree_set_plans(
+    const std::vector<sim::DeviationPlan>& plans) {
+  Impl& w = *impl_;
+  w.tree_user->set_plan(plans.at(0));
+  for (PartyId i = 1; i <= static_cast<PartyId>(w.cfg.n_witnesses); ++i) {
+    w.tree_witnesses[static_cast<std::size_t>(i - 1)]->set_plan(
+        plans.at(static_cast<std::size_t>(i)));
+  }
+}
+
+BridgeResult BridgeWorld::tree_collect() const {
+  const Impl& w = *impl_;
+  BridgeResult r;
+  r.committed = w.door->committed();
+  r.transfer_completed = w.claim->resolved();
+  r.principal_refunded = w.door->principal_refunded();
+  r.attesters = w.claim->attester_count();
+  r.bonds_posted = w.door->bonds_posted();
+  r.bonds_forfeited = w.door->bonds_forfeited();
+  for (PartyId p = 0; p < static_cast<PartyId>(w.cfg.party_count()); ++p) {
+    r.payoffs.push_back(w.tracker->delta(w.chains, p));
+  }
+  r.events = w.chains.all_events();
+  return r;
+}
+
+BridgeResult run_bridge(const BridgeConfig& cfg,
+                        const std::vector<sim::DeviationPlan>& plans) {
+  return BridgeWorld(cfg).run(plans);
+}
+
+}  // namespace xchain::core

@@ -116,6 +116,24 @@ ParamSet crr_ladder_schema() {
   });
 }
 
+ParamSet bridge_schema() {
+  return ParamSet({
+      ParamSpec::integer("n_witnesses", 3, "n: witness parties")
+          .between(1, 8),
+      ParamSpec::integer("quorum", 2, "k: attestations completing the claim")
+          .between(1, 8),
+      ParamSpec::amount("transfer_amount", 100, "bridged principal")
+          .at_least(1),
+      ParamSpec::amount("witness_reward", 2, "reward per attestation")
+          .between(1, 100),
+      ParamSpec::amount("premium_unit", 2,
+                        "user's hedge premium (bonds scale with it)")
+          .between(1, 100),
+      ParamSpec::integer("delta", 2, "synchrony bound in ticks")
+          .between(1, 4),
+  });
+}
+
 ProtocolRegistry build_global() {
   ProtocolRegistry r;
   r.add({"two-party", "hedged two-party swap (§5.2, Figure 1)",
@@ -159,6 +177,20 @@ ProtocolRegistry build_global() {
          bootstrap_schema(), [](const ParamSet& p) {
            return std::make_unique<BootstrapSwapAdapter>(
                bootstrap_config_from(p));
+         }});
+  r.add({"bridge-transfer",
+         "hedged witness-bridge value transfer (XChainBridge-style door + "
+         "k-of-n attestation claim)",
+         bridge_schema(), [](const ParamSet& p) {
+           return std::make_unique<BridgeAdapter>(
+               bridge_config_from(p, core::BridgeVariant::kTransfer));
+         }});
+  r.add({"bridge-account-create",
+         "hedged witness-bridge account create (reward split among "
+         "attesting witnesses)",
+         bridge_schema(), [](const ParamSet& p) {
+           return std::make_unique<BridgeAdapter>(
+               bridge_config_from(p, core::BridgeVariant::kAccountCreate));
          }});
   r.add({"crr-ladder", "single-rung ladder with CRR-priced premiums (§4+§6)",
          crr_ladder_schema(), [](const ParamSet& p) {
@@ -282,6 +314,29 @@ core::BootstrapConfig bootstrap_config_from(const ParamSet& p) {
   cfg.factor = p.get_double("factor");
   cfg.rounds = static_cast<int>(p.get_int("rounds"));
   cfg.delta = p.get_int("delta");
+  return cfg;
+}
+
+core::BridgeConfig bridge_config_from(const ParamSet& p,
+                                      core::BridgeVariant variant) {
+  core::BridgeConfig cfg;
+  cfg.variant = variant;
+  cfg.n_witnesses = static_cast<int>(p.get_int("n_witnesses"));
+  cfg.quorum = static_cast<int>(p.get_int("quorum"));
+  cfg.transfer_amount = p.get_amount("transfer_amount");
+  cfg.witness_reward = p.get_amount("witness_reward");
+  cfg.premium_unit = p.get_amount("premium_unit");
+  cfg.delta = p.get_int("delta");
+  // An attestation quorum no witness set can reach strands every claim by
+  // construction — a configuration error, not a sore-loser attack; the
+  // fuzzer jitters parameters and must see this as invalid, not as a
+  // violation.
+  if (cfg.quorum > cfg.n_witnesses) {
+    throw ParamError("param 'quorum': " + std::to_string(cfg.quorum) +
+                     " exceeds n_witnesses " +
+                     std::to_string(cfg.n_witnesses) +
+                     " (the attestation quorum must be reachable)");
+  }
   return cfg;
 }
 

@@ -4,8 +4,9 @@
 //
 // Every protocol family the sweep engine covers registers itself here under
 // a stable name (`two-party`, `multi-party-ring`, `multi-party-fig3a`,
-// `auction-open`, `auction-sealed`, `broker`, `bootstrap`, `crr-ladder`)
-// together with its declared ParamSet schema. Campaign specs, the
+// `auction-open`, `auction-sealed`, `broker`, `bootstrap`, `crr-ladder`,
+// `bridge-transfer`, `bridge-account-create`) together with its declared
+// ParamSet schema. Campaign specs, the
 // `xchain-sweep` CLI, tests, and benches all resolve protocols through the
 // registry, so a new ring size or premium split is a parameter assignment,
 // not a C++ edit in three places. The reference configurations of
@@ -89,6 +90,11 @@ core::MultiPartyConfig multi_party_config_from(const ParamSet& p,
 core::AuctionConfig auction_config_from(const ParamSet& p);
 core::BrokerConfig broker_config_from(const ParamSet& p);
 core::BootstrapConfig bootstrap_config_from(const ParamSet& p);
+/// Shared by both bridge variants; rejects quorum > n_witnesses (an
+/// unreachable attestation quorum is a configuration error, not a
+/// sore-loser attack) with ParamError.
+core::BridgeConfig bridge_config_from(const ParamSet& p,
+                                      core::BridgeVariant variant);
 /// Principal/delta half of the crr-ladder schema (premium rungs are priced
 /// by the CRR market below).
 core::BootstrapConfig crr_principals_from(const ParamSet& p);

@@ -1257,6 +1257,78 @@ std::vector<PartyOutcome> BootstrapSwapAdapter::tree_collect(
   return outcomes_from(world().tree_collect(), s);
 }
 
+// ---------------------------------------------------------------------------
+// Witness/attestation bridge
+// ---------------------------------------------------------------------------
+
+core::BridgeWorld& BridgeAdapter::world() const {
+  return world_.ensure([this] {
+    auto w = std::make_unique<core::BridgeWorld>(cfg_, chain::TraceMode::kOff);
+    if (environment().active()) w->set_environment(environment());
+    return w;
+  });
+}
+
+std::vector<PartyOutcome> BridgeAdapter::outcomes_from(
+    const core::BridgeResult& r, const Schedule& s) const {
+  // Every bound term is path-determined (variant + run result + config,
+  // never the party's own plan) — required for tree-executor dedup
+  // correctness, same as the auction adapters.
+  std::vector<PartyOutcome> out;
+  PartyOutcome user{"user", s.plans[0].conforms_within(cfg_.delta),
+                    r.payoffs[0], {}};
+  if (r.transfer_completed) {
+    // The wrapped asset arrived; the witness reward pool is the user's
+    // legitimate spend in exchange for it.
+    user.bound.goods_received = true;
+    user.bound.spend_allowance = cfg_.reward_pool();
+  } else if (r.committed && cfg_.hedged()) {
+    // Stranded commit (witness stall / quorum failure): the forfeited
+    // bonds must cover the eager-reward outlay plus the premium floor.
+    user.bound.min_coin_delta = cfg_.premium_unit;
+  }
+  out.push_back(std::move(user));
+  for (PartyId w = 1; w <= static_cast<PartyId>(cfg_.n_witnesses); ++w) {
+    const std::size_t i = static_cast<std::size_t>(w);
+    PartyOutcome o{"witness-" + std::to_string(w),
+                   s.plans[i].conforms_within(cfg_.delta), r.payoffs[i], {}};
+    // On a completed transfer every conforming witness attested in time
+    // and collected its reward; otherwise break-even (a conforming
+    // witness's bond always returns — its own settle report carries the
+    // attester set that clears it).
+    if (r.transfer_completed) o.bound.min_coin_delta = cfg_.witness_reward;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::vector<PartyOutcome> BridgeAdapter::run(const Schedule& s) const {
+  if (s.plans.size() != party_count()) {
+    throw std::invalid_argument(name() + " schedule needs " +
+                                std::to_string(party_count()) + " plans");
+  }
+  const core::BridgeResult r = world_reuse() ? world().run(s.plans)
+                                             : core::run_bridge(cfg_, s.plans);
+  return outcomes_from(r, s);
+}
+
+TreeFrame* BridgeAdapter::tree_frame() const {
+  // Transfer path only: account-create sweeps brute.
+  if (!world_reuse() || cfg_.variant != core::BridgeVariant::kTransfer) {
+    return nullptr;
+  }
+  return &world().tree_frame();
+}
+
+void BridgeAdapter::tree_set_plans(const Schedule& s) const {
+  world().tree_set_plans(s.plans);
+}
+
+std::vector<PartyOutcome> BridgeAdapter::tree_collect(
+    const Schedule& s) const {
+  return outcomes_from(world().tree_collect(), s);
+}
+
 BootstrapSwapAdapter make_crr_ladder_adapter(core::BootstrapConfig cfg,
                                              const CrrMarket& m) {
   // CRR-prices the single premium rung pair of a one-round ladder: p_b for

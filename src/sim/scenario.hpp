@@ -86,6 +86,7 @@
 #include "common/types.hpp"
 #include "core/auction.hpp"
 #include "core/bootstrap.hpp"
+#include "core/bridge.hpp"
 #include "core/broker.hpp"
 #include "core/multi_party.hpp"
 #include "core/two_party.hpp"
@@ -535,6 +536,53 @@ class BootstrapSwapAdapter final : public ProtocolAdapter {
   WorldCache<core::BootstrapWorld> world_;
   Amount alice_floor_ = 0;  ///< apricot rung-1 premium (Bob's deposit)
   Amount bob_floor_ = 0;    ///< banana rung-1 minus apricot rung-1
+};
+
+/// Witness/attestation bridge (XChainBridge-style door account + claim
+/// contract), value-transfer or account-create flavor, hedged with the
+/// paper's premium construction: the user's premium and the witness bonds
+/// escrow on the locking-chain door, the witness reward pool escrows on
+/// the issuing side. Bound: a conforming user recovers
+/// principal-or-premium — the wrapped asset on a completed transfer (the
+/// reward pool is the legitimate spend), at least the premium when a
+/// commit was stranded by a witness stall or quorum failure (funded by
+/// the forfeited bonds); a conforming witness nets at least its
+/// attestation cost — the reward on a completed transfer, break-even
+/// otherwise. The transfer path is tree-capable; account-create sweeps
+/// brute.
+class BridgeAdapter final : public ProtocolAdapter {
+ public:
+  explicit BridgeAdapter(core::BridgeConfig cfg) : cfg_(cfg) {}
+
+  std::string name() const override {
+    return cfg_.variant == core::BridgeVariant::kTransfer
+               ? "bridge-transfer"
+               : "bridge-account-create";
+  }
+  std::size_t party_count() const override {
+    return static_cast<std::size_t>(cfg_.party_count());
+  }
+  int action_count(PartyId p) const override {
+    return p == 0 ? cfg_.user_actions() : cfg_.witness_actions();
+  }
+  Tick delta() const override { return cfg_.delta; }
+  std::unique_ptr<ProtocolAdapter> clone() const override {
+    return std::make_unique<BridgeAdapter>(*this);
+  }
+  std::vector<PartyOutcome> run(const Schedule& s) const override;
+  TreeFrame* tree_frame() const override;
+  void tree_set_plans(const Schedule& s) const override;
+  std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
+
+  const core::BridgeConfig& config() const { return cfg_; }
+
+ private:
+  core::BridgeWorld& world() const;
+  std::vector<PartyOutcome> outcomes_from(const core::BridgeResult& r,
+                                          const Schedule& s) const;
+
+  core::BridgeConfig cfg_;
+  WorldCache<core::BridgeWorld> world_;
 };
 
 /// Market parameters for CRR premium pricing (§4).

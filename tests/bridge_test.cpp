@@ -1,0 +1,169 @@
+// Engine-level behavior of the witness-bridge family (src/core/bridge.*,
+// src/contracts/bridge.*): the conforming lifecycle of both variants, the
+// hedged door's principal-or-premium guarantee under a witness stall, the
+// premium split when the user walks away on a quorum that held up its
+// side, and — the regression pin this family exists for — the unhedged
+// baseline leaving a conforming user strictly out of pocket on exactly
+// the witness-stall schedule the hedge covers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bridge.hpp"
+#include "sim/deviation.hpp"
+
+namespace xchain::core {
+namespace {
+
+std::vector<sim::DeviationPlan> all_conforming(const BridgeConfig& cfg) {
+  return std::vector<sim::DeviationPlan>(
+      static_cast<std::size_t>(cfg.party_count()),
+      sim::DeviationPlan::conforming());
+}
+
+TEST(BridgeLifecycle, ConformingTransferCompletes) {
+  const BridgeConfig cfg;  // transfer, n=3, k=2, hedged
+  const BridgeResult r = run_bridge(cfg, all_conforming(cfg));
+
+  EXPECT_TRUE(r.committed);
+  EXPECT_TRUE(r.transfer_completed);
+  EXPECT_FALSE(r.principal_refunded);
+  EXPECT_EQ(r.attesters, 3);
+  EXPECT_EQ(r.bonds_posted, 3);
+  EXPECT_EQ(r.bonds_forfeited, 0);
+
+  // The user funds the 3-witness reward pool (3 * 2 coins), gets the
+  // premium back, swaps 100 bridged for 100 wrapped.
+  ASSERT_EQ(r.payoffs.size(), 4u);
+  EXPECT_EQ(r.payoffs[0].coin_delta, -cfg.reward_pool());
+  // Every witness nets its attestation reward; bonds come back whole.
+  for (int w = 1; w <= cfg.n_witnesses; ++w) {
+    EXPECT_EQ(r.payoffs[static_cast<std::size_t>(w)].coin_delta,
+              cfg.witness_reward)
+        << "witness " << w;
+  }
+}
+
+TEST(BridgeLifecycle, ConformingAccountCreateCompletes) {
+  BridgeConfig cfg;
+  cfg.variant = BridgeVariant::kAccountCreate;
+  const BridgeResult r = run_bridge(cfg, all_conforming(cfg));
+
+  EXPECT_TRUE(r.committed);
+  EXPECT_TRUE(r.transfer_completed);
+  EXPECT_EQ(r.attesters, 3);
+  EXPECT_EQ(r.bonds_forfeited, 0);
+  // Same net flows as the transfer, but the reward pool rides the door
+  // commit and splits at settle among the witnesses whose attestations
+  // were reported back.
+  ASSERT_EQ(r.payoffs.size(), 4u);
+  EXPECT_EQ(r.payoffs[0].coin_delta, -cfg.reward_pool());
+  for (int w = 1; w <= cfg.n_witnesses; ++w) {
+    EXPECT_EQ(r.payoffs[static_cast<std::size_t>(w)].coin_delta,
+              cfg.witness_reward)
+        << "witness " << w;
+  }
+}
+
+TEST(BridgeHedge, WitnessStallRefundsPrincipalAndPaysPremium) {
+  // Two of three witnesses bond and stall: the 2-of-3 quorum is starved,
+  // the claim times out, and the hedged door must make the conforming
+  // user at least premium-whole out of the stalled witnesses' forfeited
+  // bonds (the corpus seed bridge_witness_stall.fuzz replays this same
+  // schedule through the fuzz harness).
+  const BridgeConfig cfg;
+  std::vector<sim::DeviationPlan> plans = all_conforming(cfg);
+  plans[2] = sim::DeviationPlan::halt_after(1);  // bond, never attest
+  plans[3] = sim::DeviationPlan::halt_after(1);
+  const BridgeResult r = run_bridge(cfg, plans);
+
+  EXPECT_TRUE(r.committed);
+  EXPECT_FALSE(r.transfer_completed);
+  EXPECT_TRUE(r.principal_refunded);
+  EXPECT_EQ(r.attesters, 1);
+  EXPECT_EQ(r.bonds_posted, 3);
+  EXPECT_EQ(r.bonds_forfeited, 2);
+
+  // User: -6 pool, +4 unspent pool refund, premium round-trips, +8 from
+  // two forfeited 4-coin bonds = +6 — comfortably above the premium
+  // floor the audit demands (>= premium_unit).
+  ASSERT_EQ(r.payoffs.size(), 4u);
+  EXPECT_EQ(r.payoffs[0].coin_delta, 6);
+  EXPECT_GE(r.payoffs[0].coin_delta, cfg.premium_unit);
+  // The conforming witness attested (eager +2) and reported its own
+  // vote, so its bond came back: net exactly the attestation reward.
+  EXPECT_EQ(r.payoffs[1].coin_delta, cfg.witness_reward);
+  // The stalled witnesses forfeit their bonds.
+  EXPECT_EQ(r.payoffs[2].coin_delta, -cfg.bond_amount());
+  EXPECT_EQ(r.payoffs[3].coin_delta, -cfg.bond_amount());
+}
+
+TEST(BridgeHedge, UnhedgedBaselineBreachesUnderWitnessStall) {
+  // The same stall against premium_unit=0: no premiums, no bonds. One
+  // witness collects its eager attestation reward, the quorum never
+  // completes, and the conforming user ends strictly out of pocket —
+  // the sore-loser gap the paper's construction closes. This pin is the
+  // reason the registry schema keeps premium_unit >= 1: the hedged
+  // protocol must sweep clean, the baseline must not.
+  BridgeConfig cfg;
+  cfg.premium_unit = 0;
+  ASSERT_FALSE(cfg.hedged());
+  std::vector<sim::DeviationPlan> plans = all_conforming(cfg);
+  plans[2] = sim::DeviationPlan::halt_after(0);  // never attest
+  plans[3] = sim::DeviationPlan::halt_after(0);
+  const BridgeResult r = run_bridge(cfg, plans);
+
+  EXPECT_TRUE(r.committed);
+  EXPECT_FALSE(r.transfer_completed);
+  EXPECT_TRUE(r.principal_refunded);
+  EXPECT_EQ(r.bonds_posted, 0);
+  // -6 pool + 4 refund - 0 recovered: the conforming user paid one eager
+  // attestation reward for a transfer that never happened.
+  ASSERT_EQ(r.payoffs.size(), 4u);
+  EXPECT_EQ(r.payoffs[0].coin_delta, -cfg.witness_reward);
+  EXPECT_LT(r.payoffs[0].coin_delta, 0);
+}
+
+TEST(BridgeHedge, UserWalkawaySplitsPremiumAmongBondedWitnesses) {
+  // The mirror-image sore loser: every witness bonds, the user never
+  // commits. The witnesses held up their side, so the premium is theirs
+  // (integer split), and every bond refunds.
+  BridgeConfig cfg;
+  cfg.premium_unit = 9;  // splits 3/3/3 across the n=3 witnesses
+  std::vector<sim::DeviationPlan> plans = all_conforming(cfg);
+  plans[0] = sim::DeviationPlan::halt_after(2);  // create, premium, stop
+  const BridgeResult r = run_bridge(cfg, plans);
+
+  EXPECT_FALSE(r.committed);
+  EXPECT_FALSE(r.transfer_completed);
+  EXPECT_EQ(r.attesters, 0);
+  EXPECT_EQ(r.bonds_posted, 3);
+  EXPECT_EQ(r.bonds_forfeited, 0);
+  ASSERT_EQ(r.payoffs.size(), 4u);
+  // User: -6 pool, +6 pool refund (claim never resolves), -9 premium.
+  EXPECT_EQ(r.payoffs[0].coin_delta, -9);
+  for (int w = 1; w <= cfg.n_witnesses; ++w) {
+    EXPECT_EQ(r.payoffs[static_cast<std::size_t>(w)].coin_delta, 3)
+        << "witness " << w;
+  }
+}
+
+TEST(BridgeConfigShape, BondCoversEagerRewardsPlusPremium) {
+  // The sizing lemma behind the hedge: on a failed transfer with j < k
+  // attesters, at least (k - j) bonds forfeit, and
+  // (k - j) * bond >= j * reward + premium for every 0 <= j < k.
+  for (int k = 1; k <= 5; ++k) {
+    BridgeConfig cfg;
+    cfg.n_witnesses = 5;
+    cfg.quorum = k;
+    for (int j = 0; j < k; ++j) {
+      EXPECT_GE((k - j) * cfg.bond_amount(),
+                j * cfg.witness_reward + cfg.premium_unit)
+          << "quorum " << k << ", attesters " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xchain::core

@@ -114,6 +114,31 @@ TEST(FaultGrammar, ToleranceEnvelope) {
   EXPECT_TRUE(FaultPlan{}.within_tolerance(delta));
 }
 
+TEST(FaultGrammar, ToleranceBoundaryWindows) {
+  const Tick delta = 3;
+  // Delta-1 ticks of outage is the longest recoverable window; a window of
+  // exactly Delta swallows a full synchrony period and leaves the envelope.
+  EXPECT_TRUE(FaultPlan::parse("a:outage@4-5").within_tolerance(delta));
+  EXPECT_FALSE(FaultPlan::parse("a:outage@4-6").within_tolerance(delta));
+  // cap=1 is the thinnest tolerated squeeze (one tx still lands per
+  // block); cap=0 is an unbounded outage in disguise, whatever the window.
+  EXPECT_TRUE(
+      FaultPlan::parse("a:squeeze@0-99,cap=1").within_tolerance(delta));
+  EXPECT_FALSE(
+      FaultPlan::parse("a:squeeze@0-0,cap=0").within_tolerance(delta));
+  // The grammar has no spelling for a no-op drop (p=0 is rejected at
+  // parse) ...
+  EXPECT_THROW(FaultPlan::parse("a:drop@0-0,p=0"), std::invalid_argument);
+  // ... and even a hand-built zero-probability drop clause is out of
+  // tolerance: the envelope keys on the clause kind, not on its odds.
+  FaultClause drop;
+  drop.kind = FaultClause::Kind::kDrop;
+  drop.permille = 0;
+  FaultPlan hand;
+  hand.entries.emplace_back("a", drop);
+  EXPECT_FALSE(hand.within_tolerance(delta));
+}
+
 TEST(FaultGrammar, ForChainMatchesNameAndStar) {
   const FaultPlan plan =
       FaultPlan::parse("apricot:outage@1-1;*:drop@2-4,p=250;banana:outage@3-3");

@@ -116,7 +116,25 @@ void print_list() {
       "  bounds: <= 64 plans/party and <= --max-schedules (default "
       "20000) schedules per configuration,\n"
       "  trimmed uniformly with a truncation notice in the report "
-      "(halt plans are kept first).\n");
+      "(halt plans are kept first).\n"
+      "environment (--faults=SPEC, --resilience=POLICY, applied to every "
+      "configuration):\n"
+      "  SPEC is ';'-joined <chain>:<clause> (chain '*' = all chains); "
+      "clauses are outage@A-B (no\n"
+      "  blocks accepted in ticks A..B), "
+      "squeeze@A-B,cap=N[,spam=N,fee=N][,mem=N] (block space capped\n"
+      "  at N txs with fee-priced spam competing for it), and "
+      "drop@A-B,p=PERMILLE[,seed=N]\n"
+      "  (each submission dropped with probability p/1000). POLICY sets "
+      "how conforming parties\n"
+      "  respond: naive (default, submit once), rebroadcast (resubmit "
+      "while pending), or\n"
+      "  fee-escalate[:base,step,max] (rebroadcast with a rising fee "
+      "bid). Fault-injected sweeps\n"
+      "  run on the brute executor; every violation is re-attributed "
+      "against a faultless twin\n"
+      "  world and tagged '[chain-fault]' when the fault, not the "
+      "deviation, caused the breach.\n");
 }
 
 /// Splits --set/--grid payload "k=v" at the first '='.

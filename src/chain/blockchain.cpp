@@ -50,31 +50,41 @@ std::uint64_t Blockchain::submit(Transaction tx) {
 }
 
 TxStatus Blockchain::tx_status(std::uint64_t id) const {
-  for (const auto& [tid, status] : tx_status_) {
-    if (tid == id) return status;
-  }
+  // tx_status_ is sorted by id: submit() hands out strictly increasing
+  // ids and appends. Load-generator chains carry thousands of tracked
+  // entries, so the lookup must not be linear.
+  const auto it = std::lower_bound(
+      tx_status_.begin(), tx_status_.end(), id,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  if (it != tx_status_.end() && it->first == id) return it->second;
   return TxStatus::kUnknown;
 }
 
 bool Blockchain::bump_fee(std::uint64_t id, Amount fee) {
-  for (Transaction& tx : mempool_) {
-    if (tx.track && tx.seq == id) {
-      if (fee > tx.fee) tx.fee = fee;
-      return true;
-    }
-  }
-  return false;
+  // The mempool stays seq-ascending through every path (submission
+  // appends, carry-over and eviction compact in place), so the pending
+  // entry is binary-searchable by its submission id.
+  const auto it = std::lower_bound(
+      mempool_.begin(), mempool_.end(), id,
+      [](const Transaction& tx, std::uint64_t key) { return tx.seq < key; });
+  if (it == mempool_.end() || it->seq != id || !it->track) return false;
+  if (fee > it->fee) it->fee = fee;
+  return true;
 }
 
 void Blockchain::record_status(const Transaction& tx, TxStatus status) {
   if (!tx.track) return;
-  for (auto& [tid, s] : tx_status_) {
-    if (tid == tx.seq) {
-      s = status;
-      return;
-    }
+  const auto it = std::lower_bound(
+      tx_status_.begin(), tx_status_.end(), tx.seq,
+      [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+  if (it != tx_status_.end() && it->first == tx.seq) {
+    it->second = status;
+    return;
   }
-  tx_status_.emplace_back(tx.seq, status);
+  // Tracked txs were registered at submit(); reaching here means the
+  // statuses were cleared mid-flight. Insert in place to keep the vector
+  // sorted for the binary searches above.
+  tx_status_.emplace(it, tx.seq, status);
 }
 
 void Blockchain::reset_fault_runtime() {
@@ -106,6 +116,7 @@ void Blockchain::produce_block(Tick now) {
     tx.effect(ctx);
     ++applied_tx_count_;
     record_status(tx, TxStatus::kIncluded);
+    if (on_included_) on_included_(id_, tx.sender, now);
   }
   // Timeout sweep: contracts resolve expired timelocks.
   TxContext sweep(*this, kNoParty, now);
@@ -162,28 +173,33 @@ void Blockchain::produce_block_faulted(Tick now) {
   //    by (fee desc, submission order asc) — older submissions win fee
   //    ties, which is what lets an escalating party overtake same-fee
   //    spam — applied in submission order (arrival order within a block
-  //    is what contracts rely on, paper §3.2 footnote).
+  //    is what contracts rely on, paper §3.2 footnote). One shared-chain
+  //    tick sees the whole tick's traffic at once, so selection is a
+  //    partial nth_element partition plus a sort of only the selected
+  //    cap indices, not a full sort of the mempool.
   const int cap = faults_.cap_at(now);
-  std::vector<std::size_t> order(mempool_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  if (cap >= 0 && static_cast<std::size_t>(cap) < order.size()) {
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (mempool_[a].fee != mempool_[b].fee) {
-        return mempool_[a].fee > mempool_[b].fee;
-      }
-      return mempool_[a].seq < mempool_[b].seq;
-    });
-    order.resize(static_cast<std::size_t>(cap));
-    std::sort(order.begin(), order.end());
+  sel_order_.resize(mempool_.size());
+  for (std::size_t i = 0; i < sel_order_.size(); ++i) sel_order_[i] = i;
+  if (cap >= 0 && static_cast<std::size_t>(cap) < sel_order_.size()) {
+    std::nth_element(
+        sel_order_.begin(), sel_order_.begin() + cap, sel_order_.end(),
+        [&](std::size_t a, std::size_t b) {
+          if (mempool_[a].fee != mempool_[b].fee) {
+            return mempool_[a].fee > mempool_[b].fee;
+          }
+          return mempool_[a].seq < mempool_[b].seq;
+        });
+    sel_order_.resize(static_cast<std::size_t>(cap));
+    std::sort(sel_order_.begin(), sel_order_.end());
   }
-  std::vector<bool> selected(mempool_.size(), false);
-  for (const std::size_t i : order) selected[i] = true;
+  sel_flags_.assign(mempool_.size(), 0);
+  for (const std::size_t i : sel_order_) sel_flags_[i] = 1;
 
   batch_.clear();
   std::size_t kept = 0;
   for (std::size_t i = 0; i < mempool_.size(); ++i) {
     Transaction& tx = mempool_[i];
-    if (selected[i]) {
+    if (sel_flags_[i]) {
       batch_.push_back(std::move(tx));
     } else if (i < real_count) {
       tx.fresh = false;
@@ -196,25 +212,27 @@ void Blockchain::produce_block_faulted(Tick now) {
 
   // 4. Bounded mempool: carry-overs beyond the active mem limit are
   //    evicted lowest priority first (fee asc, youngest submission
-  //    first), mirroring the selection order.
+  //    first), mirroring the selection order. Only the `excess` evictees
+  //    need ordering — another nth_element partition.
   const int mem = faults_.mem_at(now);
   if (mem >= 0 && mempool_.size() > static_cast<std::size_t>(mem)) {
-    std::vector<std::size_t> by_prio(mempool_.size());
-    for (std::size_t i = 0; i < by_prio.size(); ++i) by_prio[i] = i;
-    std::sort(by_prio.begin(), by_prio.end(),
-              [&](std::size_t a, std::size_t b) {
-                if (mempool_[a].fee != mempool_[b].fee) {
-                  return mempool_[a].fee < mempool_[b].fee;
-                }
-                return mempool_[a].seq > mempool_[b].seq;
-              });
+    sel_order_.resize(mempool_.size());
+    for (std::size_t i = 0; i < sel_order_.size(); ++i) sel_order_[i] = i;
     const std::size_t excess = mempool_.size() - static_cast<std::size_t>(mem);
-    std::vector<bool> evict(mempool_.size(), false);
-    for (std::size_t k = 0; k < excess; ++k) evict[by_prio[k]] = true;
+    std::nth_element(
+        sel_order_.begin(), sel_order_.begin() + static_cast<std::ptrdiff_t>(excess),
+        sel_order_.end(), [&](std::size_t a, std::size_t b) {
+          if (mempool_[a].fee != mempool_[b].fee) {
+            return mempool_[a].fee < mempool_[b].fee;
+          }
+          return mempool_[a].seq > mempool_[b].seq;
+        });
+    sel_flags_.assign(mempool_.size(), 0);
+    for (std::size_t k = 0; k < excess; ++k) sel_flags_[sel_order_[k]] = 1;
     std::size_t survivors = 0;
     for (std::size_t i = 0; i < mempool_.size(); ++i) {
       Transaction& tx = mempool_[i];
-      if (evict[i]) {
+      if (sel_flags_[i]) {
         record_status(tx, TxStatus::kEvicted);
       } else {
         if (survivors != i) mempool_[survivors] = std::move(tx);
@@ -231,6 +249,7 @@ void Blockchain::produce_block_faulted(Tick now) {
     tx.effect(ctx);
     ++applied_tx_count_;
     record_status(tx, TxStatus::kIncluded);
+    if (on_included_) on_included_(id_, tx.sender, now);
   }
   TxContext sweep(*this, kNoParty, now);
   for (auto& c : contracts_) {
@@ -297,7 +316,20 @@ Blockchain& MultiChain::add_chain(const std::string& name) {
   chains_.back()->set_trace(trace_);
   chains_.back()->set_faults(env_.faults.for_chain(name));
   chains_.back()->set_resilience(env_.resilience);
+  chains_.back()->set_inclusion_observer(observer_);
   return *chains_.back();
+}
+
+Blockchain& MultiChain::get_or_add_chain(const std::string& name) {
+  for (auto& c : chains_) {
+    if (c->name() == name) return *c;
+  }
+  return add_chain(name);
+}
+
+void MultiChain::set_inclusion_observer(Blockchain::InclusionObserver obs) {
+  observer_ = std::move(obs);
+  for (auto& c : chains_) c->set_inclusion_observer(observer_);
 }
 
 void MultiChain::set_trace(TraceMode mode) {

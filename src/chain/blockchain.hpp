@@ -176,6 +176,12 @@ class Contract {
 /// visible to all parties from tick t+1 on.
 class Blockchain {
  public:
+  /// Observer invoked once per applied transaction (chain id, signer,
+  /// block height). An external instrument — not chain state: reset() and
+  /// snapshots leave it untouched. The load generator uses it to map
+  /// inclusions back to protocol instances for latency percentiles.
+  using InclusionObserver = std::function<void(ChainId, PartyId, Tick)>;
+
   Blockchain(ChainId id, std::string name, Symbol native);
 
   ChainId id() const { return id_; }
@@ -239,6 +245,12 @@ class Blockchain {
   /// Number of transactions applied over the chain's lifetime (zeroed by
   /// reset(), so reused worlds report per-run counts).
   std::size_t applied_tx_count() const { return applied_tx_count_; }
+
+  /// Installs (or clears, with an empty function) the per-inclusion
+  /// observer. At most one; the previous observer is replaced.
+  void set_inclusion_observer(InclusionObserver obs) {
+    on_included_ = std::move(obs);
+  }
 
   /// Deployed-contract introspection (Scheduler::validate_deadlines).
   std::size_t contract_count() const { return contracts_.size(); }
@@ -315,13 +327,19 @@ class Blockchain {
   std::vector<std::pair<Tick, std::size_t>> snap_counters_;
   ChainFaults faults_;
   ResiliencePolicy resilience_;
+  InclusionObserver on_included_;
   bool halted_ = false;
   bool finalized_ = false;
   std::uint64_t next_seq_ = 0;
-  /// (submission id, status) for tracked txs, submission order. Tracked
-  /// populations are tiny (one entry per resilient-party action), so
-  /// linear scans beat hashing and stay deterministic for free.
+  /// (submission id, status) for tracked txs. submit() assigns strictly
+  /// increasing ids and appends, so the vector stays sorted by id and
+  /// tx_status()/record_status() binary-search it — under load-generator
+  /// traffic thousands of tracked entries coexist per chain.
   std::vector<std::pair<std::uint64_t, TxStatus>> tx_status_;
+  /// produce_block_faulted scratch (selection / eviction index vectors and
+  /// flags), members so their capacity survives across blocks.
+  std::vector<std::size_t> sel_order_;
+  std::vector<char> sel_flags_;
 };
 
 /// The collection of independent chains in a simulation, advanced in
@@ -331,6 +349,12 @@ class MultiChain {
   /// Creates a chain whose native currency is named after the chain,
   /// e.g. "apricot" -> native symbol "apricot-coin".
   Blockchain& add_chain(const std::string& name);
+
+  /// Returns the chain named `name`, creating it on first use — the
+  /// shared-world path: every protocol instance bound to one MultiChain
+  /// resolves its chains by name, so all two-party instances compete on
+  /// the same "apricot"/"banana" pair instead of private worlds.
+  Blockchain& get_or_add_chain(const std::string& name);
 
   Blockchain& at(ChainId id) { return *chains_.at(id); }
   const Blockchain& at(ChainId id) const { return *chains_.at(id); }
@@ -347,6 +371,10 @@ class MultiChain {
   /// substrate exactly.
   void set_environment(const ChainEnvironment& env);
   const ChainEnvironment& environment() const { return env_; }
+
+  /// Installs an inclusion observer on every chain, current and future
+  /// (see Blockchain::set_inclusion_observer).
+  void set_inclusion_observer(Blockchain::InclusionObserver obs);
 
   /// Marks every chain's timeline complete (Blockchain::finalize).
   void finalize_all();
@@ -377,6 +405,7 @@ class MultiChain {
   std::vector<std::unique_ptr<Blockchain>> chains_;
   TraceMode trace_ = TraceMode::kFull;
   ChainEnvironment env_;
+  Blockchain::InclusionObserver observer_;
 };
 
 }  // namespace xchain::chain

@@ -41,7 +41,7 @@ void BridgeDoorContract::post_bond(chain::TxContext& ctx) {
     if (ctx.tracing()) ctx.emit(id(), "bond_rejected", "insufficient balance");
     return;
   }
-  bonds_mask_ |= 1ull << (w - 1);
+  bonds_mask_ |= 1ull << (w - p_.party_base - 1);
   if (ctx.tracing()) {
     ctx.emit(id(), "bond_posted", "witness " + std::to_string(w));
   }
@@ -107,9 +107,9 @@ void BridgeDoorContract::report_settle(chain::TxContext& ctx, bool success,
 
 void BridgeDoorContract::refund_bonds(chain::TxContext& ctx,
                                       std::uint64_t mask) {
-  for (PartyId w = 1; w <= static_cast<PartyId>(p_.n_witnesses); ++w) {
-    if ((mask >> (w - 1)) & 1) {
-      ctx.ledger().transfer(address(), chain::Address::party(w),
+  for (int bit = 0; bit < p_.n_witnesses; ++bit) {
+    if ((mask >> bit) & 1) {
+      ctx.ledger().transfer(address(), chain::Address::party(witness_at(bit)),
                             ctx.native_id(), p_.bond_amount);
     }
   }
@@ -129,9 +129,9 @@ void BridgeDoorContract::resolve_no_commit(chain::TxContext& ctx) {
     // The witnesses held up their side and the user walked away: the
     // premium is theirs (integer split, remainder back to the user).
     const Amount share = p_.premium_amount / bonded;
-    for (PartyId w = 1; w <= static_cast<PartyId>(p_.n_witnesses); ++w) {
-      if (bond_posted(w)) {
-        ctx.ledger().transfer(address(), chain::Address::party(w),
+    for (int bit = 0; bit < p_.n_witnesses; ++bit) {
+      if ((bonds_mask_ >> bit) & 1) {
+        ctx.ledger().transfer(address(), chain::Address::party(witness_at(bit)),
                               ctx.native_id(), share);
       }
     }
@@ -162,9 +162,10 @@ void BridgeDoorContract::resolve_settle(chain::TxContext& ctx) {
     refund_bonds(ctx, bonds_mask_);
     if (p_.rewards_at_door) {
       Amount paid = 0;
-      for (PartyId w = 1; w <= static_cast<PartyId>(p_.n_witnesses); ++w) {
-        if ((reported_mask_ >> (w - 1)) & 1) {
-          ctx.ledger().transfer(address(), chain::Address::party(w),
+      for (int bit = 0; bit < p_.n_witnesses; ++bit) {
+        if ((reported_mask_ >> bit) & 1) {
+          ctx.ledger().transfer(address(),
+                                chain::Address::party(witness_at(bit)),
                                 ctx.native_id(), p_.reward_amount);
           paid += p_.reward_amount;
         }
@@ -257,7 +258,7 @@ void BridgeClaimContract::attest(chain::TxContext& ctx) {
     }
     return;
   }
-  attest_mask_ |= 1ull << (w - 1);
+  attest_mask_ |= 1ull << (w - p_.party_base - 1);
   if (p_.user_creates && p_.reward_amount > 0) {
     // Eager reward: collected on acceptance, quorum or not (the bridge
     // attack surface the hedge compensates for).

@@ -46,7 +46,13 @@ class BridgeDoorContract : public chain::SnapshotState<BridgeDoorContract> {
  public:
   struct Params {
     PartyId user = 0;
-    int n_witnesses = 0;  ///< witnesses are parties 1..n_witnesses
+    /// Instance namespacing offset: witnesses are parties
+    /// party_base+1 .. party_base+n_witnesses (base 0 = the historical
+    /// private-world ids). Attester bitmasks stay base-relative (bit 0 =
+    /// the first witness), so masks travel unchanged between the door and
+    /// claim contracts of one instance.
+    PartyId party_base = 0;
+    int n_witnesses = 0;  ///< witnesses are parties party_base+1..+n
     int quorum = 0;       ///< k of n attestations complete the transfer
     bool hedged = true;   ///< false: no premium, no bonds (baseline)
     /// Account-create flavor: the witness reward pool (reward_amount *
@@ -125,9 +131,14 @@ class BridgeDoorContract : public chain::SnapshotState<BridgeDoorContract> {
     return n;
   }
   bool bit_set(std::uint64_t m, PartyId w) const {
-    return is_witness(w) && (m >> (w - 1)) & 1;
+    return is_witness(w) && (m >> (w - p_.party_base - 1)) & 1;
   }
-  bool is_witness(PartyId w) const { return w >= 1 && w <= static_cast<PartyId>(p_.n_witnesses); }
+  bool is_witness(PartyId w) const {
+    return w > p_.party_base &&
+           w <= p_.party_base + static_cast<PartyId>(p_.n_witnesses);
+  }
+  /// The party owning base-relative attester bit `bit`.
+  PartyId witness_at(int bit) const { return p_.party_base + 1 + bit; }
   std::uint64_t witness_mask() const {
     return p_.n_witnesses >= 64 ? ~0ull : (1ull << p_.n_witnesses) - 1;
   }
@@ -187,6 +198,8 @@ class BridgeClaimContract : public chain::SnapshotState<BridgeClaimContract> {
  public:
   struct Params {
     PartyId user = 0;
+    /// Instance namespacing offset, mirroring BridgeDoorContract::Params.
+    PartyId party_base = 0;
     int n_witnesses = 0;
     int quorum = 0;
     /// Transfer: the user creates the claim and funds the reward pool.
@@ -234,7 +247,7 @@ class BridgeClaimContract : public chain::SnapshotState<BridgeClaimContract> {
     return n;
   }
   bool attested(PartyId w) const {
-    return is_witness(w) && (attest_mask_ >> (w - 1)) & 1;
+    return is_witness(w) && (attest_mask_ >> (w - p_.party_base - 1)) & 1;
   }
   /// Quorum reached, wrapped asset released.
   bool resolved() const { return resolved_; }
@@ -245,7 +258,10 @@ class BridgeClaimContract : public chain::SnapshotState<BridgeClaimContract> {
   bool closed() const { return closed_; }
 
  private:
-  bool is_witness(PartyId w) const { return w >= 1 && w <= static_cast<PartyId>(p_.n_witnesses); }
+  bool is_witness(PartyId w) const {
+    return w > p_.party_base &&
+           w <= p_.party_base + static_cast<PartyId>(p_.n_witnesses);
+  }
   Amount reward_pool() const {
     return p_.user_creates ? p_.reward_amount * p_.n_witnesses : 0;
   }

@@ -19,6 +19,10 @@ BrokerChainContract::BrokerChainContract(Params p)
   tp_.payer = p_.trading_arc.from;
 }
 
+PartyId BrokerChainContract::local_sender(const chain::TxContext& ctx) const {
+  return ctx.sender() - p_.party_base;
+}
+
 bool BrokerChainContract::premium_activated(Which arc) const {
   const auto& slots = slots_of(arc);
   return std::all_of(slots.begin(), slots.end(), [](const auto& s) {
@@ -33,9 +37,9 @@ bool BrokerChainContract::all_open(Which a) const {
 }
 
 void BrokerChainContract::deposit_escrow_premium(chain::TxContext& ctx) {
-  if (ctx.sender() != ep_.payer || ep_.deposited) return;
+  if (local_sender(ctx) != ep_.payer || ep_.deposited) return;
   if (ctx.now() > p_.escrow_premium_deadline) return;
-  if (!ctx.ledger().transfer(chain::Address::party(ep_.payer), address(),
+  if (!ctx.ledger().transfer(acct(ep_.payer), address(),
                              ctx.native_id(), ep_.amount)) {
     return;
   }
@@ -46,9 +50,9 @@ void BrokerChainContract::deposit_escrow_premium(chain::TxContext& ctx) {
 }
 
 void BrokerChainContract::deposit_trading_premium(chain::TxContext& ctx) {
-  if (ctx.sender() != tp_.payer || tp_.deposited) return;
+  if (local_sender(ctx) != tp_.payer || tp_.deposited) return;
   if (ctx.now() > p_.trading_premium_deadline) return;
-  if (!ctx.ledger().transfer(chain::Address::party(tp_.payer), address(),
+  if (!ctx.ledger().transfer(acct(tp_.payer), address(),
                              ctx.native_id(), tp_.amount)) {
     return;
   }
@@ -64,7 +68,8 @@ void BrokerChainContract::deposit_redemption_premium(
   if (leader_index >= p_.hashlocks.size()) return;
   RedemptionSlot& slot = slots_of(arc)[leader_index];
   const graph::Arc& a = arc_of(arc);
-  if (ctx.sender() != a.to || slot.deposited_at) return;
+  const PartyId sender = local_sender(ctx);
+  if (sender != a.to || slot.deposited_at) return;
   // Per-path-length deadline (§7.1, as in the multi-party arc contract): a
   // late hop is rejected before it can extend activation past its window,
   // so a deviant party delaying the backward flow can never leave the
@@ -88,7 +93,7 @@ void BrokerChainContract::deposit_redemption_premium(
     }
     return;
   }
-  if (!vcache_.verify_premium_path(p_.party_keys[ctx.sender()], leader_index,
+  if (!vcache_.verify_premium_path(p_.party_keys[sender], leader_index,
                                    q, path_sig)) {
     if (ctx.tracing()) {
       ctx.emit(id(), "redemption_premium_rejected", "bad signature");
@@ -104,7 +109,7 @@ void BrokerChainContract::deposit_redemption_premium(
                 .emplace(memo_key, core::redemption_premium(
                                        p_.g, q, a.from, p_.premium_unit))
                 .first->second;
-  if (!ctx.ledger().transfer(chain::Address::party(a.to), address(),
+  if (!ctx.ledger().transfer(acct(a.to), address(),
                              ctx.native_id(), amount)) {
     return;
   }
@@ -120,9 +125,9 @@ void BrokerChainContract::deposit_redemption_premium(
 }
 
 void BrokerChainContract::escrow(chain::TxContext& ctx) {
-  if (ctx.sender() != p_.escrow_arc.from || escrowed_at_) return;
+  if (local_sender(ctx) != p_.escrow_arc.from || escrowed_at_) return;
   if (ctx.now() > p_.escrow_deadline) return;
-  if (!ctx.ledger().transfer(chain::Address::party(p_.escrow_arc.from),
+  if (!ctx.ledger().transfer(acct(p_.escrow_arc.from),
                              address(), sym_, p_.escrow_amount)) {
     return;
   }
@@ -138,7 +143,7 @@ void BrokerChainContract::escrow(chain::TxContext& ctx) {
 }
 
 void BrokerChainContract::trade(chain::TxContext& ctx) {
-  if (ctx.sender() != p_.trading_arc.from || traded_at_) return;
+  if (local_sender(ctx) != p_.trading_arc.from || traded_at_) return;
   if (ctx.now() > p_.trading_deadline) return;
   if (escrow_bucket_ < p_.trading_amount) {
     if (ctx.tracing()) {
@@ -188,7 +193,7 @@ void BrokerChainContract::present_hashkey(chain::TxContext& ctx, Which arc,
 
   RedemptionSlot& slot = slots_of(arc)[leader_index];
   if (slot.deposited_at && !slot.refunded && !slot.awarded) {
-    ctx.ledger().transfer(address(), chain::Address::party(a.to),
+    ctx.ledger().transfer(address(), acct(a.to),
                           ctx.native_id(), slot.amount);
     slot.refunded = true;
     if (ctx.tracing()) {
@@ -205,8 +210,7 @@ void BrokerChainContract::try_redeem(chain::TxContext& ctx, Which arc) {
   if (arc == Which::kEscrowArc && !escrow_redeemed_ && escrowed_at_) {
     escrow_redeemed_ = true;
     if (escrow_bucket_ > 0) {
-      ctx.ledger().transfer(address(),
-                            chain::Address::party(p_.escrow_arc.to),
+      ctx.ledger().transfer(address(), acct(p_.escrow_arc.to),
                             sym_, escrow_bucket_);
       escrow_bucket_ = 0;
     }
@@ -214,8 +218,7 @@ void BrokerChainContract::try_redeem(chain::TxContext& ctx, Which arc) {
   }
   if (arc == Which::kTradingArc && !trading_redeemed_ && traded_at_) {
     trading_redeemed_ = true;
-    ctx.ledger().transfer(address(),
-                          chain::Address::party(p_.trading_arc.to),
+    ctx.ledger().transfer(address(), acct(p_.trading_arc.to),
                           sym_, trading_bucket_);
     trading_bucket_ = 0;
     if (ctx.tracing()) ctx.emit(id(), "redeemed", "trading arc");
@@ -225,7 +228,7 @@ void BrokerChainContract::try_redeem(chain::TxContext& ctx, Which arc) {
 void BrokerChainContract::pay_simple(chain::TxContext& ctx,
                                      SimplePremium& prem, PartyId to,
                                      bool award, const char* label) {
-  ctx.ledger().transfer(address(), chain::Address::party(to), ctx.native_id(),
+  ctx.ledger().transfer(address(), acct(to), ctx.native_id(),
                         prem.amount);
   (award ? prem.awarded : prem.refunded) = true;
   if (ctx.tracing()) {
@@ -263,8 +266,7 @@ void BrokerChainContract::on_block(chain::TxContext& ctx) {
       RedemptionSlot& s = slots[i];
       if (s.deposited_at && !s.refunded && !s.awarded && !keys[i] &&
           ctx.now() > path_deadline(s.path.size())) {
-        ctx.ledger().transfer(address(),
-                              chain::Address::party(arc_of(arc).from),
+        ctx.ledger().transfer(address(), acct(arc_of(arc).from),
                               ctx.native_id(), s.amount);
         s.awarded = true;
         if (ctx.tracing()) {
@@ -280,8 +282,7 @@ void BrokerChainContract::on_block(chain::TxContext& ctx) {
       ctx.now() > path_deadline(p_.g.size())) {
     const Amount remainder = escrow_bucket_ + trading_bucket_;
     if (remainder > 0) {
-      ctx.ledger().transfer(address(),
-                            chain::Address::party(p_.escrow_arc.from),
+      ctx.ledger().transfer(address(), acct(p_.escrow_arc.from),
                             sym_, remainder);
       escrow_bucket_ = trading_bucket_ = 0;
       refunded_ = true;

@@ -47,6 +47,11 @@ class BrokerChainContract : public chain::SnapshotState<BrokerChainContract> {
 
   struct Params {
     graph::Digraph g;
+    /// Instance namespacing offset: arcs, hashlock leaders, and party_keys
+    /// all speak protocol-local vertex ids; the contract translates
+    /// senders (global - base) on entry and payout addresses (local +
+    /// base) on exit. Base 0 = the historical private-world identity map.
+    PartyId party_base = 0;
     graph::Arc escrow_arc{};   ///< (X, A)
     graph::Arc trading_arc{};  ///< (A, Y)
     chain::Symbol symbol;      ///< asset traded on this chain
@@ -174,6 +179,13 @@ class BrokerChainContract : public chain::SnapshotState<BrokerChainContract> {
   const graph::Arc& arc_of(Which a) const {
     return a == Which::kEscrowArc ? p_.escrow_arc : p_.trading_arc;
   }
+  /// Local vertex id -> on-chain account (instance namespacing).
+  chain::Address acct(PartyId local) const {
+    return chain::Address::party(p_.party_base + local);
+  }
+  /// Global sender -> local vertex id (wraps harmlessly for foreign
+  /// senders — the id can never match a local vertex).
+  PartyId local_sender(const chain::TxContext& ctx) const;
   std::vector<RedemptionSlot>& slots_of(Which a) {
     return a == Which::kEscrowArc ? rp_escrow_ : rp_trading_;
   }

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "chain/blockchain.hpp"
+#include "common/types.hpp"
+
+namespace xchain::core {
+
+/// Binds one protocol instance into a shared MultiChain — the load
+/// generator's namespacing contract. A default-constructed binding (null
+/// chains) means the historical private world: the world owns its chains,
+/// party ids start at 0, and deadlines count from tick 0.
+///
+/// A bound world instead:
+///   * resolves its chains by name on the shared MultiChain
+///     (get_or_add_chain), so every instance of a protocol family competes
+///     for the same block space;
+///   * offsets every party id by `party_base`, giving the instance a
+///     disjoint ledger-row range (no cross-instance balance bleed) while
+///     protocol-local vertex/ordinal logic keeps small ids;
+///   * offsets its whole deadline ladder by `start`, the instance's
+///     arrival tick under the load generator's seeded arrival process;
+///   * never checkpoints, resets, or finalizes the shared chains — the
+///     load scheduler owns their lifecycle.
+struct WorldBinding {
+  chain::MultiChain* chains = nullptr;
+  PartyId party_base = 0;  ///< first global party id of this instance
+  Tick start = 0;          ///< arrival tick; deadline ladder offset
+  std::string tag;         ///< instance label (rng seeds, diagnostics)
+
+  bool bound() const { return chains != nullptr; }
+};
+
+}  // namespace xchain::core

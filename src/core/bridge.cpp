@@ -134,7 +134,7 @@ class BridgeWitness : public chain::SnapshotState<BridgeWitness, sim::Party> {
     // A witness that has an attestation in flight waits for it to land
     // before reporting: reporting early would carry a mask that excludes
     // its own vote, and each witness reports exactly once.
-    const bool own_attest_final = !did_attest_ || claim_.attested(id());
+    const bool own_attest_final = !did_attest_ || claim_.attested(account_id());
     if (!did_settle_ && door_.committed() && claim_.outcome_known() &&
         own_attest_final) {
       did_settle_ = true;
@@ -164,7 +164,13 @@ class BridgeWitness : public chain::SnapshotState<BridgeWitness, sim::Party> {
 
 struct BridgeWorld::Impl {
   BridgeConfig cfg;
-  chain::MultiChain chains;
+  /// Private worlds own their chains; bound worlds alias the shared
+  /// MultiChain and leave own_chains empty.
+  chain::MultiChain own_chains;
+  chain::MultiChain* chains = &own_chains;
+  bool bound = false;
+  PartyId base = 0;  ///< first global party id (0 when private)
+  Tick start = 0;    ///< deadline-ladder offset (0 when private)
   contracts::BridgeDoorContract* door = nullptr;
   contracts::BridgeClaimContract* claim = nullptr;
   std::unique_ptr<PayoffTracker> tracker;
@@ -176,18 +182,31 @@ struct BridgeWorld::Impl {
 };
 
 BridgeWorld::BridgeWorld(const BridgeConfig& cfg, chain::TraceMode trace)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->cfg = cfg;
-  const Tick d = cfg.delta;
-  const bool acct = cfg.variant == BridgeVariant::kAccountCreate;
-  chain::MultiChain& chains = impl_->chains;
-  chains.set_trace(trace);
-  chain::Blockchain& locking = chains.add_chain("locking");
-  chain::Blockchain& issuing = chains.add_chain("issuing");
+    : BridgeWorld(cfg, WorldBinding{}, trace) {}
 
+BridgeWorld::BridgeWorld(const BridgeConfig& cfg, const WorldBinding& binding,
+                         chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& w = *impl_;
+  w.cfg = cfg;
+  w.bound = binding.bound();
+  w.base = binding.party_base;
+  w.start = binding.start;
+  const Tick d = cfg.delta;
+  const Tick t0 = w.start;
+  const bool acct = cfg.variant == BridgeVariant::kAccountCreate;
+  chain::MultiChain& chains = w.bound ? *binding.chains : w.own_chains;
+  w.chains = &chains;
+  if (!w.bound) chains.set_trace(trace);
+  chain::Blockchain& locking = w.bound ? chains.get_or_add_chain("locking")
+                                       : chains.add_chain("locking");
+  chain::Blockchain& issuing = w.bound ? chains.get_or_add_chain("issuing")
+                                       : chains.add_chain("issuing");
+
+  const PartyId user = w.base + kUser;
   // The user's principal — the asset being bridged — lives on the locking
   // chain; its wrapped counterpart is pre-minted to the claim contract.
-  locking.ledger_for_setup().mint(chain::Address::party(kUser), "bridged",
+  locking.ledger_for_setup().mint(chain::Address::party(user), "bridged",
                                   cfg.transfer_amount);
   // Native-coin endowments: the user's premium (and, for account-create,
   // the reward pool) on the locking chain; one bond per witness; for a
@@ -195,17 +214,17 @@ BridgeWorld::BridgeWorld(const BridgeConfig& cfg, chain::TraceMode trace)
   const Amount user_locking =
       (cfg.hedged() ? cfg.premium_unit : 0) + (acct ? cfg.reward_pool() : 0);
   if (user_locking > 0) {
-    locking.ledger_for_setup().mint(chain::Address::party(kUser),
+    locking.ledger_for_setup().mint(chain::Address::party(user),
                                     locking.native(), user_locking);
   }
   if (cfg.hedged()) {
-    for (PartyId w = 1; w <= static_cast<PartyId>(cfg.n_witnesses); ++w) {
-      locking.ledger_for_setup().mint(chain::Address::party(w),
+    for (PartyId v = 1; v <= static_cast<PartyId>(cfg.n_witnesses); ++v) {
+      locking.ledger_for_setup().mint(chain::Address::party(w.base + v),
                                       locking.native(), cfg.bond_amount());
     }
   }
   if (!acct) {
-    issuing.ledger_for_setup().mint(chain::Address::party(kUser),
+    issuing.ledger_for_setup().mint(chain::Address::party(user),
                                     issuing.native(), cfg.reward_pool());
   }
 
@@ -213,26 +232,29 @@ BridgeWorld::BridgeWorld(const BridgeConfig& cfg, chain::TraceMode trace)
   // bonds at 2D, commit at 3D, attestations at 4D on the issuing chain,
   // and the settle window at 6D — wide enough for the failure path's
   // reports (claim timeout lands at 4D+1, is observed at 4D+2, and a
-  // timely-delayed report still submits by 5D+1 <= 6D).
+  // timely-delayed report still submits by 5D+1 <= 6D). Bound instances
+  // shift the whole ladder to their arrival tick.
   impl_->door = &locking.deploy<contracts::BridgeDoorContract>(
       contracts::BridgeDoorContract::Params{
-          kUser, cfg.n_witnesses, cfg.quorum, cfg.hedged(),
+          user, /*party_base=*/w.base, cfg.n_witnesses, cfg.quorum,
+          cfg.hedged(),
           /*rewards_at_door=*/acct, "bridged", cfg.transfer_amount,
           cfg.premium_unit, cfg.bond_amount(),
           /*reward_amount=*/acct ? cfg.witness_reward : 0,
-          /*premium_deadline=*/d, /*bond_deadline=*/2 * d,
-          /*commit_deadline=*/3 * d, /*settle_deadline=*/6 * d});
+          /*premium_deadline=*/t0 + d, /*bond_deadline=*/t0 + 2 * d,
+          /*commit_deadline=*/t0 + 3 * d, /*settle_deadline=*/t0 + 6 * d});
   impl_->claim = &issuing.deploy<contracts::BridgeClaimContract>(
       contracts::BridgeClaimContract::Params{
-          kUser, cfg.n_witnesses, cfg.quorum, /*user_creates=*/!acct,
-          "wrapped", cfg.transfer_amount,
+          user, /*party_base=*/w.base, cfg.n_witnesses, cfg.quorum,
+          /*user_creates=*/!acct, "wrapped", cfg.transfer_amount,
           /*reward_amount=*/acct ? 0 : cfg.witness_reward,
-          /*create_deadline=*/d, /*attest_deadline=*/4 * d});
+          /*create_deadline=*/t0 + d, /*attest_deadline=*/t0 + 4 * d});
   issuing.ledger_for_setup().mint(impl_->claim->address(), "wrapped",
                                   cfg.transfer_amount);
 
-  chains.checkpoint();
-  impl_->tracker = std::make_unique<PayoffTracker>(chains, cfg.party_count());
+  if (!w.bound) chains.checkpoint();
+  impl_->tracker =
+      std::make_unique<PayoffTracker>(chains, w.base, cfg.party_count());
 }
 
 BridgeWorld::~BridgeWorld() = default;
@@ -240,16 +262,20 @@ BridgeWorld::BridgeWorld(BridgeWorld&&) noexcept = default;
 BridgeWorld& BridgeWorld::operator=(BridgeWorld&&) noexcept = default;
 
 void BridgeWorld::set_environment(const chain::ChainEnvironment& env) {
-  impl_->chains.set_environment(env);
+  impl_->chains->set_environment(env);
 }
 
 BridgeResult BridgeWorld::run(const std::vector<sim::DeviationPlan>& plans) {
   Impl& w = *impl_;
-  w.chains.reset();
+  if (w.bound) {
+    throw std::logic_error(
+        "BridgeWorld::run: bound worlds are driven by the load scheduler");
+  }
+  w.chains->reset();
 
   BridgeUser user(w.cfg, plans.at(0), *w.door, *w.claim);
   std::vector<std::unique_ptr<BridgeWitness>> witnesses;
-  sim::Scheduler sched(w.chains);
+  sim::Scheduler sched(*w.chains);
   sched.add_party(user);
   for (PartyId i = 1; i <= static_cast<PartyId>(w.cfg.n_witnesses); ++i) {
     witnesses.push_back(std::make_unique<BridgeWitness>(
@@ -264,7 +290,7 @@ BridgeResult BridgeWorld::run(const std::vector<sim::DeviationPlan>& plans) {
 #endif
   sched.run_until(6 * w.cfg.delta + 2);
 
-  w.chains.finalize_all();
+  w.chains->finalize_all();
   return tree_collect();
 }
 
@@ -273,14 +299,16 @@ sim::TreeFrame& BridgeWorld::tree_frame() {
   if (!w.tree_user) {
     w.tree_user = std::make_unique<BridgeUser>(
         w.cfg, sim::DeviationPlan::conforming(), *w.door, *w.claim);
-    w.frame.chains = &w.chains;
+    w.tree_user->set_account_base(w.base);
+    w.frame.chains = w.chains;
     w.frame.actors = {w.tree_user.get()};
     for (PartyId i = 1; i <= static_cast<PartyId>(w.cfg.n_witnesses); ++i) {
       w.tree_witnesses.push_back(std::make_unique<BridgeWitness>(
           w.cfg, i, sim::DeviationPlan::conforming(), *w.door, *w.claim));
+      w.tree_witnesses.back()->set_account_base(w.base);
       w.frame.actors.push_back(w.tree_witnesses.back().get());
     }
-    w.frame.horizon = 6 * w.cfg.delta + 2;
+    w.frame.horizon = w.start + 6 * w.cfg.delta + 2;
   }
   return w.frame;
 }
@@ -305,9 +333,9 @@ BridgeResult BridgeWorld::tree_collect() const {
   r.bonds_posted = w.door->bonds_posted();
   r.bonds_forfeited = w.door->bonds_forfeited();
   for (PartyId p = 0; p < static_cast<PartyId>(w.cfg.party_count()); ++p) {
-    r.payoffs.push_back(w.tracker->delta(w.chains, p));
+    r.payoffs.push_back(w.tracker->delta(*w.chains, w.base + p));
   }
-  r.events = w.chains.all_events();
+  r.events = w.chains->all_events();
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
+#include "core/binding.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
 #include "sim/tree.hpp"
@@ -83,6 +84,13 @@ class BridgeWorld {
  public:
   explicit BridgeWorld(const BridgeConfig& cfg,
                        chain::TraceMode trace = chain::TraceMode::kFull);
+
+  /// Bound form (core/binding.hpp): deploys the instance onto the shared
+  /// MultiChain at `binding.party_base` / `binding.start`. Bound worlds
+  /// are driven through tree_frame()'s actors — run() throws.
+  BridgeWorld(const BridgeConfig& cfg, const WorldBinding& binding,
+              chain::TraceMode trace = chain::TraceMode::kOff);
+
   ~BridgeWorld();
   BridgeWorld(BridgeWorld&&) noexcept;
   BridgeWorld& operator=(BridgeWorld&&) noexcept;

@@ -325,7 +325,12 @@ Tick lockup_of(const BrokerChainContract& c) {
 struct BrokerWorld::Impl {
   BrokerConfig cfg;
   Setup s;
-  chain::MultiChain chains;
+  /// Private worlds own their chains; bound worlds alias the shared
+  /// MultiChain and leave own_chains empty.
+  chain::MultiChain own_chains;
+  chain::MultiChain* chains = &own_chains;
+  bool bound = false;
+  PartyId base = 0;  ///< first global party id (0 when private)
   crypto::SigningCache sign_cache;
   std::unique_ptr<PayoffTracker> tracker;
   Tick horizon = 0;
@@ -336,19 +341,33 @@ struct BrokerWorld::Impl {
 };
 
 BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
+    : BrokerWorld(cfg, WorldBinding{}, trace) {}
+
+BrokerWorld::BrokerWorld(const BrokerConfig& cfg, const WorldBinding& binding,
+                         chain::TraceMode trace)
     : impl_(std::make_unique<Impl>()) {
   Impl& w = *impl_;
   w.cfg = cfg;
+  w.bound = binding.bound();
+  w.base = binding.party_base;
   const Tick d = cfg.delta;
+  const Tick t0 = binding.start;
   Setup& s = w.s;
   s.g = broker_digraph();
   s.sign_cache = &w.sign_cache;
 
-  w.chains.set_trace(trace);
-  chain::Blockchain& ticket_chain = w.chains.add_chain("ticketchain");
-  chain::Blockchain& coin_chain = w.chains.add_chain("coinchain");
+  chain::MultiChain& chains = w.bound ? *binding.chains : w.own_chains;
+  w.chains = &chains;
+  if (!w.bound) chains.set_trace(trace);
+  chain::Blockchain& ticket_chain =
+      w.bound ? chains.get_or_add_chain("ticketchain")
+              : chains.add_chain("ticketchain");
+  chain::Blockchain& coin_chain = w.bound
+                                      ? chains.get_or_add_chain("coinchain")
+                                      : chains.add_chain("coinchain");
 
-  crypto::Rng rng("broker-deal");
+  crypto::Rng rng(w.bound ? "broker-deal:" + binding.tag
+                          : std::string("broker-deal"));
   std::vector<crypto::PublicKey> pub_keys;
   const char* names[3] = {"alice", "bob", "carol"};
   for (int i = 0; i < 3; ++i) {
@@ -377,19 +396,20 @@ BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
   // Principals escrow once their arc's activation is visible (by 5Δ),
   // Alice trades once escrow + trading activation are visible (by 6Δ), and
   // the hashkey phase starts after the trading deadline.
-  s.hashkey_base = 6 * d;
+  s.hashkey_base = t0 + 6 * d;
   auto common = [&](BrokerChainContract::Params& p) {
     p.g = s.g;
+    p.party_base = w.base;
     p.premium_unit = cfg.premium_unit;
     p.hashlocks = hashlocks;
     p.party_keys = pub_keys;
     p.delta = d;
-    p.escrow_premium_deadline = d;
-    p.trading_premium_deadline = 2 * d;
-    p.premium_base = 2 * d;
-    p.redemption_premium_deadline = 5 * d;
-    p.escrow_deadline = 5 * d;
-    p.trading_deadline = 6 * d;
+    p.escrow_premium_deadline = t0 + d;
+    p.trading_premium_deadline = t0 + 2 * d;
+    p.premium_base = t0 + 2 * d;
+    p.redemption_premium_deadline = t0 + 5 * d;
+    p.escrow_deadline = t0 + 5 * d;
+    p.trading_deadline = t0 + 6 * d;
     p.hashkey_base = s.hashkey_base;
   };
 
@@ -424,20 +444,20 @@ BrokerWorld::BrokerWorld(const BrokerConfig& cfg, chain::TraceMode trace)
 
   // Endowments: assets plus ample premium coin on both chains.
   constexpr Amount kCoinBudget = 1'000'000;
-  ticket_chain.ledger_for_setup().mint(chain::Address::party(kBob), "ticket",
-                                       cfg.ticket_count);
-  coin_chain.ledger_for_setup().mint(chain::Address::party(kCarol), "coin",
-                                     cfg.sale_price);
+  ticket_chain.ledger_for_setup().mint(chain::Address::party(w.base + kBob),
+                                       "ticket", cfg.ticket_count);
+  coin_chain.ledger_for_setup().mint(chain::Address::party(w.base + kCarol),
+                                     "coin", cfg.sale_price);
   for (PartyId v = 0; v < 3; ++v) {
-    ticket_chain.ledger_for_setup().mint(chain::Address::party(v),
+    ticket_chain.ledger_for_setup().mint(chain::Address::party(w.base + v),
                                          ticket_chain.native(), kCoinBudget);
-    coin_chain.ledger_for_setup().mint(chain::Address::party(v),
+    coin_chain.ledger_for_setup().mint(chain::Address::party(w.base + v),
                                        coin_chain.native(), kCoinBudget);
   }
 
   w.horizon = s.hashkey_base + (s.g.diameter() + 3 + 1) * d + 2;
-  w.chains.checkpoint();
-  w.tracker = std::make_unique<PayoffTracker>(w.chains, 3);
+  if (!w.bound) chains.checkpoint();
+  w.tracker = std::make_unique<PayoffTracker>(chains, w.base, 3);
 }
 
 BrokerWorld::~BrokerWorld() = default;
@@ -445,25 +465,29 @@ BrokerWorld::BrokerWorld(BrokerWorld&&) noexcept = default;
 BrokerWorld& BrokerWorld::operator=(BrokerWorld&&) noexcept = default;
 
 void BrokerWorld::set_environment(const chain::ChainEnvironment& env) {
-  impl_->chains.set_environment(env);
+  impl_->chains->set_environment(env);
 }
 
 BrokerResult BrokerWorld::run(sim::DeviationPlan alice, sim::DeviationPlan bob,
                               sim::DeviationPlan carol) {
   Impl& w = *impl_;
   Setup& s = w.s;
-  w.chains.reset();
+  if (w.bound) {
+    throw std::logic_error(
+        "BrokerWorld::run: bound worlds are driven by the load scheduler");
+  }
+  w.chains->reset();
 
   AliceBroker a(kAlice, "alice", s, alice);
   SellerBroker b(kBob, "bob", s, bob, s.ticket, s.coin);
   SellerBroker c(kCarol, "carol", s, carol, s.coin, s.ticket);
-  sim::Scheduler sched(w.chains);
+  sim::Scheduler sched(*w.chains);
   sched.add_party(a);
   sched.add_party(b);
   sched.add_party(c);
   sched.run_until(w.horizon);
 
-  w.chains.finalize_all();
+  w.chains->finalize_all();
   return tree_collect();
 }
 
@@ -478,7 +502,10 @@ sim::TreeFrame& BrokerWorld::tree_frame() {
     w.tree_carol = std::make_unique<SellerBroker>(
         kCarol, "carol", s, sim::DeviationPlan::conforming(), s.coin,
         s.ticket);
-    w.frame.chains = &w.chains;
+    w.tree_alice->set_account_base(w.base);
+    w.tree_bob->set_account_base(w.base);
+    w.tree_carol->set_account_base(w.base);
+    w.frame.chains = w.chains;
     w.frame.actors = {w.tree_alice.get(), w.tree_bob.get(),
                       w.tree_carol.get()};
     w.frame.horizon = w.horizon;
@@ -502,12 +529,12 @@ BrokerResult BrokerWorld::tree_collect() const {
                   s.ticket->bucket_redeemed(Which::kTradingArc) &&
                   s.coin->bucket_redeemed(Which::kEscrowArc) &&
                   s.coin->bucket_redeemed(Which::kTradingArc);
-  out.alice = w.tracker->delta(w.chains, kAlice);
-  out.bob = w.tracker->delta(w.chains, kBob);
-  out.carol = w.tracker->delta(w.chains, kCarol);
+  out.alice = w.tracker->delta(*w.chains, w.base + kAlice);
+  out.bob = w.tracker->delta(*w.chains, w.base + kBob);
+  out.carol = w.tracker->delta(*w.chains, w.base + kCarol);
   out.bob_lockup = lockup_of(*s.ticket);
   out.carol_lockup = lockup_of(*s.coin);
-  out.events = w.chains.all_events();
+  out.events = w.chains->all_events();
   return out;
 }
 

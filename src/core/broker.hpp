@@ -5,6 +5,7 @@
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
+#include "core/binding.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
 #include "sim/tree.hpp"
@@ -58,6 +59,13 @@ class BrokerWorld {
  public:
   explicit BrokerWorld(const BrokerConfig& cfg,
                        chain::TraceMode trace = chain::TraceMode::kFull);
+
+  /// Bound form (core/binding.hpp): deploys the instance onto the shared
+  /// MultiChain at `binding.party_base` / `binding.start`. Bound worlds
+  /// are driven through tree_frame()'s actors — run() throws.
+  BrokerWorld(const BrokerConfig& cfg, const WorldBinding& binding,
+              chain::TraceMode trace = chain::TraceMode::kOff);
+
   ~BrokerWorld();
   BrokerWorld(BrokerWorld&&) noexcept;
   BrokerWorld& operator=(BrokerWorld&&) noexcept;

@@ -28,10 +28,14 @@ std::string PayoffDelta::str() const {
 
 PayoffTracker::PayoffTracker(const chain::MultiChain& chains,
                              std::size_t party_count)
-    : party_count_(party_count) {
+    : PayoffTracker(chains, /*first=*/0, party_count) {}
+
+PayoffTracker::PayoffTracker(const chain::MultiChain& chains, PartyId first,
+                             std::size_t party_count)
+    : first_(first), party_count_(party_count) {
   initial_.reserve(party_count_);
-  for (PartyId p = 0; p < party_count_; ++p) {
-    initial_.push_back(snapshot_of(chains, p));
+  for (std::size_t p = 0; p < party_count_; ++p) {
+    initial_.push_back(snapshot_of(chains, first_ + static_cast<PartyId>(p)));
   }
 }
 
@@ -64,7 +68,7 @@ PayoffDelta PayoffTracker::delta(const chain::MultiChain& chains,
                                  PartyId party) const {
   PayoffDelta d;
   Snapshot diff = snapshot_of(chains, party);
-  for (const auto& [sym, amt] : initial_.at(party)) {
+  for (const auto& [sym, amt] : initial_.at(party - first_)) {
     accumulate(diff, sym, -amt);
   }
   for (const auto& [sym, amt] : diff) {

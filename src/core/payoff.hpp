@@ -37,7 +37,14 @@ class PayoffTracker {
   /// Snapshots balances of parties [0, party_count) over all chains.
   PayoffTracker(const chain::MultiChain& chains, std::size_t party_count);
 
-  /// Delta of `party`'s holdings between the snapshot and now.
+  /// Snapshots balances of parties [first, first + party_count) — the
+  /// namespaced-instance form: a load instance's parties live at a
+  /// non-zero account base on the shared chains.
+  PayoffTracker(const chain::MultiChain& chains, PartyId first,
+                std::size_t party_count);
+
+  /// Delta of `party`'s holdings between the snapshot and now. `party` is
+  /// the same (global) id space the snapshot used.
   /// Native-coin symbols are those ending in "-coin" (MultiChain naming).
   PayoffDelta delta(const chain::MultiChain& chains, PartyId party) const;
 
@@ -48,6 +55,7 @@ class PayoffTracker {
   static void accumulate(Snapshot& into, SymbolId sym, Amount amount);
   Snapshot snapshot_of(const chain::MultiChain& chains, PartyId party) const;
 
+  PartyId first_ = 0;
   std::size_t party_count_;
   std::vector<Snapshot> initial_;
 };

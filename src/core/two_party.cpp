@@ -261,7 +261,13 @@ TwoPartyResult run_base_two_party(const TwoPartyConfig& cfg,
 
 struct TwoPartyWorld::Impl {
   TwoPartyConfig cfg;
-  chain::MultiChain chains;
+  /// Private worlds own their chains; bound worlds alias the shared
+  /// MultiChain and leave own_chains empty.
+  chain::MultiChain own_chains;
+  chain::MultiChain* chains = &own_chains;
+  bool bound = false;
+  PartyId base = 0;  ///< first global party id (0 when private)
+  Tick start = 0;    ///< deadline-ladder offset (0 when private)
   contracts::HedgedSwapContract* apricot_c = nullptr;
   contracts::HedgedSwapContract* banana_c = nullptr;
   crypto::Secret secret;
@@ -275,48 +281,66 @@ struct TwoPartyWorld::Impl {
 
 TwoPartyWorld::TwoPartyWorld(const TwoPartyConfig& cfg,
                              chain::TraceMode trace)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->cfg = cfg;
-  const Tick d = cfg.delta;
-  chain::MultiChain& chains = impl_->chains;
-  chains.set_trace(trace);
-  chain::Blockchain& apricot = chains.add_chain("apricot");
-  chain::Blockchain& banana = chains.add_chain("banana");
+    : TwoPartyWorld(cfg, WorldBinding{}, trace) {}
 
-  apricot.ledger_for_setup().mint(chain::Address::party(kAlice), "apricot",
+TwoPartyWorld::TwoPartyWorld(const TwoPartyConfig& cfg,
+                             const WorldBinding& binding,
+                             chain::TraceMode trace)
+    : impl_(std::make_unique<Impl>()) {
+  Impl& w = *impl_;
+  w.cfg = cfg;
+  w.bound = binding.bound();
+  w.base = binding.party_base;
+  w.start = binding.start;
+  const Tick d = cfg.delta;
+  const Tick t0 = w.start;
+  chain::MultiChain& chains = w.bound ? *binding.chains : w.own_chains;
+  w.chains = &chains;
+  if (!w.bound) chains.set_trace(trace);
+  chain::Blockchain& apricot = w.bound ? chains.get_or_add_chain("apricot")
+                                       : chains.add_chain("apricot");
+  chain::Blockchain& banana = w.bound ? chains.get_or_add_chain("banana")
+                                      : chains.add_chain("banana");
+
+  const PartyId alice = w.base + kAlice;
+  const PartyId bob = w.base + kBob;
+  apricot.ledger_for_setup().mint(chain::Address::party(alice), "apricot",
                                   cfg.alice_tokens);
-  banana.ledger_for_setup().mint(chain::Address::party(kBob), "banana",
+  banana.ledger_for_setup().mint(chain::Address::party(bob), "banana",
                                  cfg.bob_tokens);
   // Premiums are paid in the escrow chain's native coin: Alice needs
   // p_a + p_b on the banana chain, Bob needs p_b on the apricot chain.
-  banana.ledger_for_setup().mint(chain::Address::party(kAlice),
+  banana.ledger_for_setup().mint(chain::Address::party(alice),
                                  banana.native(),
                                  cfg.premium_a + cfg.premium_b);
-  apricot.ledger_for_setup().mint(chain::Address::party(kBob),
+  apricot.ledger_for_setup().mint(chain::Address::party(bob),
                                   apricot.native(), cfg.premium_b);
 
-  crypto::Rng rng("two-party-hedged");
+  crypto::Rng rng(w.bound ? "two-party-hedged:" + binding.tag
+                          : std::string("two-party-hedged"));
   impl_->secret = crypto::Secret::random(rng);
 
   // §5.2 schedule: premiums at Delta / 2*Delta, principals at 3*Delta /
   // 4*Delta, redemptions at t_A = 5*Delta (banana) and t_B = 6*Delta
-  // (apricot).
+  // (apricot). Bound instances shift the whole ladder to their arrival.
   impl_->apricot_c = &apricot.deploy<contracts::HedgedSwapContract>(
       contracts::HedgedSwapContract::Params{
-          /*principal_owner=*/kAlice, /*premium_payer=*/kBob, "apricot",
+          /*principal_owner=*/alice, /*premium_payer=*/bob, "apricot",
           cfg.alice_tokens, cfg.premium_b, impl_->secret.hashlock(),
-          /*premium_deadline=*/2 * d, /*escrow_deadline=*/3 * d,
-          /*redemption_deadline=*/6 * d});
+          /*premium_deadline=*/t0 + 2 * d, /*escrow_deadline=*/t0 + 3 * d,
+          /*redemption_deadline=*/t0 + 6 * d});
   impl_->banana_c = &banana.deploy<contracts::HedgedSwapContract>(
       contracts::HedgedSwapContract::Params{
-          /*principal_owner=*/kBob, /*premium_payer=*/kAlice, "banana",
+          /*principal_owner=*/bob, /*premium_payer=*/alice, "banana",
           cfg.bob_tokens, cfg.premium_a + cfg.premium_b,
           impl_->secret.hashlock(),
-          /*premium_deadline=*/d, /*escrow_deadline=*/4 * d,
-          /*redemption_deadline=*/5 * d});
+          /*premium_deadline=*/t0 + d, /*escrow_deadline=*/t0 + 4 * d,
+          /*redemption_deadline=*/t0 + 5 * d});
 
-  chains.checkpoint();
-  impl_->tracker = std::make_unique<PayoffTracker>(chains, 2);
+  // Shared chains are never checkpointed: the load scheduler owns their
+  // lifecycle and worlds bound to them cannot be reset or finalized.
+  if (!w.bound) chains.checkpoint();
+  impl_->tracker = std::make_unique<PayoffTracker>(chains, w.base, 2);
 }
 
 TwoPartyWorld::~TwoPartyWorld() = default;
@@ -324,17 +348,21 @@ TwoPartyWorld::TwoPartyWorld(TwoPartyWorld&&) noexcept = default;
 TwoPartyWorld& TwoPartyWorld::operator=(TwoPartyWorld&&) noexcept = default;
 
 void TwoPartyWorld::set_environment(const chain::ChainEnvironment& env) {
-  impl_->chains.set_environment(env);
+  impl_->chains->set_environment(env);
 }
 
 TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
                                   sim::DeviationPlan bob) {
   Impl& w = *impl_;
-  w.chains.reset();
+  if (w.bound) {
+    throw std::logic_error(
+        "TwoPartyWorld::run: bound worlds are driven by the load scheduler");
+  }
+  w.chains->reset();
 
   HedgedAlice a(alice, *w.apricot_c, *w.banana_c, w.secret);
   HedgedBob b(bob, *w.apricot_c, *w.banana_c);
-  sim::Scheduler sched(w.chains);
+  sim::Scheduler sched(*w.chains);
   sched.add_party(a);
   sched.add_party(b);
 #ifndef NDEBUG
@@ -348,7 +376,7 @@ TwoPartyResult TwoPartyWorld::run(sim::DeviationPlan alice,
   // The run is over: no further submissions are meaningful, and a party
   // (or test) that tries anyway should fail loudly rather than mutate a
   // world whose results were already collected.
-  w.chains.finalize_all();
+  w.chains->finalize_all();
   return tree_collect();
 }
 
@@ -359,9 +387,11 @@ sim::TreeFrame& TwoPartyWorld::tree_frame() {
         sim::DeviationPlan::conforming(), *w.apricot_c, *w.banana_c, w.secret);
     w.tree_bob = std::make_unique<HedgedBob>(sim::DeviationPlan::conforming(),
                                              *w.apricot_c, *w.banana_c);
-    w.frame.chains = &w.chains;
+    w.tree_alice->set_account_base(w.base);
+    w.tree_bob->set_account_base(w.base);
+    w.frame.chains = w.chains;
     w.frame.actors = {w.tree_alice.get(), w.tree_bob.get()};
-    w.frame.horizon = 6 * w.cfg.delta + 2;
+    w.frame.horizon = w.start + 6 * w.cfg.delta + 2;
   }
   return w.frame;
 }
@@ -379,15 +409,15 @@ TwoPartyResult TwoPartyWorld::tree_collect() const {
 
   TwoPartyResult r;
   r.swapped = apricot_c.redeemed() && banana_c.redeemed();
-  r.alice = w.tracker->delta(w.chains, kAlice);
-  r.bob = w.tracker->delta(w.chains, kBob);
+  r.alice = w.tracker->delta(*w.chains, w.base + kAlice);
+  r.bob = w.tracker->delta(*w.chains, w.base + kBob);
   r.alice_lockup = lockup_of(apricot_c.escrowed_at(),
                              apricot_c.principal_resolved_at(),
                              apricot_c.principal_refunded());
   r.bob_lockup = lockup_of(banana_c.escrowed_at(),
                            banana_c.principal_resolved_at(),
                            banana_c.principal_refunded());
-  r.events = w.chains.all_events();
+  r.events = w.chains->all_events();
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include "chain/blockchain.hpp"
 #include "common/types.hpp"
+#include "core/binding.hpp"
 #include "core/payoff.hpp"
 #include "sim/deviation.hpp"
 #include "sim/tree.hpp"
@@ -73,6 +74,14 @@ class TwoPartyWorld {
  public:
   explicit TwoPartyWorld(const TwoPartyConfig& cfg,
                          chain::TraceMode trace = chain::TraceMode::kFull);
+
+  /// Bound form (core/binding.hpp): deploys the instance onto the shared
+  /// MultiChain at `binding.party_base` / `binding.start`. Bound worlds
+  /// are driven through tree_frame()'s actors by the load scheduler —
+  /// run() (which resets and finalizes chains) throws.
+  TwoPartyWorld(const TwoPartyConfig& cfg, const WorldBinding& binding,
+                chain::TraceMode trace = chain::TraceMode::kOff);
+
   ~TwoPartyWorld();
   TwoPartyWorld(TwoPartyWorld&&) noexcept;
   TwoPartyWorld& operator=(TwoPartyWorld&&) noexcept;

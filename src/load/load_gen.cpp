@@ -1,0 +1,306 @@
+#include "load/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "chain/blockchain.hpp"
+#include "chain/fault.hpp"
+#include "core/binding.hpp"
+#include "crypto/rng.hpp"
+#include "sim/party.hpp"
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain::load {
+
+namespace {
+
+/// One arrived protocol instance: the bound world plus the scheduler's
+/// bookkeeping. Never destroyed before the run ends — mempools may carry
+/// crowded-out transactions whose effects reference the instance's
+/// contracts and actors long after it completed.
+struct Instance {
+  std::size_t idx = 0;    ///< arrival index (the "#<idx>" of its tag)
+  std::size_t proto = 0;  ///< mix index
+  PartyId base = 0;       ///< first account id of the instance's range
+  PartyId base_end = 0;   ///< one past the last account id
+  Tick start = 0;         ///< arrival tick
+  Tick end = 0;           ///< exclusive end tick (LoadInstance::end_tick)
+  std::unique_ptr<sim::LoadInstance> bound;
+  sim::TxSink sink;            ///< this tick's deferred submissions
+  Tick last_inclusion = -1;    ///< newest block holding one of its txs
+  std::size_t txs = 0;         ///< its included transactions
+};
+
+/// Nearest-rank percentile over sorted latencies: index p*(n-1)/100.
+Tick percentile(const std::vector<Tick>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  return sorted[(static_cast<std::size_t>(p) * (sorted.size() - 1)) / 100];
+}
+
+LatencyStats latency_stats(std::vector<Tick> lats) {
+  LatencyStats s;
+  if (lats.empty()) return s;
+  std::sort(lats.begin(), lats.end());
+  s.p50 = percentile(lats, 50);
+  s.p95 = percentile(lats, 95);
+  s.p99 = percentile(lats, 99);
+  s.max = lats.back();
+  double sum = 0;
+  for (Tick t : lats) sum += static_cast<double>(t);
+  s.mean = sum / static_cast<double>(lats.size());
+  return s;
+}
+
+/// The all-conforming schedule every load instance runs (and every
+/// attribution twin replays).
+sim::Schedule conforming_schedule(std::size_t parties, std::string label) {
+  sim::Schedule s;
+  s.plans.assign(parties, sim::DeviationPlan::conforming());
+  s.label = std::move(label);
+  return s;
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadConfig& cfg) {
+  if (cfg.users == 0) throw std::invalid_argument("load: users must be >= 1");
+  std::vector<MixEntry> mix = cfg.mix;
+  if (mix.empty()) mix.push_back({"two-party", 1});
+  int total_weight = 0;
+  for (const MixEntry& m : mix) {
+    if (m.weight <= 0) {
+      throw std::invalid_argument("load: mix weight for '" + m.protocol +
+                                  "' must be >= 1");
+    }
+    total_weight += m.weight;
+  }
+  const unsigned threads = std::max(1u, cfg.threads);
+
+  // One adapter per mix entry (unknown names throw RegistryError here;
+  // protocols without a bound world form throw at their first bind).
+  const sim::ProtocolRegistry& registry = sim::ProtocolRegistry::global();
+  std::vector<std::unique_ptr<sim::ProtocolAdapter>> adapters;
+  adapters.reserve(mix.size());
+  for (const MixEntry& m : mix) adapters.push_back(registry.make(m.protocol));
+
+  // The shared world. Capacity squeeze on every chain (current and
+  // future) plus the fee-escalation defense — installed before any
+  // instance binds, so chains created later inherit both.
+  chain::MultiChain chains;
+  chains.set_trace(chain::TraceMode::kOff);
+  chain::ChainEnvironment env;
+  if (cfg.block_capacity > 0) {
+    chain::FaultClause squeeze;
+    squeeze.kind = chain::FaultClause::Kind::kSqueeze;
+    squeeze.from = 0;
+    squeeze.to = std::numeric_limits<Tick>::max() / 2;
+    squeeze.cap = cfg.block_capacity;
+    env.faults.entries.emplace_back("*", squeeze);
+  }
+  env.resilience.kind = chain::ResiliencePolicy::Kind::kFeeEscalate;
+  env.resilience.max_fee = cfg.max_fee;
+  chains.set_environment(env);
+
+  // Seeded arrival plan: protocol draw and arrival tick per instance.
+  // Account bases are assigned at bind time (arrival order), so the plan
+  // is a pure function of (seed, mix, arrival_gap).
+  crypto::Rng rng(cfg.seed);
+  std::vector<std::unique_ptr<Instance>> instances;
+  instances.reserve(cfg.users);
+  {
+    Tick at = 0;
+    for (std::size_t i = 0; i < cfg.users; ++i) {
+      if (i > 0) at += static_cast<Tick>(rng.next_below(
+                      static_cast<std::uint64_t>(cfg.arrival_gap) + 1));
+      auto inst = std::make_unique<Instance>();
+      inst->idx = i;
+      std::uint64_t pick =
+          rng.next_below(static_cast<std::uint64_t>(total_weight));
+      for (std::size_t m = 0; m < mix.size(); ++m) {
+        const std::uint64_t w = static_cast<std::uint64_t>(mix[m].weight);
+        if (pick < w) {
+          inst->proto = m;
+          break;
+        }
+        pick -= w;
+      }
+      inst->start = at;
+      instances.push_back(std::move(inst));
+    }
+  }
+
+  // Inclusion observer: map each applied transaction's sender back to its
+  // instance through the disjoint account-id ranges. `bases` is sorted by
+  // construction (bases grow in arrival order).
+  std::size_t txs_included = 0;
+  std::vector<std::pair<PartyId, std::size_t>> bases;  // (base, instance)
+  chains.set_inclusion_observer([&](ChainId, PartyId sender, Tick height) {
+    ++txs_included;
+    auto it = std::upper_bound(
+        bases.begin(), bases.end(), sender,
+        [](PartyId s, const std::pair<PartyId, std::size_t>& b) {
+          return s < b.first;
+        });
+    if (it == bases.begin()) return;
+    Instance& inst = *instances[(--it)->second];
+    if (sender >= inst.base_end) return;
+    inst.last_inclusion = std::max(inst.last_inclusion, height);
+    ++inst.txs;
+  });
+
+  LoadReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  PartyId next_base = 0;
+  std::size_t next_arrival = 0;
+  std::vector<Instance*> active;  // arrival order — the drain order
+  Tick now = 0;
+  while (next_arrival < instances.size() || !active.empty()) {
+    // 1. Serial arrivals: bind every instance due this tick.
+    while (next_arrival < instances.size() &&
+           instances[next_arrival]->start == now) {
+      Instance& inst = *instances[next_arrival];
+      const sim::ProtocolAdapter& adapter = *adapters[inst.proto];
+      inst.base = next_base;
+      inst.base_end =
+          next_base + static_cast<PartyId>(adapter.party_count());
+      next_base = inst.base_end;
+      core::WorldBinding binding;
+      binding.chains = &chains;
+      binding.party_base = inst.base;
+      binding.start = inst.start;
+      binding.tag =
+          mix[inst.proto].protocol + "#" + std::to_string(inst.idx);
+      inst.bound = adapter.bind_instance(binding);
+      inst.end = inst.bound->end_tick();
+      for (sim::Party* actor : inst.bound->actors()) {
+        actor->set_tx_sink(&inst.sink);
+      }
+      bases.emplace_back(inst.base, next_arrival);
+      active.push_back(&inst);
+      ++next_arrival;
+    }
+
+    // 2. Parallel tick phase: contiguous instance shards, one per worker.
+    // Actors only read chain state and fill their instance's private
+    // sink, so shards share nothing mutable.
+    const auto tick_range = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (sim::Party* actor : active[i]->bound->actors()) {
+          actor->tick(chains, now);
+        }
+      }
+    };
+    if (threads == 1 || active.size() < 2 * threads) {
+      tick_range(0, active.size());
+    } else {
+      const std::size_t chunk = (active.size() + threads - 1) / threads;
+      std::vector<std::thread> pool;
+      pool.reserve(threads - 1);
+      for (unsigned t = 1; t < threads; ++t) {
+        const std::size_t lo = std::min(active.size(), t * chunk);
+        const std::size_t hi = std::min(active.size(), lo + chunk);
+        if (lo < hi) pool.emplace_back(tick_range, lo, hi);
+      }
+      tick_range(0, std::min(active.size(), chunk));
+      for (std::thread& th : pool) th.join();
+    }
+
+    // 3. Serial drain in arrival order: mempool sequence numbers are
+    // independent of thread count.
+    for (Instance* inst : active) inst->sink.drain();
+
+    // 4. One fee-ordered bounded block per chain over the whole tick.
+    chains.produce_all(now);
+
+    // Completions: the block at end - 1 has been produced.
+    std::size_t kept = 0;
+    for (Instance* inst : active) {
+      if (inst->end > now + 1) {
+        active[kept++] = inst;
+        continue;
+      }
+      sim::audit_schedule(
+          mix[inst->proto].protocol + "#" + std::to_string(inst->idx),
+          inst->bound->collect(), report.violations);
+    }
+    active.resize(kept);
+    ++now;
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  report.ticks = now;
+  report.instances = instances.size();
+  report.txs_included = txs_included;
+  report.chains = chains.count();
+
+  // Latency + per-protocol aggregation.
+  std::vector<Tick> all_lats;
+  all_lats.reserve(instances.size());
+  std::vector<std::vector<Tick>> proto_lats(mix.size());
+  report.per_protocol.resize(mix.size());
+  for (std::size_t m = 0; m < mix.size(); ++m) {
+    report.per_protocol[m].protocol = mix[m].protocol;
+  }
+  for (const auto& inst : instances) {
+    const Tick lat = inst->txs > 0 ? inst->last_inclusion - inst->start + 1
+                                   : inst->end - inst->start;
+    all_lats.push_back(lat);
+    proto_lats[inst->proto].push_back(lat);
+    ProtocolStats& ps = report.per_protocol[inst->proto];
+    ++ps.instances;
+    ps.txs_included += inst->txs;
+  }
+  report.latency = latency_stats(std::move(all_lats));
+  for (std::size_t m = 0; m < mix.size(); ++m) {
+    report.per_protocol[m].latency = latency_stats(std::move(proto_lats[m]));
+  }
+
+  // Fault attribution: a violating protocol re-runs solo, all-conforming,
+  // on a faultless private world. All load instances of one protocol are
+  // identical modulo binding, so one twin per protocol decides them all.
+  std::vector<int> twin_clean(mix.size(), -1);  // -1 unknown, 0/1 decided
+  for (sim::Violation& v : report.violations) {
+    const std::size_t m = [&] {
+      const std::string proto = v.schedule.substr(0, v.schedule.find('#'));
+      for (std::size_t i = 0; i < mix.size(); ++i) {
+        if (mix[i].protocol == proto) return i;
+      }
+      return mix.size();
+    }();
+    if (m == mix.size()) {
+      ++report.unattributed;
+      continue;
+    }
+    if (twin_clean[m] < 0) {
+      const std::unique_ptr<sim::ProtocolAdapter> twin =
+          registry.make(mix[m].protocol);
+      std::vector<sim::Violation> scratch;
+      sim::audit_schedule(
+          "twin",
+          twin->run(conforming_schedule(twin->party_count(), "twin")),
+          scratch);
+      twin_clean[m] = scratch.empty() ? 1 : 0;
+    }
+    v.fault_caused = twin_clean[m] == 1;
+    if (v.fault_caused) {
+      ++report.fault_caused;
+      ++report.per_protocol[m].fault_caused;
+    } else {
+      ++report.unattributed;
+    }
+    ++report.per_protocol[m].violations;
+  }
+
+  return report;
+}
+
+}  // namespace xchain::load

@@ -1,0 +1,127 @@
+#pragma once
+
+// Shared-chain load generator.
+//
+// Historical sweeps audit one protocol instance at a time on a private
+// world. This subsystem instead binds thousands of concurrent instances —
+// drawn from a weighted mix of registry protocols — onto ONE shared
+// MultiChain (core/binding.hpp) and drives them through a seeded arrival
+// process. Congestion is organic: every block has bounded capacity (a
+// '*'-squeeze FaultClause), so instances outbid each other through their
+// fee-escalation ResiliencePolicy instead of competing against synthetic
+// spam. Every party is conforming; the question load answers is whether
+// the paper's hedged floors survive *real* contention at scale.
+//
+// The tick loop is deterministic at any thread count:
+//   1. serial arrivals  — instances whose start tick is due are bound
+//      (mint endowments, deploy contracts, build persistent actors);
+//   2. parallel ticks   — active instances are sharded over the worker
+//      threads; each actor's tick() only reads chain state and records
+//      its submissions into the instance's private TxSink;
+//   3. serial drain     — sinks drain into the mempools in arrival order,
+//      so submission sequence numbers never depend on thread timing;
+//   4. block production — produce_all(now) runs the fee-ordered bounded
+//      selection once per chain over the whole tick's traffic.
+// An instance completes once the block at end_tick() - 1 is produced; its
+// outcomes are payoff-audited immediately (audit_schedule). Completion
+// latency is measured by an inclusion observer mapping applied
+// transactions back to instances through their disjoint account-id
+// ranges.
+//
+// Violations are attributed after the run: each violating protocol is
+// re-run solo on a faultless private world under the same all-conforming
+// schedule. A clean twin proves the loss came from congestion, not the
+// protocol — the violation is marked fault_caused (the [chain-fault]
+// attribution of sim/scenario.hpp); anything else stays unattributed and
+// fails the bench.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/payoff_audit.hpp"
+
+namespace xchain::load {
+
+/// One entry of the protocol mix: a registry name (sim/registry.hpp) and
+/// a relative weight in the arrival draw.
+struct MixEntry {
+  std::string protocol;
+  int weight = 1;
+};
+
+/// Configuration of one load run. The report is a pure function of
+/// everything here except `threads`, which only changes wall time.
+struct LoadConfig {
+  std::size_t users = 1000;  ///< protocol instances to run to completion
+  unsigned threads = 1;      ///< tick-phase worker threads (>= 1)
+  std::uint64_t seed = 1;    ///< arrival-process / mix-draw seed
+
+  /// Weighted protocol mix; empty = {two-party:1}. Names resolve through
+  /// ProtocolRegistry::global() and must support bind_instance
+  /// (two-party, broker, bridge-transfer).
+  std::vector<MixEntry> mix;
+
+  /// Inter-arrival gap between consecutive instances is drawn uniformly
+  /// from [0, arrival_gap] ticks (instance 0 arrives at tick 0).
+  Tick arrival_gap = 1;
+
+  /// Per-block transaction cap on every chain (the organic-congestion
+  /// squeeze). 0 = unbounded blocks (no congestion).
+  int block_capacity = 4;
+
+  /// Fee-escalation ceiling of the instances' ResiliencePolicy.
+  Amount max_fee = 64;
+};
+
+/// Completion-latency percentiles in ticks (nearest-rank over the sorted
+/// per-instance latencies). Latency is measured from the instance's
+/// arrival tick to its last included transaction, inclusive.
+struct LatencyStats {
+  Tick p50 = 0;
+  Tick p95 = 0;
+  Tick p99 = 0;
+  Tick max = 0;
+  double mean = 0.0;
+};
+
+/// Aggregates for one protocol of the mix.
+struct ProtocolStats {
+  std::string protocol;
+  std::size_t instances = 0;
+  std::size_t txs_included = 0;
+  LatencyStats latency;
+  std::size_t violations = 0;
+  std::size_t fault_caused = 0;
+};
+
+/// Result of one load run. Identical for any `threads` value except the
+/// wall_seconds field (pinned by tests/load_generator_test.cpp).
+struct LoadReport {
+  std::size_t instances = 0;     ///< completed (== LoadConfig::users)
+  std::size_t txs_included = 0;  ///< transactions applied across all chains
+  std::size_t chains = 0;        ///< distinct shared chains created
+  Tick ticks = 0;                ///< simulated ticks until the last completion
+  double wall_seconds = 0.0;     ///< measured wall time of the tick loop
+
+  LatencyStats latency;                      ///< across all instances
+  std::vector<ProtocolStats> per_protocol;   ///< in mix order
+
+  /// Hedged-floor violations across all completed instances, in
+  /// completion order; every one should re-audit clean on its faultless
+  /// twin (fault_caused) — an unattributed violation is a real bug.
+  std::vector<sim::Violation> violations;
+  std::size_t fault_caused = 0;
+  std::size_t unattributed = 0;
+
+  bool ok() const { return unattributed == 0; }
+};
+
+/// Runs one load configuration to completion. Throws
+/// std::invalid_argument on malformed configs (zero users, non-positive
+/// weights) and sim::RegistryError on unknown protocol names.
+LoadReport run_load(const LoadConfig& cfg);
+
+}  // namespace xchain::load

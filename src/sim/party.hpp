@@ -16,6 +16,46 @@
 
 namespace xchain::sim {
 
+class Party;
+
+/// Deferred chain mutations, the load generator's determinism seam. When a
+/// party carries a TxSink, everything it would do to a chain — submit a
+/// transaction, bump a pending fee — is recorded here instead of applied,
+/// and the chains stay strictly read-only while the party ticks. The load
+/// scheduler ticks instance shards on worker threads (reads race-free by
+/// construction), then drains each instance's sink serially in instance-id
+/// order, so submission ordinals — and therefore fee-tie ordering, block
+/// selection, and every downstream audit — are identical at any thread
+/// count. Drained submissions patch their real ids back into the party's
+/// outstanding set (Party::resolve_submission).
+class TxSink {
+ public:
+  void clear() {
+    submits_.clear();
+    bumps_.clear();
+  }
+  bool empty() const { return submits_.empty() && bumps_.empty(); }
+
+  /// Applies every recorded mutation in record order, then clears.
+  void drain();
+
+ private:
+  friend class Party;
+  struct DeferredSubmit {
+    chain::Blockchain* bc;
+    chain::Transaction tx;
+    Party* party;          ///< null for untracked fire-and-forget traffic
+    std::size_t slot;      ///< outstanding_ index to patch with the real id
+  };
+  struct DeferredBump {
+    chain::Blockchain* bc;
+    std::uint64_t id;
+    Amount fee;
+  };
+  std::vector<DeferredSubmit> submits_;
+  std::vector<DeferredBump> bumps_;
+};
+
 /// An active protocol participant. Parties are the only *active* entities
 /// in the model (paper §3.1): once per tick they observe public chain state
 /// and submit transactions; contracts do the rest.
@@ -51,7 +91,26 @@ class Party {
   const std::string& name() const { return name_; }
   const crypto::KeyPair& keys() const { return keys_; }
   const DeviationPlan& plan() const { return plan_; }
-  chain::Address address() const { return chain::Address::party(id_); }
+  chain::Address address() const { return chain::Address::party(account_id()); }
+
+  /// The party's on-chain identity: its protocol-local id offset by the
+  /// instance's account base. Private-world protocols keep base 0, where
+  /// account_id() == id(); instances bound to a shared MultiChain get
+  /// disjoint base ranges so ledger rows and tx senders never collide
+  /// across instances while vertex/ordinal logic keeps the local id.
+  PartyId account_id() const { return account_base_ + id_; }
+  PartyId account_base() const { return account_base_; }
+  void set_account_base(PartyId base) { account_base_ = base; }
+
+  /// Attaches (or detaches, with null) the deferred-submission sink — see
+  /// TxSink. While attached, this party never mutates a chain directly.
+  void set_tx_sink(TxSink* sink) { sink_ = sink; }
+
+  /// Patches the real submission id into an outstanding entry once the
+  /// sink drains its deferred submit (TxSink::drain).
+  void resolve_submission(std::size_t slot, std::uint64_t id) {
+    outstanding_.at(slot).id = id;
+  }
 
   /// One scheduler tick: outstanding (submitted-but-unconfirmed)
   /// transactions are serviced per the chain's ResiliencePolicy, delayed
@@ -124,7 +183,7 @@ class Party {
               std::function<void(chain::TxContext&)> effect) const {
     chain::Blockchain& bc = chains.at(chain);
     chain::Transaction tx;
-    tx.sender = id_;
+    tx.sender = account_id();
     if (bc.tracing()) tx.note = name_ + ": " + what;
     tx.effect = std::move(effect);
     dispatch(bc, std::move(tx));
@@ -138,7 +197,7 @@ class Party {
               std::function<void(chain::TxContext&)> effect) const {
     chain::Blockchain& bc = chains.at(chain);
     chain::Transaction tx;
-    tx.sender = id_;
+    tx.sender = account_id();
     if (bc.tracing()) tx.note = name_ + ": " + label();
     tx.effect = std::move(effect);
     dispatch(bc, std::move(tx));
@@ -184,13 +243,18 @@ class Party {
     std::function<void(chain::TxContext&)> effect;
   };
 
-  /// Hands a fully built transaction to the chain. Under an active
+  /// Hands a fully built transaction to the chain — or, with a TxSink
+  /// attached, records it for the serial merge phase. Under an active
   /// ResiliencePolicy the submission is tracked and remembered for
   /// servicing; the naive policy is the historical fire-and-forget.
   void dispatch(chain::Blockchain& bc, chain::Transaction tx) const {
     const chain::ResiliencePolicy& pol = bc.resilience();
     if (!pol.active()) {
-      bc.submit(std::move(tx));
+      if (sink_) {
+        sink_->submits_.push_back({&bc, std::move(tx), nullptr, 0});
+      } else {
+        bc.submit(std::move(tx));
+      }
       return;
     }
     tx.track = true;
@@ -200,8 +264,15 @@ class Party {
     o.decided = now_;
     o.note = tx.note;
     o.effect = tx.effect;  // copy; the original moves into the mempool
-    o.id = bc.submit(std::move(tx));
-    outstanding_.push_back(std::move(o));
+    if (sink_) {
+      outstanding_.push_back(std::move(o));  // id patched at drain
+      sink_->submits_.push_back({&bc, std::move(tx),
+                                 const_cast<Party*>(this),
+                                 outstanding_.size() - 1});
+    } else {
+      o.id = bc.submit(std::move(tx));
+      outstanding_.push_back(std::move(o));
+    }
   }
 
   /// Reacts to the fate of tracked submissions: confirmed entries are
@@ -223,18 +294,29 @@ class Party {
           break;
         case chain::TxStatus::kPending:
           if (pol.kind == chain::ResiliencePolicy::Kind::kFeeEscalate) {
-            bc.bump_fee(o.id, pol.fee_at(o.decided, now));
+            const Amount fee = pol.fee_at(o.decided, now);
+            if (sink_) {
+              sink_->bumps_.push_back({&bc, o.id, fee});
+            } else {
+              bc.bump_fee(o.id, fee);
+            }
           }
           break;
         case chain::TxStatus::kDropped:
         case chain::TxStatus::kEvicted: {
           chain::Transaction tx;
-          tx.sender = id_;
+          tx.sender = account_id();
           tx.note = o.note;
           tx.effect = o.effect;
           tx.fee = pol.fee_at(o.decided, now);
           tx.track = true;
-          o.id = bc.submit(std::move(tx));
+          if (sink_) {
+            // The entry survives compaction at index `kept`; the real id
+            // lands there when the sink drains.
+            sink_->submits_.push_back({&bc, std::move(tx), this, kept});
+          } else {
+            o.id = bc.submit(std::move(tx));
+          }
           break;
         }
       }
@@ -264,6 +346,8 @@ class Party {
   PartyId id_;
   std::string name_;
   const crypto::KeyPair& keys_;
+  PartyId account_base_ = 0;
+  TxSink* sink_ = nullptr;
   DeviationPlan plan_;
   std::vector<Pending> pending_;
   ConsultLog* consults_ = nullptr;
@@ -276,5 +360,18 @@ class Party {
   mutable std::vector<Outstanding> outstanding_;
   chain::TieStack<std::vector<Outstanding>> outstanding_stack_;
 };
+
+inline void TxSink::drain() {
+  for (DeferredSubmit& s : submits_) {
+    const std::uint64_t id = s.bc->submit(std::move(s.tx));
+    if (s.party) s.party->resolve_submission(s.slot, id);
+  }
+  // Bumps commute with the submissions above (max-of-fees on ids from
+  // earlier ticks), so relative order between the two lists is free.
+  for (const DeferredBump& b : bumps_) {
+    b.bc->bump_fee(b.id, b.fee);
+  }
+  clear();
+}
 
 }  // namespace xchain::sim

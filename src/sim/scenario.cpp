@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <iterator>
 #include <limits>
 #include <map>
@@ -901,6 +902,56 @@ SweepReport ScenarioRunner::sweep(const SweepOptions& opts) const {
 }
 
 // ---------------------------------------------------------------------------
+// Bound instances (load generation)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Generic LoadInstance over a bound world (core/binding.hpp): owns the
+/// world, exposes its tree frame's persistent actors and horizon to the
+/// load scheduler, and maps the end-of-run result through the owning
+/// adapter's outcome assembly under the all-conforming schedule. The
+/// collect functor captures an adapter copy by value, so the instance
+/// outlives whoever bound it.
+template <class World, class Result>
+class BoundWorldInstance final : public LoadInstance {
+ public:
+  using CollectFn = std::function<std::vector<PartyOutcome>(const Result&)>;
+
+  BoundWorldInstance(std::unique_ptr<World> world, std::size_t parties,
+                     CollectFn collect)
+      : world_(std::move(world)), collect_(std::move(collect)) {
+    TreeFrame& frame = world_->tree_frame();
+    world_->tree_set_plans(
+        std::vector<DeviationPlan>(parties, DeviationPlan::conforming()));
+    actors_ = frame.actors;
+    end_ = frame.horizon;
+  }
+
+  const std::vector<Party*>& actors() const override { return actors_; }
+  Tick end_tick() const override { return end_; }
+  std::vector<PartyOutcome> collect() const override {
+    return collect_(world_->tree_collect());
+  }
+
+ private:
+  std::unique_ptr<World> world_;
+  CollectFn collect_;
+  std::vector<Party*> actors_;
+  Tick end_ = 0;
+};
+
+/// The all-conforming schedule a bound instance is audited under.
+Schedule conforming_schedule(std::size_t parties, std::string label) {
+  Schedule s;
+  s.plans.assign(parties, DeviationPlan::conforming());
+  s.label = std::move(label);
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Two-party swap
 // ---------------------------------------------------------------------------
 
@@ -932,6 +983,16 @@ std::vector<PartyOutcome> TwoPartySwapAdapter::run(const Schedule& s) const {
           ? world().run(s.plans[0], s.plans[1])
           : core::run_hedged_two_party(cfg_, s.plans[0], s.plans[1]);
   return outcomes_from(r, s);
+}
+
+std::unique_ptr<LoadInstance> TwoPartySwapAdapter::bind_instance(
+    const core::WorldBinding& binding) const {
+  auto w = std::make_unique<core::TwoPartyWorld>(cfg_, binding);
+  return std::make_unique<
+      BoundWorldInstance<core::TwoPartyWorld, core::TwoPartyResult>>(
+      std::move(w), party_count(),
+      [a = *this, s = conforming_schedule(2, binding.tag)](
+          const core::TwoPartyResult& r) { return a.outcomes_from(r, s); });
 }
 
 TreeFrame* TwoPartySwapAdapter::tree_frame() const {
@@ -1179,6 +1240,16 @@ std::vector<PartyOutcome> BrokerDealAdapter::run(const Schedule& s) const {
   return outcomes_from(r, s);
 }
 
+std::unique_ptr<LoadInstance> BrokerDealAdapter::bind_instance(
+    const core::WorldBinding& binding) const {
+  auto w = std::make_unique<core::BrokerWorld>(cfg_, binding);
+  return std::make_unique<
+      BoundWorldInstance<core::BrokerWorld, core::BrokerResult>>(
+      std::move(w), party_count(),
+      [a = *this, s = conforming_schedule(3, binding.tag)](
+          const core::BrokerResult& r) { return a.outcomes_from(r, s); });
+}
+
 TreeFrame* BrokerDealAdapter::tree_frame() const {
   if (!world_reuse()) return nullptr;
   return &world().tree_frame();
@@ -1310,6 +1381,20 @@ std::vector<PartyOutcome> BridgeAdapter::run(const Schedule& s) const {
   const core::BridgeResult r = world_reuse() ? world().run(s.plans)
                                              : core::run_bridge(cfg_, s.plans);
   return outcomes_from(r, s);
+}
+
+std::unique_ptr<LoadInstance> BridgeAdapter::bind_instance(
+    const core::WorldBinding& binding) const {
+  // Transfer variant only: account-create has no persistent-actor path.
+  if (cfg_.variant != core::BridgeVariant::kTransfer) {
+    throw std::logic_error(name() + ": bind_instance not implemented");
+  }
+  auto w = std::make_unique<core::BridgeWorld>(cfg_, binding);
+  return std::make_unique<
+      BoundWorldInstance<core::BridgeWorld, core::BridgeResult>>(
+      std::move(w), party_count(),
+      [a = *this, s = conforming_schedule(party_count(), binding.tag)](
+          const core::BridgeResult& r) { return a.outcomes_from(r, s); });
 }
 
 TreeFrame* BridgeAdapter::tree_frame() const {

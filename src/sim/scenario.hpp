@@ -85,6 +85,7 @@
 #include "chain/fault.hpp"
 #include "common/types.hpp"
 #include "core/auction.hpp"
+#include "core/binding.hpp"
 #include "core/bootstrap.hpp"
 #include "core/bridge.hpp"
 #include "core/broker.hpp"
@@ -102,6 +103,28 @@ namespace xchain::sim {
 struct Schedule {
   std::vector<DeviationPlan> plans;
   std::string label;
+};
+
+/// One protocol instance bound into a shared MultiChain — what
+/// ProtocolAdapter::bind_instance returns and the load generator
+/// (src/load/) drives. The instance owns its (bound) world; the load
+/// scheduler ticks the actors each round and, once the global tick reaches
+/// end_tick(), collects the per-party outcomes for the payoff audit. All
+/// plans are conforming: under load, every violation is the substrate's
+/// fault, never a party's.
+class LoadInstance {
+ public:
+  virtual ~LoadInstance() = default;
+
+  /// Actors in scheduler add-order; tick each exactly once per round.
+  virtual const std::vector<Party*>& actors() const = 0;
+
+  /// Exclusive global end tick: the instance is complete once the load
+  /// scheduler has produced the block at end_tick() - 1.
+  virtual Tick end_tick() const = 0;
+
+  /// End-of-run outcomes under the all-conforming schedule.
+  virtual std::vector<PartyOutcome> collect() const = 0;
 };
 
 /// How ScenarioRunner talks to one protocol engine. run() must execute the
@@ -171,6 +194,19 @@ class ProtocolAdapter {
   virtual std::unique_ptr<ProtocolAdapter> clone() const = 0;
 
   virtual std::vector<PartyOutcome> run(const Schedule& s) const = 0;
+
+  /// Binds one all-conforming instance of this protocol onto the shared
+  /// MultiChain described by `binding` (core/binding.hpp) and returns it
+  /// for the load generator to drive. The instance's ledger rows live at
+  /// [binding.party_base, party_base + party_count()) and its deadline
+  /// ladder starts at binding.start; the adapter itself is not captured
+  /// (the instance copies what it needs). Adapters without a bound world
+  /// form throw.
+  virtual std::unique_ptr<LoadInstance> bind_instance(
+      const core::WorldBinding& binding) const {
+    (void)binding;
+    throw std::logic_error(name() + ": bind_instance not implemented");
+  }
 
   /// --- Schedule-tree executor hooks ---------------------------------------
   /// The reusable world's tree frame (persistent actors + chains + horizon),
@@ -372,6 +408,8 @@ class TwoPartySwapAdapter final : public ProtocolAdapter {
     return std::make_unique<TwoPartySwapAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  std::unique_ptr<LoadInstance> bind_instance(
+      const core::WorldBinding& binding) const override;
   TreeFrame* tree_frame() const override;
   void tree_set_plans(const Schedule& s) const override;
   std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
@@ -483,6 +521,8 @@ class BrokerDealAdapter final : public ProtocolAdapter {
     return std::make_unique<BrokerDealAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  std::unique_ptr<LoadInstance> bind_instance(
+      const core::WorldBinding& binding) const override;
   TreeFrame* tree_frame() const override;
   void tree_set_plans(const Schedule& s) const override;
   std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;
@@ -570,6 +610,8 @@ class BridgeAdapter final : public ProtocolAdapter {
     return std::make_unique<BridgeAdapter>(*this);
   }
   std::vector<PartyOutcome> run(const Schedule& s) const override;
+  std::unique_ptr<LoadInstance> bind_instance(
+      const core::WorldBinding& binding) const override;
   TreeFrame* tree_frame() const override;
   void tree_set_plans(const Schedule& s) const override;
   std::vector<PartyOutcome> tree_collect(const Schedule& s) const override;

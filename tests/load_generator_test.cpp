@@ -1,0 +1,241 @@
+// Shared-chain load generator (src/load/load_gen.hpp) and the
+// instance-namespacing layer under it (core/binding.hpp bound worlds).
+//
+// Pinned here:
+//   * namespacing — two instances bound to one shared MultiChain at
+//     disjoint account bases produce exactly the payoffs of a private
+//     solo world: ledger rows never bleed across instances;
+//   * determinism — the LoadReport is identical at any thread count
+//     (modulo wall time) and for repeated runs of one seed;
+//   * the audit contract — an uncongested load is violation-free, and a
+//     congested one attributes every violation to the chain faults
+//     (unattributed == 0, the xchain-bench gate).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "core/binding.hpp"
+#include "load/load_gen.hpp"
+#include "sim/party.hpp"
+#include "sim/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace xchain {
+namespace {
+
+sim::Schedule conforming(std::size_t parties) {
+  sim::Schedule s;
+  s.plans.assign(parties, sim::DeviationPlan::conforming());
+  s.label = "conform";
+  return s;
+}
+
+/// Drives bound instances on a shared MultiChain to completion, the same
+/// tick discipline as the load loop (tick -> drain -> produce).
+void drive(chain::MultiChain& chains,
+           std::vector<sim::LoadInstance*> instances,
+           std::vector<sim::TxSink*> sinks) {
+  Tick end = 0;
+  for (const sim::LoadInstance* inst : instances) {
+    end = std::max(end, inst->end_tick());
+  }
+  for (Tick now = 0; now < end; ++now) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      for (sim::Party* actor : instances[i]->actors()) {
+        actor->tick(chains, now);
+      }
+    }
+    for (sim::TxSink* sink : sinks) sink->drain();
+    chains.produce_all(now);
+  }
+}
+
+TEST(LoadInstanceNamespacing, TwoInstancesMatchSoloPayoffs) {
+  const sim::ProtocolRegistry& reg = sim::ProtocolRegistry::global();
+  const auto adapter = reg.make("two-party");
+
+  // Reference: one conforming run on a private world.
+  const std::vector<sim::PartyOutcome> solo = adapter->run(conforming(2));
+
+  // Two instances sharing one MultiChain at disjoint account bases.
+  chain::MultiChain chains;
+  chains.set_trace(chain::TraceMode::kOff);
+  core::WorldBinding b0;
+  b0.chains = &chains;
+  b0.party_base = 0;
+  b0.tag = "two-party#0";
+  core::WorldBinding b1;
+  b1.chains = &chains;
+  b1.party_base = 2;
+  b1.tag = "two-party#1";
+  const auto i0 = adapter->bind_instance(b0);
+  const auto i1 = adapter->bind_instance(b1);
+
+  sim::TxSink s0, s1;
+  for (sim::Party* p : i0->actors()) p->set_tx_sink(&s0);
+  for (sim::Party* p : i1->actors()) p->set_tx_sink(&s1);
+  drive(chains, {i0.get(), i1.get()}, {&s0, &s1});
+
+  // Both instances complete with exactly the solo payoffs — a shared
+  // ledger row would show up as a by_symbol / coin_delta difference.
+  for (const auto& bound : {i0->collect(), i1->collect()}) {
+    ASSERT_EQ(bound.size(), solo.size());
+    for (std::size_t p = 0; p < solo.size(); ++p) {
+      EXPECT_EQ(bound[p].name, solo[p].name);
+      EXPECT_EQ(bound[p].payoff.coin_delta, solo[p].payoff.coin_delta);
+      EXPECT_EQ(bound[p].payoff.value_delta, solo[p].payoff.value_delta);
+      EXPECT_EQ(bound[p].payoff.by_symbol, solo[p].payoff.by_symbol);
+    }
+  }
+}
+
+TEST(LoadInstanceNamespacing, StaggeredArrivalMatchesSoloPayoffs) {
+  const sim::ProtocolRegistry& reg = sim::ProtocolRegistry::global();
+  const auto adapter = reg.make("broker");
+  const std::vector<sim::PartyOutcome> solo = adapter->run(conforming(3));
+
+  // The second instance arrives mid-run (start = 5): its deadline ladder
+  // is offset, its endowments are minted on live chains.
+  chain::MultiChain chains;
+  chains.set_trace(chain::TraceMode::kOff);
+  core::WorldBinding b0;
+  b0.chains = &chains;
+  b0.party_base = 0;
+  b0.tag = "broker#0";
+  core::WorldBinding b1;
+  b1.chains = &chains;
+  b1.party_base = 3;
+  b1.start = 5;
+  b1.tag = "broker#1";
+  const auto i0 = adapter->bind_instance(b0);
+  sim::TxSink s0, s1;
+  for (sim::Party* p : i0->actors()) p->set_tx_sink(&s0);
+
+  std::unique_ptr<sim::LoadInstance> i1;
+  Tick end = i0->end_tick();
+  for (Tick now = 0; now < end; ++now) {
+    if (now == 5) {
+      i1 = adapter->bind_instance(b1);
+      for (sim::Party* p : i1->actors()) p->set_tx_sink(&s1);
+      end = std::max(end, i1->end_tick());
+    }
+    for (sim::Party* actor : i0->actors()) actor->tick(chains, now);
+    if (i1) {
+      for (sim::Party* actor : i1->actors()) actor->tick(chains, now);
+    }
+    s0.drain();
+    s1.drain();
+    chains.produce_all(now);
+  }
+
+  for (const auto& bound : {i0->collect(), i1->collect()}) {
+    ASSERT_EQ(bound.size(), solo.size());
+    for (std::size_t p = 0; p < solo.size(); ++p) {
+      EXPECT_EQ(bound[p].payoff.by_symbol, solo[p].payoff.by_symbol)
+          << bound[p].name;
+    }
+  }
+}
+
+TEST(LoadGenerator, UncongestedLoadIsViolationFree) {
+  load::LoadConfig cfg;
+  cfg.users = 60;
+  cfg.seed = 11;
+  cfg.block_capacity = 0;  // unbounded blocks: the reliable substrate
+  cfg.mix = {{"two-party", 1}, {"broker", 1}, {"bridge-transfer", 1}};
+  const load::LoadReport r = load::run_load(cfg);
+  EXPECT_EQ(r.instances, 60u);
+  EXPECT_TRUE(r.violations.empty())
+      << r.violations.front().str();
+  EXPECT_EQ(r.unattributed, 0u);
+  std::size_t total = 0;
+  for (const load::ProtocolStats& p : r.per_protocol) total += p.instances;
+  EXPECT_EQ(total, 60u);
+  EXPECT_GT(r.txs_included, 0u);
+  EXPECT_GT(r.latency.p50, 0);
+}
+
+TEST(LoadGenerator, ReportIsThreadCountInvariant) {
+  load::LoadConfig cfg;
+  cfg.users = 200;
+  cfg.seed = 3;
+  cfg.block_capacity = 3;  // congested: fee escalation in play
+  cfg.mix = {{"two-party", 2}, {"broker", 1}, {"bridge-transfer", 1}};
+
+  cfg.threads = 1;
+  const load::LoadReport serial = load::run_load(cfg);
+  cfg.threads = 4;
+  const load::LoadReport parallel = load::run_load(cfg);
+
+  EXPECT_EQ(serial.instances, parallel.instances);
+  EXPECT_EQ(serial.txs_included, parallel.txs_included);
+  EXPECT_EQ(serial.chains, parallel.chains);
+  EXPECT_EQ(serial.ticks, parallel.ticks);
+  EXPECT_EQ(serial.latency.p50, parallel.latency.p50);
+  EXPECT_EQ(serial.latency.p95, parallel.latency.p95);
+  EXPECT_EQ(serial.latency.p99, parallel.latency.p99);
+  EXPECT_EQ(serial.latency.max, parallel.latency.max);
+  EXPECT_EQ(serial.latency.mean, parallel.latency.mean);
+  ASSERT_EQ(serial.violations.size(), parallel.violations.size());
+  for (std::size_t v = 0; v < serial.violations.size(); ++v) {
+    EXPECT_EQ(serial.violations[v].schedule, parallel.violations[v].schedule);
+    EXPECT_EQ(serial.violations[v].party, parallel.violations[v].party);
+    EXPECT_EQ(serial.violations[v].coin_delta,
+              parallel.violations[v].coin_delta);
+  }
+  ASSERT_EQ(serial.per_protocol.size(), parallel.per_protocol.size());
+  for (std::size_t m = 0; m < serial.per_protocol.size(); ++m) {
+    EXPECT_EQ(serial.per_protocol[m].txs_included,
+              parallel.per_protocol[m].txs_included);
+    EXPECT_EQ(serial.per_protocol[m].latency.p99,
+              parallel.per_protocol[m].latency.p99);
+  }
+}
+
+TEST(LoadGenerator, CongestedViolationsAllAttributed) {
+  load::LoadConfig cfg;
+  cfg.users = 150;
+  cfg.seed = 5;
+  cfg.arrival_gap = 0;  // every instance arrives at tick 0: worst case
+  cfg.block_capacity = 2;
+  cfg.mix = {{"two-party", 1}, {"broker", 1}};
+  const load::LoadReport r = load::run_load(cfg);
+  EXPECT_EQ(r.instances, 150u);
+  // Congestion this brutal may breach floors — but every breach must
+  // re-audit clean on the faultless twin (congestion-caused, never a
+  // protocol bug).
+  EXPECT_EQ(r.unattributed, 0u);
+  EXPECT_EQ(r.fault_caused + r.unattributed, r.violations.size());
+}
+
+TEST(LoadGenerator, SameSeedSameReport) {
+  load::LoadConfig cfg;
+  cfg.users = 80;
+  cfg.seed = 42;
+  const load::LoadReport a = load::run_load(cfg);
+  const load::LoadReport b = load::run_load(cfg);
+  EXPECT_EQ(a.txs_included, b.txs_included);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(LoadGenerator, RejectsBadConfigs) {
+  load::LoadConfig cfg;
+  cfg.users = 0;
+  EXPECT_THROW(load::run_load(cfg), std::invalid_argument);
+  cfg.users = 1;
+  cfg.mix = {{"two-party", 0}};
+  EXPECT_THROW(load::run_load(cfg), std::invalid_argument);
+  cfg.mix = {{"no-such-protocol", 1}};
+  EXPECT_THROW(load::run_load(cfg), sim::RegistryError);
+  // Protocols without a bound-world form are rejected at bind time.
+  cfg.mix = {{"auction-open", 1}};
+  EXPECT_THROW(load::run_load(cfg), std::logic_error);
+}
+
+}  // namespace
+}  // namespace xchain
